@@ -1,0 +1,21 @@
+"""abl-fused — fused CheckCollisionPath vs split Task-2/Task-3 kernels.
+
+Section 4's design argument: one fused kernel avoids copying state back
+to the host between detection and resolution.  The ablation quantifies
+what the rejected split design would cost.
+"""
+
+from repro.harness.figures import ablation_fused
+
+
+def test_fused_kernel_ablation(bench_once, benchmark):
+    table = bench_once(ablation_fused, ns=(480, 960, 1920))
+    print("\n" + table.render())
+
+    ratios = [float(row[3].rstrip("x")) for row in table.rows]
+    benchmark.extra_info["split_over_fused"] = ratios
+
+    # The split design is never faster, and the penalty is largest at
+    # small fleets where the fixed transfer overheads dominate.
+    assert all(r >= 1.0 for r in ratios)
+    assert ratios[0] >= ratios[-1]

@@ -1,0 +1,25 @@
+"""abl-resolution — the safety value of Task 3.
+
+The paper evaluates collision resolution by its execution time; this
+ablation evaluates it by its *outcome*: losses of separation (pairs
+below 3 nm / 1000 ft) over an evolving airfield, with and without the
+resolution manoeuvres.
+"""
+
+from repro.harness.figures import ablation_resolution
+
+
+def test_resolution_safety_ablation(bench_once, benchmark):
+    table = bench_once(ablation_resolution, n=768, major_cycles=8)
+    print("\n" + table.render())
+
+    by_config = {r[0]: r for r in table.rows}
+    on = by_config["resolution ON"]
+    off = by_config["resolution OFF"]
+    benchmark.extra_info["los_on"] = on[3]
+    benchmark.extra_info["los_off"] = off[3]
+
+    # Task 3 strictly reduces loss-of-separation exposure...
+    assert on[3] < off[3]
+    # ...and never worsens the closest encounter.
+    assert float(on[5]) >= float(off[5])

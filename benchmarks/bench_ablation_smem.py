@@ -1,0 +1,26 @@
+"""abl-smem — the paper's global-memory design choice, quantified.
+
+Section 5: "the program uses global memory and is not restricted by
+shared memory size, which is what makes it compatible on the old and new
+architecture."  The tiled shared-memory alternative never wins under the
+device models and costs occupancy precisely where the paper needs
+portability — on the CC 1.x card.
+"""
+
+from repro.harness.figures import ablation_smem
+
+
+def test_smem_tiling_ablation(bench_once, benchmark):
+    table = bench_once(ablation_smem, ns=(480, 960, 1920))
+    print("\n" + table.render())
+
+    benchmark.extra_info["rows"] = [list(r) for r in table.rows]
+    for device, n, _, _, ratio, occ_global, occ_tiled in table.rows:
+        ratio = float(ratio.rstrip("x"))
+        # Tiling never beats the global-memory kernel.
+        assert ratio >= 1.0, (device, n)
+        # Shared memory never buys occupancy.
+        assert occ_tiled <= occ_global, (device, n)
+        if device == "cuda:geforce-9800-gt":
+            # The 16 KiB CC 1.x SM loses half its resident blocks.
+            assert occ_tiled <= occ_global // 2

@@ -1,0 +1,26 @@
+"""abl-throughput — §7.2's proposed throughput-normalized comparison.
+
+The paper's future work: normalize each platform's curve by its peak
+throughput capacity so the comparison measures architectural
+*efficiency* rather than transistor budget.
+"""
+
+from repro.harness.figures import ablation_throughput
+
+
+def test_throughput_normalization(bench_once, benchmark):
+    table = bench_once(ablation_throughput, ns=(480, 960, 1920))
+    print("\n" + table.render())
+
+    ranking_note = [n for n in table.notes if n.startswith("efficiency ranking")][0]
+    benchmark.extra_info["ranking"] = ranking_note
+
+    # The associative processor tops the efficiency ranking: its raw
+    # times are mid-pack but it achieves them with orders of magnitude
+    # less peak capability — exactly the argument [12, 13] make for APs.
+    best = ranking_note.split(": ", 1)[1].split(", ")[0]
+    assert best == "ap:staran", ranking_note
+
+    # Raw winners (NVIDIA) drop in the normalized ranking.
+    order = ranking_note.split(": ", 1)[1].split(", ")
+    assert order.index("cuda:titan-x-pascal") > 0

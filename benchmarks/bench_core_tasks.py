@@ -1,0 +1,50 @@
+"""Micro-benchmarks of the core ATM algorithms themselves.
+
+These measure the *host* wall-clock of this library's reference
+implementations (not modelled architecture time) — the numbers a
+downstream user cares about when driving large simulations.
+"""
+
+import pytest
+
+from repro.core.collision import detect
+from repro.core.radar import generate_radar_frame
+from repro.core.resolution import detect_and_resolve
+from repro.core.setup import setup_flight
+from repro.core.tracking import correlate
+
+
+@pytest.mark.parametrize("n", [96, 960])
+def test_setup_flight_host_cost(benchmark, n):
+    benchmark(setup_flight, n, 2018)
+
+
+@pytest.mark.parametrize("n", [96, 960])
+def test_radar_generation_host_cost(benchmark, n):
+    fleet = setup_flight(n, 2018)
+    benchmark(generate_radar_frame, fleet, 2018, 0)
+
+
+@pytest.mark.parametrize("n", [96, 960])
+def test_tracking_host_cost(benchmark, n):
+    fleet = setup_flight(n, 2018)
+
+    def run():
+        frame = generate_radar_frame(fleet, 2018, 0)
+        return correlate(fleet, frame)
+
+    stats = benchmark(run)
+    assert stats.committed > 0
+
+
+@pytest.mark.parametrize("n", [96, 960])
+def test_detection_host_cost(benchmark, n):
+    fleet = setup_flight(n, 2018)
+    benchmark(detect, fleet)
+
+
+def test_full_collision_pass_host_cost(benchmark):
+    fleet = setup_flight(480, 2018)
+    benchmark.pedantic(
+        detect_and_resolve, args=(fleet,), rounds=3, iterations=1
+    )

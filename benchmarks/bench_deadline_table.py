@@ -1,0 +1,38 @@
+"""tbl-deadline — the §6.2 deadline comparison across full schedules."""
+
+from repro.harness.figures import deadline_table
+
+
+def test_deadline_table(bench_once, benchmark):
+    table = bench_once(
+        deadline_table,
+        ns=(480, 960, 1920, 2880),
+        major_cycles=2,
+    )
+    print("\n" + table.render())
+    report = table.report
+
+    never = set(report.platforms_never_missing())
+    missing = set(report.platforms_missing())
+    benchmark.extra_info["never_miss"] = sorted(never)
+    benchmark.extra_info["miss"] = sorted(missing)
+
+    # Paper §6.2: the NVIDIA devices never miss a deadline, "nor do they
+    # come close to it"; the AP and the ClearSpeed SIMD hold theirs too.
+    for platform in (
+        "cuda:geforce-9800-gt",
+        "cuda:gtx-880m",
+        "cuda:titan-x-pascal",
+        "ap:staran",
+        "simd:clearspeed-csx600",
+    ):
+        assert platform in never, platform
+
+    # NVIDIA headroom: worst period at most a few percent of the budget.
+    for platform in ("cuda:geforce-9800-gt", "cuda:gtx-880m", "cuda:titan-x-pascal"):
+        assert report.headroom(platform) > 400.0  # >=400 of 500 ms spare
+
+    # The multi-core platform regularly misses deadlines in this range.
+    assert "mimd:xeon-16" in missing
+    first_miss = report.first_miss_n("mimd:xeon-16")
+    assert first_miss is not None and first_miss <= 2880

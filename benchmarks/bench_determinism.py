@@ -1,0 +1,18 @@
+"""tbl-determinism — §6.2: "we would get the exact same timings again
+and again" on the NVIDIA devices; the asynchronous multi-core cannot."""
+
+from repro.harness.figures import determinism_table
+
+
+def test_determinism_table(bench_once, benchmark):
+    table = bench_once(determinism_table, n=960, repeats=3)
+    print("\n" + table.render())
+
+    status = {row[0]: row[3] for row in table.rows}
+    benchmark.extra_info["deterministic"] = status
+
+    for platform, verdict in status.items():
+        if platform.startswith("mimd:"):
+            assert verdict == "NO", platform
+        else:
+            assert verdict == "yes", platform

@@ -1,0 +1,35 @@
+"""ext-vector — §7.2's wide-vector hypothesis, measured.
+
+The paper wants the ATM tasks re-implemented on "commodity processors
+and accelerators (such as Intel's Xeon Phi)" with wide vector units.
+This benchmark compares the two wide-vector models against the GPUs and
+the AP on the collision tasks, asserting the hypothesis holds: vector
+machines behave SIMD-like (deterministic, near-linear, deadline-clean).
+"""
+
+from repro.core import constants as C
+from repro.harness.figures import ext_vector
+
+from .conftest import record_series
+
+
+def test_wide_vector_hypothesis(bench_once, benchmark):
+    data = bench_once(ext_vector, ns=(96, 480, 960, 1920, 2880))
+    record_series(benchmark, data)
+    print("\n" + data.render())
+
+    for platform in ("vector:xeon-phi-7250", "vector:avx512-16c"):
+        # SIMD-like curve class...
+        assert data.verdicts[platform].is_simd_like, platform
+        # ...and comfortably inside every deadline across the sweep.
+        assert max(data.series[platform]) < C.PERIOD_SECONDS / 10
+
+    # The many-core vector part plays in the GPUs' league: within an
+    # order of magnitude of the Titan X everywhere, and ahead of the
+    # laptop Kepler at scale.
+    phi = data.series["vector:xeon-phi-7250"]
+    titan = data.series["cuda:titan-x-pascal"]
+    kepler = data.series["cuda:gtx-880m"]
+    for i in range(len(data.ns)):
+        assert phi[i] < 10 * titan[i]
+    assert phi[-1] < kepler[-1]

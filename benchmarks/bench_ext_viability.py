@@ -1,0 +1,34 @@
+"""ext-viability — the complete ATM task set under hard deadlines.
+
+The paper's §7.1 future work asks whether a complete ATM system (all
+basic tasks, not just the three compute-intensive ones) stays viable on
+NVIDIA devices.  This benchmark runs the extended schedule — tracking,
+collision detection/resolution, terrain avoidance, final approach and
+the voice-advisory channel — and asserts it does.
+"""
+
+from repro.harness.figures import ext_viability
+
+
+def test_extended_system_viability(bench_once, benchmark):
+    table = bench_once(ext_viability, ns=(480, 960, 1920), major_cycles=2)
+    print("\n" + table.render())
+
+    missed = {(r[0], r[1]): r[2] for r in table.rows}
+    benchmark.extra_info["missed"] = {f"{k[0]}@{k[1]}": v for k, v in missed.items()}
+
+    # NVIDIA, the AP and the SIMD stay clean with the full task set.
+    for (platform, n), misses in missed.items():
+        if platform.startswith(("cuda:", "ap:", "simd:")):
+            assert misses == 0, (platform, n)
+
+    # The multi-core still breaks inside the sweep (the extra tasks only
+    # make its collision-period overruns worse).
+    assert any(
+        misses > 0 for (p, _), misses in missed.items() if p.startswith("mimd:")
+    )
+
+    # No task was ever skipped on an NVIDIA card (column 3).
+    for row in table.rows:
+        if row[0].startswith("cuda:"):
+            assert row[3] == 0

@@ -1,0 +1,40 @@
+"""fig4 — Task 1 timings across all six platforms (paper Fig. 4)."""
+
+import numpy as np
+
+from repro.harness.figures import fig4
+
+from .conftest import ALL_PLATFORM_NS, PERIODS, record_series
+
+NVIDIA = ("cuda:geforce-9800-gt", "cuda:gtx-880m", "cuda:titan-x-pascal")
+
+
+def test_fig4_task1_all_platforms(bench_once, benchmark):
+    data = bench_once(fig4, ns=ALL_PLATFORM_NS, periods=PERIODS)
+    record_series(benchmark, data)
+    print("\n" + data.render())
+
+    # Paper shape 1: every NVIDIA card beats AP, ClearSpeed and Xeon at
+    # every fleet size beyond the launch-overhead regime.
+    others = [p for p in data.series if p not in NVIDIA]
+    for i, n in enumerate(data.ns):
+        if n < 480:
+            continue
+        for gpu in NVIDIA:
+            for other in others:
+                assert data.series[gpu][i] < data.series[other][i], (gpu, other, n)
+
+    # Paper shape 2: NVIDIA and AP Task-1 curves are SIMD-like.
+    for gpu in NVIDIA:
+        assert data.verdicts[gpu].is_simd_like, gpu
+    assert data.verdicts["ap:staran"].verdict in ("linear", "near-linear")
+
+    # Paper shape 3: the multi-core curve grows fastest of all.
+    xeon_exp = data.verdicts["mimd:xeon-16"].growth_exponent
+    for p, v in data.verdicts.items():
+        if p != "mimd:xeon-16":
+            assert xeon_exp > v.growth_exponent, p
+
+    # All timings positive and finite.
+    for ys in data.series.values():
+        assert np.all(np.isfinite(ys)) and np.all(np.asarray(ys) > 0)

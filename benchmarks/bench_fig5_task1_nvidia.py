@@ -1,0 +1,29 @@
+"""fig5 — Task 1 timings on the three NVIDIA cards (paper Fig. 5)."""
+
+from repro.harness.figures import fig5
+
+from .conftest import NVIDIA_NS, PERIODS, record_series
+
+
+def test_fig5_task1_nvidia(bench_once, benchmark):
+    data = bench_once(fig5, ns=NVIDIA_NS, periods=PERIODS)
+    record_series(benchmark, data)
+    print("\n" + data.render())
+
+    old = data.series["cuda:geforce-9800-gt"]
+    mid = data.series["cuda:gtx-880m"]
+    new = data.series["cuda:titan-x-pascal"]
+
+    # Card generations order correctly at every fleet size.
+    for i in range(len(data.ns)):
+        assert new[i] < mid[i] < old[i], data.ns[i]
+
+    # All three cards stay SIMD-like on Task 1 (paper: linear or near-
+    # linear fits on every card).
+    for platform, verdict in data.verdicts.items():
+        assert verdict.is_simd_like, (platform, verdict.verdict)
+
+    # Even the 2008-era card is orders of magnitude under the deadline.
+    from repro.core import constants as C
+
+    assert max(old) < C.PERIOD_SECONDS / 50

@@ -1,0 +1,36 @@
+"""fig6 — Tasks 2+3 timings across all six platforms (paper Fig. 6)."""
+
+from repro.core import constants as C
+from repro.harness.figures import fig6
+
+from .conftest import ALL_PLATFORM_NS, PERIODS, record_series
+
+NVIDIA = ("cuda:geforce-9800-gt", "cuda:gtx-880m", "cuda:titan-x-pascal")
+
+
+def test_fig6_task23_all_platforms(bench_once, benchmark):
+    data = bench_once(fig6, ns=ALL_PLATFORM_NS, periods=PERIODS)
+    record_series(benchmark, data)
+    print("\n" + data.render())
+
+    # Paper shape 1: NVIDIA wins against every other platform.
+    others = [p for p in data.series if p not in NVIDIA]
+    for i, n in enumerate(data.ns):
+        if n < 480:
+            continue
+        for gpu in NVIDIA:
+            for other in others:
+                assert data.series[gpu][i] < data.series[other][i], (gpu, other, n)
+
+    # Paper shape 2: NVIDIA curves at worst small-coefficient quadratic.
+    for gpu in NVIDIA:
+        assert data.verdicts[gpu].is_simd_like, gpu
+
+    # Paper shape 3: only the multi-core platform bursts the half-second
+    # budget inside this sweep's upper range (projected at the edge).
+    for platform, ys in data.series.items():
+        at_edge = ys[-1]
+        if platform == "mimd:xeon-16":
+            assert at_edge > C.PERIOD_SECONDS
+        else:
+            assert at_edge < C.PERIOD_SECONDS, platform

@@ -1,0 +1,35 @@
+"""fig7 — Tasks 2+3 timings on the three NVIDIA cards (paper Fig. 7)."""
+
+from repro.core import constants as C
+from repro.harness.figures import fig7
+
+from .conftest import NVIDIA_NS, PERIODS, record_series
+
+
+def test_fig7_task23_nvidia(bench_once, benchmark):
+    data = bench_once(fig7, ns=NVIDIA_NS, periods=PERIODS)
+    record_series(benchmark, data)
+    print("\n" + data.render())
+
+    old = data.series["cuda:geforce-9800-gt"]
+    mid = data.series["cuda:gtx-880m"]
+    new = data.series["cuda:titan-x-pascal"]
+
+    # Generational ordering holds across the sweep.
+    for i in range(len(data.ns)):
+        assert new[i] < mid[i] < old[i], data.ns[i]
+
+    # Every card remains SIMD-like (at worst a small-coefficient
+    # quadratic — the paper's own description of the 9800 GT's curve).
+    for platform, verdict in data.verdicts.items():
+        assert verdict.is_simd_like, (platform, verdict.verdict)
+
+    # The modern card's curve grows no faster than the 2008 card's.
+    assert (
+        data.verdicts["cuda:titan-x-pascal"].growth_exponent
+        <= data.verdicts["cuda:geforce-9800-gt"].growth_exponent + 0.05
+    )
+
+    # No card approaches the deadline anywhere in the sweep.
+    for ys in (old, mid, new):
+        assert max(ys) < C.PERIOD_SECONDS / 3

@@ -1,0 +1,32 @@
+"""fig8 — curve fit for Task 1 on the GTX 880M (paper Fig. 8).
+
+The paper: "The GTX 880M has a linear curve for its tracking and
+correlation timings (Fig 8) as shown by its goodness of fit values."
+"""
+
+from repro.harness.figures import fig8
+
+from .conftest import NVIDIA_NS, PERIODS
+
+
+def test_fig8_gtx880m_task1_near_linear(bench_once, benchmark):
+    fig = bench_once(fig8, ns=NVIDIA_NS, periods=PERIODS)
+    print("\n" + fig.render())
+
+    v = fig.verdict
+    benchmark.extra_info["verdict"] = v.verdict
+    benchmark.extra_info["growth_exponent"] = v.growth_exponent
+    benchmark.extra_info["linear_adj_r2"] = v.linear.adj_r_squared
+    benchmark.extra_info["quadratic_coeff"] = v.quadratic.leading_coefficient
+
+    # The paper's Fig. 8 claim: linear (or near-linear) fit.
+    assert v.verdict in ("linear", "near-linear"), v.describe()
+
+    # Goodness of fit: the linear model explains the curve well.
+    assert v.linear.r_squared > 0.9
+
+    # The quadratic term, if any, has a tiny coefficient: its
+    # contribution at the domain edge stays modest.
+    edge = max(fig.ns)
+    quad_term = abs(v.quadratic.leading_coefficient) * edge**2
+    assert quad_term < max(fig.seconds)

@@ -1,0 +1,34 @@
+"""fig9 — curve fit for Tasks 2+3 on the GeForce 9800 GT (paper Fig. 9).
+
+The paper's caption: "Quadratic (low coefficient) curve for Tasks 2 and 3
+timings on GT9800" — a quadratic best fit whose quadratic coefficient is
+small compared to the linear term, i.e. still SIMD-like.
+"""
+
+from repro.harness.figures import fig9
+
+from .conftest import NVIDIA_NS, PERIODS
+
+
+def test_fig9_9800gt_task23_quadratic_small_coeff(bench_once, benchmark):
+    fig = bench_once(fig9, ns=NVIDIA_NS, periods=PERIODS)
+    print("\n" + fig.render())
+
+    v = fig.verdict
+    benchmark.extra_info["verdict"] = v.verdict
+    benchmark.extra_info["growth_exponent"] = v.growth_exponent
+    benchmark.extra_info["quadratic_adj_r2"] = v.quadratic.adj_r_squared
+
+    # The quadratic model fits essentially perfectly...
+    assert v.quadratic.adj_r_squared > 0.98
+    # ...and improves on the linear fit (this is the one curve the paper
+    # itself calls quadratic rather than linear).
+    assert v.quadratic.adj_r_squared > v.linear.adj_r_squared
+    # Growth stays at-most-quadratic: SIMD-like per the paper's argument.
+    assert v.is_simd_like, v.describe()
+    assert v.growth_exponent < 2.1
+
+    # "Low coefficient": the quadratic coefficient is small in absolute
+    # terms — microseconds at the scale of thousands of aircraft.
+    a2 = abs(v.quadratic.leading_coefficient)
+    assert a2 * max(fig.ns) ** 2 < 0.25  # seconds at the domain edge

@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Crossing streams: the collision tasks' worst case, platform by platform.
+
+Two perpendicular streams of airliners meet over the field's centre at
+the same flight level — every crossing pair is a genuine conflict.  The
+example runs the scenario on one platform from each architecture family
+and shows (a) the resolution machinery untangling the crossing and
+(b) how differently the machines pay for the surge of trial headings.
+
+Run:  python examples/crossing_streams.py
+"""
+
+from repro.analysis.tables import format_seconds, render_table
+from repro.backends.registry import resolve_backend
+from repro.core.collision import detect
+from repro.core.scheduler import run_schedule
+from repro.harness.workloads import crossing_streams
+
+PLATFORMS = (
+    "cuda:titan-x-pascal",
+    "vector:xeon-phi-7250",
+    "ap:staran",
+    "simd:clearspeed-csx600",
+    "mimd:xeon-16",
+)
+
+
+def main() -> None:
+    probe = crossing_streams(32)
+    stats = detect(probe)
+    print(f"scenario: 2 x 32 aircraft crossing at FL310")
+    print(f"initial critical conflicts: {stats.critical_conflicts} "
+          f"({stats.flagged_aircraft} aircraft flagged)\n")
+
+    rows = []
+    for name in PLATFORMS:
+        fleet = crossing_streams(32)
+        backend = resolve_backend(name)
+        result = run_schedule(backend, fleet, major_cycles=2)
+        t23 = result.task23_times()
+        last = [p for p in result.periods if p.task23 is not None][-1]
+        rows.append(
+            (
+                name,
+                format_seconds(float(result.task1_times().mean())),
+                format_seconds(float(t23.max())),
+                last.task23.stats.get("trials", "-"),
+                last.task23.stats.get("unresolved", "-"),
+                result.missed_deadlines,
+            )
+        )
+
+    print(render_table(
+        ("platform", "task1 mean", "task2+3 worst", "trials", "unresolved", "missed"),
+        rows,
+    ))
+    print("\nthe same crossing is untangled identically everywhere "
+          "(bit-identical flight states); what differs is the bill.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""Curve-fitting study: the paper's MATLAB analysis, reproduced end to end.
+
+Sweeps the fleet size on every platform, fits degree-1 and degree-2
+polynomials to each timing curve, prints MATLAB's four goodness-of-fit
+numbers (SSE, R^2, adjusted R^2, RMSE), and issues the paper's verdicts:
+which curves are linear, near-linear, quadratic-with-a-small-coefficient
+(all "SIMD-like") and which blow up.
+
+Run:  python examples/curve_fitting_study.py
+"""
+
+from repro import all_platform_names
+from repro.analysis.curvefit import assess_linearity
+from repro.analysis.tables import format_seconds
+from repro.harness.sweep import sweep
+
+NS = (96, 480, 960, 1440, 1920, 2880)
+
+
+def main() -> None:
+    print(f"sweeping {len(all_platform_names())} platforms over "
+          f"fleet sizes {NS} ...\n")
+    data = sweep(all_platform_names(), NS, periods=2)
+
+    for task, label in (("task1", "Task 1 (tracking & correlation)"),
+                        ("task23", "Tasks 2+3 (collision detection & resolution)")):
+        print("=" * 72)
+        print(label)
+        print("=" * 72)
+        for platform in data.platforms():
+            ys = (
+                data.task1_series(platform)
+                if task == "task1"
+                else data.task23_series(platform)
+            )
+            verdict = assess_linearity(data.ns, ys)
+            edge = format_seconds(ys[-1])
+            print(f"\n{platform}  ({NS[0]} -> {NS[-1]} aircraft, "
+                  f"{format_seconds(ys[0])} -> {edge})")
+            print(f"  linear    {verdict.linear.describe()}")
+            print(f"  quadratic {verdict.quadratic.describe()}")
+            print(f"  {verdict.describe()}")
+            simd_like = "yes" if verdict.is_simd_like else "NO"
+            print(f"  SIMD-like: {simd_like}")
+        print()
+
+    print("paper's headline: every NVIDIA curve should be SIMD-like "
+          "(linear, near-linear, or quadratic with a small coefficient), "
+          "the AP linear, and the multi-core curve the steepest of all.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Real-time feasibility study: how many aircraft can each platform hold?
+
+For every platform in the paper's comparison, binary-search the largest
+fleet (in 96-aircraft blocks, the paper's scheduling unit) for which a
+full major cycle completes without a single missed deadline.  This is
+the capacity-planning question an ATM operator would actually ask, and
+it reproduces the paper's qualitative ranking: NVIDIA >> AP/SIMD >>
+multi-core.
+
+Run:  python examples/realtime_feasibility.py [--fast]
+"""
+
+import argparse
+
+from repro import all_platform_names, resolve_backend, setup_flight
+from repro.core.scheduler import run_schedule
+
+BLOCK = 96
+
+
+def holds_deadlines(backend_name: str, n: int, seed: int = 2018) -> bool:
+    backend = resolve_backend(backend_name)
+    fleet = setup_flight(n, seed)
+    result = run_schedule(backend, fleet, major_cycles=1, seed=seed)
+    return result.missed_deadlines == 0
+
+
+def max_supported_fleet(backend_name: str, ceiling_blocks: int) -> int:
+    """Largest multiple of 96 (up to the ceiling) with zero misses."""
+    lo, hi = 0, ceiling_blocks  # in blocks; lo is known-good
+    if holds_deadlines(backend_name, hi * BLOCK):
+        return hi * BLOCK
+    while hi - lo > 1:
+        mid = (lo + hi) // 2
+        if holds_deadlines(backend_name, mid * BLOCK):
+            lo = mid
+        else:
+            hi = mid
+    return lo * BLOCK
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser()
+    parser.add_argument(
+        "--fast", action="store_true",
+        help="lower the search ceiling (quicker, coarser answers)",
+    )
+    args = parser.parse_args()
+    ceiling = 20 if args.fast else 45  # blocks of 96
+
+    print(f"searching fleet capacity up to {ceiling * BLOCK} aircraft "
+          f"(one full major cycle, zero misses required)\n")
+
+    results = {}
+    for name in all_platform_names():
+        capacity = max_supported_fleet(name, ceiling)
+        results[name] = capacity
+        at_ceiling = " (search ceiling — true capacity is higher)" if capacity == ceiling * BLOCK else ""
+        print(f"  {name:26s} {capacity:6d} aircraft{at_ceiling}")
+
+    print("\nranking (most capable first):")
+    for name in sorted(results, key=results.get, reverse=True):
+        print(f"  {results[name]:6d}  {name}")
+
+
+if __name__ == "__main__":
+    main()

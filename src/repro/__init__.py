@@ -1,0 +1,63 @@
+"""repro — Air Traffic Management on simulated parallel architectures.
+
+A from-scratch reproduction of *"Performance Comparison of NVIDIA
+accelerators with SIMD, Associative, and Multi-core Processors for Air
+Traffic Management"* (Shaker, Sharma, Baker, Yuan; ICPP 2018 Companion).
+
+The library contains:
+
+* :mod:`repro.core` — the ATM simulation and the three compute-intensive
+  tasks (tracking & correlation, Batcher collision detection, collision
+  resolution) with the hard-deadline major cycle;
+* :mod:`repro.cuda` — a warp-level NVIDIA GPU execution simulator with
+  property tables for the paper's three cards;
+* :mod:`repro.simd` — a traditional-SIMD machine model (ClearSpeed
+  CSX600);
+* :mod:`repro.ap` — an associative-processor model (STARAN);
+* :mod:`repro.mimd` — a 16-core shared-memory multi-core model (Xeon);
+* :mod:`repro.analysis` — MATLAB-style curve fitting and deadline
+  analysis;
+* :mod:`repro.harness` — experiment generators for every figure in the
+  paper's evaluation.
+
+Quickstart::
+
+    from repro import Simulation
+    sim = Simulation(n_aircraft=960, backend="cuda:titan-x-pascal")
+    print(sim.run(major_cycles=2).summary())
+"""
+
+from .backends import (
+    Backend,
+    ReferenceBackend,
+    all_platform_names,
+    available_backends,
+    resolve_backend,
+)
+from .core import (
+    DetectionMode,
+    FleetState,
+    RadarFrame,
+    ScheduleResult,
+    Simulation,
+    TaskTiming,
+    setup_flight,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Backend",
+    "ReferenceBackend",
+    "all_platform_names",
+    "available_backends",
+    "resolve_backend",
+    "DetectionMode",
+    "FleetState",
+    "RadarFrame",
+    "ScheduleResult",
+    "Simulation",
+    "TaskTiming",
+    "setup_flight",
+    "__version__",
+]

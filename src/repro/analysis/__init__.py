@@ -1,0 +1,35 @@
+"""Analysis tools: curve fitting (the MATLAB replacement), deadline
+reports and the throughput normalization of the paper's future work."""
+
+from .ascii_plot import ascii_chart
+from .crossover import Crossover, find_crossovers, pairwise_crossovers
+from .curvefit import (
+    FitResult,
+    LinearityVerdict,
+    assess_linearity,
+    growth_exponent,
+    polynomial_fit,
+)
+from .deadlines import DeadlineReport, DeadlineRow
+from .normalize import NormalizedSeries, efficiency_ranking, normalize_times
+from .tables import format_seconds, render_series, render_table
+
+__all__ = [
+    "ascii_chart",
+    "Crossover",
+    "find_crossovers",
+    "pairwise_crossovers",
+    "FitResult",
+    "LinearityVerdict",
+    "assess_linearity",
+    "growth_exponent",
+    "polynomial_fit",
+    "DeadlineReport",
+    "DeadlineRow",
+    "NormalizedSeries",
+    "efficiency_ranking",
+    "normalize_times",
+    "format_seconds",
+    "render_series",
+    "render_table",
+]

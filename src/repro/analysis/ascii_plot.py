@@ -1,0 +1,99 @@
+"""ASCII charts: render the paper's figures in a terminal.
+
+A minimal log-y scatter/line chart good enough to *see* the shape claims
+— which curve is linear, who crosses whom, where the deadline sits —
+without any plotting dependency.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Optional, Sequence
+
+__all__ = ["ascii_chart"]
+
+#: plot symbols assigned to series in insertion order.
+_SYMBOLS = "ox+*#@%&"
+
+
+def _log_position(value: float, lo: float, hi: float, steps: int) -> int:
+    """Row index (0 = bottom) of ``value`` on a log scale of ``steps``."""
+    if value <= 0:
+        return 0
+    span = math.log10(hi) - math.log10(lo)
+    if span <= 0:
+        return 0
+    frac = (math.log10(value) - math.log10(lo)) / span
+    return max(0, min(steps - 1, int(round(frac * (steps - 1)))))
+
+
+def ascii_chart(
+    xs: Sequence[float],
+    series: Dict[str, Sequence[float]],
+    *,
+    height: int = 14,
+    title: str = "",
+    y_label: str = "seconds (log)",
+    hline: Optional[float] = None,
+    hline_label: str = "",
+) -> str:
+    """Render ``{label: ys}`` against ``xs`` as a log-y ASCII chart.
+
+    ``hline`` draws a horizontal reference (e.g. the 0.5 s deadline)
+    when it falls inside the plotted range.  Column ``k`` of the canvas
+    is data point ``k`` — the x axis is ordinal, which suits the paper's
+    fleet-size sweeps.
+    """
+    if height < 4:
+        raise ValueError("chart height must be at least 4")
+    if not series:
+        raise ValueError("nothing to plot")
+    for label, ys in series.items():
+        if len(ys) != len(xs):
+            raise ValueError(f"series {label!r} length mismatch")
+        if any(y <= 0 for y in ys):
+            raise ValueError(f"log chart needs positive values ({label!r})")
+
+    values = [y for ys in series.values() for y in ys]
+    lo, hi = min(values), max(values)
+    if hline is not None:
+        lo, hi = min(lo, hline), max(hi, hline)
+    if hi <= lo:
+        hi = lo * 10.0
+
+    n_cols = len(xs)
+    col_width = 6
+    canvas = [[" "] * (n_cols * col_width) for _ in range(height)]
+
+    if hline is not None:
+        row = height - 1 - _log_position(hline, lo, hi, height)
+        for c in range(n_cols * col_width):
+            canvas[row][c] = "-"
+
+    for (label, ys), symbol in zip(series.items(), _SYMBOLS):
+        for k, y in enumerate(ys):
+            row = height - 1 - _log_position(y, lo, hi, height)
+            canvas[row][k * col_width + col_width // 2] = symbol
+
+    lines = []
+    if title:
+        lines.append(title)
+    for r, row_cells in enumerate(canvas):
+        if r == 0:
+            margin = f"{hi:9.3g} |"
+        elif r == height - 1:
+            margin = f"{lo:9.3g} |"
+        else:
+            margin = " " * 9 + " |"
+        lines.append(margin + "".join(row_cells))
+    axis = " " * 9 + " +" + "-" * (n_cols * col_width)
+    lines.append(axis)
+    ticks = " " * 11 + "".join(str(x).center(col_width)[:col_width] for x in xs)
+    lines.append(ticks + "  (aircraft)")
+    legend = ", ".join(
+        f"{symbol}={label}" for (label, _), symbol in zip(series.items(), _SYMBOLS)
+    )
+    lines.append(f"{y_label}; {legend}")
+    if hline is not None and hline_label:
+        lines.append(f"---- {hline_label}")
+    return "\n".join(lines)

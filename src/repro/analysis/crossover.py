@@ -1,0 +1,82 @@
+"""Crossover analysis: where one platform's curve overtakes another's.
+
+The reproduction target for the paper's figures includes "where
+crossovers fall" — e.g. the fleet size at which a GPU's launch-overhead
+regime ends and it pulls ahead of the ClearSpeed chip.  This module
+locates those points by piecewise-linear interpolation between measured
+sweep points.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+__all__ = ["Crossover", "find_crossovers", "pairwise_crossovers"]
+
+
+@dataclass(frozen=True)
+class Crossover:
+    """One sign change between two timing curves."""
+
+    #: interpolated fleet size where the curves meet.
+    n_aircraft: float
+    #: label of the series that is faster *after* the crossover.
+    faster_after: str
+    #: interpolated time at the meeting point, seconds.
+    seconds: float
+
+
+def find_crossovers(
+    ns: Sequence[float],
+    label_a: str,
+    ys_a: Sequence[float],
+    label_b: str,
+    ys_b: Sequence[float],
+) -> List[Crossover]:
+    """All points where curve a and curve b trade places.
+
+    Exact ties at a sample point count as a crossover only if the sign
+    actually changes across it.
+    """
+    ns = np.asarray(ns, dtype=np.float64)
+    a = np.asarray(ys_a, dtype=np.float64)
+    b = np.asarray(ys_b, dtype=np.float64)
+    if not (ns.shape == a.shape == b.shape):
+        raise ValueError("ns, ys_a and ys_b must have equal length")
+    if ns.shape[0] < 2:
+        return []
+
+    diff = a - b
+    out: List[Crossover] = []
+    for k in range(diff.shape[0] - 1):
+        d0, d1 = diff[k], diff[k + 1]
+        if d0 == 0.0 and d1 == 0.0:
+            continue
+        if d0 * d1 < 0.0 or (d0 == 0.0 and k > 0 and diff[k - 1] * d1 < 0.0):
+            # Linear interpolation of the zero of diff on [ns_k, ns_k+1].
+            t = d0 / (d0 - d1)
+            x = float(ns[k] + t * (ns[k + 1] - ns[k]))
+            y = float(a[k] + t * (a[k + 1] - a[k]))
+            out.append(
+                Crossover(
+                    n_aircraft=x,
+                    faster_after=label_a if d1 < 0 else label_b,
+                    seconds=y,
+                )
+            )
+    return out
+
+
+def pairwise_crossovers(
+    ns: Sequence[float], series: Dict[str, Sequence[float]]
+) -> List[Crossover]:
+    """Crossovers between every pair of series, sorted by fleet size."""
+    labels = list(series)
+    found: List[Crossover] = []
+    for i, la in enumerate(labels):
+        for lb in labels[i + 1 :]:
+            found.extend(find_crossovers(ns, la, series[la], lb, series[lb]))
+    return sorted(found, key=lambda c: c.n_aircraft)

@@ -1,0 +1,217 @@
+"""Polynomial curve fitting with MATLAB's goodness-of-fit statistics.
+
+The paper judges its timing curves with the MATLAB Curve Fitting
+Toolbox's four "goodness of fit" numbers [3]:
+
+* **SSE** — sum of squared residuals;
+* **R-square** — 1 - SSE/SST;
+* **Adjusted R-square** — R-square penalised by model degrees of
+  freedom: ``1 - (1 - R^2) * (n - 1) / (n - p)`` with p coefficients;
+* **RMSE** — ``sqrt(SSE / (n - p))``.
+
+and argues: a fit is "SIMD-like" when the best model is linear, or
+quadratic with a quadratic coefficient so small that the quadratic term
+contributes little over the measured domain.  :func:`assess_linearity`
+encodes exactly that argument.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+__all__ = [
+    "FitResult",
+    "LinearityVerdict",
+    "polynomial_fit",
+    "assess_linearity",
+    "growth_exponent",
+]
+
+
+@dataclass(frozen=True)
+class FitResult:
+    """One least-squares polynomial fit and its goodness of fit."""
+
+    #: polynomial degree.
+    degree: int
+    #: coefficients, highest power first (numpy.polyfit convention).
+    coefficients: tuple
+    sse: float
+    r_squared: float
+    adj_r_squared: float
+    rmse: float
+    n_points: int
+
+    def predict(self, x) -> np.ndarray:
+        """Evaluate the fitted polynomial."""
+        return np.polyval(np.asarray(self.coefficients), np.asarray(x, dtype=np.float64))
+
+    @property
+    def leading_coefficient(self) -> float:
+        return float(self.coefficients[0])
+
+    def describe(self) -> str:
+        terms = []
+        deg = self.degree
+        for i, c in enumerate(self.coefficients):
+            p = deg - i
+            if p == 0:
+                terms.append(f"{c:.3e}")
+            elif p == 1:
+                terms.append(f"{c:.3e}*x")
+            else:
+                terms.append(f"{c:.3e}*x^{p}")
+        poly = " + ".join(terms)
+        return (
+            f"degree {self.degree}: y = {poly}  "
+            f"[SSE={self.sse:.3e}, R^2={self.r_squared:.5f}, "
+            f"adjR^2={self.adj_r_squared:.5f}, RMSE={self.rmse:.3e}]"
+        )
+
+
+def polynomial_fit(x: Sequence[float], y: Sequence[float], degree: int) -> FitResult:
+    """Least-squares polynomial fit with MATLAB-style GOF statistics."""
+    x = np.asarray(x, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    if x.shape != y.shape or x.ndim != 1:
+        raise ValueError("x and y must be 1-D arrays of equal length")
+    n = x.shape[0]
+    p = degree + 1  # number of coefficients
+    if degree < 0:
+        raise ValueError("degree must be non-negative")
+    if n < p + 1:
+        raise ValueError(
+            f"need at least {p + 1} points for a degree-{degree} fit with "
+            f"meaningful GOF, got {n}"
+        )
+
+    coeffs = np.polyfit(x, y, degree)
+    resid = y - np.polyval(coeffs, x)
+    sse = float(resid @ resid)
+    sst = float(np.sum((y - y.mean()) ** 2))
+    # Constant data has no variance to explain: SST is pure rounding
+    # noise there, so compare it against the data's magnitude rather
+    # than exact zero.
+    degenerate = sst <= 1e-24 * max(1.0, float(np.max(np.abs(y))) ** 2) * n
+    r2 = 1.0 - sse / sst if not degenerate else 1.0
+    dof = n - p
+    adj = 1.0 - (1.0 - r2) * (n - 1) / dof if dof > 0 else float("nan")
+    rmse = float(np.sqrt(sse / dof)) if dof > 0 else float("nan")
+    return FitResult(
+        degree=degree,
+        coefficients=tuple(float(c) for c in coeffs),
+        sse=sse,
+        r_squared=r2,
+        adj_r_squared=adj,
+        rmse=rmse,
+        n_points=n,
+    )
+
+
+@dataclass(frozen=True)
+class LinearityVerdict:
+    """The paper's linear-vs-quadratic judgement for one timing curve."""
+
+    linear: FitResult
+    quadratic: FitResult
+    #: fraction of the quadratic fit's value at the domain edge that the
+    #: quadratic *term* contributes.
+    quadratic_share: float
+    #: log-log growth exponent over the measured domain (1.0 = linear,
+    #: 2.0 = quadratic).
+    growth_exponent: float
+    #: "linear", "near-linear", "quadratic", or "superquadratic".
+    verdict: str
+
+    @property
+    def is_simd_like(self) -> bool:
+        """At most a small-coefficient quadratic — the behaviours the
+        paper groups as SIMD-like (its Fig. 9 card is explicitly
+        "quadratic (low coefficient)" and still in that group)."""
+        return self.verdict in ("linear", "near-linear", "quadratic")
+
+    def describe(self) -> str:
+        return (
+            f"verdict: {self.verdict} "
+            f"(growth exponent {self.growth_exponent:.2f}; quadratic term "
+            f"contributes {self.quadratic_share:.1%} at the domain edge; "
+            f"linear adjR^2={self.linear.adj_r_squared:.5f}, "
+            f"quadratic adjR^2={self.quadratic.adj_r_squared:.5f})"
+        )
+
+
+def growth_exponent(x: Sequence[float], y: Sequence[float]) -> float:
+    """Log-log regression slope: the empirical growth order of y(x).
+
+    1.0 means the curve grows linearly over the measured domain, 2.0
+    quadratically; constant-dominated curves read below 1.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    if np.any(x <= 0) or np.any(y <= 0):
+        raise ValueError("growth exponent needs positive x and y")
+    return float(np.polyfit(np.log(x), np.log(y), 1)[0])
+
+
+def assess_linearity(
+    x: Sequence[float],
+    y: Sequence[float],
+    *,
+    linear_exponent: float = 1.10,
+    near_linear_exponent: float = 1.70,
+    quadratic_exponent: float = 2.10,
+    near_linear_share: float = 0.35,
+    linear_r2: float = 0.995,
+    adj_r2_margin: float = 1e-3,
+) -> LinearityVerdict:
+    """Fit degree 1 and 2 and apply the paper's model-selection argument.
+
+    The primary classifier is the empirical growth order over the
+    measured domain (the log-log slope), which is what the eye — and the
+    paper's prose — actually judges:
+
+    * **linear** — growth exponent <= ``linear_exponent``, or the
+      quadratic fit does not improve adjusted R-square by more than
+      ``adj_r2_margin``, or the linear fit alone explains essentially
+      all variance (adjusted R-square >= ``linear_r2``);
+    * **near-linear** — exponent <= ``near_linear_exponent``, or the
+      quadratic term contributes less than ``near_linear_share`` of the
+      fitted value at the domain edge ("a very small quadratic
+      coefficient compared to the linear coefficient");
+    * **quadratic** — exponent <= ``quadratic_exponent`` (the paper's
+      Fig. 9 case: a genuine quadratic with a small coefficient);
+    * **superquadratic** — everything steeper (the multi-core blow-up
+      the paper describes as "rapidly, possibly exponentially").
+    """
+    lin = polynomial_fit(x, y, 1)
+    quad = polynomial_fit(x, y, 2)
+    exponent = growth_exponent(x, y)
+
+    x_edge = float(np.max(np.asarray(x, dtype=np.float64)))
+    a2, a1, a0 = quad.coefficients
+    quad_term = abs(a2) * x_edge**2
+    total = abs(a2) * x_edge**2 + abs(a1) * x_edge + abs(a0)
+    share = quad_term / total if total > 0 else 0.0
+
+    if (
+        exponent <= linear_exponent
+        or quad.adj_r_squared - lin.adj_r_squared <= adj_r2_margin
+        or lin.adj_r_squared >= linear_r2
+    ):
+        verdict = "linear"
+    elif exponent <= near_linear_exponent or share < near_linear_share:
+        verdict = "near-linear"
+    elif exponent <= quadratic_exponent:
+        verdict = "quadratic"
+    else:
+        verdict = "superquadratic"
+    return LinearityVerdict(
+        linear=lin,
+        quadratic=quad,
+        quadratic_share=share,
+        growth_exponent=exponent,
+        verdict=verdict,
+    )

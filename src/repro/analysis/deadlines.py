@@ -1,0 +1,106 @@
+"""Deadline analysis over schedule results (the paper's §6.2 claims)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from ..core import constants as C
+from ..core.scheduler import ScheduleResult
+
+__all__ = ["DeadlineRow", "DeadlineReport"]
+
+
+@dataclass(frozen=True)
+class DeadlineRow:
+    """Deadline behaviour of one platform at one fleet size."""
+
+    platform: str
+    n_aircraft: int
+    periods: int
+    missed: int
+    skipped: int
+    miss_rate: float
+    worst_period_ms: float
+    mean_utilization: float
+
+    @property
+    def never_misses(self) -> bool:
+        return self.missed == 0
+
+    @classmethod
+    def from_schedule(cls, result: ScheduleResult) -> "DeadlineRow":
+        return cls(
+            platform=result.platform,
+            n_aircraft=result.n_aircraft,
+            periods=result.total_periods,
+            missed=result.missed_deadlines,
+            skipped=result.skipped_tasks,
+            miss_rate=result.miss_rate,
+            worst_period_ms=result.worst_period_seconds * 1e3,
+            mean_utilization=result.mean_utilization,
+        )
+
+
+@dataclass
+class DeadlineReport:
+    """All deadline rows of one experiment, with the paper's verdicts."""
+
+    rows: List[DeadlineRow]
+
+    def by_platform(self) -> Dict[str, List[DeadlineRow]]:
+        out: Dict[str, List[DeadlineRow]] = {}
+        for row in self.rows:
+            out.setdefault(row.platform, []).append(row)
+        return out
+
+    def platforms_never_missing(self) -> List[str]:
+        """Platforms with zero misses at every tested fleet size."""
+        return sorted(
+            p
+            for p, rows in self.by_platform().items()
+            if all(r.never_misses for r in rows)
+        )
+
+    def platforms_missing(self) -> List[str]:
+        return sorted(
+            p
+            for p, rows in self.by_platform().items()
+            if any(not r.never_misses for r in rows)
+        )
+
+    def first_miss_n(self, platform: str) -> int | None:
+        """Smallest tested fleet size at which ``platform`` missed."""
+        sizes = [
+            r.n_aircraft
+            for r in self.by_platform().get(platform, [])
+            if not r.never_misses
+        ]
+        return min(sizes) if sizes else None
+
+    def headroom(self, platform: str) -> float:
+        """Smallest remaining period slack across rows, in ms.
+
+        Positive: the platform never came within this many ms of the
+        deadline; negative: it blew past it.
+        """
+        rows = self.by_platform().get(platform, [])
+        if not rows:
+            raise KeyError(f"no rows for platform {platform!r}")
+        budget_ms = C.PERIOD_SECONDS * 1e3
+        return min(budget_ms - r.worst_period_ms for r in rows)
+
+    def summary_lines(self) -> List[str]:
+        lines = []
+        for platform, rows in sorted(self.by_platform().items()):
+            missed = sum(r.missed for r in rows)
+            total = sum(r.periods for r in rows)
+            worst = max(r.worst_period_ms for r in rows)
+            lines.append(
+                f"{platform}: {missed}/{total} deadlines missed, "
+                f"worst period {worst:.2f} ms (budget "
+                f"{C.PERIOD_SECONDS * 1e3:.0f} ms)"
+            )
+        return lines

@@ -1,0 +1,78 @@
+"""Throughput-normalized comparison (the paper's §7.2 future work).
+
+The paper concedes that raw running-time comparison is unfair — "the
+clock cycle times and the size of these different systems vary widely" —
+and proposes normalising each system's curve by its maximum throughput
+capacity, so the graphs compare *efficiency* rather than transistor
+counts.  This module implements that proposal.
+
+Normalised time of platform P at fleet size n:
+
+    t_norm(P, n) = t(P, n) * peak(P) / peak(reference)
+
+i.e. the time P *would* take were it scaled (up or down) to the
+reference platform's peak useful-operation throughput.  A platform whose
+normalised curve is lowest extracts the most ATM work per unit of peak
+capability.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+__all__ = ["NormalizedSeries", "normalize_times", "efficiency_ranking"]
+
+
+@dataclass(frozen=True)
+class NormalizedSeries:
+    """One platform's throughput-normalized timing curve."""
+
+    platform: str
+    peak_ops_per_s: float
+    ns: tuple
+    raw_seconds: tuple
+    normalized_seconds: tuple
+
+
+def normalize_times(
+    platform: str,
+    ns: Sequence[int],
+    seconds: Sequence[float],
+    peak_ops_per_s: float,
+    reference_peak_ops_per_s: float,
+) -> NormalizedSeries:
+    """Scale one platform's curve to the reference peak throughput."""
+    if peak_ops_per_s <= 0 or reference_peak_ops_per_s <= 0:
+        raise ValueError("peak throughputs must be positive")
+    if len(ns) != len(seconds):
+        raise ValueError("ns and seconds must have equal length")
+    factor = peak_ops_per_s / reference_peak_ops_per_s
+    return NormalizedSeries(
+        platform=platform,
+        peak_ops_per_s=peak_ops_per_s,
+        ns=tuple(ns),
+        raw_seconds=tuple(seconds),
+        normalized_seconds=tuple(s * factor for s in seconds),
+    )
+
+
+def efficiency_ranking(series: Sequence[NormalizedSeries]) -> List[str]:
+    """Platforms ordered from most to least efficient.
+
+    Ranking key: mean normalized time over the common fleet sizes (lower
+    is better).
+    """
+    if not series:
+        return []
+    common = set(series[0].ns)
+    for s in series[1:]:
+        common &= set(s.ns)
+    if not common:
+        raise ValueError("series share no common fleet sizes")
+
+    def mean_norm(s: NormalizedSeries) -> float:
+        pairs = [t for n, t in zip(s.ns, s.normalized_seconds) if n in common]
+        return sum(pairs) / len(pairs)
+
+    return [s.platform for s in sorted(series, key=mean_norm)]

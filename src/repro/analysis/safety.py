@@ -1,0 +1,105 @@
+"""Safety metrics: does collision resolution actually keep aircraft apart?
+
+The paper evaluates Task 3 by its *cost*; an ATM operator evaluates it
+by its *outcome*.  This module measures the outcome: the standard
+separation minima — 3 nm horizontally unless 1000 ft vertically — applied
+to actual fleet states over time.  A pair violating both is a **loss of
+separation** (LoS), the event the whole system exists to prevent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+import numpy as np
+
+from ..core import constants as C
+from ..core.types import FleetState
+
+__all__ = ["SeparationSnapshot", "SafetyLog", "separation_snapshot"]
+
+#: Horizontal separation minimum, nm (the collision band of Eqs. 1-4).
+HORIZONTAL_MINIMUM_NM: float = C.COLLISION_BAND_TOTAL_NM
+
+#: Vertical separation minimum, feet.
+VERTICAL_MINIMUM_FT: float = C.ALTITUDE_SEPARATION_FT
+
+
+@dataclass(frozen=True)
+class SeparationSnapshot:
+    """Pairwise separation state of one instant."""
+
+    #: number of aircraft.
+    n_aircraft: int
+    #: unordered pairs inside both minima right now (losses of separation).
+    losses: int
+    #: smallest horizontal distance among vertically-unseparated pairs,
+    #: nm; infinity when no such pair exists.
+    min_horizontal_nm: float
+    #: unordered pairs within 2x the horizontal minimum (proximity load).
+    near_pairs: int
+
+
+def separation_snapshot(fleet: FleetState, *, chunk: int = 512) -> SeparationSnapshot:
+    """Measure the fleet's current separation state (no mutation)."""
+    n = fleet.n
+    losses = 0
+    near = 0
+    min_h = np.inf
+    for lo in range(0, n, chunk):
+        hi = min(lo + chunk, n)
+        dx = fleet.x[None, :] - fleet.x[lo:hi, None]
+        dy = fleet.y[None, :] - fleet.y[lo:hi, None]
+        dist = np.hypot(dx, dy)
+        dalt = np.abs(fleet.alt[None, :] - fleet.alt[lo:hi, None])
+        vertical_unseparated = dalt < VERTICAL_MINIMUM_FT
+        # Upper triangle only: j > i.
+        cols = np.arange(n)[None, :]
+        rows = np.arange(lo, hi)[:, None]
+        upper = cols > rows
+        candidates = vertical_unseparated & upper
+        if np.any(candidates):
+            d = dist[candidates]
+            min_h = min(min_h, float(d.min()))
+            losses += int(np.count_nonzero(d < HORIZONTAL_MINIMUM_NM))
+            near += int(np.count_nonzero(d < 2 * HORIZONTAL_MINIMUM_NM))
+    return SeparationSnapshot(
+        n_aircraft=n,
+        losses=losses,
+        min_horizontal_nm=min_h,
+        near_pairs=near,
+    )
+
+
+@dataclass
+class SafetyLog:
+    """Separation snapshots over a run, with summary statistics."""
+
+    snapshots: List[SeparationSnapshot] = field(default_factory=list)
+
+    def record(self, fleet: FleetState) -> SeparationSnapshot:
+        snap = separation_snapshot(fleet)
+        self.snapshots.append(snap)
+        return snap
+
+    @property
+    def total_loss_events(self) -> int:
+        """Sum of per-snapshot LoS pair counts (pair-periods in LoS)."""
+        return sum(s.losses for s in self.snapshots)
+
+    @property
+    def worst_min_horizontal_nm(self) -> float:
+        return min((s.min_horizontal_nm for s in self.snapshots), default=np.inf)
+
+    @property
+    def peak_losses(self) -> int:
+        return max((s.losses for s in self.snapshots), default=0)
+
+    def summary(self) -> dict:
+        return {
+            "snapshots": len(self.snapshots),
+            "total_loss_events": self.total_loss_events,
+            "peak_losses": self.peak_losses,
+            "worst_min_horizontal_nm": self.worst_min_horizontal_nm,
+        }

@@ -1,0 +1,61 @@
+"""Plain-text rendering of tables and timing series for the harness."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+__all__ = ["render_table", "render_series", "format_seconds"]
+
+
+def format_seconds(seconds: float) -> str:
+    """Human scale: ns / us / ms / s with three significant digits."""
+    if seconds < 0:
+        raise ValueError("negative time")
+    if seconds == 0:
+        return "0 s"
+    if seconds < 1e-6:
+        return f"{seconds * 1e9:.3g} ns"
+    if seconds < 1e-3:
+        return f"{seconds * 1e6:.3g} us"
+    if seconds < 1.0:
+        return f"{seconds * 1e3:.3g} ms"
+    return f"{seconds:.3g} s"
+
+
+def render_table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    """Fixed-width ASCII table with a header separator."""
+    str_rows: List[List[str]] = [[str(h) for h in headers]]
+    for row in rows:
+        cells = [str(c) for c in row]
+        if len(cells) != len(headers):
+            raise ValueError(
+                f"row has {len(cells)} cells, expected {len(headers)}"
+            )
+        str_rows.append(cells)
+
+    widths = [max(len(r[i]) for r in str_rows) for i in range(len(headers))]
+
+    def fmt(cells: List[str]) -> str:
+        return "  ".join(c.ljust(w) for c, w in zip(cells, widths)).rstrip()
+
+    lines = [fmt(str_rows[0]), "  ".join("-" * w for w in widths)]
+    lines.extend(fmt(r) for r in str_rows[1:])
+    return "\n".join(lines)
+
+
+def render_series(
+    title: str,
+    ns: Sequence[int],
+    series: dict,
+) -> str:
+    """Render {label: [seconds...]} against a shared fleet-size axis."""
+    for label, ys in series.items():
+        if len(ys) != len(ns):
+            raise ValueError(
+                f"series {label!r} has {len(ys)} points for {len(ns)} sizes"
+            )
+    headers = ["aircraft"] + list(series)
+    rows = []
+    for i, n in enumerate(ns):
+        rows.append([n] + [format_seconds(series[label][i]) for label in series])
+    return f"{title}\n{render_table(headers, rows)}"

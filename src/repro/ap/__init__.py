@@ -1,0 +1,29 @@
+"""Associative-processor (STARAN) simulator.
+
+An enhanced-SIMD machine model with the constant-time associative
+primitives — broadcast, associative search, any-responder, pick-one,
+global min/max — that let the ATM tasks run in linear time (paper
+Section 2.2; Yuan/Baker [12, 13]).
+"""
+
+from ..backends.registry import register_backend
+from .backend import ApBackend
+from .primitives import AssociativeArray, StaranCosts
+from .staran import STARAN, STARAN_1972, ApConfig
+
+__all__ = [
+    "ApBackend",
+    "AssociativeArray",
+    "StaranCosts",
+    "STARAN",
+    "STARAN_1972",
+    "ApConfig",
+]
+
+
+def _register() -> None:
+    for cfg in (STARAN, STARAN_1972):
+        register_backend(cfg.registry_name, lambda cfg=cfg: ApBackend(cfg))
+
+
+_register()

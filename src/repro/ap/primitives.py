@@ -1,0 +1,134 @@
+"""Associative-processor primitives (paper Section 2.2).
+
+An associative processor is a SIMD machine whose hardware additionally
+supports, in (small) constant time regardless of the number of PEs:
+
+* **broadcast** — the control unit sends a word to every PE;
+* **associative search** — every PE compares a field of its record
+  against the broadcast value simultaneously, setting its responder bit;
+* **any-responder / step function** — the control unit learns in one
+  operation whether any PE responded;
+* **pick-one** — select a single responder for exclusive processing;
+* **global maximum / minimum** — a bit-serial search over a field of all
+  (masked) PEs.
+
+These are the operations Goodyear's STARAN implemented in its
+multi-dimensional-access memory and flip network, and they are exactly
+why the ATM tasks run in *linear* time on an AP: the O(N) outer loops of
+Tasks 1-3 have constant-cost bodies (Yuan/Baker [12, 13]).
+
+:class:`AssociativeArray` charges cycles for these primitives.  Unlike
+the plain-SIMD :class:`~repro.simd.pe_array.PEArray`, there is no
+striping factor: the machine is sized with one flight record per PE
+(DESIGN.md — the AP operating regime the paper's linear-time claims
+assume), and no log-depth reductions: search, responder and extremum
+operations cost fixed cycle counts.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+__all__ = ["StaranCosts", "AssociativeArray"]
+
+
+@dataclass(frozen=True)
+class StaranCosts:
+    """Cycle costs of the associative primitives.
+
+    The ATM software of [13] works on short fixed-point fields, processed
+    bit-serially across all PEs at once; costs scale with field width,
+    not PE count.
+    """
+
+    #: bit-serial compare/add/subtract of one 16-bit field, all PEs.
+    field_alu: float = 20.0
+    #: bit-serial multiply of 16-bit fields (division-free Batcher form).
+    field_mul: float = 150.0
+    #: PE-local field load/store (MDA memory access).
+    field_mem: float = 10.0
+    #: broadcast one word to all PEs.
+    broadcast: float = 8.0
+    #: step function: "did any PE respond?".
+    any_responder: float = 2.0
+    #: select exactly one responder.
+    pick_one: float = 4.0
+    #: global min/max of a 16-bit field (bit-serial search).
+    global_extremum: float = 40.0
+    #: control-unit scalar operation.
+    scalar: float = 1.0
+    #: mask set/combine.
+    mask: float = 2.0
+
+
+@dataclass
+class AssociativeArray:
+    """Cycle ledger of an AP execution, one record per PE."""
+
+    n_records: int
+    pes_per_module: int = 256
+    costs: StaranCosts = field(default_factory=StaranCosts)
+
+    cycles: float = 0.0
+    searches: int = 0
+    broadcasts: int = 0
+    extrema: int = 0
+
+    def __post_init__(self) -> None:
+        if self.n_records <= 0:
+            raise ValueError("need at least one record")
+        if self.pes_per_module <= 0:
+            raise ValueError("module size must be positive")
+
+    @property
+    def n_modules(self) -> int:
+        """Array modules installed (the machine is sized to the fleet)."""
+        return math.ceil(self.n_records / self.pes_per_module)
+
+    @property
+    def n_pes(self) -> int:
+        return self.n_modules * self.pes_per_module
+
+    # ------------------------------------------------------------------
+    # constant-time primitives
+    # ------------------------------------------------------------------
+
+    def broadcast_words(self, words: float = 1.0) -> None:
+        self.cycles += self.costs.broadcast * words
+        self.broadcasts += int(words)
+
+    def search(self, field_ops: float = 1.0) -> None:
+        """Associative search: parallel field comparisons, all PEs."""
+        self.cycles += self.costs.field_alu * field_ops
+        self.searches += 1
+
+    def alu(self, field_ops: float = 1.0) -> None:
+        self.cycles += self.costs.field_alu * field_ops
+
+    def multiply(self, count: float = 1.0) -> None:
+        self.cycles += self.costs.field_mul * count
+
+    def mem(self, accesses: float = 1.0) -> None:
+        self.cycles += self.costs.field_mem * accesses
+
+    def any_responder(self, count: float = 1.0) -> None:
+        self.cycles += self.costs.any_responder * count
+
+    def pick_one(self, count: float = 1.0) -> None:
+        self.cycles += self.costs.pick_one * count
+
+    def global_extremum(self, count: float = 1.0) -> None:
+        self.cycles += self.costs.global_extremum * count
+        self.extrema += int(count)
+
+    def mask_op(self, count: float = 1.0) -> None:
+        self.cycles += self.costs.mask * count
+
+    def scalar(self, count: float = 1.0) -> None:
+        self.cycles += self.costs.scalar * count
+
+    def seconds(self, clock_hz: float) -> float:
+        if clock_hz <= 0:
+            raise ValueError("clock must be positive")
+        return self.cycles / clock_hz

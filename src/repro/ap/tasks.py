@@ -1,0 +1,102 @@
+"""Associative-processor cost replay of the three ATM tasks.
+
+The associative algorithms of [12, 13] have the same outer-loop
+structure as the plain-SIMD versions, but every loop body is a constant
+number of constant-time primitives — which is the whole point of the
+architecture:
+
+* **Task 1** — for each unmatched radar report: broadcast the report,
+  associative-search the expected-position gates of *all* aircraft at
+  once, use the step function to see how many responded, pick-one /
+  discard by responder count, write the match flags masked.  Linear in
+  the number of reports.
+* **Task 2** — for each aircraft: broadcast its track, compute the
+  division-free Batcher window comparison on every PE simultaneously
+  (cross-multiplied inequalities — bit-serial multiplies, no divide
+  unit), min-reduce the earliest conflict time.  Linear in N.
+* **Task 3** — per attempted trial heading: broadcast the rotated trial
+  and redo the Task-2-shaped step.  Linear in the number of trials.
+"""
+
+from __future__ import annotations
+
+from ..core.collision import DetectionStats
+from ..core.resolution import ResolutionStats
+from ..core.tracking import TrackingStats
+from .primitives import AssociativeArray
+from .staran import ApConfig
+
+__all__ = ["charge_task1", "charge_task23", "charge_setup"]
+
+
+def _gate_step(ap: AssociativeArray) -> None:
+    """One radar report against all aircraft: the Task-1 loop body."""
+    ap.broadcast_words(2)  # rx, ry
+    ap.search(4)  # two |gap| < g window tests, two coordinates
+    ap.mask_op(2)
+    ap.any_responder(2)  # responder count: none / one / many
+    ap.pick_one(1)
+    ap.mem(2)  # match-flag writes, masked
+
+
+def _batcher_step(ap: AssociativeArray) -> None:
+    """One track against all aircraft: the Task-2/3 loop body."""
+    ap.broadcast_words(5)  # x, y, dx, dy, alt
+    ap.search(1)  # altitude band gate
+    ap.alu(8)  # gaps, relative velocities
+    ap.multiply(4)  # cross-multiplied window inequalities
+    ap.alu(6)  # window intersection tests
+    ap.mask_op(3)
+    ap.global_extremum(1)  # earliest conflict time
+    ap.mem(2)  # time_till / colWith updates, masked
+
+
+def charge_task1(config: ApConfig, n_aircraft: int, stats: TrackingStats) -> AssociativeArray:
+    """Cycle ledger for one Task-1 execution on the AP."""
+    ap = AssociativeArray(n_aircraft, config.pes_per_module, config.costs)
+
+    # Parallel prologue: expected positions + match-state reset.
+    ap.alu(4)
+    ap.mem(6)
+
+    for round_no in range(stats.rounds_executed):
+        for _ in range(int(stats.round_radar_ids[round_no].shape[0])):
+            ap.scalar(4)
+            _gate_step(ap)
+
+    # Parallel commit.
+    ap.alu(2)
+    ap.mem(4)
+    return ap
+
+
+def charge_task23(
+    config: ApConfig,
+    n_aircraft: int,
+    det: DetectionStats,
+    res: ResolutionStats,
+) -> AssociativeArray:
+    """Cycle ledger for one fused Task-2+3 execution on the AP."""
+    ap = AssociativeArray(n_aircraft, config.pes_per_module, config.costs)
+
+    for _ in range(n_aircraft):
+        ap.scalar(4)
+        _batcher_step(ap)
+
+    for _ in range(res.trials_evaluated):
+        ap.scalar(14)  # manoeuvre bookkeeping on the control unit
+        _batcher_step(ap)
+
+    # Parallel epilogue: commit new paths, clear flags.
+    ap.alu(2)
+    ap.mem(4)
+    return ap
+
+
+def charge_setup(config: ApConfig, n_aircraft: int) -> AssociativeArray:
+    """Cycle ledger for the one-time SetupFlight initialisation."""
+    ap = AssociativeArray(n_aircraft, config.pes_per_module, config.costs)
+    ap.alu(60)  # parallel RNG + conversions, all records at once
+    ap.multiply(4)
+    ap.mem(7)
+    return ap

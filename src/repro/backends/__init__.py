@@ -1,0 +1,19 @@
+"""Architecture backend abstraction and registry."""
+
+from .base import Backend
+from .reference import ReferenceBackend
+from .registry import (
+    all_platform_names,
+    available_backends,
+    register_backend,
+    resolve_backend,
+)
+
+__all__ = [
+    "Backend",
+    "ReferenceBackend",
+    "all_platform_names",
+    "available_backends",
+    "register_backend",
+    "resolve_backend",
+]

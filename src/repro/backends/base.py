@@ -1,0 +1,67 @@
+"""The backend protocol every simulated architecture implements.
+
+A *backend* is one platform from the paper's comparison: a specific
+NVIDIA card, the ClearSpeed SIMD, the STARAN associative processor, the
+16-core Xeon, or the plain NumPy reference.  All of them:
+
+* mutate the :class:`~repro.core.types.FleetState` with **bit-identical
+  results** (the algorithms are the same; only the machine differs), and
+* return a :class:`~repro.core.types.TaskTiming` whose ``seconds`` field
+  is the *modelled* execution time on that architecture.
+
+The functional-equivalence requirement is what lets the repository test
+all four machine models against the reference oracle.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Any, Dict
+
+from ..core.collision import DetectionMode
+from ..core.types import FleetState, RadarFrame, TaskTiming
+
+__all__ = ["Backend"]
+
+
+class Backend(abc.ABC):
+    """Abstract architecture backend for the three ATM tasks."""
+
+    #: registry identifier, e.g. ``"cuda:titan-x-pascal"``.
+    name: str = "abstract"
+
+    #: True when repeated runs on identical input produce identical
+    #: modelled times (the paper's determinism property; False for MIMD).
+    deterministic_timing: bool = True
+
+    @abc.abstractmethod
+    def track_and_correlate(self, fleet: FleetState, frame: RadarFrame) -> TaskTiming:
+        """Run Task 1 in place; return the platform's modelled timing."""
+
+    @abc.abstractmethod
+    def detect_and_resolve(
+        self,
+        fleet: FleetState,
+        mode: DetectionMode = DetectionMode.SIGNED,
+    ) -> TaskTiming:
+        """Run fused Task 2+3 in place; return modelled timing."""
+
+    # ------------------------------------------------------------------
+    # shared helpers
+    # ------------------------------------------------------------------
+
+    def describe(self) -> Dict[str, Any]:
+        """Human-readable platform description (overridden per machine)."""
+        return {"name": self.name, "deterministic_timing": self.deterministic_timing}
+
+    def peak_throughput_ops_per_s(self) -> float:
+        """Peak useful-operation throughput, for §7.2-style normalization.
+
+        Subclasses return their architecture's peak rate (e.g. CUDA
+        cores x clock, PEs x clock).  The reference backend reports 0.0
+        meaning "not a machine model".
+        """
+        return 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} {self.name!r}>"

@@ -1,0 +1,89 @@
+"""The NumPy reference backend — the functional oracle.
+
+This backend simply calls the :mod:`repro.core` algorithms.  Its timing
+model is a deliberately simple sequential-machine estimate (useful-op
+count over a nominal scalar rate); it exists so the reference can be
+scheduled and plotted next to the real machine models, not to model any
+paper platform.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+from ..core import constants as C
+from ..core.collision import DetectionMode
+from ..core.resolution import detect_and_resolve as core_detect_and_resolve
+from ..core.tracking import correlate as core_correlate
+from ..core.types import FleetState, RadarFrame, TaskTiming, TimingBreakdown
+from .base import Backend
+
+__all__ = ["ReferenceBackend"]
+
+#: Nominal sequential machine: one useful operation per nanosecond.
+_SECONDS_PER_OP = 1e-9
+
+#: Rough useful operations per radar-aircraft gate test.
+_OPS_PER_GATE_TEST = 8.0
+
+#: Rough useful operations per Batcher pair check (Eqs. 1-6 + gates).
+_OPS_PER_PAIR_CHECK = 30.0
+
+
+class ReferenceBackend(Backend):
+    """Sequential NumPy oracle used by tests and as a comparison point."""
+
+    name = "reference"
+    deterministic_timing = True
+
+    def track_and_correlate(self, fleet: FleetState, frame: RadarFrame) -> TaskTiming:
+        stats = core_correlate(fleet, frame)
+        # A sequential machine scans every (radar, aircraft) pair each
+        # executed round, plus per-aircraft setup and commit work.
+        scan_ops = _OPS_PER_GATE_TEST * frame.n * fleet.n * stats.rounds_executed
+        linear_ops = 12.0 * fleet.n
+        seconds = (scan_ops + linear_ops) * _SECONDS_PER_OP
+        return TaskTiming(
+            task="task1",
+            platform=self.name,
+            n_aircraft=fleet.n,
+            seconds=seconds,
+            breakdown=TimingBreakdown(compute=seconds),
+            stats={
+                "rounds": stats.rounds_executed,
+                "candidate_pairs": stats.total_candidate_pairs,
+                "committed": stats.committed,
+                "discarded_radars": stats.discarded_radars,
+                "dropped_aircraft": stats.dropped_aircraft,
+            },
+        )
+
+    def detect_and_resolve(
+        self,
+        fleet: FleetState,
+        mode: DetectionMode = DetectionMode.SIGNED,
+    ) -> TaskTiming:
+        det, res = core_detect_and_resolve(fleet, mode)
+        pair_ops = _OPS_PER_PAIR_CHECK * det.pairs_checked
+        trial_ops = _OPS_PER_PAIR_CHECK * res.trials_evaluated * fleet.n
+        seconds = (pair_ops + trial_ops) * _SECONDS_PER_OP
+        return TaskTiming(
+            task="task23",
+            platform=self.name,
+            n_aircraft=fleet.n,
+            seconds=seconds,
+            breakdown=TimingBreakdown(compute=seconds),
+            stats={
+                "conflicts": det.conflicts,
+                "critical_conflicts": det.critical_conflicts,
+                "flagged": det.flagged_aircraft,
+                "resolved": res.resolved,
+                "unresolved": res.unresolved,
+                "trials": res.trials_evaluated,
+            },
+        )
+
+    def describe(self) -> Dict[str, Any]:
+        info = super().describe()
+        info.update(kind="sequential reference", seconds_per_op=_SECONDS_PER_OP)
+        return info

@@ -1,0 +1,75 @@
+"""Backend name registry: strings like ``"cuda:titan-x-pascal"``.
+
+Factories are registered lazily so importing :mod:`repro` does not drag
+in every machine model; each architecture package registers itself on
+first use via :func:`resolve_backend`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Union
+
+from .base import Backend
+from .reference import ReferenceBackend
+
+__all__ = ["register_backend", "resolve_backend", "available_backends", "all_platform_names"]
+
+_FACTORIES: Dict[str, Callable[[], Backend]] = {}
+_BOOTSTRAPPED = False
+
+
+def register_backend(name: str, factory: Callable[[], Backend]) -> None:
+    """Register a backend factory under a unique registry name."""
+    if name in _FACTORIES:
+        raise ValueError(f"backend {name!r} already registered")
+    _FACTORIES[name] = factory
+
+
+def _bootstrap() -> None:
+    """Import every architecture package once so they self-register."""
+    global _BOOTSTRAPPED
+    if _BOOTSTRAPPED:
+        return
+    _BOOTSTRAPPED = True
+    register_backend("reference", ReferenceBackend)
+    # Architecture packages register their configurations on import.
+    from .. import ap as _ap  # noqa: F401
+    from .. import cuda as _cuda  # noqa: F401
+    from .. import mimd as _mimd  # noqa: F401
+    from .. import simd as _simd  # noqa: F401
+    from .. import vector as _vector  # noqa: F401
+
+
+def available_backends() -> List[str]:
+    """Sorted registry names of every known platform."""
+    _bootstrap()
+    return sorted(_FACTORIES)
+
+
+def all_platform_names() -> List[str]:
+    """The six platforms of the paper's comparison, in plotting order."""
+    _bootstrap()
+    return [
+        "cuda:geforce-9800-gt",
+        "cuda:gtx-880m",
+        "cuda:titan-x-pascal",
+        "ap:staran",
+        "simd:clearspeed-csx600",
+        "mimd:xeon-16",
+    ]
+
+
+def resolve_backend(spec: Union[str, Backend, None]) -> Backend:
+    """Turn a registry name / instance / None into a backend instance."""
+    if spec is None:
+        return ReferenceBackend()
+    if isinstance(spec, Backend):
+        return spec
+    if isinstance(spec, str):
+        _bootstrap()
+        factory = _FACTORIES.get(spec)
+        if factory is None:
+            known = ", ".join(available_backends())
+            raise KeyError(f"unknown backend {spec!r}; known backends: {known}")
+        return factory()
+    raise TypeError(f"cannot resolve backend from {type(spec).__name__}")

@@ -1,0 +1,40 @@
+"""Core ATM algorithms and data structures (the paper's Sections 3-5).
+
+This package is the architecture-independent reference: the airfield
+setup, the radar simulation, and the three compute-intensive ATM tasks —
+Tracking & Correlation (Task 1), Collision Detection (Task 2) and
+Collision Resolution (Task 3) — together with the hard-deadline major
+cycle that schedules them.
+"""
+
+from . import constants
+from .collision import DetectionMode, DetectionStats, detect
+from .radar import generate_radar_frame
+from .resolution import ResolutionStats, detect_and_resolve, resolve
+from .scheduler import PeriodRecord, ScheduleResult, run_schedule
+from .setup import setup_flight
+from .simulation import Simulation
+from .tracking import TrackingStats, correlate
+from .types import FleetState, RadarFrame, TaskTiming, TimingBreakdown
+
+__all__ = [
+    "constants",
+    "DetectionMode",
+    "DetectionStats",
+    "detect",
+    "generate_radar_frame",
+    "ResolutionStats",
+    "detect_and_resolve",
+    "resolve",
+    "PeriodRecord",
+    "ScheduleResult",
+    "run_schedule",
+    "setup_flight",
+    "Simulation",
+    "TrackingStats",
+    "correlate",
+    "FleetState",
+    "RadarFrame",
+    "TaskTiming",
+    "TimingBreakdown",
+]

@@ -1,0 +1,125 @@
+"""Physical and scheduling constants of the ATM simulation.
+
+All values come from the paper (Sections 3-5) or from the STARAN ATM
+software of Yuan/Baker/Meilander it builds on.  Where the paper is
+ambiguous the resolution is recorded in DESIGN.md ("Paper ambiguities
+resolved").
+
+Unit conventions
+----------------
+* distance: nautical miles (nm)
+* altitude: feet
+* speed: nm/hour when talking about aircraft performance,
+  nm/**period** inside the simulation state
+* time inside the collision math: **periods** (one period = 0.5 s)
+"""
+
+from __future__ import annotations
+
+# --- airfield geometry ------------------------------------------------------
+
+#: The airfield is a 256 nm x 256 nm square centred on the origin.
+AIRFIELD_SIZE_NM: float = 256.0
+
+#: Half-width of the airfield; positions satisfy -128 <= x, y <= 128.
+#: (The paper quotes both "125" and "128"; we use 128 so the square is
+#: exactly the stated 256 nm x 256 nm bounding area.)
+GRID_HALF_NM: float = AIRFIELD_SIZE_NM / 2.0
+
+# --- real-time schedule -----------------------------------------------------
+
+#: One scheduling period is half a second.
+PERIOD_SECONDS: float = 0.5
+
+#: A major cycle is 16 half-second periods = 8 seconds.
+PERIODS_PER_MAJOR_CYCLE: int = 16
+
+#: Number of half-second periods in one hour; used to convert nm/h to
+#: nm/period (the paper divides dx and dy by 7200).
+PERIODS_PER_HOUR: int = 7200
+
+#: Collision detection+resolution runs once per major cycle, in the last
+#: period (index 15 of 0..15).
+COLLISION_PERIOD_INDEX: int = PERIODS_PER_MAJOR_CYCLE - 1
+
+# --- aircraft kinematics ----------------------------------------------------
+
+#: Slowest aircraft speed in nm/h.
+SPEED_MIN_KNOTS: float = 30.0
+
+#: Fastest aircraft speed in nm/h.
+SPEED_MAX_KNOTS: float = 600.0
+
+#: Altitudes are drawn uniformly from this band (feet).
+ALTITUDE_MIN_FT: float = 1_000.0
+ALTITUDE_MAX_FT: float = 40_000.0
+
+# --- Task 1: tracking & correlation ----------------------------------------
+
+#: Half-width of the initial correlation gate: the radar must fall inside
+#: a 1 nm x 1 nm box centred on the aircraft's expected position.
+TRACK_GATE_HALF_NM: float = 0.5
+
+#: Number of additional correlation rounds; each round doubles the gate
+#: (0.5 -> 1.0 -> 2.0 half-width, i.e. 1x1 -> 2x2 -> 4x4 boxes).
+TRACK_EXTRA_ROUNDS: int = 2
+
+#: Total number of correlation rounds (first round + doublings).
+TRACK_TOTAL_ROUNDS: int = 1 + TRACK_EXTRA_ROUNDS
+
+#: Maximum magnitude of the radar position noise (nm per coordinate).
+#: "Small" relative to the 0.5 nm gate so most aircraft correlate in the
+#: first round.
+RADAR_NOISE_MAX_NM: float = 0.25
+
+# --- Task 2: collision detection (Batcher) ----------------------------------
+
+#: Error band added/subtracted around each aircraft track: +-1.5 nm, so
+#: the combined separation requirement in Eqs. (1)-(4) is 3 nm.
+COLLISION_BAND_NM: float = 1.5
+
+#: Combined band of the two aircraft (the literal "3" in Eqs. (1)-(4)).
+COLLISION_BAND_TOTAL_NM: float = 2.0 * COLLISION_BAND_NM
+
+#: Collision look-ahead horizon: 20 minutes expressed in periods.
+PROJECTION_HORIZON_PERIODS: float = 20.0 * 60.0 / PERIOD_SECONDS  # = 2400
+
+#: A conflict is *critical* (needs resolution now) when the first moment
+#: of band overlap is below this many periods.  The paper initialises
+#: ``time_till`` to 300 and calls that "a safe number".
+TIME_TILL_SAFE_PERIODS: float = 300.0
+
+#: Vertical separation: aircraft further apart than this many feet can
+#: never conflict (Algorithm 2, line 3).
+ALTITUDE_SEPARATION_FT: float = 1_000.0
+
+# --- Task 3: collision resolution -------------------------------------------
+
+#: Each resolution attempt rotates the track's velocity by a multiple of
+#: this angle, alternating sign: +5, -5, +10, -10, ... degrees.
+RESOLUTION_STEP_DEG: float = 5.0
+
+#: Largest rotation attempted on each side.
+RESOLUTION_MAX_DEG: float = 30.0
+
+#: Number of trial headings: +-5, +-10, ..., +-30.
+RESOLUTION_MAX_TRIALS: int = 2 * int(RESOLUTION_MAX_DEG / RESOLUTION_STEP_DEG)
+
+# --- sentinel values ---------------------------------------------------------
+
+#: ``FleetState.col_with`` / ``RadarFrame.match_with`` value: no partner.
+NO_MATCH: int = -1
+
+#: ``RadarFrame.match_with`` value: radar saw two or more aircraft and was
+#: discarded for this half second.
+DISCARDED: int = -2
+
+#: ``FleetState.r_match`` value: aircraft saw two or more radars and was
+#: dropped from correlation (keeps its expected position).
+MULTI_MATCHED: int = -1
+
+#: ``FleetState.r_match`` value: not yet correlated.
+UNMATCHED: int = 0
+
+#: ``FleetState.r_match`` value: correlated with exactly one radar so far.
+MATCHED_ONCE: int = 1

@@ -1,0 +1,99 @@
+"""Geometric helpers shared by all backends.
+
+Everything here is pure and vectorised; backends that model per-thread
+execution call these on length-1 slices or full columns alike.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from . import constants as C
+
+__all__ = [
+    "rotate_velocity",
+    "advance",
+    "wraparound",
+    "project",
+    "inside_gate",
+    "trial_angle_deg",
+]
+
+
+def rotate_velocity(dx, dy, angle_deg) -> Tuple[np.ndarray, np.ndarray]:
+    """Rotate velocity vectors by ``angle_deg`` (counter-clockwise).
+
+    Rotation preserves speed exactly (up to float rounding), which is the
+    point of the paper's resolution manoeuvre: the aircraft changes
+    heading, not speed.
+    """
+    theta = np.deg2rad(angle_deg)
+    cos_t, sin_t = np.cos(theta), np.sin(theta)
+    dx = np.asarray(dx, dtype=np.float64)
+    dy = np.asarray(dy, dtype=np.float64)
+    return dx * cos_t - dy * sin_t, dx * sin_t + dy * cos_t
+
+
+def advance(x, y, dx, dy, periods: float = 1.0) -> Tuple[np.ndarray, np.ndarray]:
+    """Dead-reckon positions forward by ``periods`` half-seconds."""
+    return np.asarray(x) + np.asarray(dx) * periods, np.asarray(y) + np.asarray(dy) * periods
+
+
+def wraparound(x, y) -> Tuple[np.ndarray, np.ndarray]:
+    """Re-enter aircraft that left the airfield at the mirrored point.
+
+    The paper: "when an aircraft exits this grid at location (x, y), then
+    another aircraft with the same speed and direction of flight is
+    re-entered into the grid at the location (-x, -y)".  Mapping
+    (x, y) -> (-x, -y) keeps the heading valid: an aircraft flying
+    north-east off the top-right corner re-enters at the bottom-left still
+    flying north-east.
+    """
+    x = np.asarray(x, dtype=np.float64).copy()
+    y = np.asarray(y, dtype=np.float64).copy()
+    out = (np.abs(x) > C.GRID_HALF_NM) | (np.abs(y) > C.GRID_HALF_NM)
+    x[out] = -x[out]
+    y[out] = -y[out]
+    # A mirrored point can itself sit outside if the aircraft overshot
+    # both axes between periods is impossible (|-x| == |x|), but clamp
+    # against float drift so validate() never trips on 128.0000000001.
+    np.clip(x, -C.GRID_HALF_NM, C.GRID_HALF_NM, out=x)
+    np.clip(y, -C.GRID_HALF_NM, C.GRID_HALF_NM, out=y)
+    return x, y
+
+
+def project(x, y, dx, dy, horizon_periods: float = C.PROJECTION_HORIZON_PERIODS):
+    """Project positions ``horizon_periods`` ahead (paper: 20 minutes)."""
+    return advance(x, y, dx, dy, horizon_periods)
+
+
+def inside_gate(ex, ey, rx, ry, gate_half_nm: float) -> np.ndarray:
+    """Is radar (rx, ry) inside the square gate centred on (ex, ey)?
+
+    Strict inequalities as in the paper:
+    ``aircraft.x - g < radar.x < aircraft.x + g`` for each coordinate.
+    """
+    ex = np.asarray(ex)
+    ey = np.asarray(ey)
+    rx = np.asarray(rx)
+    ry = np.asarray(ry)
+    return (
+        (np.abs(rx - ex) < gate_half_nm)
+        & (np.abs(ry - ey) < gate_half_nm)
+    )
+
+
+def trial_angle_deg(attempt: int) -> float:
+    """Heading offset for resolution attempt ``attempt`` (0-based).
+
+    Attempts alternate sides with growing magnitude:
+    0 -> +5, 1 -> -5, 2 -> +10, 3 -> -10, ..., 11 -> -30 degrees.
+    """
+    if attempt < 0 or attempt >= C.RESOLUTION_MAX_TRIALS:
+        raise ValueError(
+            f"attempt {attempt} outside [0, {C.RESOLUTION_MAX_TRIALS - 1}]"
+        )
+    magnitude = C.RESOLUTION_STEP_DEG * (attempt // 2 + 1)
+    return magnitude if attempt % 2 == 0 else -magnitude

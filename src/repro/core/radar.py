@@ -1,0 +1,155 @@
+"""GenerateRadarData: simulate the per-period radar reports (Section 4.1).
+
+The paper's simulation has a single flight table (the ``drone`` struct):
+the "expected location" of an aircraft this period is ``(x+dx, y+dy)``
+where (x, y) is its recorded location from the previous period, and the
+simulated radar report *is* that expected location plus a small signed
+noise on each coordinate (wind, measurement error, ...).  Task 1 then
+re-derives the expected locations, correlates them with the noisy
+reports, and commits either the radar position (matched) or the expected
+position (unmatched) as the aircraft's new (x, y).
+
+The report list is deliberately scrambled before Task 1 sees it — "the
+radar data array is split into fourths and each fourth is reversed" — so
+that ``radar[i]`` does **not** line up with ``drone[i]`` and correlation
+has real work to do.
+
+The noise draw is counter-based on ``(seed, aircraft_id, period)`` so all
+backends generate identical frames regardless of execution order.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from . import constants as C
+from .rng import Stream, random_uniform, random_unit, splitmix64
+from .types import FleetState, RadarFrame
+
+__all__ = [
+    "radar_noise",
+    "fourth_reversal_permutation",
+    "clutter_echoes",
+    "generate_radar_frame",
+]
+
+
+def _period_element(ids: np.ndarray, period: int) -> np.ndarray:
+    """Mix the period index into the per-aircraft RNG element key."""
+    with np.errstate(over="ignore"):
+        return (
+            np.asarray(ids, dtype=np.uint64)
+            ^ splitmix64(np.uint64(period) + np.uint64(0xA5A5A5A5))
+        ).astype(np.int64)
+
+
+def radar_noise(
+    seed: int, ids: np.ndarray, period: int
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Signed radar noise for each aircraft id at the given period."""
+    el = _period_element(np.asarray(ids, dtype=np.int64), period)
+    nx = random_uniform(
+        seed, el, Stream.RADAR_NOISE_X, -C.RADAR_NOISE_MAX_NM, C.RADAR_NOISE_MAX_NM
+    )
+    ny = random_uniform(
+        seed, el, Stream.RADAR_NOISE_Y, -C.RADAR_NOISE_MAX_NM, C.RADAR_NOISE_MAX_NM
+    )
+    return nx, ny
+
+
+def fourth_reversal_permutation(n: int) -> np.ndarray:
+    """The paper's host-side shuffle: split into fourths, reverse each.
+
+    Returns ``perm`` such that ``shuffled[i] = original[perm[i]]``.  For n
+    not divisible by four the last fourth absorbs the remainder, matching
+    the natural C loop the paper describes.
+    """
+    if n < 0:
+        raise ValueError("negative length")
+    perm = np.arange(n, dtype=np.int64)
+    quarter = n // 4
+    bounds = [0, quarter, 2 * quarter, 3 * quarter, n]
+    for lo, hi in zip(bounds[:-1], bounds[1:]):
+        perm[lo:hi] = perm[lo:hi][::-1]
+    return perm
+
+
+def clutter_echoes(
+    seed: int, period: int, count: int
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Positions of ``count`` false radar echoes (ground clutter, birds,
+    anomalous propagation) scattered uniformly over the airfield."""
+    ids = np.arange(count, dtype=np.int64)
+    with np.errstate(over="ignore"):
+        el = (ids.astype(np.uint64) ^ splitmix64(np.uint64(period) * np.uint64(31))).astype(
+            np.int64
+        )
+    cx = random_uniform(seed, el, Stream.CLUTTER_X, -C.GRID_HALF_NM, C.GRID_HALF_NM)
+    cy = random_uniform(seed, el, Stream.CLUTTER_Y, -C.GRID_HALF_NM, C.GRID_HALF_NM)
+    return cx, cy
+
+
+def generate_radar_frame(
+    fleet: FleetState,
+    seed: int,
+    period: int,
+    *,
+    dropout: float = 0.0,
+    clutter: int = 0,
+) -> RadarFrame:
+    """Produce the shuffled radar frame for one half-second period.
+
+    Does **not** mutate the fleet: the flight table only changes when
+    Task 1 commits positions.
+
+    Parameters
+    ----------
+    fleet:
+        Current flight table; reports are generated from each aircraft's
+        expected position ``(x+dx, y+dy)`` plus noise.
+    seed, period:
+        Deterministic noise keys.
+    dropout:
+        Optional fraction of reports to drop.  The paper notes "a radar
+        report may not be obtained for some aircraft during some periods"
+        but keeps all reports in its simulation, so the default is 0;
+        robustness tests and experiments use non-zero values.
+    clutter:
+        Optional number of *false* echoes mixed into the frame (the
+        paper motivates processing all primary radar precisely because
+        it is noisy and transponder-free).  Clutter reports carry
+        ``true_id == NO_MATCH`` and should end the period unmatched or
+        discarded; tests use them to probe Task 1's ambiguity rules.
+    """
+    if not 0.0 <= dropout < 1.0:
+        raise ValueError(f"dropout must be in [0, 1), got {dropout}")
+    if clutter < 0:
+        raise ValueError(f"clutter count must be >= 0, got {clutter}")
+
+    ids = np.arange(fleet.n, dtype=np.int64)
+    nx, ny = radar_noise(seed, ids, period)
+    rx = fleet.x + fleet.dx + nx
+    ry = fleet.y + fleet.dy + ny
+
+    if dropout > 0.0:
+        keep = random_unit(seed, _period_element(ids, period), Stream.WORKLOAD) >= dropout
+        if not np.any(keep):
+            # Guarantee at least one report so downstream shapes stay sane.
+            keep = keep.copy()
+            keep[0] = True
+        ids, rx, ry = ids[keep], rx[keep], ry[keep]
+
+    if clutter > 0:
+        cx, cy = clutter_echoes(seed, period, clutter)
+        rx = np.concatenate([rx, cx])
+        ry = np.concatenate([ry, cy])
+        ids = np.concatenate([ids, np.full(clutter, C.NO_MATCH, dtype=np.int64)])
+
+    perm = fourth_reversal_permutation(ids.shape[0])
+    frame = RadarFrame.empty(ids.shape[0])
+    frame.rx[:] = rx[perm]
+    frame.ry[:] = ry[perm]
+    frame.true_id[:] = ids[perm]
+    return frame

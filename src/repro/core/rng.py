@@ -1,0 +1,147 @@
+"""Counter-based deterministic random numbers.
+
+The paper's CUDA program initialises every aircraft in its own thread
+("all threads initialize an aircraft simultaneously").  To make *every*
+backend — GPU-style thread-per-aircraft kernels, PE-per-aircraft SIMD
+code and sequential reference code — produce **bit-identical** fleets, we
+use a counter-based generator: the random value for (seed, element,
+stream) is a pure function of those three integers, independent of the
+order in which elements are generated.
+
+The mixing function is SplitMix64 (Steele, Lea & Flood, OOPSLA 2014),
+implemented with vectorised uint64 NumPy arithmetic.  It passes BigCrush
+as the finaliser of a 64-bit counter and is more than adequate for a
+workload simulation.
+
+Streams
+-------
+Each independent random decision in the simulation gets its own stream
+id (see :class:`Stream`), so that e.g. the x coordinate draw never
+correlates with the speed draw of the same aircraft.
+"""
+
+from __future__ import annotations
+
+import enum
+
+import numpy as np
+
+__all__ = [
+    "Stream",
+    "splitmix64",
+    "random_unit",
+    "random_uniform",
+    "random_int",
+    "random_sign",
+]
+
+_GOLDEN = np.uint64(0x9E3779B97F4A7C15)
+_MIX1 = np.uint64(0xBF58476D1CE4E5B9)
+_MIX2 = np.uint64(0x94D049BB133111EB)
+
+#: 2**-53, to map the top 53 bits of a uint64 onto [0, 1).
+_INV_2_53 = float(np.ldexp(1.0, -53))
+
+
+class Stream(enum.IntEnum):
+    """Independent random streams used by the airfield simulation."""
+
+    SETUP_X = 1
+    SETUP_Y = 2
+    SETUP_X_SIGN = 3
+    SETUP_Y_SIGN = 4
+    SETUP_SPEED = 5
+    SETUP_DX = 6
+    SETUP_DX_SIGN = 7
+    SETUP_DY_SIGN = 8
+    SETUP_ALTITUDE = 9
+    RADAR_NOISE_X = 10
+    RADAR_NOISE_Y = 11
+    MIMD_JITTER = 12
+    WORKLOAD = 13
+    CLUTTER_X = 14
+    CLUTTER_Y = 15
+    TERRAIN = 16
+    SCENARIO = 17
+
+
+def _as_u64(value) -> np.ndarray:
+    """Coerce an int or integer array to uint64 with wrap-around."""
+    return np.asarray(value).astype(np.uint64, copy=False)
+
+
+def splitmix64(counter) -> np.ndarray:
+    """Return the SplitMix64 output for each value of ``counter``.
+
+    Parameters
+    ----------
+    counter:
+        Integer scalar or integer array.  Interpreted modulo 2**64.
+
+    Returns
+    -------
+    numpy.ndarray
+        uint64 array of the same shape as ``counter``.
+    """
+    with np.errstate(over="ignore"):
+        z = _as_u64(counter) + _GOLDEN
+        z = (z ^ (z >> np.uint64(30))) * _MIX1
+        z = (z ^ (z >> np.uint64(27))) * _MIX2
+        z = z ^ (z >> np.uint64(31))
+    return z
+
+
+def _key(seed: int, element, stream: int) -> np.ndarray:
+    """Combine (seed, element, stream) into a single uint64 counter.
+
+    The element index is pre-whitened so that consecutive ids land far
+    apart in counter space; seed and stream occupy independent whitened
+    lanes XORed together.
+    """
+    e = splitmix64(_as_u64(element))
+    with np.errstate(over="ignore"):
+        s = splitmix64(np.uint64(seed & 0xFFFFFFFFFFFFFFFF))
+        t = splitmix64(np.uint64(stream) * _GOLDEN)
+    return e ^ s ^ t
+
+
+def random_unit(seed: int, element, stream: int) -> np.ndarray:
+    """Uniform floats in [0, 1) for each element index."""
+    bits = splitmix64(_key(seed, element, stream))
+    return (bits >> np.uint64(11)).astype(np.float64) * _INV_2_53
+
+
+def random_uniform(seed: int, element, stream: int, low, high) -> np.ndarray:
+    """Uniform floats in [low, high) for each element index.
+
+    ``low``/``high`` may be scalars or arrays broadcastable against
+    ``element``.
+    """
+    u = random_unit(seed, element, stream)
+    return np.asarray(low) + u * (np.asarray(high) - np.asarray(low))
+
+
+def random_int(seed: int, element, stream: int, low: int, high: int) -> np.ndarray:
+    """Uniform integers in the inclusive range [low, high].
+
+    Uses the top bits of the generator output; the modulo bias over a
+    span of at most a few hundred values is < 2**-55 and irrelevant here.
+    """
+    if high < low:
+        raise ValueError(f"empty integer range [{low}, {high}]")
+    span = np.uint64(high - low + 1)
+    bits = splitmix64(_key(seed, element, stream))
+    return (low + (bits % span).astype(np.int64)).astype(np.int64)
+
+
+def random_sign(seed: int, element, stream: int, *, negative_when_even: bool) -> np.ndarray:
+    """Return +-1.0 using the paper's parity trick.
+
+    The paper draws an integer in [0, 50] and negates the coordinate when
+    the draw is even (for x) or odd (for y).  ``negative_when_even``
+    selects which parity maps to -1.
+    """
+    draw = random_int(seed, element, stream, 0, 50)
+    even = (draw % 2) == 0
+    negative = even if negative_when_even else ~even
+    return np.where(negative, -1.0, 1.0)

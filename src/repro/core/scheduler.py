@@ -1,0 +1,170 @@
+"""The major cycle: 16 half-second periods with hard deadlines (Section 4.2).
+
+Every half second Task 1 must run; in the 16th period the fused Task 2+3
+runs after Task 1.  Whatever modelled time the platform needs is charged
+against the 0.5 s period budget:
+
+* a task whose predecessor already exhausted the period is **skipped**
+  ("remaining tasks that may not have time to complete their execution
+  before the end of the period must be skipped");
+* a period whose scheduled work exceeds 0.5 s is a **missed deadline**;
+* leftover time is idle waiting — "whatever time is left, we wait that
+  long before executing the next period" — recorded as slack.
+
+Radar generation runs *before* each period starts and is not part of the
+ATM budget (the paper: "this activity can occur prior to the start of
+each half-second time interval").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, List, Optional
+
+import numpy as np
+
+from . import constants as C
+from .collision import DetectionMode
+from .radar import generate_radar_frame
+from .types import FleetState, TaskTiming
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..backends.base import Backend
+
+__all__ = ["PeriodRecord", "ScheduleResult", "run_schedule"]
+
+
+@dataclass
+class PeriodRecord:
+    """Outcome of one half-second period."""
+
+    major_cycle: int
+    period: int  # 0..15 within the major cycle
+    task1: TaskTiming
+    task23: Optional[TaskTiming]
+    #: total modelled task time charged to this period, seconds.
+    time_used: float
+    #: unused time the system waits out before the next period.
+    slack: float
+    deadline_missed: bool
+    #: Task 2+3 was due this period but skipped because Task 1 overran.
+    task23_skipped: bool
+
+
+@dataclass
+class ScheduleResult:
+    """Aggregate of a multi-major-cycle run on one platform."""
+
+    platform: str
+    n_aircraft: int
+    periods: List[PeriodRecord] = field(default_factory=list)
+
+    @property
+    def total_periods(self) -> int:
+        return len(self.periods)
+
+    @property
+    def missed_deadlines(self) -> int:
+        return sum(1 for p in self.periods if p.deadline_missed)
+
+    @property
+    def skipped_tasks(self) -> int:
+        return sum(1 for p in self.periods if p.task23_skipped)
+
+    @property
+    def miss_rate(self) -> float:
+        return self.missed_deadlines / self.total_periods if self.periods else 0.0
+
+    def task1_times(self) -> np.ndarray:
+        return np.array([p.task1.seconds for p in self.periods])
+
+    def task23_times(self) -> np.ndarray:
+        return np.array([p.task23.seconds for p in self.periods if p.task23 is not None])
+
+    @property
+    def worst_period_seconds(self) -> float:
+        return max((p.time_used for p in self.periods), default=0.0)
+
+    @property
+    def mean_utilization(self) -> float:
+        """Mean fraction of each period spent computing (vs waiting)."""
+        if not self.periods:
+            return 0.0
+        used = np.array([min(p.time_used, C.PERIOD_SECONDS) for p in self.periods])
+        return float(used.mean() / C.PERIOD_SECONDS)
+
+    def summary(self) -> dict:
+        t1 = self.task1_times()
+        t23 = self.task23_times()
+        return {
+            "platform": self.platform,
+            "n_aircraft": self.n_aircraft,
+            "periods": self.total_periods,
+            "missed_deadlines": self.missed_deadlines,
+            "skipped_tasks": self.skipped_tasks,
+            "miss_rate": self.miss_rate,
+            "task1_mean_s": float(t1.mean()) if t1.size else 0.0,
+            "task1_max_s": float(t1.max()) if t1.size else 0.0,
+            "task23_mean_s": float(t23.mean()) if t23.size else 0.0,
+            "task23_max_s": float(t23.max()) if t23.size else 0.0,
+            "worst_period_s": self.worst_period_seconds,
+            "mean_utilization": self.mean_utilization,
+        }
+
+
+def run_schedule(
+    backend: "Backend",
+    fleet: FleetState,
+    *,
+    major_cycles: int = 1,
+    seed: int = 2018,
+    mode: DetectionMode = DetectionMode.SIGNED,
+    radar_dropout: float = 0.0,
+    radar_clutter: int = 0,
+) -> ScheduleResult:
+    """Drive ``major_cycles`` 8-second cycles of the ATM schedule.
+
+    The fleet is mutated in place (it keeps flying between cycles).
+    Timing comes entirely from the backend's architecture model; this
+    function only applies the period budget rules.
+    """
+    if major_cycles < 1:
+        raise ValueError("need at least one major cycle")
+
+    result = ScheduleResult(platform=backend.name, n_aircraft=fleet.n)
+    global_period = 0
+
+    for cycle in range(major_cycles):
+        for period in range(C.PERIODS_PER_MAJOR_CYCLE):
+            frame = generate_radar_frame(
+                fleet, seed, global_period, dropout=radar_dropout,
+                clutter=radar_clutter,
+            )
+            t1 = backend.track_and_correlate(fleet, frame)
+
+            time_used = t1.seconds
+            t23: Optional[TaskTiming] = None
+            skipped = False
+            if period == C.COLLISION_PERIOD_INDEX:
+                if time_used >= C.PERIOD_SECONDS:
+                    skipped = True
+                else:
+                    t23 = backend.detect_and_resolve(fleet, mode=mode)
+                    time_used += t23.seconds
+
+            missed = time_used > C.PERIOD_SECONDS or skipped
+            result.periods.append(
+                PeriodRecord(
+                    major_cycle=cycle,
+                    period=period,
+                    task1=t1,
+                    task23=t23,
+                    time_used=time_used,
+                    slack=max(C.PERIOD_SECONDS - time_used, 0.0),
+                    deadline_missed=missed,
+                    task23_skipped=skipped,
+                )
+            )
+            global_period += 1
+
+    return result

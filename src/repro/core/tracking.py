@@ -1,0 +1,219 @@
+"""Task 1 — Tracking & Correlation (paper Section 5.1, Algorithm 1).
+
+Reference semantics
+-------------------
+The paper's CUDA kernel runs one thread per radar report, each scanning
+all aircraft; the shared ``rMatch``/``rMatchWith`` state makes the kernel
+racy.  DESIGN.md deviation #2 fixes a deterministic serialization that is
+one of the legal outcomes of that kernel and that **every** backend in
+this repository implements identically: radars are processed in index
+order, and each radar scans aircraft in index order.
+
+State machine (per correlation round, gate half-width ``g``):
+
+* a radar report *matches* an aircraft when the report falls strictly
+  inside the ``2g x 2g`` box centred on the aircraft's expected position;
+* an aircraft seen by a second radar is dropped (``r_match = -1``) and
+  keeps its expected position this period;
+* a radar that sees a second (still unmatched) aircraft is discarded
+  (``match_with = -2``) and stops scanning;
+* round 2 and 3 double the gate and retry only unmatched radars against
+  aircraft still unmatched at the start of the round;
+* finally, every aircraft matched by exactly one surviving radar takes
+  the radar position as its new (x, y); everyone else advances to its
+  expected position.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+import numpy as np
+
+from . import constants as C
+from .geometry import wraparound
+from .types import FleetState, RadarFrame
+
+__all__ = ["TrackingStats", "compute_expected", "run_correlation_round", "correlate"]
+
+#: Radar rows are compared against aircraft in chunks of this many radars
+#: to bound the gate-matrix working set (chunk x n bools).
+_CHUNK = 2048
+
+
+@dataclass
+class TrackingStats:
+    """Dynamic counts from one Task-1 execution (feeds timing models)."""
+
+    #: number of rounds actually executed (1..3).
+    rounds_executed: int = 0
+    #: radar-aircraft candidate pairs examined, per round.
+    candidate_pairs: List[int] = field(default_factory=list)
+    #: new radar-aircraft matches made, per round.
+    matched: List[int] = field(default_factory=list)
+    #: radars discarded for seeing multiple aircraft (total).
+    discarded_radars: int = 0
+    #: aircraft dropped for being seen by multiple radars (total).
+    dropped_aircraft: int = 0
+    #: aircraft whose position was committed from a radar report.
+    committed: int = 0
+    #: aircraft that fell back to their expected position.
+    coasted: int = 0
+    #: radar indices still unmatched at the start of each round; the
+    #: architecture timing models use these to charge only the warps/PEs
+    #: that still have work in rounds 2 and 3.
+    round_radar_ids: List[np.ndarray] = field(default_factory=list)
+    #: number of aircraft still unmatched at the start of each round.
+    round_active_planes: List[int] = field(default_factory=list)
+    #: per-round, per-radar candidate counts (``bincount`` over the gate
+    #: hits); lets warp-level timing models charge match bookkeeping to
+    #: the warps that actually did it.
+    round_candidates_per_radar: List[np.ndarray] = field(default_factory=list)
+
+    @property
+    def total_candidate_pairs(self) -> int:
+        return int(sum(self.candidate_pairs))
+
+
+def compute_expected(fleet: FleetState) -> None:
+    """Fill ``expected_x/expected_y`` with this period's dead-reckoning."""
+    np.add(fleet.x, fleet.dx, out=fleet.expected_x)
+    np.add(fleet.y, fleet.dy, out=fleet.expected_y)
+
+
+def _candidate_pairs(
+    radar_ids: np.ndarray,
+    frame: RadarFrame,
+    fleet: FleetState,
+    plane_mask: np.ndarray,
+    gate_half: float,
+) -> tuple[np.ndarray, np.ndarray]:
+    """All (radar, aircraft) index pairs whose gate test passes.
+
+    Returned sorted by radar index then aircraft index — exactly the
+    order the serialized state machine visits them.
+    """
+    pair_r: list[np.ndarray] = []
+    pair_p: list[np.ndarray] = []
+    ex, ey = fleet.expected_x, fleet.expected_y
+    for lo in range(0, radar_ids.shape[0], _CHUNK):
+        rid = radar_ids[lo : lo + _CHUNK]
+        rx = frame.rx[rid][:, None]
+        ry = frame.ry[rid][:, None]
+        hit = (
+            (np.abs(rx - ex[None, :]) < gate_half)
+            & (np.abs(ry - ey[None, :]) < gate_half)
+            & plane_mask[None, :]
+        )
+        rows, cols = np.nonzero(hit)
+        pair_r.append(rid[rows])
+        pair_p.append(cols.astype(np.int64))
+    if not pair_r:
+        return np.empty(0, np.int64), np.empty(0, np.int64)
+    return np.concatenate(pair_r), np.concatenate(pair_p)
+
+
+def run_correlation_round(
+    fleet: FleetState,
+    frame: RadarFrame,
+    gate_half: float,
+    stats: TrackingStats,
+) -> None:
+    """Execute one correlation round with the given gate half-width."""
+    radar_ids = np.nonzero(frame.match_with == C.NO_MATCH)[0].astype(np.int64)
+    plane_mask = fleet.r_match == C.UNMATCHED
+    pr, pp = _candidate_pairs(radar_ids, frame, fleet, plane_mask, gate_half)
+
+    stats.rounds_executed += 1
+    stats.candidate_pairs.append(int(pr.shape[0]))
+    stats.round_radar_ids.append(radar_ids)
+    stats.round_active_planes.append(int(np.count_nonzero(plane_mask)))
+    stats.round_candidates_per_radar.append(np.bincount(pr, minlength=frame.n))
+
+    matched_this_round = 0
+    r_match = fleet.r_match
+    matched_radar = fleet.matched_radar
+    match_with = frame.match_with
+
+    # Walk the candidate list grouped by radar, in (radar, plane) order.
+    idx = 0
+    total = pr.shape[0]
+    while idx < total:
+        i = pr[idx]
+        end = idx
+        while end < total and pr[end] == i:
+            end += 1
+        for k in range(idx, end):
+            p = pp[k]
+            state = r_match[p]
+            if state == C.MULTI_MATCHED:
+                continue
+            if state == C.MATCHED_ONCE:
+                # Second radar sees an already-correlated aircraft: drop it.
+                r_match[p] = C.MULTI_MATCHED
+                stats.dropped_aircraft += 1
+                continue
+            # state == UNMATCHED
+            if match_with[i] == C.NO_MATCH:
+                match_with[i] = p
+                r_match[p] = C.MATCHED_ONCE
+                matched_radar[p] = i
+                matched_this_round += 1
+            else:
+                # Radar already holds an aircraft and sees a second one:
+                # discard the radar and stop its scan.
+                match_with[i] = C.DISCARDED
+                stats.discarded_radars += 1
+                break
+        idx = end
+
+    stats.matched.append(matched_this_round)
+
+
+def _commit(fleet: FleetState, frame: RadarFrame, stats: TrackingStats) -> None:
+    """Apply correlation results: radar position or expected position."""
+    take_radar = np.zeros(fleet.n, dtype=bool)
+    radar_of = np.full(fleet.n, -1, dtype=np.int64)
+
+    valid = frame.match_with >= 0
+    radars = np.nonzero(valid)[0]
+    planes = frame.match_with[radars]
+    good = (fleet.r_match[planes] == C.MATCHED_ONCE) & (
+        fleet.matched_radar[planes] == radars
+    )
+    take_radar[planes[good]] = True
+    radar_of[planes[good]] = radars[good]
+
+    new_x = fleet.expected_x.copy()
+    new_y = fleet.expected_y.copy()
+    src = radar_of[take_radar]
+    new_x[take_radar] = frame.rx[src]
+    new_y[take_radar] = frame.ry[src]
+
+    fleet.x[:], fleet.y[:] = wraparound(new_x, new_y)
+    stats.committed = int(np.count_nonzero(take_radar))
+    stats.coasted = fleet.n - stats.committed
+
+
+def correlate(fleet: FleetState, frame: RadarFrame) -> TrackingStats:
+    """Run the full Task 1 on a fleet and a radar frame (both mutated).
+
+    Returns the dynamic statistics used by the architecture timing
+    models (candidate counts per round, rounds executed, ...).
+    """
+    stats = TrackingStats()
+    fleet.reset_correlation()
+    frame.reset_matches()
+    compute_expected(fleet)
+
+    gate = C.TRACK_GATE_HALF_NM
+    for round_no in range(C.TRACK_TOTAL_ROUNDS):
+        if round_no > 0:
+            if not np.any(frame.match_with == C.NO_MATCH):
+                break  # every radar resolved; no extra rounds needed
+            gate *= 2.0
+        run_correlation_round(fleet, frame, gate, stats)
+
+    _commit(fleet, frame, stats)
+    return stats

@@ -1,0 +1,259 @@
+"""Core data structures: the flight-record table and radar frames.
+
+The paper stores all aircraft state in a single ``drone`` structure in
+GPU global memory (Section 5).  We mirror that as a structure-of-arrays
+(:class:`FleetState`) so every backend — vectorised NumPy, simulated GPU
+warps, simulated SIMD PEs — operates on the same contiguous columns.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Any, Dict
+
+import numpy as np
+
+from . import constants as C
+
+__all__ = ["FleetState", "RadarFrame", "TaskTiming", "TimingBreakdown"]
+
+
+def _column(n: int, dtype, fill=0) -> np.ndarray:
+    out = np.empty(n, dtype=dtype)
+    out.fill(fill)
+    return out
+
+
+@dataclass
+class FleetState:
+    """Structure-of-arrays flight-record table for ``n`` aircraft.
+
+    Mirrors the paper's ``drone`` struct: position, per-period velocity,
+    the Batcher trial path (``batdx``/``batdy``), altitude, collision
+    bookkeeping and the radar-correlation state.
+
+    All arrays have length ``n`` and aircraft ``i`` is row ``i``
+    everywhere; the aircraft id *is* the index.
+    """
+
+    #: x position, nm, in [-128, 128].
+    x: np.ndarray
+    #: y position, nm, in [-128, 128].
+    y: np.ndarray
+    #: x velocity, nm per half-second period.
+    dx: np.ndarray
+    #: y velocity, nm per half-second period.
+    dy: np.ndarray
+    #: altitude, feet.
+    alt: np.ndarray
+    #: trial-path x velocity produced during collision resolution
+    #: (the paper's ``batx``; see DESIGN.md deviation notes — the trial
+    #: path is the current position with a rotated velocity vector).
+    batdx: np.ndarray
+    #: trial-path y velocity (the paper's ``baty``).
+    batdy: np.ndarray
+    #: 1 when a critical collision was anticipated for this aircraft in
+    #: the most recent detection pass, else 0 (the paper's ``col``).
+    col: np.ndarray
+    #: periods until the earliest anticipated band overlap
+    #: (the paper's ``time_till``; initialised to 300).
+    time_till: np.ndarray
+    #: id of the aircraft this one is anticipated to conflict with,
+    #: or NO_MATCH (the paper's ``colWith``).
+    col_with: np.ndarray
+    #: Task-1 correlation state: UNMATCHED / MATCHED_ONCE / MULTI_MATCHED
+    #: (the paper's ``rMatch``).
+    r_match: np.ndarray
+    #: id of the radar report this aircraft correlated with, or NO_MATCH
+    #: (the paper's ``rMatchWith`` viewed from the aircraft side; kept for
+    #: symmetry and used by the tracking commit step).
+    matched_radar: np.ndarray
+    #: expected x position for the current period (x + dx).
+    expected_x: np.ndarray
+    #: expected y position for the current period (y + dy).
+    expected_y: np.ndarray
+
+    @classmethod
+    def empty(cls, n: int) -> "FleetState":
+        """Allocate a zeroed fleet of ``n`` aircraft."""
+        if n <= 0:
+            raise ValueError(f"fleet size must be positive, got {n}")
+        return cls(
+            x=_column(n, np.float64),
+            y=_column(n, np.float64),
+            dx=_column(n, np.float64),
+            dy=_column(n, np.float64),
+            alt=_column(n, np.float64),
+            batdx=_column(n, np.float64),
+            batdy=_column(n, np.float64),
+            col=_column(n, np.int8),
+            time_till=_column(n, np.float64, C.TIME_TILL_SAFE_PERIODS),
+            col_with=_column(n, np.int64, C.NO_MATCH),
+            r_match=_column(n, np.int8, C.UNMATCHED),
+            matched_radar=_column(n, np.int64, C.NO_MATCH),
+            expected_x=_column(n, np.float64),
+            expected_y=_column(n, np.float64),
+        )
+
+    @property
+    def n(self) -> int:
+        """Number of aircraft."""
+        return self.x.shape[0]
+
+    def copy(self) -> "FleetState":
+        """Deep copy (every column copied)."""
+        return FleetState(
+            **{
+                f.name: getattr(self, f.name).copy()
+                for f in dataclasses.fields(self)
+            }
+        )
+
+    def speeds_per_period(self) -> np.ndarray:
+        """Ground speed of each aircraft in nm/period."""
+        return np.hypot(self.dx, self.dy)
+
+    def speeds_knots(self) -> np.ndarray:
+        """Ground speed of each aircraft in nm/hour."""
+        return self.speeds_per_period() * C.PERIODS_PER_HOUR
+
+    def reset_correlation(self) -> None:
+        """Clear the per-period Task-1 bookkeeping columns."""
+        self.r_match.fill(C.UNMATCHED)
+        self.matched_radar.fill(C.NO_MATCH)
+
+    def reset_collision(self) -> None:
+        """Clear the per-major-cycle Task-2/3 bookkeeping columns."""
+        self.col.fill(0)
+        self.time_till.fill(C.TIME_TILL_SAFE_PERIODS)
+        self.col_with.fill(C.NO_MATCH)
+        self.batdx[:] = self.dx
+        self.batdy[:] = self.dy
+
+    def state_equal(self, other: "FleetState") -> bool:
+        """Bit-exact equality of every column; used by equivalence tests."""
+        return all(
+            np.array_equal(getattr(self, f.name), getattr(other, f.name))
+            for f in dataclasses.fields(self)
+        )
+
+    def validate(self) -> None:
+        """Raise ``ValueError`` if any structural invariant is broken."""
+        n = self.n
+        for f in dataclasses.fields(self):
+            col = getattr(self, f.name)
+            if col.shape != (n,):
+                raise ValueError(f"column {f.name} has shape {col.shape}, expected ({n},)")
+        if not np.all(np.isfinite(self.x)) or not np.all(np.isfinite(self.y)):
+            raise ValueError("non-finite aircraft position")
+        if np.any(np.abs(self.x) > C.GRID_HALF_NM + 1e-9) or np.any(
+            np.abs(self.y) > C.GRID_HALF_NM + 1e-9
+        ):
+            raise ValueError("aircraft outside the airfield bounding square")
+
+
+@dataclass
+class RadarFrame:
+    """One half-second's worth of simulated radar reports.
+
+    At most one report per aircraft per period (paper Section 4,
+    GenerateRadarData).  ``true_id`` records which aircraft generated each
+    report — it is *never* read by the ATM algorithms (a real system does
+    not know it); it exists purely so tests can score correlation
+    accuracy.
+    """
+
+    #: report x position, nm.
+    rx: np.ndarray
+    #: report y position, nm.
+    ry: np.ndarray
+    #: the paper's ``rMatchWith``: NO_MATCH, DISCARDED, or an aircraft id.
+    match_with: np.ndarray
+    #: ground-truth source aircraft of each report (test-only).
+    true_id: np.ndarray
+
+    @classmethod
+    def empty(cls, n: int) -> "RadarFrame":
+        return cls(
+            rx=_column(n, np.float64),
+            ry=_column(n, np.float64),
+            match_with=_column(n, np.int64, C.NO_MATCH),
+            true_id=_column(n, np.int64, C.NO_MATCH),
+        )
+
+    @property
+    def n(self) -> int:
+        """Number of radar reports."""
+        return self.rx.shape[0]
+
+    def copy(self) -> "RadarFrame":
+        return RadarFrame(
+            rx=self.rx.copy(),
+            ry=self.ry.copy(),
+            match_with=self.match_with.copy(),
+            true_id=self.true_id.copy(),
+        )
+
+    def reset_matches(self) -> None:
+        """Forget all correlation decisions (new period)."""
+        self.match_with.fill(C.NO_MATCH)
+
+
+@dataclass
+class TimingBreakdown:
+    """Where a task's modelled time went, in seconds."""
+
+    compute: float = 0.0
+    memory: float = 0.0
+    transfer: float = 0.0
+    sync: float = 0.0
+    overhead: float = 0.0
+
+    @property
+    def total(self) -> float:
+        return self.compute + self.memory + self.transfer + self.sync + self.overhead
+
+    def scaled(self, factor: float) -> "TimingBreakdown":
+        return TimingBreakdown(
+            compute=self.compute * factor,
+            memory=self.memory * factor,
+            transfer=self.transfer * factor,
+            sync=self.sync * factor,
+            overhead=self.overhead * factor,
+        )
+
+
+@dataclass
+class TaskTiming:
+    """Result of running one ATM task on one backend.
+
+    ``seconds`` is *modelled* architecture time (cycles / clock + memory
+    and transfer models), not host wall-clock; see DESIGN.md "Timing
+    semantics".
+    """
+
+    #: which task: "task1" or "task23".
+    task: str
+    #: backend/platform name, e.g. "cuda:titan-x-pascal".
+    platform: str
+    #: number of aircraft processed.
+    n_aircraft: int
+    #: modelled execution time in seconds.
+    seconds: float
+    #: component breakdown; components sum to ``seconds``.
+    breakdown: TimingBreakdown = field(default_factory=TimingBreakdown)
+    #: free-form dynamic statistics (rounds used, conflicts found, ...).
+    stats: Dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.seconds < 0:
+            raise ValueError("negative task time")
+
+    @property
+    def milliseconds(self) -> float:
+        return self.seconds * 1e3
+
+    def meets_deadline(self, budget_seconds: float) -> bool:
+        """Would this task fit in the given slice of its period?"""
+        return self.seconds <= budget_seconds

@@ -1,0 +1,47 @@
+"""Warp-level NVIDIA GPU execution simulator.
+
+Models the three cards of the paper — GeForce 9800 GT (CC 1.1),
+GTX 880M (CC 3.0) and Titan X Pascal (CC 6.1) — with explicit SIMT
+semantics: warps, divergence, per-compute-capability memory coalescing,
+occupancy waves, PCIe transfers and kernel launch overhead.
+"""
+
+from ..backends.registry import register_backend
+from .backend import CudaBackend
+from .device import (
+    DEVICES,
+    GEFORCE_9800_GT,
+    GTX_880M,
+    TITAN_X_PASCAL,
+    DeviceProperties,
+    get_device,
+)
+from .execution import WarpLedger
+from .grid import PAPER_BLOCK_SIZE, LaunchConfig
+from .occupancy import Occupancy, compute_occupancy
+from .timing import KernelTiming, kernel_timing
+
+__all__ = [
+    "CudaBackend",
+    "DEVICES",
+    "GEFORCE_9800_GT",
+    "GTX_880M",
+    "TITAN_X_PASCAL",
+    "DeviceProperties",
+    "get_device",
+    "WarpLedger",
+    "PAPER_BLOCK_SIZE",
+    "LaunchConfig",
+    "Occupancy",
+    "compute_occupancy",
+    "KernelTiming",
+    "kernel_timing",
+]
+
+
+def _register() -> None:
+    for key in DEVICES:
+        register_backend(f"cuda:{key}", lambda key=key: CudaBackend(key))
+
+
+_register()

@@ -1,0 +1,171 @@
+"""NVIDIA device property tables for the paper's three cards.
+
+The numbers are the published specifications of the physical cards the
+paper used (Section 6.1): a GeForce 9800 GT (Tesla G92b, the paper's
+"compute capacity 1" Linux research card), a GTX 880M (Kepler GK104 in a
+laptop, CC 3.0) and a Titan X Pascal (GP102, CC 6.1, the card donated by
+NVIDIA).  The timing model in :mod:`repro.cuda.timing` reads everything
+it needs from these tables, so adding a new card is a one-table change.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+__all__ = [
+    "DeviceProperties",
+    "GEFORCE_9800_GT",
+    "GTX_880M",
+    "TITAN_X_PASCAL",
+    "DEVICES",
+    "get_device",
+]
+
+#: Threads per warp on every NVIDIA architecture to date.
+WARP_SIZE: int = 32
+
+
+@dataclass(frozen=True)
+class DeviceProperties:
+    """Static hardware description of one CUDA device."""
+
+    #: marketing name, e.g. "GeForce 9800 GT".
+    name: str
+    #: registry suffix, e.g. "geforce-9800-gt".
+    key: str
+    #: compute capability (major, minor).
+    compute_capability: Tuple[int, int]
+    #: number of streaming multiprocessors.
+    sm_count: int
+    #: CUDA cores (FP32 lanes) per SM.
+    cores_per_sm: int
+    #: shader/core clock in GHz (the clock CUDA cores execute at).
+    core_clock_ghz: float
+    #: peak global-memory bandwidth in GB/s.
+    mem_bandwidth_gbs: float
+    #: approximate DRAM access latency in core cycles.
+    dram_latency_cycles: int
+    #: hardware limit on resident threads per SM.
+    max_threads_per_sm: int
+    #: hardware limit on resident blocks per SM.
+    max_blocks_per_sm: int
+    #: hardware limit on threads per block.
+    max_threads_per_block: int
+    #: effective host<->device bandwidth of the PCIe link, GB/s.
+    pcie_bandwidth_gbs: float
+    #: fixed per-transfer latency of the PCIe link, seconds.
+    pcie_latency_s: float
+    #: fixed kernel launch overhead, seconds.
+    kernel_launch_s: float
+    #: special-function (sqrt, division, trig) issue-cost multiplier
+    #: relative to a simple FP32 op.
+    special_op_factor: float
+    #: memory-transaction segment size in bytes (coalescing granule).
+    mem_segment_bytes: int
+    #: L2 cache size in bytes (0 on CC 1.x, which only has small per-SM
+    #: texture caches; the timing model falls back to those).
+    l2_bytes: int
+    #: shared memory per SM in bytes (the resource a tiled kernel
+    #: trades occupancy against).
+    smem_per_sm_bytes: int
+    #: True on CC < 2.0 where coalescing is evaluated per half-warp with
+    #: strict in-order rules; misaligned access serializes.
+    strict_coalescing: bool
+
+    @property
+    def total_cores(self) -> int:
+        return self.sm_count * self.cores_per_sm
+
+    @property
+    def max_warps_per_sm(self) -> int:
+        return self.max_threads_per_sm // WARP_SIZE
+
+    @property
+    def peak_gflops(self) -> float:
+        """Peak single-precision GFLOP/s (FMA counted as 2 ops)."""
+        return self.total_cores * self.core_clock_ghz * 2.0
+
+    @property
+    def registry_name(self) -> str:
+        return f"cuda:{self.key}"
+
+
+GEFORCE_9800_GT = DeviceProperties(
+    name="GeForce 9800 GT",
+    key="geforce-9800-gt",
+    compute_capability=(1, 1),
+    sm_count=14,
+    cores_per_sm=8,
+    core_clock_ghz=1.500,
+    mem_bandwidth_gbs=57.6,
+    dram_latency_cycles=600,
+    max_threads_per_sm=768,
+    max_blocks_per_sm=8,
+    max_threads_per_block=512,
+    pcie_bandwidth_gbs=5.0,  # PCIe 2.0 x16, effective
+    pcie_latency_s=12e-6,
+    kernel_launch_s=12e-6,
+    special_op_factor=4.0,
+    mem_segment_bytes=64,
+    strict_coalescing=True,
+    l2_bytes=0,
+    smem_per_sm_bytes=16 * 1024,
+)
+
+GTX_880M = DeviceProperties(
+    name="GTX 880M",
+    key="gtx-880m",
+    compute_capability=(3, 0),
+    sm_count=8,
+    cores_per_sm=192,
+    core_clock_ghz=0.954,
+    mem_bandwidth_gbs=160.0,
+    dram_latency_cycles=400,
+    max_threads_per_sm=2048,
+    max_blocks_per_sm=16,
+    max_threads_per_block=1024,
+    pcie_bandwidth_gbs=10.0,  # PCIe 3.0 x16, effective (laptop)
+    pcie_latency_s=8e-6,
+    kernel_launch_s=6e-6,
+    special_op_factor=6.0,
+    mem_segment_bytes=128,
+    strict_coalescing=False,
+    l2_bytes=512 * 1024,
+    smem_per_sm_bytes=48 * 1024,
+)
+
+TITAN_X_PASCAL = DeviceProperties(
+    name="Titan X (Pascal)",
+    key="titan-x-pascal",
+    compute_capability=(6, 1),
+    sm_count=28,
+    cores_per_sm=128,
+    core_clock_ghz=1.417,
+    mem_bandwidth_gbs=480.0,
+    dram_latency_cycles=350,
+    max_threads_per_sm=2048,
+    max_blocks_per_sm=32,
+    max_threads_per_block=1024,
+    pcie_bandwidth_gbs=12.0,  # PCIe 3.0 x16, effective
+    pcie_latency_s=6e-6,
+    kernel_launch_s=5e-6,
+    special_op_factor=4.0,
+    mem_segment_bytes=128,
+    strict_coalescing=False,
+    l2_bytes=3 * 1024 * 1024,
+    smem_per_sm_bytes=96 * 1024,
+)
+
+DEVICES: Dict[str, DeviceProperties] = {
+    d.key: d for d in (GEFORCE_9800_GT, GTX_880M, TITAN_X_PASCAL)
+}
+
+
+def get_device(key: str) -> DeviceProperties:
+    """Look up a device by key ("geforce-9800-gt", "gtx-880m", ...)."""
+    try:
+        return DEVICES[key]
+    except KeyError:
+        known = ", ".join(sorted(DEVICES))
+        raise KeyError(f"unknown CUDA device {key!r}; known devices: {known}") from None

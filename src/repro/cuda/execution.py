@@ -1,0 +1,227 @@
+"""Warp-level cost ledger: the execution model behind the GPU simulator.
+
+A kernel "runs" here as a *cost replay*: the functional results come from
+the shared :mod:`repro.core` algorithms (bit-identical across backends by
+design — DESIGN.md deviation #2), while this ledger charges each warp the
+instruction issues and memory transactions the SIMT execution of the same
+algorithm performs:
+
+* an instruction executed while *any* lane of a warp is active charges
+  the whole warp — this is exactly how divergence costs on real
+  hardware (both sides of a divergent branch serialize);
+* warp-wide loads/stores are merged into memory transactions using the
+  per-compute-capability coalescing rules of
+  :func:`repro.cuda.memory.transaction_count`;
+* loads whose address is uniform across the warp (the ``drone[p]`` reads
+  of the inner loops) are broadcast — one transaction per warp — as the
+  texture path / read-only cache services them on every card modelled.
+
+Per-lane activity masks are supplied by the kernels as boolean arrays of
+shape ``(padded_threads,)``; the ledger folds them to warp granularity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from .device import WARP_SIZE, DeviceProperties
+from .grid import LaunchConfig
+from .memory import transaction_count
+
+__all__ = ["WarpLedger"]
+
+
+@dataclass
+class _Totals:
+    issue: float = 0.0
+    transactions: float = 0.0
+    bytes: float = 0.0
+
+
+class WarpLedger:
+    """Accumulates per-warp issue cycles and memory traffic for a launch."""
+
+    def __init__(self, device: DeviceProperties, config: LaunchConfig) -> None:
+        self.device = device
+        self.config = config
+        self.n_threads = config.n_threads
+        self.n_warps = config.n_warps
+        #: weighted instruction issues per warp (1.0 == simple FP32 op).
+        self.issue = np.zeros(self.n_warps, dtype=np.float64)
+        #: global-memory transactions per warp.
+        self.transactions = np.zeros(self.n_warps, dtype=np.float64)
+        #: global-memory bytes per warp.
+        self.mem_bytes = np.zeros(self.n_warps, dtype=np.float64)
+        #: DRAM traffic not attributable to one warp: cold streaming of
+        #: shared arrays that later accesses hit in cache.
+        self.stream_bytes: float = 0.0
+        self.stream_transactions: float = 0.0
+
+    # ------------------------------------------------------------------
+    # lane-mask plumbing
+    # ------------------------------------------------------------------
+
+    def full_mask(self) -> np.ndarray:
+        """Lane mask with every useful thread active."""
+        mask = np.zeros(self.config.padded_threads, dtype=bool)
+        mask[: self.n_threads] = True
+        return mask
+
+    def lanes_to_warps(self, lane_mask: Optional[np.ndarray]) -> np.ndarray:
+        """Boolean per-warp activity from a per-lane mask (None = all)."""
+        if lane_mask is None:
+            return np.ones(self.n_warps, dtype=bool)
+        lane_mask = np.asarray(lane_mask, dtype=bool)
+        if lane_mask.shape[0] == self.n_threads:
+            padded = np.zeros(self.config.padded_threads, dtype=bool)
+            padded[: self.n_threads] = lane_mask
+            lane_mask = padded
+        if lane_mask.shape[0] != self.config.padded_threads:
+            raise ValueError(
+                f"lane mask length {lane_mask.shape[0]} matches neither "
+                f"{self.n_threads} nor {self.config.padded_threads}"
+            )
+        return lane_mask.reshape(self.n_warps, WARP_SIZE).any(axis=1)
+
+    def warp_values(self, per_lane: np.ndarray, reduce: str = "max") -> np.ndarray:
+        """Fold a per-lane value array to per-warp (max or sum)."""
+        per_lane = np.asarray(per_lane, dtype=np.float64)
+        if per_lane.shape[0] == self.n_threads:
+            padded = np.zeros(self.config.padded_threads, dtype=np.float64)
+            padded[: self.n_threads] = per_lane
+            per_lane = padded
+        grid = per_lane.reshape(self.n_warps, WARP_SIZE)
+        if reduce == "max":
+            return grid.max(axis=1)
+        if reduce == "sum":
+            return grid.sum(axis=1)
+        raise ValueError(f"unknown reduction {reduce!r}")
+
+    # ------------------------------------------------------------------
+    # charging primitives
+    # ------------------------------------------------------------------
+
+    def charge_issue(
+        self,
+        count: float,
+        lane_mask: Optional[np.ndarray] = None,
+        *,
+        special: bool = False,
+    ) -> None:
+        """Charge ``count`` instruction issues to warps with active lanes.
+
+        ``special=True`` applies the device's special-function multiplier
+        (divisions, square roots, trigonometry).
+        """
+        if count < 0:
+            raise ValueError("negative issue count")
+        weight = count * (self.device.special_op_factor if special else 1.0)
+        self.issue[self.lanes_to_warps(lane_mask)] += weight
+
+    def charge_issue_per_warp(self, per_warp: np.ndarray, *, special: bool = False) -> None:
+        """Charge a precomputed per-warp issue-count vector."""
+        per_warp = np.asarray(per_warp, dtype=np.float64)
+        if per_warp.shape != (self.n_warps,):
+            raise ValueError("per-warp vector has wrong shape")
+        if np.any(per_warp < 0):
+            raise ValueError("negative issue count")
+        factor = self.device.special_op_factor if special else 1.0
+        self.issue += per_warp * factor
+
+    def charge_uniform_load(
+        self,
+        accesses: float = 1.0,
+        lane_mask: Optional[np.ndarray] = None,
+    ) -> None:
+        """Warp-uniform address load: broadcast to all lanes.
+
+        Charges issue slots only: the inner-loop ``drone[p]`` reads are
+        the same address for every warp and sequential across iterations,
+        so after the cold streaming pass (account it separately with
+        :meth:`charge_stream`) they are served from L2 / the texture
+        cache on every card modelled.
+        """
+        warps = self.lanes_to_warps(lane_mask)
+        self.issue[warps] += accesses
+
+    def charge_stream(self, n_bytes: float, passes: float = 1.0) -> None:
+        """Cold DRAM streaming of a shared array (read once, then cached)."""
+        if n_bytes < 0 or passes < 0:
+            raise ValueError("negative stream charge")
+        total = n_bytes * passes
+        self.stream_bytes += total
+        self.stream_transactions += total / self.device.mem_segment_bytes
+
+    def charge_gather(
+        self,
+        index: np.ndarray,
+        lane_mask: Optional[np.ndarray] = None,
+        *,
+        itemsize: int = 8,
+        repeats: float = 1.0,
+    ) -> None:
+        """Warp-wide load/store at per-lane element indices.
+
+        Runs the real coalescing analysis on the index pattern; charge is
+        multiplied by ``repeats`` for loops re-issuing the same pattern.
+        """
+        index = np.asarray(index, dtype=np.int64)
+        if index.shape[0] == self.n_threads:
+            padded = np.zeros(self.config.padded_threads, dtype=np.int64)
+            padded[: self.n_threads] = index
+            index = padded
+        if index.shape[0] != self.config.padded_threads:
+            raise ValueError("index vector has wrong length")
+
+        if lane_mask is None:
+            active = self.full_mask()
+        else:
+            active = np.asarray(lane_mask, dtype=bool)
+            if active.shape[0] == self.n_threads:
+                padded = np.zeros(self.config.padded_threads, dtype=bool)
+                padded[: self.n_threads] = active
+                active = padded
+            active = active & self.full_mask()
+
+        offsets = (index * itemsize).reshape(self.n_warps, WARP_SIZE)
+        lanes = active.reshape(self.n_warps, WARP_SIZE)
+        tx = transaction_count(self.device, offsets, lanes, itemsize)
+        warps = lanes.any(axis=1)
+        self.issue[warps] += repeats
+        self.transactions += tx * repeats
+        self.mem_bytes += tx * repeats * self.device.mem_segment_bytes
+
+    def charge_contiguous_access(
+        self,
+        n_columns: int = 1,
+        lane_mask: Optional[np.ndarray] = None,
+        *,
+        itemsize: int = 8,
+        repeats: float = 1.0,
+    ) -> None:
+        """Thread ``i`` touches element ``i`` of ``n_columns`` arrays.
+
+        The canonical "load my own flight record" pattern; fully
+        coalesced on every device.
+        """
+        idx = np.arange(self.config.padded_threads, dtype=np.int64)
+        for _ in range(n_columns):
+            self.charge_gather(idx, lane_mask, itemsize=itemsize, repeats=repeats)
+
+    def charge_sync(self, count: float = 1.0) -> None:
+        """__syncthreads(): a few issue slots for every warp."""
+        self.issue += 2.0 * count
+
+    # ------------------------------------------------------------------
+    # totals
+    # ------------------------------------------------------------------
+
+    def totals(self) -> _Totals:
+        return _Totals(
+            issue=float(self.issue.sum()),
+            transactions=float(self.transactions.sum() + self.stream_transactions),
+            bytes=float(self.mem_bytes.sum() + self.stream_bytes),
+        )

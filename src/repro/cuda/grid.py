@@ -1,0 +1,68 @@
+"""Kernel launch configuration: the paper's block/thread setup rule.
+
+Section 6.1: "If there are 96 aircrafts, then the setup used here is 1
+block and 96 threads in that block.  For more aircraft, the limit on
+threads per block remains 96 but the blocks increase as the number of
+aircrafts increases."  96 threads = 3 warps per block; the last warp of
+the last block may be partially populated when N is not a multiple of 32.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from .device import WARP_SIZE, DeviceProperties
+
+__all__ = ["PAPER_BLOCK_SIZE", "LaunchConfig"]
+
+#: The paper's fixed threads-per-block choice (matches the 96 PEs of the
+#: ClearSpeed chip the AP implementation used).
+PAPER_BLOCK_SIZE: int = 96
+
+
+@dataclass(frozen=True)
+class LaunchConfig:
+    """A 1-D kernel launch: ``n_threads`` useful threads in fixed blocks."""
+
+    n_threads: int
+    block_size: int = PAPER_BLOCK_SIZE
+
+    def __post_init__(self) -> None:
+        if self.n_threads <= 0:
+            raise ValueError("kernel needs at least one thread")
+        if self.block_size <= 0 or self.block_size % WARP_SIZE:
+            raise ValueError(
+                f"block size must be a positive multiple of {WARP_SIZE}, "
+                f"got {self.block_size}"
+            )
+
+    @classmethod
+    def for_problem(
+        cls, n: int, device: DeviceProperties, block_size: int = PAPER_BLOCK_SIZE
+    ) -> "LaunchConfig":
+        """Launch config for an N-element problem on a device."""
+        if block_size > device.max_threads_per_block:
+            raise ValueError(
+                f"block size {block_size} exceeds device limit "
+                f"{device.max_threads_per_block}"
+            )
+        return cls(n_threads=n, block_size=block_size)
+
+    @property
+    def n_blocks(self) -> int:
+        return math.ceil(self.n_threads / self.block_size)
+
+    @property
+    def warps_per_block(self) -> int:
+        return self.block_size // WARP_SIZE
+
+    @property
+    def n_warps(self) -> int:
+        """Warps actually carrying at least one useful thread."""
+        return math.ceil(self.n_threads / WARP_SIZE)
+
+    @property
+    def padded_threads(self) -> int:
+        """Thread count rounded up to a whole number of warps."""
+        return self.n_warps * WARP_SIZE

@@ -1,0 +1,14 @@
+"""Cost models of the four kernels of the paper's CUDA program."""
+
+from .check_collision import charge_check_collision
+from .generate_radar import RadarPhaseTiming, charge_generate_radar
+from .setup_flight import charge_setup_flight
+from .track_drone import charge_track_drone
+
+__all__ = [
+    "charge_check_collision",
+    "RadarPhaseTiming",
+    "charge_generate_radar",
+    "charge_setup_flight",
+    "charge_track_drone",
+]

@@ -1,0 +1,269 @@
+"""Cost model of the fused ``CheckCollisionPath`` kernel (Tasks 2+3).
+
+Thread ``i`` owns aircraft ``i`` and sweeps the whole flight table:
+altitude gate first (Algorithm 2, line 3), then the Batcher interval
+equations (1)-(6) for pairs inside the 1000 ft band, and — when a
+critical conflict is found — the Task-3 manoeuvre: rotate the trial
+velocity and *restart the sweep* ("we reset the loop by setting t = 19
+... to start checking against all other aircrafts from the beginning
+again").
+
+SIMT consequences replayed here:
+
+* a warp executes an iteration's deep path when *any* of its 32 lanes
+  passes the altitude gate — the per-warp pass counts are computed
+  exactly from the fleet's altitude column;
+* a warp keeps sweeping until its *slowest* lane finishes, so its sweep
+  count is ``1 + max(attempts in warp)`` with the per-aircraft attempt
+  counts taken from the reference resolution run;
+* the flight table is streamed from DRAM once per sweep when it exceeds
+  the card's cache (the 9800 GT has no L2 — only per-SM texture caches —
+  which is what bends its Tasks-2+3 curve quadratic in Fig. 9 while the
+  Pascal card stays linear far longer).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...core import constants as C
+from ...core.collision import DetectionStats
+from ...core.resolution import ResolutionStats
+from ...core.types import FleetState
+from ..device import DeviceProperties
+from ..execution import WarpLedger
+from ..grid import PAPER_BLOCK_SIZE, LaunchConfig
+from ..timing import KernelTiming, kernel_timing
+
+__all__ = [
+    "charge_check_collision",
+    "charge_check_collision_tiled",
+    "altitude_pass_counts",
+]
+
+#: loop housekeeping + id check + altitude compare per iteration.
+ITER_OPS = 6
+
+#: Batcher interval math: gaps, relative velocities, four quotient
+#: numerators/denominators, min/max combination, window tests.
+INTERVAL_OPS = 22
+
+#: divisions in Eqs. (1)-(4) (special-function units).
+INTERVAL_DIVS = 4
+
+#: conflict bookkeeping per critical hit (time_till/colWith updates).
+CRITICAL_OPS = 10
+
+#: per-trial manoeuvre: sin/cos rotation + loop reset.
+TRIAL_OPS = 8
+TRIAL_SPECIALS = 2
+
+#: per-thread prologue/epilogue (flag init, final path commit).
+EDGE_OPS = 12
+
+#: flight-table bytes streamed per sweep (x, y, dx, dy, alt as float64).
+SWEEP_BYTES_PER_AIRCRAFT = 40
+
+#: aggregate per-SM texture cache modelled for the CC 1.x card (no L2).
+_TEXTURE_CACHE_FALLBACK = 128 * 1024
+
+
+def _in_band_per_aircraft(alt: np.ndarray) -> np.ndarray:
+    """Per-aircraft count of others inside the 1000 ft band (sorted scan)."""
+    order = np.sort(alt)
+    lo = np.searchsorted(order, alt - C.ALTITUDE_SEPARATION_FT, side="left")
+    hi = np.searchsorted(order, alt + C.ALTITUDE_SEPARATION_FT, side="right")
+    return (hi - lo - 1).astype(np.float64)
+
+
+def altitude_pass_counts(ledger: WarpLedger, alt: np.ndarray) -> np.ndarray:
+    """Per-warp count of sweep iterations entering the deep path.
+
+    Iteration ``p`` of warp ``w`` takes the interval-math path when any
+    lane of ``w`` holds an aircraft within 1000 ft of aircraft ``p``.
+    Computed exactly, in chunks, from the altitude column.
+    """
+    n = alt.shape[0]
+    padded = np.zeros(ledger.config.padded_threads, dtype=np.float64)
+    padded[:n] = alt
+    lanes = padded.reshape(ledger.n_warps, -1)
+    lane_valid = ledger.full_mask().reshape(ledger.n_warps, -1)
+
+    counts = np.zeros(ledger.n_warps, dtype=np.int64)
+    chunk = max(1, 2**22 // max(ledger.config.padded_threads, 1))
+    for lo in range(0, n, chunk):
+        hi = min(lo + chunk, n)
+        near = (
+            np.abs(lanes[:, :, None] - alt[None, None, lo:hi])
+            < C.ALTITUDE_SEPARATION_FT
+        ) & lane_valid[:, :, None]
+        counts += near.any(axis=1).sum(axis=1)
+    return counts
+
+
+def charge_check_collision(
+    device: DeviceProperties,
+    fleet: FleetState,
+    det: DetectionStats,
+    res: ResolutionStats,
+    block_size: int = PAPER_BLOCK_SIZE,
+) -> KernelTiming:
+    """Modelled cost of one fused Task-2+3 kernel launch.
+
+    ``det``/``res`` are the dynamic statistics of the reference run on
+    this fleet (they provide trip counts the hardware would discover at
+    run time).
+    """
+    n = fleet.n
+    config = LaunchConfig.for_problem(n, device, block_size)
+    ledger = WarpLedger(device, config)
+
+    # Per-warp sweep multiplier: 1 base detection sweep + the re-sweeps
+    # of the slowest resolving lane.
+    attempts = res.attempts if res.attempts.shape[0] == n else np.zeros(n, np.int64)
+    sweeps = 1.0 + ledger.warp_values(attempts, "max")
+
+    # Prologue: own record + flag init.
+    ledger.charge_contiguous_access(5)  # x, y, dx, dy, alt
+    ledger.charge_issue(EDGE_OPS)
+
+    # Sweep body.  Every iteration pays the loop + altitude gate (the
+    # alt[p] broadcast is cache-served).  Deep-path (interval-math)
+    # charging distinguishes the two sweep generations:
+    #
+    # * the first detection sweep runs with all lanes live, so a warp
+    #   takes the deep path whenever *any* lane is in-band with p;
+    # * re-sweeps run with only the still-resolving lanes live (the
+    #   paper's loop-reset re-executes per thread), so each attempt adds
+    #   deep iterations equal to *that aircraft's* in-band count.
+    ledger.charge_issue_per_warp(sweeps * n * ITER_OPS)
+    ledger.charge_issue_per_warp(sweeps * n)  # uniform alt[p] load issue
+
+    deep_ops = INTERVAL_OPS + 4  # interval math + the 4 uniform loads
+    deep_first = altitude_pass_counts(ledger, fleet.alt).astype(np.float64)
+    band = _in_band_per_aircraft(fleet.alt)
+    deep_resweep = ledger.warp_values(attempts * band, "sum")
+    for deep in (deep_first, deep_resweep):
+        ledger.charge_issue_per_warp(deep * deep_ops)
+        ledger.charge_issue_per_warp(
+            deep * INTERVAL_DIVS * device.special_op_factor
+        )
+
+    crit = det.critical_per_aircraft
+    if crit is not None and crit.shape[0] == n:
+        ledger.charge_issue_per_warp(
+            ledger.warp_values(crit, "sum") * CRITICAL_OPS
+        )
+
+    # Manoeuvre cost per attempted trial, charged where it happened.
+    trial_per_warp = ledger.warp_values(attempts, "sum")
+    ledger.charge_issue_per_warp(trial_per_warp * TRIAL_OPS)
+    ledger.charge_issue_per_warp(
+        trial_per_warp * TRIAL_SPECIALS * device.special_op_factor
+    )
+
+    # Epilogue: commit the (possibly new) path and collision flags.
+    ledger.charge_contiguous_access(4)  # dx, dy, batdx, batdy
+    ledger.charge_contiguous_access(2, itemsize=1)  # col + bookkeeping
+    ledger.charge_issue(EDGE_OPS)
+
+    # DRAM traffic: the flight table streams once per sweep generation;
+    # when it fits in cache the re-sweeps are cache-resident.
+    table_bytes = n * SWEEP_BYTES_PER_AIRCRAFT
+    cache = device.l2_bytes if device.l2_bytes > 0 else _TEXTURE_CACHE_FALLBACK
+    cold_passes = max(1.0, table_bytes / cache)
+    mean_sweeps = 1.0 + (attempts.mean() if n else 0.0)
+    ledger.charge_stream(table_bytes, passes=cold_passes * mean_sweeps)
+
+    return kernel_timing("CheckCollisionPath", device, config, ledger)
+
+
+#: bytes of shared memory per tiled aircraft (x, y, dx, dy, alt).
+_TILE_BYTES_PER_AIRCRAFT = SWEEP_BYTES_PER_AIRCRAFT
+
+#: issue cost per tile: cooperative loads + two __syncthreads.
+_TILE_LOAD_OPS = 10
+_TILE_SYNC_OPS = 4
+
+
+def charge_check_collision_tiled(
+    device: DeviceProperties,
+    fleet: FleetState,
+    det: DetectionStats,
+    res: ResolutionStats,
+    block_size: int = PAPER_BLOCK_SIZE,
+) -> KernelTiming:
+    """The *rejected* design: a shared-memory tiled collision kernel.
+
+    The paper keeps everything in global memory — "the program uses
+    global memory and is not restricted by shared memory size, which is
+    what makes it compatible on the old and new architecture".  This
+    variant models the textbook alternative: each block stages the
+    flight table through shared-memory tiles of ``block_size`` aircraft.
+
+    What the model shows (the ablation's point):
+
+    * every block must stream the whole table itself — DRAM traffic is
+      ``n_blocks x table`` instead of one cached pass, which is *worse*
+      than the global+cache design everywhere the caches work;
+    * the tile buffer costs occupancy, squeezing the CC 1.x card's
+      16 KiB of shared memory hardest;
+    * per-tile cooperative loads and barriers add issue overhead.
+    """
+    n = fleet.n
+    config = LaunchConfig.for_problem(n, device, block_size)
+    ledger = WarpLedger(device, config)
+    smem_per_block = block_size * _TILE_BYTES_PER_AIRCRAFT
+
+    attempts = res.attempts if res.attempts.shape[0] == n else np.zeros(n, np.int64)
+    sweeps = 1.0 + ledger.warp_values(attempts, "max")
+    n_tiles = -(-n // block_size)
+
+    # Prologue/epilogue identical to the global-memory kernel.
+    ledger.charge_contiguous_access(5)
+    ledger.charge_issue(EDGE_OPS)
+
+    # Tile machinery: cooperative load + barriers, every tile, every sweep.
+    ledger.charge_issue_per_warp(
+        sweeps * n_tiles * (_TILE_LOAD_OPS + _TILE_SYNC_OPS)
+    )
+
+    # Sweep body: same compute as the global kernel, but the alt[p]
+    # reads now come from shared memory (still one issue each).
+    ledger.charge_issue_per_warp(sweeps * n * ITER_OPS)
+    ledger.charge_issue_per_warp(sweeps * n)
+
+    deep_ops = INTERVAL_OPS + 4
+    deep_first = altitude_pass_counts(ledger, fleet.alt).astype(np.float64)
+    band = _in_band_per_aircraft(fleet.alt)
+    deep_resweep = ledger.warp_values(attempts * band, "sum")
+    for deep in (deep_first, deep_resweep):
+        ledger.charge_issue_per_warp(deep * deep_ops)
+        ledger.charge_issue_per_warp(deep * INTERVAL_DIVS * device.special_op_factor)
+
+    crit = det.critical_per_aircraft
+    if crit is not None and crit.shape[0] == n:
+        ledger.charge_issue_per_warp(ledger.warp_values(crit, "sum") * CRITICAL_OPS)
+    trial_per_warp = ledger.warp_values(attempts, "sum")
+    ledger.charge_issue_per_warp(trial_per_warp * TRIAL_OPS)
+    ledger.charge_issue_per_warp(
+        trial_per_warp * TRIAL_SPECIALS * device.special_op_factor
+    )
+
+    ledger.charge_contiguous_access(4)
+    ledger.charge_contiguous_access(2, itemsize=1)
+    ledger.charge_issue(EDGE_OPS)
+
+    # DRAM traffic: every block streams the whole table per sweep
+    # generation — shared memory cannot be shared *across* blocks.
+    table_bytes = n * SWEEP_BYTES_PER_AIRCRAFT
+    mean_sweeps = 1.0 + (attempts.mean() if n else 0.0)
+    ledger.charge_stream(table_bytes, passes=config.n_blocks * mean_sweeps)
+
+    return kernel_timing(
+        "CheckCollisionPathTiled",
+        device,
+        config,
+        ledger,
+        smem_per_block=smem_per_block,
+    )

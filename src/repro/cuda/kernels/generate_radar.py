@@ -1,0 +1,63 @@
+"""Cost model of the ``GenerateRadarData`` kernel plus the host shuffle.
+
+One thread per aircraft computes the expected position, adds the noise
+draws and writes its radar report.  The paper then copies the report
+array to the host, applies the fourth-reversal shuffle there, and copies
+it back — the round trip is charged here because it is part of producing
+a frame, even though the whole activity happens *before* each period's
+deadline window opens (Section 4.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..device import DeviceProperties
+from ..execution import WarpLedger
+from ..grid import PAPER_BLOCK_SIZE, LaunchConfig
+from ..memory import TransferModel
+from ..timing import KernelTiming, kernel_timing
+
+__all__ = ["RadarPhaseTiming", "charge_generate_radar"]
+
+#: Noise draws per report (x and y).
+RNG_DRAWS = 2
+OPS_PER_DRAW = 14
+
+#: expected-position adds, noise scaling, bounds handling.
+FIXUP_OPS = 10
+
+#: bytes per radar report moved across PCIe (rx, ry as float64).
+REPORT_BYTES = 16
+
+
+@dataclass(frozen=True)
+class RadarPhaseTiming:
+    """Kernel + host-shuffle round trip for one radar frame."""
+
+    kernel: KernelTiming
+    transfer_seconds: float
+
+    @property
+    def seconds(self) -> float:
+        return self.kernel.seconds + self.transfer_seconds
+
+
+def charge_generate_radar(
+    device: DeviceProperties,
+    n_aircraft: int,
+    n_reports: int,
+    block_size: int = PAPER_BLOCK_SIZE,
+) -> RadarPhaseTiming:
+    """Modelled cost of generating and shuffling one radar frame."""
+    config = LaunchConfig.for_problem(n_aircraft, device, block_size)
+    ledger = WarpLedger(device, config)
+
+    # Load own x, y, dx, dy; compute noise; store rx, ry.
+    ledger.charge_contiguous_access(4)
+    ledger.charge_issue(RNG_DRAWS * OPS_PER_DRAW + FIXUP_OPS)
+    ledger.charge_contiguous_access(2)
+
+    kernel = kernel_timing("GenerateRadarData", device, config, ledger)
+    transfers = TransferModel(device).round_trip_seconds(n_reports * REPORT_BYTES)
+    return RadarPhaseTiming(kernel=kernel, transfer_seconds=transfers)

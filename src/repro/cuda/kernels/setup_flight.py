@@ -1,0 +1,46 @@
+"""Cost model of the ``SetupFlight`` kernel (one thread per aircraft).
+
+Executed once at program start: each thread draws its aircraft's
+position, speed, velocity components and altitude with the counter-based
+generator and writes its own flight record — a perfectly coalesced,
+divergence-free kernel.
+"""
+
+from __future__ import annotations
+
+from ..device import DeviceProperties
+from ..execution import WarpLedger
+from ..grid import PAPER_BLOCK_SIZE, LaunchConfig
+from ..timing import KernelTiming, kernel_timing
+
+__all__ = ["charge_setup_flight"]
+
+#: Independent SplitMix64 draws per aircraft (x, y, 2 signs, speed, dx,
+#: 2 signs, altitude).
+RNG_DRAWS = 9
+
+#: Weighted issue slots per draw: 3 xor-shifts, 2 multiplies, key mixing
+#: and the unit-interval conversion.
+OPS_PER_DRAW = 14
+
+#: Scale/negate/convert arithmetic around the draws.
+FIXUP_OPS = 16
+
+#: Flight-record columns written (x, y, dx, dy, alt, batdx, batdy).
+COLUMNS_WRITTEN = 7
+
+
+def charge_setup_flight(
+    device: DeviceProperties,
+    n: int,
+    block_size: int = PAPER_BLOCK_SIZE,
+) -> KernelTiming:
+    """Modelled cost of initialising ``n`` aircraft on ``device``."""
+    config = LaunchConfig.for_problem(n, device, block_size)
+    ledger = WarpLedger(device, config)
+
+    ledger.charge_issue(RNG_DRAWS * OPS_PER_DRAW + FIXUP_OPS)
+    ledger.charge_issue(1, special=True)  # |dy| = sqrt(S^2 - dx^2)
+    ledger.charge_contiguous_access(COLUMNS_WRITTEN)
+
+    return kernel_timing("SetupFlight", device, config, ledger)

@@ -1,0 +1,148 @@
+"""Cost model of the ``TrackDrone`` kernel (Task 1, Algorithm 1).
+
+Thread assignment follows the paper: thread ``i`` first initialises
+aircraft ``i`` (expected position, ``rMatch`` reset), synchronises, then
+"switches to handling one radar point" — scanning all N aircraft for its
+radar with the 1x1 nm gate, with up to two retry rounds at doubled gate
+sizes for radars still unmatched, and finally the commit scan.
+
+Costs are replayed from the reference execution's dynamic statistics
+(:class:`repro.core.tracking.TrackingStats`):
+
+* every executed round scans all N aircraft, but the ``rMatch[p]`` check
+  is warp-uniform (every thread looks at the same ``p``), so only the
+  ``round_active_planes`` iterations pay the full gate test;
+* rounds 2 and 3 only keep warps alive that still contain an unmatched
+  radar (``round_radar_ids``) — warps whose radars all matched in round
+  1 retire, which is why the retry rounds are nearly free when radar
+  noise is small relative to the gate;
+* match bookkeeping is charged to the warp containing the radar that
+  performed it (``round_candidates_per_radar``);
+* the commit phase re-reads each radar's ``rMatchWith`` and scatters the
+  committed positions — a genuinely uncoalesced store pattern whose cost
+  differs sharply between the CC 1.1 card and the newer ones.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...core import constants as C
+from ...core.tracking import TrackingStats
+from ...core.types import FleetState, RadarFrame
+from ..device import DeviceProperties
+from ..execution import WarpLedger
+from ..grid import PAPER_BLOCK_SIZE, LaunchConfig
+from ..timing import KernelTiming, kernel_timing
+
+__all__ = ["charge_track_drone"]
+
+#: per-iteration loop housekeeping (index increment, bound check, branch).
+LOOP_OPS = 4
+
+#: gate test: two subtractions, two |.|, four compares, two ands.
+GATE_OPS = 10
+
+#: state-machine work per candidate hit (loads, compares, flag writes).
+BOOKKEEPING_OPS = 8
+
+#: per-thread init phase (expected position, rMatch reset).
+INIT_OPS = 8
+
+#: commit-phase per-radar arithmetic.
+COMMIT_OPS = 8
+
+
+def _lane_mask_from_ids(ledger: WarpLedger, ids: np.ndarray) -> np.ndarray:
+    mask = np.zeros(ledger.config.padded_threads, dtype=bool)
+    mask[ids] = True
+    return mask
+
+
+def charge_track_drone(
+    device: DeviceProperties,
+    fleet: FleetState,
+    frame: RadarFrame,
+    stats: TrackingStats,
+    block_size: int = PAPER_BLOCK_SIZE,
+) -> KernelTiming:
+    """Modelled cost of one Task-1 kernel launch.
+
+    ``fleet``/``frame`` must be in their *post-correlation* state and
+    ``stats`` the statistics the reference correlation returned for
+    exactly this (fleet, frame) pair.
+    """
+    n = fleet.n
+    config = LaunchConfig.for_problem(max(n, frame.n), device, block_size)
+    ledger = WarpLedger(device, config)
+
+    aircraft_lanes = np.zeros(config.padded_threads, dtype=bool)
+    aircraft_lanes[:n] = True
+    radar_lanes = np.zeros(config.padded_threads, dtype=bool)
+    radar_lanes[: frame.n] = True
+
+    # --- phase A: per-aircraft init ---------------------------------------
+    ledger.charge_contiguous_access(4, aircraft_lanes)  # x, y, dx, dy
+    ledger.charge_issue(INIT_OPS, aircraft_lanes)
+    ledger.charge_contiguous_access(2, aircraft_lanes)  # expected_x/y stores
+    ledger.charge_contiguous_access(1, aircraft_lanes, itemsize=1)  # rMatch
+    ledger.charge_sync()
+
+    # Cold streaming of the arrays the scan loops consume.
+    ledger.charge_stream(n * (8 + 8 + 1))  # expected_x, expected_y, r_match
+
+    # --- phase B: correlation rounds ---------------------------------------
+    for round_no in range(stats.rounds_executed):
+        active = _lane_mask_from_ids(ledger, stats.round_radar_ids[round_no])
+        # Own radar report for the scan.
+        ledger.charge_contiguous_access(2, active)  # rx, ry
+        # Full sweep over all aircraft: loop + the warp-uniform
+        # rMatch[p] check each iteration.
+        ledger.charge_issue(LOOP_OPS * n, active)
+        ledger.charge_uniform_load(n, active)
+        # Only still-unmatched planes pay the gate test.
+        live_planes = stats.round_active_planes[round_no]
+        ledger.charge_uniform_load(2 * live_planes, active)  # ex[p], ey[p]
+        ledger.charge_issue(GATE_OPS * live_planes, active)
+        # Match bookkeeping where the hits happened.
+        cand = stats.round_candidates_per_radar[round_no]
+        per_lane = np.zeros(config.padded_threads, dtype=np.float64)
+        per_lane[: cand.shape[0]] = cand
+        ledger.charge_issue_per_warp(
+            ledger.warp_values(per_lane, "sum") * BOOKKEEPING_OPS
+        )
+
+    # --- phase C: commit ----------------------------------------------------
+    ledger.charge_contiguous_access(3, radar_lanes)  # match_with, rx, ry
+    ledger.charge_issue(COMMIT_OPS, radar_lanes)
+
+    valid = frame.match_with >= 0
+    if np.any(valid):
+        idx = np.clip(frame.match_with, 0, n - 1)
+        valid_lanes = np.zeros(config.padded_threads, dtype=bool)
+        valid_lanes[: frame.n] = valid
+        # Read the matched aircraft's state (scattered gather).
+        ledger.charge_gather(
+            np.pad(idx, (0, config.padded_threads - idx.shape[0])),
+            valid_lanes,
+            repeats=2,  # r_match[p], matched_radar[p]
+        )
+        committed = valid.copy()
+        planes = frame.match_with[valid]
+        committed[valid] = (fleet.r_match[planes] == C.MATCHED_ONCE) & (
+            fleet.matched_radar[planes] == np.nonzero(valid)[0]
+        )
+        commit_lanes = np.zeros(config.padded_threads, dtype=bool)
+        commit_lanes[: frame.n] = committed
+        if np.any(committed):
+            # Scatter the committed positions (x[p], y[p] stores).
+            ledger.charge_gather(
+                np.pad(idx, (0, config.padded_threads - idx.shape[0])),
+                commit_lanes,
+                repeats=2,
+            )
+
+    # Uncommitted aircraft take their expected position (coalesced).
+    ledger.charge_contiguous_access(2, aircraft_lanes)
+
+    return kernel_timing("TrackDrone", device, config, ledger)

@@ -1,0 +1,118 @@
+"""Host<->device transfer model and global-memory coalescing analysis.
+
+Transfers
+---------
+A PCIe copy of ``b`` bytes costs ``latency + b / bandwidth``.  The ATM
+program copies the radar array device->host and back every period (the
+fourth-reversal shuffle runs on the host — Section 4.1) and the full
+drone struct at program start; the fused CheckCollisionPath kernel exists
+precisely to avoid extra mid-cycle copies (Section 4).
+
+Coalescing
+----------
+When a warp issues a load/store, the hardware merges the 32 lane
+addresses into memory transactions of ``mem_segment_bytes`` each:
+
+* CC >= 2.0: the transaction count is the number of *distinct* segments
+  touched by active lanes (order and alignment within the segment do not
+  matter);
+* CC 1.x (``strict_coalescing``): coalescing is evaluated per half-warp
+  and requires lane k to hit word k of an aligned segment; any deviation
+  serializes the half-warp into one transaction per active lane.  This is
+  why the 9800 GT pays so much more for the shuffled radar gathers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .device import WARP_SIZE, DeviceProperties
+
+__all__ = ["TransferModel", "transaction_count"]
+
+
+@dataclass(frozen=True)
+class TransferModel:
+    """PCIe copy cost model for one device."""
+
+    device: DeviceProperties
+
+    def copy_seconds(self, n_bytes: int) -> float:
+        """Time to copy ``n_bytes`` one way across PCIe."""
+        if n_bytes < 0:
+            raise ValueError("negative transfer size")
+        if n_bytes == 0:
+            return 0.0
+        return self.device.pcie_latency_s + n_bytes / (
+            self.device.pcie_bandwidth_gbs * 1e9
+        )
+
+    def round_trip_seconds(self, n_bytes: int) -> float:
+        """Device->host + host->device of the same payload."""
+        return 2.0 * self.copy_seconds(n_bytes)
+
+
+def transaction_count(
+    device: DeviceProperties,
+    byte_offsets: np.ndarray,
+    active: np.ndarray,
+    itemsize: int,
+) -> np.ndarray:
+    """Memory transactions per warp for one warp-wide access.
+
+    Parameters
+    ----------
+    device:
+        Coalescing rules come from ``mem_segment_bytes`` and
+        ``strict_coalescing``.
+    byte_offsets:
+        (n_warps, WARP_SIZE) array of byte addresses relative to the
+        allocation base (any consistent base works — only segment
+        membership matters).
+    active:
+        (n_warps, WARP_SIZE) bool lane mask.
+    itemsize:
+        element size in bytes (4 or 8 in this code base).
+
+    Returns
+    -------
+    (n_warps,) int array of transactions issued by each warp (0 for
+    fully-inactive warps).
+    """
+    if byte_offsets.shape != active.shape or byte_offsets.shape[1] != WARP_SIZE:
+        raise ValueError("byte_offsets/active must be (n_warps, 32)")
+
+    seg = device.mem_segment_bytes
+    segments = byte_offsets // seg
+
+    if not device.strict_coalescing:
+        # Fermi+ rule: distinct 128B segments per warp.  Sorting each
+        # row lets us count distinct values among active lanes.
+        big = np.where(active, segments, np.int64(np.iinfo(np.int64).max))
+        big.sort(axis=1)
+        distinct = np.ones(big.shape, dtype=bool)
+        distinct[:, 1:] = big[:, 1:] != big[:, :-1]
+        lanes_active = active.any(axis=1)
+        counts = (distinct & (big != np.iinfo(np.int64).max)).sum(axis=1)
+        return np.where(lanes_active, counts, 0).astype(np.int64)
+
+    # CC 1.x rule, per half-warp: perfectly sequential & aligned access
+    # coalesces into one transaction; anything else serializes.
+    n_warps = byte_offsets.shape[0]
+    counts = np.zeros(n_warps, dtype=np.int64)
+    half = WARP_SIZE // 2
+    for start in (0, half):
+        off = byte_offsets[:, start : start + half]
+        act = active[:, start : start + half]
+        any_active = act.any(axis=1)
+        lane = np.arange(half, dtype=np.int64) * itemsize
+        base = off[:, :1]
+        sequential = ((off - base) == lane[None, :]) | ~act
+        aligned = (base[:, 0] % seg) == 0
+        coalesced = sequential.all(axis=1) & aligned & any_active
+        serial = any_active & ~coalesced
+        counts += np.where(coalesced, 1, 0)
+        counts += np.where(serial, act.sum(axis=1), 0)
+    return counts

@@ -1,0 +1,81 @@
+"""Occupancy: how many blocks/warps fit on an SM at once.
+
+The ATM kernels use global memory only ("the program uses global memory
+and is not restricted by shared memory size" — Section 5), so occupancy
+here is limited by the three hardware ceilings: threads/SM, blocks/SM and
+warps/SM.  Register pressure is folded into an optional
+``regs_per_thread`` argument for ablation studies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .device import WARP_SIZE, DeviceProperties
+from .grid import LaunchConfig
+
+__all__ = ["Occupancy", "compute_occupancy"]
+
+
+@dataclass(frozen=True)
+class Occupancy:
+    """Resolved occupancy of one kernel launch on one device."""
+
+    #: blocks resident per SM.
+    blocks_per_sm: int
+    #: warps resident per SM.
+    warps_per_sm: int
+    #: blocks the whole device can run concurrently.
+    concurrent_blocks: int
+    #: number of scheduling waves needed for the launch.
+    waves: int
+    #: fraction of the device's warp slots occupied (0..1].
+    occupancy_fraction: float
+
+
+def compute_occupancy(
+    device: DeviceProperties,
+    config: LaunchConfig,
+    *,
+    regs_per_thread: int = 32,
+    regs_per_sm: int = 65536,
+    smem_per_block: int = 0,
+) -> Occupancy:
+    """Resolve how the launch packs onto the device.
+
+    Mirrors the CUDA occupancy calculator: the binding limits are
+    threads/SM, blocks/SM, registers and — for tiled kernels —
+    shared memory per block (the paper's kernels use none, which is
+    what keeps them portable across compute capabilities).
+    """
+    if regs_per_thread <= 0:
+        raise ValueError("registers per thread must be positive")
+    if smem_per_block < 0:
+        raise ValueError("shared memory per block cannot be negative")
+    if smem_per_block > device.smem_per_sm_bytes:
+        raise ValueError(
+            f"block needs {smem_per_block} B shared memory; the SM has "
+            f"{device.smem_per_sm_bytes} B"
+        )
+
+    by_threads = device.max_threads_per_sm // config.block_size
+    by_blocks = device.max_blocks_per_sm
+    by_regs = regs_per_sm // (regs_per_thread * config.block_size)
+    limits = [by_threads, by_blocks, by_regs]
+    if smem_per_block > 0:
+        limits.append(device.smem_per_sm_bytes // smem_per_block)
+    blocks_per_sm = max(1, min(limits))
+
+    warps_per_sm = blocks_per_sm * config.warps_per_block
+    concurrent = blocks_per_sm * device.sm_count
+    waves = -(-config.n_blocks // concurrent)  # ceil division
+    fraction = min(
+        1.0, warps_per_sm / (device.max_threads_per_sm / WARP_SIZE)
+    )
+    return Occupancy(
+        blocks_per_sm=blocks_per_sm,
+        warps_per_sm=warps_per_sm,
+        concurrent_blocks=concurrent,
+        waves=waves,
+        occupancy_fraction=fraction,
+    )

@@ -1,0 +1,130 @@
+"""Assemble a kernel's modelled execution time from a warp ledger.
+
+Roofline-style model with explicit scheduling waves:
+
+* **compute time** — total weighted warp-instruction issues, spread over
+  the device's FP32 lanes at the core clock, rounded up to whole
+  scheduling waves (a partially-filled last wave still occupies its SMs
+  for a full block's worth of cycles — this is the source of the small
+  super-linear "staircase" the paper's near-linear curves show);
+* **bandwidth time** — total bytes over peak DRAM bandwidth;
+* **latency time** — total transactions times DRAM latency, divided by
+  the latency-hiding parallelism (resident warps x memory-level
+  parallelism);
+* the kernel busy time is the max of the three (overlap assumption), and
+  every launch pays the fixed driver overhead.
+
+All quantities are deterministic functions of the ledger and the device
+table — running the same input twice gives bit-identical times, which is
+the determinism property the paper measures for CUDA.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.types import TimingBreakdown
+from .device import WARP_SIZE, DeviceProperties
+from .execution import WarpLedger
+from .grid import LaunchConfig
+from .occupancy import Occupancy, compute_occupancy
+
+__all__ = ["KernelTiming", "kernel_timing"]
+
+#: Assumed outstanding memory requests per warp (memory-level
+#: parallelism) when computing latency hiding.
+_MLP = 4.0
+
+
+@dataclass(frozen=True)
+class KernelTiming:
+    """Modelled execution time of one kernel launch."""
+
+    kernel: str
+    device: str
+    seconds: float
+    compute_seconds: float
+    bandwidth_seconds: float
+    latency_seconds: float
+    launch_seconds: float
+    occupancy: Occupancy
+    issue_total: float
+    transactions_total: float
+    bytes_total: float
+
+    @property
+    def bound(self) -> str:
+        """Which roofline term dominates this launch."""
+        terms = {
+            "compute": self.compute_seconds,
+            "bandwidth": self.bandwidth_seconds,
+            "latency": self.latency_seconds,
+        }
+        return max(terms, key=terms.get)
+
+    def breakdown(self) -> TimingBreakdown:
+        """Map the roofline terms onto the shared breakdown format.
+
+        The dominant term is charged as busy time; the launch overhead is
+        `overhead`.  Components sum to ``seconds``.
+        """
+        busy = self.seconds - self.launch_seconds
+        if self.bound == "compute":
+            return TimingBreakdown(compute=busy, overhead=self.launch_seconds)
+        return TimingBreakdown(memory=busy, overhead=self.launch_seconds)
+
+
+def kernel_timing(
+    name: str,
+    device: DeviceProperties,
+    config: LaunchConfig,
+    ledger: WarpLedger,
+    *,
+    smem_per_block: int = 0,
+) -> KernelTiming:
+    """Convert accumulated warp costs into seconds on ``device``."""
+    occ = compute_occupancy(device, config, smem_per_block=smem_per_block)
+    totals = ledger.totals()
+    clock_hz = device.core_clock_ghz * 1e9
+
+    # --- compute term, wave by wave --------------------------------------
+    # Lane-cycles: each warp instruction occupies 32 lanes for one lane-
+    # cycle each.  Blocks are near-uniform, so per-block cycles are the
+    # mean; full waves run blocks_per_sm blocks back to back on each SM,
+    # the final partial wave runs however many blocks landed on the
+    # busiest SM.
+    n_blocks = config.n_blocks
+    lane_cycles_total = totals.issue * WARP_SIZE
+    lane_cycles_per_block = lane_cycles_total / n_blocks
+    sm_cycles_per_block = lane_cycles_per_block / device.cores_per_sm
+
+    full_waves, remainder = divmod(n_blocks, occ.concurrent_blocks)
+    blocks_on_busiest_sm = full_waves * occ.blocks_per_sm
+    if remainder:
+        blocks_on_busiest_sm += -(-remainder // device.sm_count)
+    compute_seconds = blocks_on_busiest_sm * sm_cycles_per_block / clock_hz
+
+    # --- bandwidth term ---------------------------------------------------
+    bandwidth_seconds = totals.bytes / (device.mem_bandwidth_gbs * 1e9)
+
+    # --- latency term -----------------------------------------------------
+    resident_warps = occ.warps_per_sm * device.sm_count
+    hiding = max(1.0, resident_warps * _MLP)
+    latency_seconds = (
+        totals.transactions * device.dram_latency_cycles / clock_hz / hiding
+    )
+
+    busy = max(compute_seconds, bandwidth_seconds, latency_seconds)
+    return KernelTiming(
+        kernel=name,
+        device=device.key,
+        seconds=device.kernel_launch_s + busy,
+        compute_seconds=compute_seconds,
+        bandwidth_seconds=bandwidth_seconds,
+        latency_seconds=latency_seconds,
+        launch_seconds=device.kernel_launch_s,
+        occupancy=occ,
+        issue_total=totals.issue,
+        transactions_total=totals.transactions,
+        bytes_total=totals.bytes,
+    )

@@ -1,0 +1,133 @@
+"""Automatic Voice Advisory (AVA): the rate-limited controller channel.
+
+The Goodyear ATC software included an automatic voice advisory function:
+the system itself speaks to aircraft.  A voice channel is a serial
+resource — one advisory takes seconds of air time — so advisories queue
+by priority, age while they wait, and stale ones are dropped.  The
+channel model here issues a fixed number of advisory slots per major
+cycle and reports queueing statistics; collision, terrain and approach
+passes feed it.
+"""
+
+from __future__ import annotations
+
+import enum
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+__all__ = ["AdvisoryKind", "Advisory", "AdvisoryChannel", "AdvisoryStats"]
+
+
+class AdvisoryKind(enum.IntEnum):
+    """Advisory categories, ordered by urgency (lower = more urgent)."""
+
+    COLLISION = 0
+    TERRAIN = 1
+    APPROACH = 2
+
+
+@dataclass(frozen=True)
+class Advisory:
+    """One message for one aircraft."""
+
+    kind: AdvisoryKind
+    aircraft: int
+    #: free-form payload, e.g. the commanded altitude or speed.
+    payload: float
+    #: major-cycle index at which the advisory was generated.
+    issued_cycle: int
+
+
+@dataclass
+class AdvisoryStats:
+    """Channel statistics for one major cycle."""
+
+    queued: int = 0
+    uttered: int = 0
+    dropped_stale: int = 0
+    backlog: int = 0
+    #: worst queueing delay among uttered advisories, in major cycles.
+    max_delay_cycles: int = 0
+    uttered_by_kind: dict = field(default_factory=dict)
+
+
+class AdvisoryChannel:
+    """A priority-queued voice channel with bounded rate and freshness.
+
+    Parameters
+    ----------
+    slots_per_cycle:
+        Advisories the channel can speak per 8-second major cycle (a
+        ~2-second transmission each leaves ~4 slots).
+    max_age_cycles:
+        Advisories older than this are dropped unspoken — a stale
+        "climb" call is worse than none (the next pass reissues a
+        current one).
+    """
+
+    def __init__(self, slots_per_cycle: int = 4, max_age_cycles: int = 2) -> None:
+        if slots_per_cycle < 1:
+            raise ValueError("need at least one voice slot per cycle")
+        if max_age_cycles < 1:
+            raise ValueError("advisories must live at least one cycle")
+        self.slots_per_cycle = slots_per_cycle
+        self.max_age_cycles = max_age_cycles
+        self._heap: List[tuple] = []
+        self._tiebreak = itertools.count()
+
+    # ------------------------------------------------------------------
+
+    def submit(self, advisory: Advisory) -> None:
+        """Queue one advisory (priority: urgency, then age)."""
+        heapq.heappush(
+            self._heap,
+            (
+                int(advisory.kind),
+                advisory.issued_cycle,
+                next(self._tiebreak),
+                advisory,
+            ),
+        )
+
+    def submit_many(self, advisories) -> int:
+        count = 0
+        for adv in advisories:
+            self.submit(adv)
+            count += 1
+        return count
+
+    @property
+    def backlog(self) -> int:
+        return len(self._heap)
+
+    def service_cycle(self, current_cycle: int) -> AdvisoryStats:
+        """Speak up to ``slots_per_cycle`` advisories; drop stale ones."""
+        stats = AdvisoryStats(queued=len(self._heap))
+        spoken = 0
+        while self._heap and spoken < self.slots_per_cycle:
+            _, issued, _, adv = heapq.heappop(self._heap)
+            age = current_cycle - issued
+            if age > self.max_age_cycles:
+                stats.dropped_stale += 1
+                continue
+            spoken += 1
+            stats.uttered += 1
+            stats.max_delay_cycles = max(stats.max_delay_cycles, age)
+            stats.uttered_by_kind[adv.kind.name] = (
+                stats.uttered_by_kind.get(adv.kind.name, 0) + 1
+            )
+        # Purge anything left that is already stale, so the backlog
+        # number reflects actionable messages only.
+        fresh: List[tuple] = []
+        while self._heap:
+            item = heapq.heappop(self._heap)
+            if current_cycle - item[1] > self.max_age_cycles:
+                stats.dropped_stale += 1
+            else:
+                fresh.append(item)
+        for item in fresh:
+            heapq.heappush(self._heap, item)
+        stats.backlog = len(self._heap)
+        return stats

@@ -1,0 +1,132 @@
+"""Final approach spacing: in-trail separation on the landing corridor.
+
+The STARAN ATC software sequenced final approach as one of its periodic
+tasks [13].  This module models a single runway with a straight approach
+corridor: aircraft inside the corridor and below the feeder altitude are
+ordered by distance to threshold, and any follower closer than the
+required in-trail separation to its leader receives a *speed advisory*
+(a bounded speed reduction, applied immediately to the velocity vector;
+heading is unchanged).
+
+Thread-per-aircraft classification is data parallel; the sequencing tail
+is a sort plus a short serial pass over the (small) approach queue —
+again the structure the cost adapters replay.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+import numpy as np
+
+from ..core import constants as C
+from ..core.types import FleetState
+
+__all__ = ["Runway", "ApproachStats", "sequence_approach"]
+
+#: Required in-trail separation on final, nm.
+IN_TRAIL_SEPARATION_NM: float = 3.0
+
+#: Speed reduction per advisory (fraction of current speed).
+SPEED_REDUCTION: float = 0.10
+
+#: Slowest speed an advisory may command, nm/period.
+MIN_APPROACH_SPEED: float = 80.0 / C.PERIODS_PER_HOUR
+
+
+@dataclass(frozen=True)
+class Runway:
+    """A runway threshold with a straight approach corridor."""
+
+    #: threshold position, nm.
+    x: float = -40.0
+    y: float = -20.0
+    #: approach course *toward* the threshold, degrees from +x axis
+    #: (aircraft on approach fly roughly this heading).
+    course_deg: float = 0.0
+    #: corridor length from the threshold backwards, nm.
+    length_nm: float = 40.0
+    #: corridor half-width, nm.
+    half_width_nm: float = 4.0
+    #: aircraft above this altitude are not considered on approach.
+    feeder_altitude_ft: float = 8000.0
+
+    def corridor_coordinates(self, x, y):
+        """(along, across) corridor coordinates of airfield points.
+
+        ``along`` is distance from the threshold measured *against* the
+        approach course (an aircraft 10 nm out has along = 10); positive
+        ``across`` is left of course.
+        """
+        theta = np.deg2rad(self.course_deg)
+        ux, uy = np.cos(theta), np.sin(theta)
+        rx = np.asarray(x, dtype=np.float64) - self.x
+        ry = np.asarray(y, dtype=np.float64) - self.y
+        along = -(rx * ux + ry * uy)
+        across = -rx * uy + ry * ux
+        return along, across
+
+    def on_approach(self, fleet: FleetState) -> np.ndarray:
+        """Mask of aircraft inside the corridor, inbound and low enough."""
+        along, across = self.corridor_coordinates(fleet.x, fleet.y)
+        theta = np.deg2rad(self.course_deg)
+        inbound = (fleet.dx * np.cos(theta) + fleet.dy * np.sin(theta)) > 0
+        return (
+            (along > 0.0)
+            & (along <= self.length_nm)
+            & (np.abs(across) <= self.half_width_nm)
+            & (fleet.alt <= self.feeder_altitude_ft)
+            & inbound
+        )
+
+
+@dataclass
+class ApproachStats:
+    """Dynamic counts from one approach-sequencing pass."""
+
+    #: aircraft inside the corridor this pass.
+    on_approach: int = 0
+    #: follower/leader pairs violating in-trail separation.
+    violations: int = 0
+    #: speed advisories issued (== violations, capped by the floor).
+    advisories: int = 0
+    #: sequenced aircraft ids, nearest the threshold first.
+    sequence: List[int] = field(default_factory=list)
+    #: advisory payloads (aircraft id, new speed knots) for the AVA task.
+    advisory_targets: List[tuple] = field(default_factory=list)
+
+
+def sequence_approach(fleet: FleetState, runway: Runway) -> ApproachStats:
+    """Run one final-approach spacing pass, mutating follower speeds."""
+    stats = ApproachStats()
+    mask = runway.on_approach(fleet)
+    ids = np.nonzero(mask)[0]
+    stats.on_approach = int(ids.size)
+    if ids.size < 2:
+        stats.sequence = [int(i) for i in ids]
+        return stats
+
+    along, _ = runway.corridor_coordinates(fleet.x[ids], fleet.y[ids])
+    order = np.argsort(along, kind="stable")
+    seq = ids[order]
+    stats.sequence = [int(i) for i in seq]
+    gaps = np.diff(along[order])
+
+    for k in np.nonzero(gaps < IN_TRAIL_SEPARATION_NM)[0]:
+        follower = int(seq[k + 1])
+        stats.violations += 1
+        speed = float(np.hypot(fleet.dx[follower], fleet.dy[follower]))
+        if speed <= MIN_APPROACH_SPEED:
+            continue  # already at the command floor
+        new_speed = max(speed * (1.0 - SPEED_REDUCTION), MIN_APPROACH_SPEED)
+        factor = new_speed / speed
+        fleet.dx[follower] *= factor
+        fleet.dy[follower] *= factor
+        fleet.batdx[follower] = fleet.dx[follower]
+        fleet.batdy[follower] = fleet.dy[follower]
+        stats.advisories += 1
+        stats.advisory_targets.append(
+            (follower, new_speed * C.PERIODS_PER_HOUR)
+        )
+    return stats

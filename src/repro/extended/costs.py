@@ -1,0 +1,367 @@
+"""Per-platform timing adapters for the extended ATM tasks.
+
+The core backends time Tasks 1-3 with their machine models; the extended
+tasks (terrain avoidance, final approach, voice advisory) reuse exactly
+the same machinery — warp ledgers, PE arrays, associative primitives,
+work-queue chunks — via the adapters below, dispatched on the backend
+type.  Every adapter charges the same algorithmic structure:
+
+* terrain avoidance — data-parallel over aircraft: ``samples`` path
+  points, each a position advance plus a bilinear elevation fetch, then
+  a clearance compare; a small serial tail per violation;
+* final approach — data-parallel corridor classification, then a serial
+  sequencing pass over the (small) approach queue;
+* voice advisory — an inherently serial channel: constant per-cycle
+  service plus per-advisory work.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+from ..ap.backend import ApBackend
+from ..ap.primitives import AssociativeArray
+from ..backends.base import Backend
+from ..core.types import TaskTiming, TimingBreakdown
+from ..cuda.backend import CudaBackend
+from ..cuda.execution import WarpLedger
+from ..cuda.grid import LaunchConfig
+from ..cuda.timing import kernel_timing
+from ..mimd.backend import MimdBackend
+from ..mimd.events import WorkChunk, simulate_work_queue
+from ..simd.backend import SimdBackend
+from ..simd.instructions import Op
+from ..simd.pe_array import PEArray
+from .advisory import AdvisoryStats
+from .approach import ApproachStats
+from .display import DisplayStats
+from .terrain_avoidance import TerrainStats
+
+__all__ = ["terrain_timing", "approach_timing", "advisory_timing", "display_timing"]
+
+# algorithmic op counts (simple-op equivalents, shared by all adapters)
+_TA_OPS_PER_SAMPLE = 18  # advance, grid coords, bilinear blend, compare
+_TA_FETCHES_PER_SAMPLE = 4  # the four lattice corners
+_TA_VIOLATION_OPS = 12
+_AP_CLASSIFY_OPS = 20  # corridor transform + window tests
+_AP_SEQUENCE_OPS = 30  # per queued aircraft: gap check + advisory math
+_AVA_BASE_OPS = 200  # channel bookkeeping per service
+_AVA_PER_MESSAGE_OPS = 120
+
+#: nominal sequential rate for the reference adapter (matches
+#: repro.backends.reference).
+_REF_SECONDS_PER_OP = 1e-9
+
+
+def _timing(task: str, backend: Backend, n: int, seconds: float, stats: dict) -> TaskTiming:
+    return TaskTiming(
+        task=task,
+        platform=backend.name,
+        n_aircraft=n,
+        seconds=seconds,
+        breakdown=TimingBreakdown(compute=seconds),
+        stats=stats,
+    )
+
+
+# ---------------------------------------------------------------------------
+# terrain avoidance
+# ---------------------------------------------------------------------------
+
+
+def terrain_timing(backend: Backend, n: int, stats: TerrainStats) -> TaskTiming:
+    """Modelled time of one terrain-avoidance pass on ``backend``."""
+    samples = stats.samples_per_aircraft
+    info = {
+        "violations": stats.violations,
+        "advisories": stats.advisories,
+        "samples": samples,
+    }
+
+    if isinstance(backend, CudaBackend):
+        device = backend.device
+        config = LaunchConfig.for_problem(n, device, backend.block_size)
+        ledger = WarpLedger(device, config)
+        ledger.charge_contiguous_access(5)  # x, y, dx, dy, alt
+        ledger.charge_issue(_TA_OPS_PER_SAMPLE * samples)
+        # Bilinear fetches land on scattered grid cells: charge a real
+        # gather using a stride pattern derived from aircraft spread.
+        idx = (np.arange(config.padded_threads, dtype=np.int64) * 257) % (257 * 257)
+        ledger.charge_gather(idx, repeats=_TA_FETCHES_PER_SAMPLE * samples)
+        mask = np.zeros(config.padded_threads, dtype=bool)
+        mask[: stats.violation_mask.shape[0]] = stats.violation_mask
+        if mask.any():
+            ledger.charge_issue(_TA_VIOLATION_OPS, mask)
+            ledger.charge_gather(idx, mask)  # advisory/altitude writes
+        kt = kernel_timing("TerrainAvoidance", device, config, ledger)
+        return TaskTiming(
+            task="terrain",
+            platform=backend.name,
+            n_aircraft=n,
+            seconds=kt.seconds,
+            breakdown=kt.breakdown(),
+            stats={**info, "bound": kt.bound},
+        )
+
+    if isinstance(backend, ApBackend):
+        ap = AssociativeArray(n, backend.config.pes_per_module, backend.config.costs)
+        for _ in range(samples):
+            ap.alu(6)  # path advance + grid coordinates
+            ap.mem(_TA_FETCHES_PER_SAMPLE)  # PE-local terrain tile reads
+            ap.alu(8)  # bilinear blend + running max
+        ap.search(1)  # clearance test, all PEs at once
+        ap.any_responder(1)
+        # Each violator is picked and advised in constant time.
+        for _ in range(stats.violations):
+            ap.pick_one(1)
+            ap.scalar(_TA_VIOLATION_OPS)
+            ap.mem(1)
+        seconds = ap.seconds(backend.config.clock_hz)
+        return _timing("terrain", backend, n, seconds, info)
+
+    if isinstance(backend, SimdBackend):
+        pe = PEArray(backend.config.n_pes, n, backend.config.costs)
+        for _ in range(samples):
+            pe.vector(Op.ALU, 6)
+            pe.vector(Op.MEM, _TA_FETCHES_PER_SAMPLE)
+            pe.vector(Op.ALU, 8)
+        pe.vector(Op.ALU, 2)  # clearance compare
+        pe.reduce(1)  # any violation?
+        pe.scalar(Op.SCALAR, _TA_VIOLATION_OPS * stats.violations)
+        pe.vector(Op.MEM, 1)
+        seconds = pe.seconds(backend.config.clock_hz)
+        return _timing("terrain", backend, n, seconds, info)
+
+    if isinstance(backend, MimdBackend):
+        cfg = backend.config
+        per_aircraft = cfg.op_seconds(_TA_OPS_PER_SAMPLE * samples)
+        chunks = [
+            WorkChunk(
+                per_aircraft
+                + (cfg.op_seconds(_TA_VIOLATION_OPS) if stats.violation_mask[i] else 0.0),
+                # The terrain grid is read-only (no coherence traffic);
+                # only advisory writes lock the shared table.
+                2 * cfg.lock_op_s if stats.violation_mask[i] else 0.0,
+            )
+            for i in range(n)
+        ]
+        run = simulate_work_queue(
+            cfg.n_cores,
+            chunks,
+            pop_cost_s=cfg.queue_pop_s,
+            jitter_sigma=cfg.jitter_sigma,
+            rng=backend._rng,
+        )
+        return _timing("terrain", backend, n, run.makespan_s, info)
+
+    # reference / unknown backends: sequential op count.
+    ops = n * _TA_OPS_PER_SAMPLE * samples + stats.violations * _TA_VIOLATION_OPS
+    return _timing("terrain", backend, n, ops * _REF_SECONDS_PER_OP, info)
+
+
+# ---------------------------------------------------------------------------
+# final approach
+# ---------------------------------------------------------------------------
+
+
+def approach_timing(backend: Backend, n: int, stats: ApproachStats) -> TaskTiming:
+    """Modelled time of one approach-sequencing pass on ``backend``."""
+    m = stats.on_approach
+    info = {
+        "on_approach": m,
+        "violations": stats.violations,
+        "advisories": stats.advisories,
+    }
+
+    if isinstance(backend, CudaBackend):
+        device = backend.device
+        config = LaunchConfig.for_problem(n, device, backend.block_size)
+        ledger = WarpLedger(device, config)
+        ledger.charge_contiguous_access(5)
+        ledger.charge_issue(_AP_CLASSIFY_OPS)
+        # Sequencing is a serial tail: one thread walks the queue
+        # (m log m compare-swaps + per-pair checks) — charge warp 0.
+        serial = np.zeros(config.n_warps)
+        serial[0] = _AP_SEQUENCE_OPS * max(m, 1) * max(np.log2(max(m, 2)), 1.0)
+        ledger.charge_issue_per_warp(serial)
+        kt = kernel_timing("FinalApproach", device, config, ledger)
+        return TaskTiming(
+            task="approach",
+            platform=backend.name,
+            n_aircraft=n,
+            seconds=kt.seconds,
+            breakdown=kt.breakdown(),
+            stats={**info, "bound": kt.bound},
+        )
+
+    if isinstance(backend, ApBackend):
+        ap = AssociativeArray(n, backend.config.pes_per_module, backend.config.costs)
+        ap.broadcast_words(4)  # runway geometry
+        ap.search(4)  # corridor window tests, all PEs at once
+        ap.mask_op(2)
+        # Associative sequencing: extract the queue nearest-first by
+        # repeated global-minimum selection — m constant-time steps.
+        for _ in range(m):
+            ap.global_extremum(1)
+            ap.pick_one(1)
+            ap.scalar(6)
+        ap.scalar(_AP_SEQUENCE_OPS * stats.violations)
+        ap.mem(2)
+        seconds = ap.seconds(backend.config.clock_hz)
+        return _timing("approach", backend, n, seconds, info)
+
+    if isinstance(backend, SimdBackend):
+        pe = PEArray(backend.config.n_pes, n, backend.config.costs)
+        pe.broadcast(4)
+        pe.vector(Op.ALU, _AP_CLASSIFY_OPS)
+        pe.vector(Op.MASK, 2)
+        for _ in range(m):
+            pe.reduce(1)  # global min over corridor distance
+            pe.scalar(Op.SCALAR, 6)
+        pe.scalar(Op.SCALAR, _AP_SEQUENCE_OPS * stats.violations)
+        pe.vector(Op.MEM, 2)
+        seconds = pe.seconds(backend.config.clock_hz)
+        return _timing("approach", backend, n, seconds, info)
+
+    if isinstance(backend, MimdBackend):
+        cfg = backend.config
+        chunks = [WorkChunk(cfg.op_seconds(_AP_CLASSIFY_OPS), 0.0) for _ in range(n)]
+        # Serial sequencing section: one chunk holding the queue lock.
+        chunks.append(
+            WorkChunk(
+                cfg.op_seconds(_AP_SEQUENCE_OPS * max(m, 1)),
+                max(m, 1) * cfg.lock_op_s,
+            )
+        )
+        run = simulate_work_queue(
+            cfg.n_cores,
+            chunks,
+            pop_cost_s=cfg.queue_pop_s,
+            jitter_sigma=cfg.jitter_sigma,
+            rng=backend._rng,
+        )
+        return _timing("approach", backend, n, run.makespan_s, info)
+
+    ops = n * _AP_CLASSIFY_OPS + max(m, 1) * _AP_SEQUENCE_OPS
+    return _timing("approach", backend, n, ops * _REF_SECONDS_PER_OP, info)
+
+
+# ---------------------------------------------------------------------------
+# voice advisory channel
+# ---------------------------------------------------------------------------
+
+
+def advisory_timing(backend: Backend, n: int, stats: AdvisoryStats) -> TaskTiming:
+    """Modelled *compute* time of servicing the advisory channel.
+
+    The seconds of radio air time are not compute; what the platform
+    pays is queue management and message formatting — serial work on
+    every architecture (one voice channel), so only the scalar/control
+    path speed differs.
+    """
+    messages = stats.uttered + stats.dropped_stale
+    ops = _AVA_BASE_OPS + _AVA_PER_MESSAGE_OPS * messages
+    info = {
+        "uttered": stats.uttered,
+        "dropped_stale": stats.dropped_stale,
+        "backlog": stats.backlog,
+    }
+
+    if isinstance(backend, CudaBackend):
+        # Serial host-side work in the paper's design (a kernel launch
+        # for a handful of messages would be pure overhead): charge a
+        # 3 GHz host core.
+        seconds = ops / 3e9
+    elif isinstance(backend, (ApBackend,)):
+        seconds = ops * backend.config.costs.scalar / backend.config.clock_hz
+    elif isinstance(backend, SimdBackend):
+        seconds = ops / backend.config.clock_hz
+    elif isinstance(backend, MimdBackend):
+        seconds = backend.config.op_seconds(ops) + messages * backend.config.lock_op_s
+    else:
+        seconds = ops * _REF_SECONDS_PER_OP
+    return _timing("advisory", backend, n, seconds, info)
+
+
+# ---------------------------------------------------------------------------
+# display processing
+# ---------------------------------------------------------------------------
+
+_DISPLAY_PROJECT_OPS = 14  # scope projection + data-block formatting
+_DISPLAY_PLACE_OPS = 10  # per candidate-offset probe
+
+
+def display_timing(backend: Backend, n: int, stats: DisplayStats) -> TaskTiming:
+    """Modelled time of one display-processing pass on ``backend``.
+
+    Projection/formatting is data parallel; label placement is a serial
+    walk over the (bucketed) scope — short, but serial on every
+    architecture, so the control-path speed decides it.
+    """
+    probes = (
+        stats.first_choice_labels
+        + 2.5 * stats.moved_labels
+        + 4 * stats.overlapping_labels
+    )
+    placement_ops = probes * _DISPLAY_PLACE_OPS
+    info = {
+        "occupied_cells": stats.occupied_cells,
+        "crowded_targets": stats.crowded_targets,
+        "moved_labels": stats.moved_labels,
+        "overlapping_labels": stats.overlapping_labels,
+    }
+
+    if isinstance(backend, CudaBackend):
+        device = backend.device
+        config = LaunchConfig.for_problem(n, device, backend.block_size)
+        ledger = WarpLedger(device, config)
+        ledger.charge_contiguous_access(3)  # x, y, alt for the block
+        ledger.charge_issue(_DISPLAY_PROJECT_OPS)
+        serial = np.zeros(ledger.n_warps)
+        serial[0] = placement_ops
+        ledger.charge_issue_per_warp(serial)
+        kt = kernel_timing("DisplayProcessing", device, config, ledger)
+        return TaskTiming(
+            task="display",
+            platform=backend.name,
+            n_aircraft=n,
+            seconds=kt.seconds,
+            breakdown=kt.breakdown(),
+            stats=info,
+        )
+
+    if isinstance(backend, ApBackend):
+        ap = AssociativeArray(n, backend.config.pes_per_module, backend.config.costs)
+        ap.alu(6)  # projection, all PEs at once
+        ap.mem(3)
+        # Placement: pick-one per label, constant-time probes.
+        ap.pick_one(n)
+        ap.scalar(placement_ops)
+        seconds = ap.seconds(backend.config.clock_hz)
+        return _timing("display", backend, n, seconds, info)
+
+    if isinstance(backend, SimdBackend):
+        pe = PEArray(backend.config.n_pes, n, backend.config.costs)
+        pe.vector(Op.ALU, _DISPLAY_PROJECT_OPS)
+        pe.vector(Op.MEM, 3)
+        pe.scalar(Op.SCALAR, placement_ops)
+        seconds = pe.seconds(backend.config.clock_hz)
+        return _timing("display", backend, n, seconds, info)
+
+    if isinstance(backend, MimdBackend):
+        cfg = backend.config
+        chunks = [WorkChunk(cfg.op_seconds(_DISPLAY_PROJECT_OPS), 0.0) for _ in range(n)]
+        chunks.append(WorkChunk(cfg.op_seconds(placement_ops), 0.0))
+        run = simulate_work_queue(
+            cfg.n_cores,
+            chunks,
+            pop_cost_s=cfg.queue_pop_s,
+            jitter_sigma=cfg.jitter_sigma,
+            rng=backend._rng,
+        )
+        return _timing("display", backend, n, run.makespan_s, info)
+
+    ops = n * _DISPLAY_PROJECT_OPS + placement_ops
+    return _timing("display", backend, n, ops * _REF_SECONDS_PER_OP, info)

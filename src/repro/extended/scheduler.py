@@ -1,0 +1,236 @@
+"""The complete-ATM-system schedule (the paper's §7.1 future work).
+
+The paper's evaluation runs the three compute-intensive tasks; its
+stated next step is "to implement all basic ATM tasks and create a more
+complete ATM system that can be tested on NVIDIA-CUDA machines to
+determine if it is still viable and will not miss deadlines or change
+the curves of the execution graph significantly."  This scheduler does
+exactly that: the full task table, modelled after the Goodyear STARAN
+ATC software's periodic structure [13], still under the hard
+half-second budget.
+
+Task table (one 16-period major cycle):
+
+| period(s) | task |
+|---|---|
+| every     | Task 1 — tracking & correlation |
+| 0         | voice-advisory channel service (speaks last cycle's queue) |
+| 1, 9      | display processing (4-second period) |
+| 3, 11     | final approach sequencing (4-second period) |
+| 7         | terrain avoidance (8-second period, offset from CD/CR) |
+| 15        | Tasks 2+3 — collision detection & resolution |
+
+Deadline rules are the core scheduler's: a task whose predecessors
+exhausted the period is skipped; a period over 0.5 s is missed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from ..backends.base import Backend
+from ..core import constants as C
+from ..core.collision import DetectionMode
+from ..core.radar import generate_radar_frame
+from ..core.types import FleetState, TaskTiming
+from .advisory import Advisory, AdvisoryChannel, AdvisoryKind
+from .approach import Runway, sequence_approach
+from .costs import advisory_timing, approach_timing, display_timing, terrain_timing
+from .display import ScopeConfig, build_display
+from .terrain import TerrainGrid
+from .terrain_avoidance import check_terrain
+
+__all__ = [
+    "APPROACH_PERIODS",
+    "TERRAIN_PERIOD",
+    "ADVISORY_PERIOD",
+    "DISPLAY_PERIODS",
+    "ExtendedPeriodRecord",
+    "ExtendedScheduleResult",
+    "run_extended_schedule",
+]
+
+APPROACH_PERIODS = (3, 11)
+TERRAIN_PERIOD = 7
+ADVISORY_PERIOD = 0
+DISPLAY_PERIODS = (1, 9)
+
+
+@dataclass
+class ExtendedPeriodRecord:
+    """Outcome of one half-second period of the full system."""
+
+    major_cycle: int
+    period: int
+    #: every task that ran this period, in execution order.
+    tasks: List[TaskTiming]
+    time_used: float
+    slack: float
+    deadline_missed: bool
+    #: names of tasks that were due but skipped for lack of budget.
+    skipped: List[str] = field(default_factory=list)
+
+
+@dataclass
+class ExtendedScheduleResult:
+    """Aggregate of a full-system run."""
+
+    platform: str
+    n_aircraft: int
+    periods: List[ExtendedPeriodRecord] = field(default_factory=list)
+
+    @property
+    def total_periods(self) -> int:
+        return len(self.periods)
+
+    @property
+    def missed_deadlines(self) -> int:
+        return sum(1 for p in self.periods if p.deadline_missed)
+
+    @property
+    def skipped_tasks(self) -> int:
+        return sum(len(p.skipped) for p in self.periods)
+
+    @property
+    def worst_period_seconds(self) -> float:
+        return max((p.time_used for p in self.periods), default=0.0)
+
+    def task_times(self, task: str) -> np.ndarray:
+        out = [
+            t.seconds
+            for p in self.periods
+            for t in p.tasks
+            if t.task == task
+        ]
+        return np.array(out)
+
+    def summary(self) -> dict:
+        tasks = sorted({t.task for p in self.periods for t in p.tasks})
+        out = {
+            "platform": self.platform,
+            "n_aircraft": self.n_aircraft,
+            "periods": self.total_periods,
+            "missed_deadlines": self.missed_deadlines,
+            "skipped_tasks": self.skipped_tasks,
+            "worst_period_s": self.worst_period_seconds,
+        }
+        for task in tasks:
+            times = self.task_times(task)
+            out[f"{task}_mean_s"] = float(times.mean())
+            out[f"{task}_max_s"] = float(times.max())
+        return out
+
+
+def run_extended_schedule(
+    backend: Backend,
+    fleet: FleetState,
+    *,
+    terrain: Optional[TerrainGrid] = None,
+    runway: Optional[Runway] = None,
+    channel: Optional[AdvisoryChannel] = None,
+    scope: Optional[ScopeConfig] = None,
+    major_cycles: int = 1,
+    seed: int = 2018,
+    mode: DetectionMode = DetectionMode.SIGNED,
+    radar_dropout: float = 0.0,
+    radar_clutter: int = 0,
+) -> ExtendedScheduleResult:
+    """Drive the complete ATM system for ``major_cycles`` cycles."""
+    if major_cycles < 1:
+        raise ValueError("need at least one major cycle")
+    terrain = terrain if terrain is not None else TerrainGrid.generate(seed)
+    runway = runway if runway is not None else Runway()
+    channel = channel if channel is not None else AdvisoryChannel()
+    scope = scope if scope is not None else ScopeConfig()
+
+    result = ExtendedScheduleResult(platform=backend.name, n_aircraft=fleet.n)
+    global_period = 0
+
+    for cycle in range(major_cycles):
+        for period in range(C.PERIODS_PER_MAJOR_CYCLE):
+            frame = generate_radar_frame(
+                fleet, seed, global_period,
+                dropout=radar_dropout, clutter=radar_clutter,
+            )
+            tasks: List[TaskTiming] = []
+            skipped: List[str] = []
+
+            def budget_left() -> float:
+                return C.PERIOD_SECONDS - sum(t.seconds for t in tasks)
+
+            # Task 1 always runs first.
+            tasks.append(backend.track_and_correlate(fleet, frame))
+
+            # Periodic tasks, in the table's order, each gated on the
+            # remaining budget (the core scheduler's skip rule).
+            if period == ADVISORY_PERIOD:
+                if budget_left() > 0:
+                    stats = channel.service_cycle(cycle)
+                    tasks.append(advisory_timing(backend, fleet.n, stats))
+                else:
+                    skipped.append("advisory")
+
+            if period in DISPLAY_PERIODS:
+                if budget_left() > 0:
+                    stats = build_display(fleet, scope)
+                    tasks.append(display_timing(backend, fleet.n, stats))
+                else:
+                    skipped.append("display")
+
+            if period in APPROACH_PERIODS:
+                if budget_left() > 0:
+                    stats = sequence_approach(fleet, runway)
+                    tasks.append(approach_timing(backend, fleet.n, stats))
+                    channel.submit_many(
+                        Advisory(AdvisoryKind.APPROACH, i, payload, cycle)
+                        for i, payload in stats.advisory_targets
+                    )
+                else:
+                    skipped.append("approach")
+
+            if period == TERRAIN_PERIOD:
+                if budget_left() > 0:
+                    stats = check_terrain(fleet, terrain)
+                    tasks.append(terrain_timing(backend, fleet.n, stats))
+                    channel.submit_many(
+                        Advisory(AdvisoryKind.TERRAIN, i, payload, cycle)
+                        for i, payload in stats.advisory_targets
+                    )
+                else:
+                    skipped.append("terrain")
+
+            if period == C.COLLISION_PERIOD_INDEX:
+                if budget_left() > 0:
+                    tasks.append(backend.detect_and_resolve(fleet, mode=mode))
+                    unresolved = np.nonzero(fleet.col == 1)[0]
+                    channel.submit_many(
+                        Advisory(
+                            AdvisoryKind.COLLISION,
+                            int(i),
+                            float(fleet.time_till[i]),
+                            cycle,
+                        )
+                        for i in unresolved
+                    )
+                else:
+                    skipped.append("task23")
+
+            time_used = sum(t.seconds for t in tasks)
+            missed = time_used > C.PERIOD_SECONDS or bool(skipped)
+            result.periods.append(
+                ExtendedPeriodRecord(
+                    major_cycle=cycle,
+                    period=period,
+                    tasks=tasks,
+                    time_used=time_used,
+                    slack=max(C.PERIOD_SECONDS - time_used, 0.0),
+                    deadline_missed=missed,
+                    skipped=skipped,
+                )
+            )
+            global_period += 1
+
+    return result

@@ -1,0 +1,170 @@
+"""Synthetic terrain: the elevation substrate for terrain avoidance.
+
+The full ATM task set of the STARAN software ([13]; also the airspace
+deconfliction work of Thompson et al. [11]) includes *terrain avoidance*
+— projecting each flight path over the ground and warning when the
+clearance shrinks.  No real digital elevation model ships with this
+repository, so :class:`TerrainGrid` synthesises one: multi-octave value
+noise (bilinearly interpolated random lattices at 64/32/16/8 nm scales)
+over the 256 nm x 256 nm airfield, shaped so roughly half the field is
+near-flat lowland and ridges rise to ~8000 ft.  The generator is
+counter-based, so a given seed names the same landscape everywhere.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from ..core import constants as C
+from ..core.rng import Stream, random_unit, splitmix64
+
+__all__ = ["TerrainGrid", "DEFAULT_PEAK_FT"]
+
+#: Highest synthetic ridge, feet.
+DEFAULT_PEAK_FT: float = 8000.0
+
+#: Value-noise octaves: (cell size in nm, relative amplitude).
+_OCTAVES: Tuple[Tuple[float, float], ...] = (
+    (64.0, 1.0),
+    (32.0, 0.5),
+    (16.0, 0.25),
+    (8.0, 0.125),
+)
+
+
+def _lattice_values(seed: int, octave: int, ix: np.ndarray, iy: np.ndarray) -> np.ndarray:
+    """Deterministic random value at integer lattice node (ix, iy)."""
+    with np.errstate(over="ignore"):
+        key = (
+            ix.astype(np.uint64) * np.uint64(0x9E3779B97F4A7C15)
+            ^ splitmix64(iy.astype(np.uint64))
+            ^ splitmix64(np.uint64(octave) + np.uint64(0xC0FFEE))
+        )
+    return random_unit(seed, key.astype(np.int64), Stream.TERRAIN)
+
+
+@dataclass(frozen=True)
+class TerrainGrid:
+    """A sampled elevation field over the airfield.
+
+    ``cells`` holds elevations (feet) at 1 nm resolution on a
+    ``(side, side)`` grid whose [0, 0] corner is the airfield's
+    (-128, -128) nm corner.
+    """
+
+    seed: int
+    cells: np.ndarray
+    peak_ft: float
+
+    @property
+    def side(self) -> int:
+        return self.cells.shape[0]
+
+    @classmethod
+    def generate(
+        cls,
+        seed: int = 2018,
+        *,
+        resolution_nm: float = 1.0,
+        peak_ft: float = DEFAULT_PEAK_FT,
+    ) -> "TerrainGrid":
+        """Synthesise the landscape for ``seed``."""
+        if resolution_nm <= 0:
+            raise ValueError("resolution must be positive")
+        if peak_ft < 0:
+            raise ValueError("peak elevation must be non-negative")
+        side = int(round(C.AIRFIELD_SIZE_NM / resolution_nm)) + 1
+        xs = np.linspace(0.0, C.AIRFIELD_SIZE_NM, side)
+        gx, gy = np.meshgrid(xs, xs, indexing="ij")
+
+        height = np.zeros((side, side))
+        total_amp = 0.0
+        for octave, (cell, amp) in enumerate(_OCTAVES):
+            fx = gx / cell
+            fy = gy / cell
+            ix = np.floor(fx).astype(np.int64)
+            iy = np.floor(fy).astype(np.int64)
+            tx = fx - ix
+            ty = fy - iy
+            # Smoothstep for C1-continuous ridges.
+            tx = tx * tx * (3 - 2 * tx)
+            ty = ty * ty * (3 - 2 * ty)
+            v00 = _lattice_values(seed, octave, ix, iy)
+            v10 = _lattice_values(seed, octave, ix + 1, iy)
+            v01 = _lattice_values(seed, octave, ix, iy + 1)
+            v11 = _lattice_values(seed, octave, ix + 1, iy + 1)
+            height += amp * (
+                v00 * (1 - tx) * (1 - ty)
+                + v10 * tx * (1 - ty)
+                + v01 * (1 - tx) * ty
+                + v11 * tx * ty
+            )
+            total_amp += amp
+        height /= total_amp
+
+        # Shape: push the lower half toward flat lowland, keep ridges.
+        shaped = np.clip((height - 0.45) / 0.55, 0.0, 1.0) ** 1.5
+        return cls(seed=seed, cells=shaped * peak_ft, peak_ft=peak_ft)
+
+    # ------------------------------------------------------------------
+    # sampling
+    # ------------------------------------------------------------------
+
+    def _to_grid(self, x, y) -> Tuple[np.ndarray, np.ndarray]:
+        scale = (self.side - 1) / C.AIRFIELD_SIZE_NM
+        gx = (np.asarray(x, dtype=np.float64) + C.GRID_HALF_NM) * scale
+        gy = (np.asarray(y, dtype=np.float64) + C.GRID_HALF_NM) * scale
+        return (
+            np.clip(gx, 0.0, self.side - 1 - 1e-9),
+            np.clip(gy, 0.0, self.side - 1 - 1e-9),
+        )
+
+    def elevation_at(self, x, y) -> np.ndarray:
+        """Bilinear elevation sample (feet) at airfield coordinates."""
+        gx, gy = self._to_grid(x, y)
+        ix = np.floor(gx).astype(np.int64)
+        iy = np.floor(gy).astype(np.int64)
+        tx = gx - ix
+        ty = gy - iy
+        c = self.cells
+        return (
+            c[ix, iy] * (1 - tx) * (1 - ty)
+            + c[ix + 1, iy] * tx * (1 - ty)
+            + c[ix, iy + 1] * (1 - tx) * ty
+            + c[ix + 1, iy + 1] * tx * ty
+        )
+
+    def max_elevation_along(
+        self, x, y, dx, dy, *, periods: float, samples: int
+    ) -> np.ndarray:
+        """Highest terrain under each projected path.
+
+        Samples ``samples`` points uniformly over the next ``periods``
+        half-seconds of dead-reckoned flight (positions outside the
+        airfield clamp to the boundary, matching the wraparound world's
+        conservative reading: the mirrored terrain is not scanned).
+        """
+        if samples < 1:
+            raise ValueError("need at least one sample")
+        x = np.asarray(x, dtype=np.float64)
+        y = np.asarray(y, dtype=np.float64)
+        dx = np.asarray(dx, dtype=np.float64)
+        dy = np.asarray(dy, dtype=np.float64)
+        best = np.full(x.shape, -np.inf)
+        for k in range(samples):
+            t = periods * (k + 1) / samples
+            np.maximum(best, self.elevation_at(x + dx * t, y + dy * t), out=best)
+        return best
+
+    def stats(self) -> dict:
+        return {
+            "seed": self.seed,
+            "side": self.side,
+            "min_ft": float(self.cells.min()),
+            "max_ft": float(self.cells.max()),
+            "mean_ft": float(self.cells.mean()),
+            "flat_fraction": float(np.mean(self.cells < 0.02 * self.peak_ft)),
+        }

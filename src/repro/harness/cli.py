@@ -1,0 +1,131 @@
+"""Command-line interface: regenerate any evaluation artifact.
+
+Examples::
+
+    atm-repro list
+    atm-repro fig4
+    atm-repro fig9 --ns 96 480 960 1920
+    atm-repro tbl-deadline --ns 960 1920
+    atm-repro describe cuda:titan-x-pascal
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from ..backends.registry import available_backends, resolve_backend
+from .figures import EXPERIMENTS, run_experiment
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="atm-repro",
+        description=(
+            "Reproduce the evaluation of 'Performance Comparison of NVIDIA "
+            "accelerators with SIMD, Associative, and Multi-core Processors "
+            "for Air Traffic Management' (ICPP 2018)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list experiment ids and platforms")
+
+    describe = sub.add_parser("describe", help="describe one platform")
+    describe.add_argument("platform", help="registry name, e.g. cuda:gtx-880m")
+
+    report = sub.add_parser(
+        "report", help="run the whole experiment suite and save a report"
+    )
+    report.add_argument("--out", default=None, help="write JSON here")
+    report.add_argument(
+        "--full", action="store_true", help="full sweeps (slow) instead of quick"
+    )
+    report.add_argument("--seed", type=int, default=2018)
+    report.add_argument(
+        "--only", nargs="+", default=None, help="subset of experiment ids"
+    )
+
+    for exp_id in sorted(EXPERIMENTS):
+        p = sub.add_parser(exp_id, help=f"regenerate {exp_id}")
+        p.add_argument(
+            "--ns",
+            type=int,
+            nargs="+",
+            default=None,
+            help="fleet sizes to sweep (experiment defaults otherwise)",
+        )
+        p.add_argument("--seed", type=int, default=2018, help="airfield seed")
+        p.add_argument(
+            "--plot",
+            action="store_true",
+            help="append an ASCII log-scale chart (curve figures only)",
+        )
+        if exp_id == "tbl-determinism":
+            p.add_argument("--n", type=int, default=960, help="fleet size")
+            p.add_argument("--repeats", type=int, default=3)
+        if exp_id == "abl-blocksize":
+            p.add_argument("--n", type=int, default=1920, help="fleet size")
+        if exp_id == "abl-resolution":
+            p.add_argument("--n", type=int, default=768, help="fleet size")
+            p.add_argument("--cycles", type=int, default=8)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+
+    if args.command == "list":
+        print("experiments:")
+        for exp_id in sorted(EXPERIMENTS):
+            print(f"  {exp_id}")
+        print("platforms:")
+        for name in available_backends():
+            print(f"  {name}")
+        return 0
+
+    if args.command == "report":
+        from .report import build_report, render_report, write_report
+
+        report = build_report(quick=not args.full, seed=args.seed, only=args.only)
+        if args.out:
+            write_report(args.out, report)
+            print(f"wrote {args.out}")
+        print(render_report(report))
+        return 0
+
+    if args.command == "describe":
+        info = resolve_backend(args.platform).describe()
+        width = max(len(k) for k in info)
+        for key, value in info.items():
+            print(f"{key.ljust(width)}  {value}")
+        return 0
+
+    kwargs = {"seed": args.seed}
+    if args.ns is not None:
+        if args.command in ("tbl-determinism", "abl-blocksize"):
+            print("--ns is not used by this experiment", file=sys.stderr)
+        else:
+            kwargs["ns"] = args.ns
+    if args.command == "tbl-determinism":
+        kwargs.update(n=args.n, repeats=args.repeats)
+    if args.command == "abl-blocksize":
+        kwargs["n"] = args.n
+    if args.command == "abl-resolution":
+        kwargs["n"] = args.n
+        kwargs["major_cycles"] = args.cycles
+        kwargs.pop("ns", None)
+
+    result = run_experiment(args.command, **kwargs)
+    if getattr(args, "plot", False) and hasattr(result, "series"):
+        print(result.render(plot=True))
+    else:
+        print(result.render())
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

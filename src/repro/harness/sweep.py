@@ -1,0 +1,129 @@
+"""Measurement sweeps: run the ATM tasks across fleet sizes and platforms.
+
+The measurement protocol follows the paper's Section 6.1: for each fleet
+size the tasks are individually timed and reported as the average over
+the executed iterations (Task 1 runs every period; Task 2+3 once per
+major cycle).  All platforms measure against bit-identical fleet
+evolutions, so their curves are directly comparable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Union
+
+import numpy as np
+
+from ..backends.base import Backend
+from ..backends.registry import resolve_backend
+from ..core.collision import DetectionMode
+from ..core.radar import generate_radar_frame
+from ..core.setup import setup_flight
+from ..core.types import TaskTiming
+
+__all__ = [
+    "DEFAULT_NS_ALL_PLATFORMS",
+    "DEFAULT_NS_NVIDIA",
+    "PlatformMeasurement",
+    "SweepData",
+    "measure_platform",
+    "sweep",
+]
+
+#: Fleet sizes for the all-platform figures (multiples of the 96-PE /
+#: 96-thread unit, as in the paper's block-setup rule).
+DEFAULT_NS_ALL_PLATFORMS: tuple = (96, 480, 960, 1440, 1920, 2880, 3840)
+
+#: Fleet sizes for the NVIDIA-only figures (the cards scale further).
+DEFAULT_NS_NVIDIA: tuple = (96, 480, 960, 1920, 2880, 3840, 5760)
+
+
+@dataclass
+class PlatformMeasurement:
+    """Averaged task timings of one platform at one fleet size."""
+
+    platform: str
+    n_aircraft: int
+    task1_seconds: List[float]
+    task23: TaskTiming
+
+    @property
+    def task1_mean_s(self) -> float:
+        return float(np.mean(self.task1_seconds))
+
+    @property
+    def task1_max_s(self) -> float:
+        return float(np.max(self.task1_seconds))
+
+    @property
+    def task23_s(self) -> float:
+        return self.task23.seconds
+
+
+def measure_platform(
+    backend: Union[str, Backend],
+    n: int,
+    *,
+    seed: int = 2018,
+    periods: int = 3,
+    mode: DetectionMode = DetectionMode.SIGNED,
+) -> PlatformMeasurement:
+    """Run ``periods`` tracking periods plus one collision pass.
+
+    The fleet flies and is tracked for ``periods`` half-seconds first, so
+    the collision pass sees a realistically-evolved state rather than the
+    pristine initial layout.
+    """
+    if periods < 1:
+        raise ValueError("need at least one tracking period")
+    backend = resolve_backend(backend)
+    fleet = setup_flight(n, seed)
+    task1: List[float] = []
+    for period in range(periods):
+        frame = generate_radar_frame(fleet, seed, period)
+        task1.append(backend.track_and_correlate(fleet, frame).seconds)
+    t23 = backend.detect_and_resolve(fleet, mode=mode)
+    return PlatformMeasurement(
+        platform=backend.name,
+        n_aircraft=n,
+        task1_seconds=task1,
+        task23=t23,
+    )
+
+
+@dataclass
+class SweepData:
+    """Task timings for several platforms across a fleet-size axis."""
+
+    ns: tuple
+    #: platform -> list of measurements aligned with ``ns``.
+    measurements: Dict[str, List[PlatformMeasurement]] = field(default_factory=dict)
+
+    def task1_series(self, platform: str) -> List[float]:
+        return [m.task1_mean_s for m in self.measurements[platform]]
+
+    def task23_series(self, platform: str) -> List[float]:
+        return [m.task23_s for m in self.measurements[platform]]
+
+    def platforms(self) -> List[str]:
+        return list(self.measurements)
+
+
+def sweep(
+    backends: Sequence[Union[str, Backend]],
+    ns: Sequence[int] = DEFAULT_NS_ALL_PLATFORMS,
+    *,
+    seed: int = 2018,
+    periods: int = 3,
+    mode: DetectionMode = DetectionMode.SIGNED,
+) -> SweepData:
+    """Measure every backend at every fleet size."""
+    data = SweepData(ns=tuple(ns))
+    for spec in backends:
+        backend = resolve_backend(spec)
+        rows = [
+            measure_platform(backend, n, seed=seed, periods=periods, mode=mode)
+            for n in ns
+        ]
+        data.measurements[backend.name] = rows
+    return data

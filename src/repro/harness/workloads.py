@@ -1,0 +1,193 @@
+"""Scripted traffic scenarios beyond the paper's random airfield.
+
+The paper evaluates on uniformly random traffic (SetupFlight).  Real
+airspace has *structure* — crossing flows, holding stacks, arrival
+streams — and those structures stress different parts of the ATM tasks:
+crossing streams maximise genuine conflicts, holding stacks exercise the
+altitude gate, arrival streams drive the final-approach sequencer.
+Every generator is deterministic in its arguments and returns a
+:class:`~repro.core.types.FleetState` ready for any backend.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..core import constants as C
+from ..core.rng import Stream, random_uniform
+from ..core.setup import setup_flight
+from ..core.types import FleetState
+from ..extended.approach import Runway
+
+__all__ = [
+    "enroute",
+    "crossing_streams",
+    "holding_stack",
+    "arrival_stream",
+    "terminal_area",
+]
+
+
+def _finish(fleet: FleetState) -> FleetState:
+    fleet.batdx[:] = fleet.dx
+    fleet.batdy[:] = fleet.dy
+    fleet.expected_x[:] = fleet.x
+    fleet.expected_y[:] = fleet.y
+    fleet.validate()
+    return fleet
+
+
+def enroute(n: int, seed: int = 2018) -> FleetState:
+    """The paper's own workload: uniformly random en-route traffic."""
+    return setup_flight(n, seed)
+
+
+def crossing_streams(
+    n_per_stream: int,
+    *,
+    speed_knots: float = 420.0,
+    in_trail_nm: float = 6.0,
+    altitude_ft: float = 31_000.0,
+    seed: int = 2018,
+) -> FleetState:
+    """Two perpendicular streams meeting over the field's centre.
+
+    An eastbound stream along y = 0 and a northbound stream along x = 0,
+    all at the *same* flight level: every crossing pair is a genuine
+    future conflict, so collision detection and resolution run at their
+    densest.  Stream length is capped by the airfield.
+    """
+    if n_per_stream < 1:
+        raise ValueError("need at least one aircraft per stream")
+    max_fit = int(C.AIRFIELD_SIZE_NM // in_trail_nm)  # centred span must fit
+    if n_per_stream > max_fit:
+        raise ValueError(
+            f"{n_per_stream} aircraft at {in_trail_nm} nm in trail do not "
+            f"fit the airfield (max {max_fit})"
+        )
+
+    n = 2 * n_per_stream
+    fleet = FleetState.empty(n)
+    v = speed_knots / C.PERIODS_PER_HOUR
+    # Streams centred on the crossing point: the leaders have just
+    # passed it, the tail is inbound — so the collision tasks see
+    # everything from imminent to far-future conflicts.
+    offsets = in_trail_nm * (np.arange(n_per_stream) + 0.5 - n_per_stream / 2.0)
+
+    # Eastbound stream.
+    east = slice(0, n_per_stream)
+    fleet.x[east] = offsets
+    fleet.y[east] = 0.0
+    fleet.dx[east] = v
+    fleet.dy[east] = 0.0
+
+    # Northbound stream.
+    north = slice(n_per_stream, n)
+    fleet.x[north] = 0.0
+    fleet.y[north] = offsets
+    fleet.dx[north] = 0.0
+    fleet.dy[north] = v
+
+    # Same level, +- a little turbulence-induced spread.
+    jitter = random_uniform(seed, np.arange(n), Stream.SCENARIO, -50.0, 50.0)
+    fleet.alt[:] = altitude_ft + jitter
+    return _finish(fleet)
+
+
+def holding_stack(
+    n: int,
+    *,
+    centre=(40.0, 40.0),
+    radius_nm: float = 6.0,
+    speed_knots: float = 230.0,
+    level_spacing_ft: float = 1000.0,
+    base_altitude_ft: float = 7_000.0,
+) -> FleetState:
+    """A holding stack: rings of aircraft at 1000 ft level spacing.
+
+    Aircraft fly tangentially around the fix.  Vertically adjacent
+    levels sit exactly at the altitude gate's threshold, so the stack
+    probes the 1000 ft separation test: correctly implemented, a clean
+    stack produces *zero* critical conflicts.
+    """
+    if n < 1:
+        raise ValueError("need at least one aircraft")
+    fleet = FleetState.empty(n)
+    v = speed_knots / C.PERIODS_PER_HOUR
+    angles = 2.0 * np.pi * np.arange(n) / max(n, 1) * 7 % (2 * np.pi)
+    # One aircraft per flight level: vertical separation does all the
+    # work (dead-reckoned circular traffic cannot rely on lateral
+    # separation — projected paths are straight lines).
+    levels = np.arange(n)
+
+    fleet.x[:] = centre[0] + radius_nm * np.cos(angles)
+    fleet.y[:] = centre[1] + radius_nm * np.sin(angles)
+    # Tangential velocity (counter-clockwise).
+    fleet.dx[:] = -v * np.sin(angles)
+    fleet.dy[:] = v * np.cos(angles)
+    fleet.alt[:] = base_altitude_ft + levels * level_spacing_ft
+    return _finish(fleet)
+
+
+def arrival_stream(
+    n: int,
+    runway: Runway | None = None,
+    *,
+    in_trail_nm: float = 3.5,
+    speed_knots: float = 150.0,
+    glide_altitude_ft: float = 3_000.0,
+) -> FleetState:
+    """A line of arrivals established on final, nearest first.
+
+    With ``in_trail_nm`` just above the 3 nm requirement the stream is
+    initially legal; compression (leaders slowing) then triggers the
+    approach sequencer's advisories.
+    """
+    runway = runway if runway is not None else Runway()
+    if n < 1:
+        raise ValueError("need at least one aircraft")
+    span_needed = n * in_trail_nm
+    if span_needed > runway.length_nm:
+        raise ValueError(
+            f"{n} arrivals at {in_trail_nm} nm need {span_needed:.0f} nm "
+            f"of corridor; runway has {runway.length_nm}"
+        )
+    fleet = FleetState.empty(n)
+    theta = math.radians(runway.course_deg)
+    v = speed_knots / C.PERIODS_PER_HOUR
+    dist = in_trail_nm * (np.arange(n) + 1.0)
+    fleet.x[:] = runway.x - dist * math.cos(theta)
+    fleet.y[:] = runway.y - dist * math.sin(theta)
+    fleet.dx[:] = v * math.cos(theta)
+    fleet.dy[:] = v * math.sin(theta)
+    fleet.alt[:] = glide_altitude_ft + 100.0 * np.arange(n)
+    return _finish(fleet)
+
+
+def terminal_area(
+    n_overflights: int,
+    n_arrivals: int,
+    runway: Runway | None = None,
+    *,
+    seed: int = 2018,
+) -> FleetState:
+    """A terminal area: random overflights plus an established stream.
+
+    The composite exercises every task at once — tracking over the whole
+    mix, collision work among the overflights, approach sequencing on
+    the stream.
+    """
+    runway = runway if runway is not None else Runway()
+    over = enroute(n_overflights, seed)
+    arr = arrival_stream(n_arrivals, runway)
+    n = over.n + arr.n
+    fleet = FleetState.empty(n)
+    for name in ("x", "y", "dx", "dy", "alt", "batdx", "batdy"):
+        getattr(fleet, name)[: over.n] = getattr(over, name)
+        getattr(fleet, name)[over.n :] = getattr(arr, name)
+    # Keep overflights clear of the glide path altitudes.
+    low = fleet.alt[: over.n] < 10_000.0
+    fleet.alt[: over.n][low] += 10_000.0
+    return _finish(fleet)

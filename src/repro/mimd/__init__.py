@@ -1,0 +1,33 @@
+"""Shared-memory multi-core (MIMD) simulator: the 16-core Xeon.
+
+A discrete-event model: cores self-schedule chunks from a shared work
+queue, every access to the shared dynamic flight database pays
+serialized interconnect time, and per-chunk OS jitter makes the timing
+non-deterministic — the asynchrony the paper contrasts with SIMD
+predictability.
+"""
+
+from ..backends.registry import register_backend
+from .backend import MimdBackend
+from .events import QueueRunResult, WorkChunk, simulate_work_queue
+from .sync import SerializedResource
+from .xeon import XEON_8, XEON_16, MimdConfig
+
+__all__ = [
+    "MimdBackend",
+    "QueueRunResult",
+    "WorkChunk",
+    "simulate_work_queue",
+    "SerializedResource",
+    "XEON_8",
+    "XEON_16",
+    "MimdConfig",
+]
+
+
+def _register() -> None:
+    for cfg in (XEON_16, XEON_8):
+        register_backend(cfg.registry_name, lambda cfg=cfg: MimdBackend(cfg))
+
+
+_register()

@@ -1,0 +1,136 @@
+"""Multi-core MIMD backend (16-core Xeon).
+
+Functional results come from the shared :mod:`repro.core` algorithms.
+Timing comes from the discrete-event work-queue simulation, which —
+unlike every other backend — is **not deterministic**: each call draws
+fresh OS-jitter factors from the backend's seeded generator, modelling
+the asynchrony that keeps shared-memory multiprocessors from offering
+the predictable timing hard-real-time scheduling needs (paper
+Sections 2.3, 6.2 and the conclusions of [13]).
+
+The generator is seeded at construction, so an *experiment* (a fixed
+sequence of calls on one backend instance) is reproducible; repeated
+identical calls within it still vary, as on real hardware.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Union
+
+import numpy as np
+
+from ..backends.base import Backend
+from ..core.collision import DetectionMode
+from ..core.resolution import detect_and_resolve as core_detect_and_resolve
+from ..core.tracking import correlate as core_correlate
+from ..core.types import FleetState, RadarFrame, TaskTiming, TimingBreakdown
+from .events import QueueRunResult, simulate_work_queue
+from .tasks import task1_chunks, task23_chunks
+from .xeon import XEON_8, XEON_16, MimdConfig
+
+__all__ = ["MimdBackend"]
+
+_CONFIGS = {c.key: c for c in (XEON_16, XEON_8)}
+
+
+class MimdBackend(Backend):
+    """A shared-memory multi-core machine running the ATM tasks."""
+
+    deterministic_timing = False
+
+    def __init__(
+        self,
+        config: Union[str, MimdConfig] = XEON_16,
+        *,
+        seed: int = 2018,
+    ) -> None:
+        if isinstance(config, str):
+            try:
+                config = _CONFIGS[config]
+            except KeyError:
+                known = ", ".join(sorted(_CONFIGS))
+                raise KeyError(
+                    f"unknown MIMD config {config!r}; known: {known}"
+                ) from None
+        self.config = config
+        self.name = config.registry_name
+        self._rng = np.random.default_rng(seed)
+
+    def _timing(self, task: str, n: int, run: QueueRunResult, extra: Dict[str, Any]) -> TaskTiming:
+        sync = min(run.sync_busy_s + run.queue_wait_s, run.makespan_s)
+        return TaskTiming(
+            task=task,
+            platform=self.name,
+            n_aircraft=n,
+            seconds=run.makespan_s,
+            breakdown=TimingBreakdown(
+                compute=run.makespan_s - sync,
+                sync=sync,
+            ),
+            stats={
+                "chunks": run.n_chunks,
+                "parallel_efficiency": run.parallel_efficiency,
+                "sync_busy_s": run.sync_busy_s,
+                "sync_wait_s": run.sync_wait_s,
+                "queue_wait_s": run.queue_wait_s,
+                **extra,
+            },
+        )
+
+    def track_and_correlate(self, fleet: FleetState, frame: RadarFrame) -> TaskTiming:
+        stats = core_correlate(fleet, frame)
+        chunks = task1_chunks(self.config, fleet.n, stats)
+        run = simulate_work_queue(
+            self.config.n_cores,
+            chunks,
+            pop_cost_s=self.config.queue_pop_s,
+            jitter_sigma=self.config.jitter_sigma,
+            rng=self._rng,
+        )
+        return self._timing(
+            "task1",
+            fleet.n,
+            run,
+            {"rounds": stats.rounds_executed, "committed": stats.committed},
+        )
+
+    def detect_and_resolve(
+        self,
+        fleet: FleetState,
+        mode: DetectionMode = DetectionMode.SIGNED,
+    ) -> TaskTiming:
+        det, res = core_detect_and_resolve(fleet, mode)
+        chunks = task23_chunks(self.config, fleet.alt, det, res)
+        run = simulate_work_queue(
+            self.config.n_cores,
+            chunks,
+            pop_cost_s=self.config.queue_pop_s,
+            jitter_sigma=self.config.jitter_sigma,
+            rng=self._rng,
+        )
+        return self._timing(
+            "task23",
+            fleet.n,
+            run,
+            {
+                "conflicts": det.conflicts,
+                "critical_conflicts": det.critical_conflicts,
+                "resolved": res.resolved,
+                "unresolved": res.unresolved,
+                "trials": res.trials_evaluated,
+            },
+        )
+
+    def peak_throughput_ops_per_s(self) -> float:
+        return self.config.peak_ops_per_s
+
+    def describe(self) -> Dict[str, Any]:
+        info = super().describe()
+        info.update(
+            kind="shared-memory multi-core model",
+            machine=self.config.name,
+            n_cores=self.config.n_cores,
+            clock_ghz=self.config.clock_hz / 1e9,
+            jitter_sigma=self.config.jitter_sigma,
+        )
+        return info

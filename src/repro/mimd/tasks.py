@@ -1,0 +1,112 @@
+"""Chunk builders: the ATM tasks as shared-memory multi-core work lists.
+
+The MIMD implementation modelled here follows the shared-memory design
+the paper describes for [13]: "aircraft data was stored in shared memory
+that all processors in the system could access".  Consequences charged
+per chunk:
+
+* every scan of a shared flight record takes a reader-lock whose cache
+  line moves over the interconnect (``read_lock_s`` of serialized time);
+* every match/conflict *update* takes an exclusive record lock — a
+  contended cache-line RFO + CAS (``lock_op_s``);
+* chunks are handed out by dynamic self-scheduling, so each chunk also
+  pays the shared queue pop.
+
+Chunk granularity is one radar report (Task 1) / one track aircraft or
+one trial heading (Tasks 2+3) — the natural parallel loop bodies of the
+algorithms.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from ..core import constants as C
+from ..core.collision import DetectionStats
+from ..core.resolution import ResolutionStats
+from ..core.tracking import TrackingStats
+from .events import WorkChunk
+from .xeon import MimdConfig
+
+__all__ = ["in_band_counts", "task1_chunks", "task23_chunks"]
+
+# operation counts per algorithm step (simple-op equivalents)
+_GATE_OPS = 8
+_SCAN_OPS = 2
+_PAIR_OPS = 27
+_PAIR_SCAN_OPS = 3
+_UPDATE_LOCKS = 2
+
+
+def in_band_counts(alt: np.ndarray) -> np.ndarray:
+    """Per-aircraft count of *other* aircraft within the 1000 ft band.
+
+    Sort-based, exact, O(n log n): for each altitude, count neighbours
+    inside ``+-ALTITUDE_SEPARATION_FT`` and subtract self.
+    """
+    order = np.sort(alt)
+    lo = np.searchsorted(order, alt - C.ALTITUDE_SEPARATION_FT, side="left")
+    hi = np.searchsorted(order, alt + C.ALTITUDE_SEPARATION_FT, side="right")
+    return (hi - lo - 1).astype(np.int64)
+
+
+def task1_chunks(
+    config: MimdConfig, n_aircraft: int, stats: TrackingStats
+) -> List[WorkChunk]:
+    """One chunk per still-unmatched radar report per round."""
+    chunks: List[WorkChunk] = []
+    for round_no in range(stats.rounds_executed):
+        radar_ids = stats.round_radar_ids[round_no]
+        live_planes = stats.round_active_planes[round_no]
+        candidates = stats.round_candidates_per_radar[round_no]
+        compute = config.op_seconds(
+            n_aircraft * _SCAN_OPS + live_planes * _GATE_OPS
+        )
+        scan_sync = n_aircraft * config.read_lock_s
+        for rid in radar_ids:
+            update_sync = (
+                float(candidates[rid]) * _UPDATE_LOCKS * config.lock_op_s
+            )
+            chunks.append(WorkChunk(compute, scan_sync + update_sync))
+    return chunks
+
+
+def task23_chunks(
+    config: MimdConfig,
+    alt: np.ndarray,
+    det: DetectionStats,
+    res: ResolutionStats,
+) -> List[WorkChunk]:
+    """Detection chunks (one per track) + trial chunks (one per attempt)."""
+    n = alt.shape[0]
+    band = in_band_counts(alt)
+    critical = (
+        det.critical_per_aircraft
+        if det.critical_per_aircraft is not None
+        else np.zeros(n, dtype=np.int64)
+    )
+    attempts = res.attempts if res.attempts.shape[0] == n else np.zeros(n, np.int64)
+
+    chunks: List[WorkChunk] = []
+    for i in range(n):
+        compute = config.op_seconds(
+            n * _PAIR_SCAN_OPS + int(band[i]) * _PAIR_OPS
+        )
+        sync = (
+            n * config.read_lock_s
+            + int(band[i]) * _UPDATE_LOCKS * config.lock_op_s
+            + int(critical[i]) * _UPDATE_LOCKS * config.lock_op_s
+        )
+        chunks.append(WorkChunk(compute, sync))
+
+    # Each trial heading re-sweeps the table for its aircraft.
+    for i in np.nonzero(attempts > 0)[0]:
+        compute = config.op_seconds(
+            n * _PAIR_SCAN_OPS + int(band[i]) * _PAIR_OPS + 30
+        )
+        sync = n * config.read_lock_s + int(band[i]) * _UPDATE_LOCKS * config.lock_op_s
+        for _ in range(int(attempts[i])):
+            chunks.append(WorkChunk(compute, sync))
+    return chunks

@@ -1,0 +1,75 @@
+"""16-core Intel Xeon configuration (the paper's multi-core platform).
+
+Calibration note (recorded in DESIGN.md): the per-operation costs follow
+measured x86 characteristics — a contended lock acquisition is a
+cross-core cache-line transfer plus a CAS retry, several hundred
+nanoseconds under contention — and the *structure* (every access to the
+shared dynamic flight database synchronises) follows the shared-memory
+implementation that [13] found unable to hold ATM deadlines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["MimdConfig", "XEON_16", "XEON_8"]
+
+
+@dataclass(frozen=True)
+class MimdConfig:
+    """Static description of a shared-memory multi-core machine."""
+
+    name: str
+    key: str
+    n_cores: int
+    clock_hz: float
+    #: sustained simple operations per cycle per core.
+    ipc: float
+    #: serialized cost of one contended record-lock operation (cache-line
+    #: RFO + CAS under contention), seconds.
+    lock_op_s: float
+    #: serialized interconnect cost of one shared-record reader-lock
+    #: access (shared-mode cache-line transfer), seconds.
+    read_lock_s: float
+    #: serialized cost of popping the shared work queue, seconds.
+    queue_pop_s: float
+    #: lognormal sigma of per-chunk OS jitter (preemptions, migrations,
+    #: frequency transitions) — the source of timing unpredictability.
+    jitter_sigma: float
+
+    @property
+    def registry_name(self) -> str:
+        return f"mimd:{self.key}"
+
+    @property
+    def peak_ops_per_s(self) -> float:
+        return self.n_cores * self.clock_hz * self.ipc
+
+    def op_seconds(self, ops: float) -> float:
+        """Pure compute time of ``ops`` simple operations on one core."""
+        return ops / (self.clock_hz * self.ipc)
+
+
+XEON_16 = MimdConfig(
+    name="Intel Xeon, 16 cores",
+    key="xeon-16",
+    n_cores=16,
+    clock_hz=2.4e9,
+    ipc=1.0,
+    lock_op_s=500e-9,
+    read_lock_s=20e-9,
+    queue_pop_s=150e-9,
+    jitter_sigma=0.25,
+)
+
+XEON_8 = MimdConfig(
+    name="Intel Xeon, 8 cores",
+    key="xeon-8",
+    n_cores=8,
+    clock_hz=2.4e9,
+    ipc=1.0,
+    lock_op_s=400e-9,
+    read_lock_s=20e-9,
+    queue_pop_s=150e-9,
+    jitter_sigma=0.25,
+)

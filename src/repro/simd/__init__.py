@@ -1,0 +1,34 @@
+"""Traditional-SIMD machine simulator (ClearSpeed CSX600).
+
+Control unit + synchronous PE array with per-instruction-class cycle
+costs, virtual-PE striping when the fleet outgrows the array, and a ring
+network for data movement — the platform the paper's AP emulation of
+[12, 13] ran on.
+"""
+
+from ..backends.registry import register_backend
+from .backend import SimdBackend
+from .clearspeed import CSX600, CSX600_DUAL, SimdConfig
+from .instructions import DEFAULT_COSTS, CostTable, Op
+from .network import RingNetwork
+from .pe_array import PEArray
+
+__all__ = [
+    "SimdBackend",
+    "CSX600",
+    "CSX600_DUAL",
+    "SimdConfig",
+    "DEFAULT_COSTS",
+    "CostTable",
+    "Op",
+    "RingNetwork",
+    "PEArray",
+]
+
+
+def _register() -> None:
+    for cfg in (CSX600, CSX600_DUAL):
+        register_backend(cfg.registry_name, lambda cfg=cfg: SimdBackend(cfg))
+
+
+_register()

@@ -1,0 +1,57 @@
+"""ClearSpeed CSX600 configuration (the paper's SIMD platform).
+
+The CSX600 accelerator has two chips, each a SIMD array of 96 PEs on a
+ring network, clocked at 250 MHz (paper Section 1.1; Yuan/Baker [12,13]
+programmed it in the Cn language).  The AP emulation of [12, 13] ran on
+one 96-PE array, which is what this configuration models; the
+``CSX600_DUAL`` variant with both chips exists for scaling studies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .instructions import DEFAULT_COSTS, CostTable
+from .network import RingNetwork
+
+__all__ = ["SimdConfig", "CSX600", "CSX600_DUAL"]
+
+
+@dataclass(frozen=True)
+class SimdConfig:
+    """Static description of a traditional SIMD machine."""
+
+    name: str
+    key: str
+    n_pes: int
+    clock_hz: float
+    costs: CostTable
+    network: RingNetwork
+
+    @property
+    def registry_name(self) -> str:
+        return f"simd:{self.key}"
+
+    @property
+    def peak_ops_per_s(self) -> float:
+        """Peak PE-local operation throughput."""
+        return self.n_pes * self.clock_hz
+
+
+CSX600 = SimdConfig(
+    name="ClearSpeed CSX600 (96 PEs)",
+    key="clearspeed-csx600",
+    n_pes=96,
+    clock_hz=250e6,
+    costs=DEFAULT_COSTS,
+    network=RingNetwork(n_pes=96),
+)
+
+CSX600_DUAL = SimdConfig(
+    name="ClearSpeed CSX600 (2 chips, 192 PEs)",
+    key="clearspeed-csx600-dual",
+    n_pes=192,
+    clock_hz=250e6,
+    costs=DEFAULT_COSTS,
+    network=RingNetwork(n_pes=192),
+)

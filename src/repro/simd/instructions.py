@@ -1,0 +1,71 @@
+"""Instruction classes and cycle costs of the SIMD machine model.
+
+A traditional SIMD computer (paper Section 2.1) executes one instruction
+stream: the control unit issues each instruction to every processing
+element simultaneously.  The cost of a *vector* instruction is its cycle
+count times the virtual-PE striping factor (when the data set is larger
+than the PE array, each PE holds ``ceil(n / n_pes)`` elements and
+replays the instruction once per stripe).
+
+The table below is deliberately coarse — classes, not opcodes — because
+what shapes the curves is the *structure* (which operations are per-step
+constants vs. striped vector work), not 10% differences in per-op cost.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict
+
+__all__ = ["Op", "CostTable", "DEFAULT_COSTS"]
+
+
+class Op(enum.Enum):
+    """Instruction classes charged by the machine model."""
+
+    #: PE-local add/sub/compare/logical on a word.
+    ALU = "alu"
+    #: PE-local multiply.
+    MUL = "mul"
+    #: PE-local divide / sqrt / trig (iterative on simple PE ALUs).
+    SPECIAL = "special"
+    #: PE-local memory read/write.
+    MEM = "mem"
+    #: control-unit scalar operation (loop counters, branches).
+    SCALAR = "scalar"
+    #: broadcast of one word from the control unit to all PEs.
+    BROADCAST = "broadcast"
+    #: set/combine PE mask bits.
+    MASK = "mask"
+
+
+@dataclass(frozen=True)
+class CostTable:
+    """Cycles per instruction class, plus the reduction cost model.
+
+    ``reduction_base`` + ``reduction_per_level`` x ceil(log2(PEs)) is the
+    cost of a global AND/OR/min/max over the PE array on a plain SIMD
+    machine (tree or ring sweep).  The associative processor overrides
+    this with its constant-time hardware (see :mod:`repro.ap`).
+    """
+
+    cycles: Dict[Op, float] = field(
+        default_factory=lambda: {
+            Op.ALU: 1.0,
+            Op.MUL: 2.0,
+            Op.SPECIAL: 16.0,
+            Op.MEM: 2.0,
+            Op.SCALAR: 1.0,
+            Op.BROADCAST: 2.0,
+            Op.MASK: 1.0,
+        }
+    )
+    reduction_base: float = 4.0
+    reduction_per_level: float = 2.0
+
+    def of(self, op: Op) -> float:
+        return self.cycles[op]
+
+
+DEFAULT_COSTS = CostTable()

@@ -1,0 +1,53 @@
+"""Inter-PE network models.
+
+The ClearSpeed CSX600 connects its 96 PEs in a ring ("swazzle" path);
+data rearrangement costs one cycle per hop per word.  The ATM tasks of
+the paper barely use inter-PE communication (broadcast and reductions
+cover them), but the load/unload of the flight table and the radar-frame
+distribution go through the network, so the model charges them.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = ["RingNetwork"]
+
+
+@dataclass(frozen=True)
+class RingNetwork:
+    """A unidirectional ring of ``n_pes`` processing elements."""
+
+    n_pes: int
+    cycles_per_hop: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.n_pes <= 0:
+            raise ValueError("ring needs at least one PE")
+        if self.cycles_per_hop <= 0:
+            raise ValueError("hop cost must be positive")
+
+    def shift_cycles(self, distance: int, words: int = 1) -> float:
+        """Cycles to shift ``words`` values by ``distance`` positions.
+
+        Distance wraps around the ring; shifting by 0 is free.
+        """
+        hops = distance % self.n_pes
+        return self.cycles_per_hop * hops * words
+
+    def distribute_cycles(self, n_elements: int) -> float:
+        """Cycles to stream ``n_elements`` values in from the edge.
+
+        The array fills like a shift register: one element enters per
+        cycle, so a full load of e elements over p PEs costs
+        ``ceil(e / p)`` stripes of p hops each.
+        """
+        if n_elements < 0:
+            raise ValueError("negative element count")
+        stripes = math.ceil(n_elements / self.n_pes)
+        return self.cycles_per_hop * stripes * self.n_pes
+
+    def gather_cycles(self, n_elements: int) -> float:
+        """Cycles to stream ``n_elements`` values out to the edge."""
+        return self.distribute_cycles(n_elements)

@@ -1,0 +1,98 @@
+"""The PE array: striping, masking and the cycle ledger.
+
+:class:`PEArray` is the accounting heart of both the plain-SIMD and the
+associative backends.  It does not hold data (the functional results
+come from the shared :mod:`repro.core` algorithms); it charges cycles
+for the synchronous instruction stream a SIMD execution of those
+algorithms issues.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from .instructions import DEFAULT_COSTS, CostTable, Op
+
+__all__ = ["PEArray"]
+
+
+@dataclass
+class PEArray:
+    """A synchronous array of ``n_pes`` processing elements.
+
+    Parameters
+    ----------
+    n_pes:
+        Physical PE count.
+    n_elements:
+        Data-set size mapped onto the array (aircraft or radar count);
+        sets the virtual-PE striping factor.
+    costs:
+        Cycle cost table.
+    """
+
+    n_pes: int
+    n_elements: int
+    costs: CostTable = field(default_factory=lambda: DEFAULT_COSTS)
+
+    #: accumulated machine cycles.
+    cycles: float = 0.0
+    #: accumulated counts per phase, for reporting.
+    vector_instructions: int = 0
+    scalar_instructions: int = 0
+    reductions: int = 0
+
+    def __post_init__(self) -> None:
+        if self.n_pes <= 0:
+            raise ValueError("need at least one PE")
+        if self.n_elements <= 0:
+            raise ValueError("need at least one element")
+
+    @property
+    def stripe(self) -> int:
+        """Virtual-PE factor: instruction replays per vector op."""
+        return math.ceil(self.n_elements / self.n_pes)
+
+    # ------------------------------------------------------------------
+    # charging
+    # ------------------------------------------------------------------
+
+    def vector(self, op: Op, count: float = 1.0) -> None:
+        """``count`` vector instructions over the whole (striped) array."""
+        if count < 0:
+            raise ValueError("negative instruction count")
+        self.cycles += self.costs.of(op) * count * self.stripe
+        self.vector_instructions += int(count)
+
+    def scalar(self, op: Op = Op.SCALAR, count: float = 1.0) -> None:
+        """Control-unit work; independent of the array size."""
+        if count < 0:
+            raise ValueError("negative instruction count")
+        self.cycles += self.costs.of(op) * count
+        self.scalar_instructions += int(count)
+
+    def broadcast(self, words: float = 1.0) -> None:
+        """Broadcast ``words`` values from the control unit to all PEs."""
+        self.cycles += self.costs.of(Op.BROADCAST) * words
+        self.vector_instructions += int(words)
+
+    def reduce(self, count: float = 1.0) -> None:
+        """Global AND/OR/min/max over the array (tree of depth log2 PEs).
+
+        Striping adds a local pre-reduction pass over each PE's stripe.
+        """
+        levels = max(1.0, math.ceil(math.log2(self.n_pes)))
+        per = (
+            self.costs.reduction_base
+            + self.costs.reduction_per_level * levels
+            + self.costs.of(Op.ALU) * (self.stripe - 1)
+        )
+        self.cycles += per * count
+        self.reductions += int(count)
+
+    def seconds(self, clock_hz: float) -> float:
+        """Convert the accumulated cycles to seconds."""
+        if clock_hz <= 0:
+            raise ValueError("clock must be positive")
+        return self.cycles / clock_hz

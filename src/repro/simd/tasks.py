@@ -1,0 +1,126 @@
+"""SIMD-style cost replay of the three ATM tasks.
+
+The structure follows the associative algorithms of Yuan/Baker [12, 13]
+as executed on a *plain* SIMD machine (the ClearSpeed emulation): a
+sequential control-unit loop whose body is a fixed bundle of vector
+instructions over the whole PE array.
+
+* Task 1: one loop iteration per *unmatched radar report* per round —
+  broadcast the report, gate-test every aircraft in parallel, find the
+  responders with a global reduction;
+* Task 2: one loop iteration per aircraft — broadcast its track, run the
+  Batcher interval equations on every PE in parallel, min-reduce the
+  earliest conflict time;
+* Task 3: one loop iteration per attempted trial heading — broadcast the
+  rotated trial, re-run the parallel check, reduce.
+
+Each vector instruction is multiplied by the virtual-PE stripe factor
+``ceil(n / n_pes)``, which is what bends the 96-PE ClearSpeed curve away
+from the ideal one-aircraft-per-PE line the STARAN model follows.
+"""
+
+from __future__ import annotations
+
+from ..core.collision import DetectionStats
+from ..core.resolution import ResolutionStats
+from ..core.tracking import TrackingStats
+from .clearspeed import SimdConfig
+from .instructions import Op
+from .pe_array import PEArray
+
+__all__ = ["charge_task1", "charge_task23", "charge_setup"]
+
+# Task 1 per-iteration vector bundle.
+_T1_GATE_ALU = 10
+_T1_UPDATE_OPS = 4
+_T1_REDUCTIONS = 2
+_T1_SCALAR = 4
+# Task 1 parallel prologue/epilogue (expected positions, commit).
+_T1_EDGE_OPS = 10
+
+# Task 2 per-iteration vector bundle (Eqs. 1-6 + altitude gate + masks).
+_T2_ALU = 25
+_T2_SPECIAL = 4
+_T2_UPDATE_OPS = 4
+_T2_REDUCTIONS = 2
+_T2_SCALAR = 4
+_T2_BROADCAST_WORDS = 5
+
+# Task 3 per-trial extras on top of a Task-2-shaped check.
+_T3_SCALAR = 12
+_T3_SCALAR_SPECIAL = 2
+
+# SetupFlight: fully parallel, one bundle.
+_SETUP_OPS = 140
+_SETUP_SPECIAL = 1
+
+
+def charge_task1(config: SimdConfig, n_aircraft: int, stats: TrackingStats) -> PEArray:
+    """Cycle ledger for one Task-1 execution on the SIMD machine."""
+    pe = PEArray(config.n_pes, n_aircraft, config.costs)
+
+    # Load the shuffled radar frame into the array edge-on.
+    pe.cycles += config.network.distribute_cycles(
+        stats.round_radar_ids[0].shape[0] if stats.round_radar_ids else n_aircraft
+    )
+
+    # Parallel prologue: expected positions, rMatch reset.
+    pe.vector(Op.ALU, _T1_EDGE_OPS)
+    pe.vector(Op.MEM, 4)
+
+    for round_no in range(stats.rounds_executed):
+        active_radars = int(stats.round_radar_ids[round_no].shape[0])
+        for_count = active_radars
+        pe.scalar(Op.SCALAR, _T1_SCALAR * for_count)
+        pe.broadcast(2 * for_count)  # rx, ry
+        pe.vector(Op.ALU, _T1_GATE_ALU * for_count)
+        pe.vector(Op.MASK, 2 * for_count)
+        pe.reduce(_T1_REDUCTIONS * for_count)
+        pe.vector(Op.MEM, _T1_UPDATE_OPS * for_count)
+
+    # Commit: take radar position where uniquely matched.
+    pe.vector(Op.ALU, _T1_EDGE_OPS)
+    pe.vector(Op.MEM, 4)
+    return pe
+
+
+def charge_task23(
+    config: SimdConfig,
+    n_aircraft: int,
+    det: DetectionStats,
+    res: ResolutionStats,
+) -> PEArray:
+    """Cycle ledger for one fused Task-2+3 execution."""
+    pe = PEArray(config.n_pes, n_aircraft, config.costs)
+
+    # Detection: one sequential step per aircraft.
+    steps = n_aircraft
+    pe.scalar(Op.SCALAR, _T2_SCALAR * steps)
+    pe.broadcast(_T2_BROADCAST_WORDS * steps)
+    pe.vector(Op.ALU, _T2_ALU * steps)
+    pe.vector(Op.SPECIAL, _T2_SPECIAL * steps)
+    pe.vector(Op.MASK, 2 * steps)
+    pe.reduce(_T2_REDUCTIONS * steps)
+    pe.vector(Op.MEM, _T2_UPDATE_OPS * steps)
+
+    # Resolution: each attempted trial replays a broadcast + parallel
+    # check + reduction, plus scalar manoeuvre work on the control unit.
+    trials = res.trials_evaluated
+    pe.scalar(Op.SCALAR, _T3_SCALAR * trials)
+    pe.scalar(Op.SPECIAL, _T3_SCALAR_SPECIAL * trials)
+    pe.broadcast(_T2_BROADCAST_WORDS * trials)
+    pe.vector(Op.ALU, _T2_ALU * trials)
+    pe.vector(Op.SPECIAL, _T2_SPECIAL * trials)
+    pe.reduce(1 * trials)
+    pe.vector(Op.MEM, 2 * trials)
+    return pe
+
+
+def charge_setup(config: SimdConfig, n_aircraft: int) -> PEArray:
+    """Cycle ledger for the one-time SetupFlight initialisation."""
+    pe = PEArray(config.n_pes, n_aircraft, config.costs)
+    pe.vector(Op.ALU, _SETUP_OPS)
+    pe.vector(Op.SPECIAL, _SETUP_SPECIAL)
+    pe.vector(Op.MEM, 7)
+    pe.cycles += config.network.distribute_cycles(n_aircraft)
+    return pe

@@ -1,0 +1,20 @@
+"""Wide-vector commodity processor models (paper §7.2 future work)."""
+
+from ..backends.registry import register_backend
+from .backend import VectorBackend
+from .machine import AVX512_WORKSTATION, XEON_PHI_7250, VectorConfig
+
+__all__ = [
+    "VectorBackend",
+    "AVX512_WORKSTATION",
+    "XEON_PHI_7250",
+    "VectorConfig",
+]
+
+
+def _register() -> None:
+    for cfg in (XEON_PHI_7250, AVX512_WORKSTATION):
+        register_backend(cfg.registry_name, lambda cfg=cfg: VectorBackend(cfg))
+
+
+_register()

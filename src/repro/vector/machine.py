@@ -1,0 +1,95 @@
+"""Wide-vector commodity processors (the paper's §7.2 future work).
+
+"Recently, there is a renewed interest in exploring SIMDization through
+increasingly wide vector units on commodity processors and accelerators
+(such as Intel's Xeon Phi) [8, 9].  We would like to build up on this
+work and implement the basic ATM tasks ... in these commodity processors
+that provide efficient, vector-based parallel computation."
+
+This package does that: a *short-SIMD* machine model — several CPU cores
+each driving 512-bit vector units with mask registers — sitting between
+the fully synchronous SIMD array and the fully asynchronous multi-core:
+
+* within a vector group, execution is SIMD: a masked lane still costs
+  its slot, and a group whose *any* lane takes a branch pays the branch
+  (AVX-512 masking semantics — the analogue of warp divergence);
+* across cores, the parallel loops are statically scheduled (OpenMP
+  ``schedule(static)``): no shared work queue, no per-record locking —
+  the flight table is partitioned, so the timing is *deterministic* up
+  to a fixed barrier cost per parallel region.  This is the design
+  point the paper's §7.2 hopes recovers SIMD predictability on
+  commodity parts.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = ["VectorConfig", "XEON_PHI_7250", "AVX512_WORKSTATION"]
+
+
+@dataclass(frozen=True)
+class VectorConfig:
+    """Static description of a wide-vector multi-core processor."""
+
+    name: str
+    key: str
+    #: physical cores devoted to the ATM tasks.
+    n_cores: int
+    #: float64 lanes retired per core per cycle (vector width x VPUs).
+    lanes_per_core: int
+    clock_hz: float
+    #: sustained memory bandwidth, GB/s.
+    mem_bandwidth_gbs: float
+    #: cost of one fork/join barrier across the cores, seconds.
+    region_overhead_s: float
+    #: issue-cost multiplier for divisions/sqrt relative to a simple op.
+    special_op_factor: float
+
+    @property
+    def registry_name(self) -> str:
+        return f"vector:{self.key}"
+
+    @property
+    def peak_lane_ops_per_s(self) -> float:
+        return self.n_cores * self.lanes_per_core * self.clock_hz
+
+    def vector_seconds(self, lane_ops: float) -> float:
+        """Time to retire ``lane_ops`` weighted lane-operations."""
+        if lane_ops < 0:
+            raise ValueError("negative op count")
+        return lane_ops / self.peak_lane_ops_per_s
+
+    def stream_seconds(self, n_bytes: float) -> float:
+        """Time to stream ``n_bytes`` from memory."""
+        if n_bytes < 0:
+            raise ValueError("negative byte count")
+        return n_bytes / (self.mem_bandwidth_gbs * 1e9)
+
+    def groups(self, n: int) -> int:
+        """Vector groups needed for ``n`` elements on one pass."""
+        return math.ceil(n / self.lanes_per_core)
+
+
+XEON_PHI_7250 = VectorConfig(
+    name="Intel Xeon Phi 7250 (68 cores, 2x AVX-512)",
+    key="xeon-phi-7250",
+    n_cores=68,
+    lanes_per_core=16,  # two 512-bit VPUs x 8 float64 lanes
+    clock_hz=1.4e9,
+    mem_bandwidth_gbs=400.0,  # MCDRAM
+    region_overhead_s=8e-6,  # barrier across 68 cores
+    special_op_factor=6.0,
+)
+
+AVX512_WORKSTATION = VectorConfig(
+    name="AVX-512 workstation (16 cores)",
+    key="avx512-16c",
+    n_cores=16,
+    lanes_per_core=8,  # one 512-bit FMA pipe x 8 float64 lanes
+    clock_hz=3.0e9,
+    mem_bandwidth_gbs=80.0,
+    region_overhead_s=3e-6,
+    special_op_factor=4.0,
+)

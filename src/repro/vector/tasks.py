@@ -1,0 +1,154 @@
+"""Vectorized ATM task cost models for wide-vector processors.
+
+The loop structures match the CUDA kernels (they are the natural
+data-parallel formulations); the cost semantics differ in two ways:
+
+* the "divergence" unit is the vector group (8/16 float64 lanes under an
+  AVX-512 mask register) rather than the 32-lane warp;
+* cross-core scheduling is static — each parallel region costs one
+  barrier, never a lock.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..core import constants as C
+from ..core.collision import DetectionStats
+from ..core.resolution import ResolutionStats
+from ..core.tracking import TrackingStats
+from .machine import VectorConfig
+
+__all__ = ["group_any_counts", "task1_lane_ops", "task23_cost", "charge_task1", "charge_task23"]
+
+# per-element op weights (shared with the other models' granularity)
+_GATE_OPS = 10
+_SCAN_OPS = 3
+_INTERVAL_OPS = 26
+_INTERVAL_DIVS = 4
+_BOOKKEEPING_OPS = 8
+_EDGE_OPS = 20
+_SWEEP_BYTES_PER_AIRCRAFT = 40
+
+
+def group_any_counts(values: np.ndarray, width: int, threshold: float) -> np.ndarray:
+    """Per-vector-group deep-path iteration counts.
+
+    Group ``g`` (lanes ``g*width .. g*width+width-1`` of ``values``)
+    executes the deep path for element ``p`` when any of its lanes is
+    within ``threshold`` of ``values[p]`` — AVX-512 mask semantics, the
+    16-lane analogue of :func:`repro.cuda.kernels.check_collision.
+    altitude_pass_counts`.
+    """
+    n = values.shape[0]
+    n_groups = math.ceil(n / width)
+    padded = np.full(n_groups * width, np.inf)
+    padded[:n] = values
+    lanes = padded.reshape(n_groups, width)
+
+    counts = np.zeros(n_groups, dtype=np.int64)
+    chunk = max(1, 2**22 // max(n_groups * width, 1))
+    for lo in range(0, n, chunk):
+        hi = min(lo + chunk, n)
+        near = np.abs(lanes[:, :, None] - values[None, None, lo:hi]) < threshold
+        counts += near.any(axis=1).sum(axis=1)
+    return counts
+
+
+def task1_lane_ops(config: VectorConfig, n: int, stats: TrackingStats) -> float:
+    """Weighted lane-operations of one Task-1 pass.
+
+    Thread-per-radar structure vectorized in groups: each group of
+    radars sweeps all aircraft; the ``rMatch[p]`` check is uniform
+    across the group, so only live planes pay the gate test.
+    """
+    width = config.lanes_per_core
+    lane_ops = 2.0 * _EDGE_OPS * n  # expected positions + commit, vectorized
+    for round_no in range(stats.rounds_executed):
+        active_radars = int(stats.round_radar_ids[round_no].shape[0])
+        groups = math.ceil(active_radars / width) if active_radars else 0
+        live = stats.round_active_planes[round_no]
+        # Each group sweeps all n (scan ops) and gates the live planes;
+        # a group costs its full width in lanes regardless of masking.
+        lane_ops += groups * width * (n * _SCAN_OPS + live * _GATE_OPS)
+        lane_ops += stats.candidate_pairs[round_no] * _BOOKKEEPING_OPS * 4.0
+    return lane_ops
+
+
+def charge_task1(config: VectorConfig, n: int, stats: TrackingStats):
+    """(seconds, breakdown dict) of one Task-1 pass."""
+    compute = config.vector_seconds(task1_lane_ops(config, n, stats))
+    stream = config.stream_seconds(
+        n * 17.0 * stats.rounds_executed  # expected x/y + rMatch per sweep
+    )
+    regions = 2 + stats.rounds_executed  # init, rounds, commit
+    overhead = regions * config.region_overhead_s
+    return max(compute, stream) + overhead, {
+        "compute_s": compute,
+        "stream_s": stream,
+        "overhead_s": overhead,
+        "rounds": stats.rounds_executed,
+    }
+
+
+def task23_cost(
+    config: VectorConfig,
+    alt: np.ndarray,
+    det: DetectionStats,
+    res: ResolutionStats,
+):
+    """Weighted lane-ops and stream bytes of one fused Task-2+3 pass."""
+    n = alt.shape[0]
+    width = config.lanes_per_core
+    attempts = res.attempts if res.attempts.shape[0] == n else np.zeros(n, np.int64)
+
+    groups = math.ceil(n / width)
+    # First sweep: every group sweeps all n; deep path where any lane is
+    # in the altitude band.
+    deep_first = group_any_counts(alt, width, C.ALTITUDE_SEPARATION_FT)
+    lane_ops = float(groups * width * n * _SCAN_OPS)
+    lane_ops += float(
+        deep_first.sum() * width * (_INTERVAL_OPS + _INTERVAL_DIVS * config.special_op_factor)
+    )
+    # Re-sweeps: a resolving aircraft re-checks its trial heading against
+    # the whole table — that inner sweep is itself perfectly
+    # vectorizable (one track against n-element vectors), so each
+    # attempt costs plain per-element lane-ops over its altitude band.
+    order = np.sort(alt)
+    lo = np.searchsorted(order, alt - C.ALTITUDE_SEPARATION_FT, "left")
+    hi = np.searchsorted(order, alt + C.ALTITUDE_SEPARATION_FT, "right")
+    band = (hi - lo - 1).astype(np.float64)
+    lane_ops += float(
+        (
+            attempts
+            * (n * _SCAN_OPS + band * (_INTERVAL_OPS + _INTERVAL_DIVS * config.special_op_factor))
+        ).sum()
+    )
+    lane_ops += float(attempts.sum()) * _BOOKKEEPING_OPS * 4.0
+    if det.critical_per_aircraft is not None and det.critical_per_aircraft.shape[0] == n:
+        lane_ops += float(det.critical_per_aircraft.sum()) * _BOOKKEEPING_OPS
+
+    sweeps = 1.0 + (float(attempts.mean()) if n else 0.0)
+    stream_bytes = n * _SWEEP_BYTES_PER_AIRCRAFT * sweeps
+    return lane_ops, stream_bytes
+
+
+def charge_task23(
+    config: VectorConfig,
+    alt: np.ndarray,
+    det: DetectionStats,
+    res: ResolutionStats,
+):
+    """(seconds, breakdown dict) of one fused Task-2+3 pass."""
+    lane_ops, stream_bytes = task23_cost(config, alt, det, res)
+    compute = config.vector_seconds(lane_ops)
+    stream = config.stream_seconds(stream_bytes)
+    overhead = 2 * config.region_overhead_s  # detect region + resolve region
+    return max(compute, stream) + overhead, {
+        "compute_s": compute,
+        "stream_s": stream,
+        "overhead_s": overhead,
+        "lane_ops": lane_ops,
+    }

@@ -1,0 +1,58 @@
+"""Unit tests for the ASCII chart renderer."""
+
+import pytest
+
+from repro.analysis.ascii_plot import ascii_chart
+
+
+class TestAsciiChart:
+    def test_contains_symbols_and_legend(self):
+        out = ascii_chart([96, 192], {"a": [1e-3, 2e-3], "b": [1e-2, 2e-2]})
+        assert "o=a" in out and "x=b" in out
+        assert "o" in out and "x" in out
+
+    def test_axis_labels(self):
+        out = ascii_chart([96, 192], {"a": [1.0, 10.0]})
+        assert "(aircraft)" in out
+        assert "96" in out and "192" in out
+
+    def test_log_ordering(self):
+        """The larger value renders on a higher row."""
+        out = ascii_chart([1, 2], {"a": [1e-6, 1e-1]}, height=10)
+        lines = out.splitlines()
+        rows = [i for i, ln in enumerate(lines) if "o" in ln and "|" in ln]
+        first, second = rows[0], rows[-1]
+        # Column of the second point is to the right and above (smaller
+        # row index) ... the 1e-1 point appears before the 1e-6 point.
+        assert lines[first].index("o") > lines[second].index("o") or first < second
+
+    def test_hline_rendered(self):
+        out = ascii_chart(
+            [1, 2], {"a": [0.1, 0.2]}, hline=0.5, hline_label="deadline"
+        )
+        assert "----" in out
+        assert "deadline" in out
+
+    def test_title(self):
+        out = ascii_chart([1], {"a": [1.0]}, title="hello")
+        assert out.splitlines()[0] == "hello"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ascii_chart([1, 2], {})
+        with pytest.raises(ValueError):
+            ascii_chart([1, 2], {"a": [1.0]})
+        with pytest.raises(ValueError):
+            ascii_chart([1], {"a": [0.0]})
+        with pytest.raises(ValueError):
+            ascii_chart([1], {"a": [1.0]}, height=2)
+
+    def test_constant_series(self):
+        out = ascii_chart([1, 2, 3], {"a": [5.0, 5.0, 5.0]})
+        assert "o" in out
+
+    def test_many_series_get_distinct_symbols(self):
+        series = {f"s{i}": [float(i + 1)] for i in range(6)}
+        out = ascii_chart([1], series)
+        for sym in "ox+*#@":
+            assert sym in out

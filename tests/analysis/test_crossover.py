@@ -1,0 +1,78 @@
+"""Unit tests for crossover analysis."""
+
+import pytest
+
+from repro.analysis.crossover import Crossover, find_crossovers, pairwise_crossovers
+
+
+class TestFindCrossovers:
+    def test_single_crossing(self):
+        ns = [100, 200, 300]
+        a = [1.0, 2.0, 3.0]  # linear, slower at scale
+        b = [2.0, 2.0, 2.0]  # flat
+        out = find_crossovers(ns, "a", a, "b", b)
+        assert len(out) == 1
+        assert out[0].n_aircraft == pytest.approx(200.0)
+        assert out[0].faster_after == "b"
+        assert out[0].seconds == pytest.approx(2.0)
+
+    def test_no_crossing(self):
+        out = find_crossovers([1, 2, 3], "a", [1, 2, 3], "b", [4, 5, 6])
+        assert out == []
+
+    def test_interpolated_position(self):
+        # a: 1 -> 3, b: 2 -> 2 over [0, 100]: crossing at x = 50.
+        out = find_crossovers([0, 100], "a", [1.0, 3.0], "b", [2.0, 2.0])
+        assert out[0].n_aircraft == pytest.approx(50.0)
+
+    def test_multiple_crossings(self):
+        ns = [0, 1, 2, 3]
+        a = [0.0, 2.0, 0.0, 2.0]
+        b = [1.0, 1.0, 1.0, 1.0]
+        out = find_crossovers(ns, "a", a, "b", b)
+        assert len(out) == 3
+        winners = [c.faster_after for c in out]
+        assert winners == ["b", "a", "b"]
+
+    def test_identical_series(self):
+        out = find_crossovers([1, 2], "a", [1.0, 1.0], "b", [1.0, 1.0])
+        assert out == []
+
+    def test_length_validation(self):
+        with pytest.raises(ValueError):
+            find_crossovers([1, 2], "a", [1.0], "b", [1.0, 2.0])
+
+    def test_single_point(self):
+        assert find_crossovers([1], "a", [1.0], "b", [2.0]) == []
+
+
+class TestPairwise:
+    def test_sorted_by_fleet_size(self):
+        ns = [0, 100]
+        series = {
+            "slow_flat": [3.0, 3.0],
+            "fast_then_slow": [1.0, 5.0],
+            "very_flat": [4.0, 4.0],
+        }
+        out = pairwise_crossovers(ns, series)
+        positions = [c.n_aircraft for c in out]
+        assert positions == sorted(positions)
+        assert len(out) == 2  # fast_then_slow crosses both flats
+
+    def test_real_sweep_has_gpu_vs_simd_crossover(self):
+        """The launch-overhead regime: at n=96 the 9800 GT and the
+        ClearSpeed chip are neck and neck on Tasks 2+3; by n>=480 the
+        GPU has pulled away for good."""
+        from repro.harness.sweep import sweep
+
+        data = sweep(
+            ["cuda:geforce-9800-gt", "simd:clearspeed-csx600"],
+            ns=(96, 480, 960),
+            periods=1,
+        )
+        series = {
+            p: data.task23_series(p) for p in data.platforms()
+        }
+        out = pairwise_crossovers(data.ns, series)
+        for c in out:
+            assert c.faster_after == "cuda:geforce-9800-gt"

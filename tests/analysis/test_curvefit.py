@@ -1,0 +1,132 @@
+"""Unit tests for curve fitting and the goodness-of-fit statistics."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.curvefit import (
+    assess_linearity,
+    growth_exponent,
+    polynomial_fit,
+)
+
+
+class TestPolynomialFit:
+    def test_exact_linear(self):
+        x = np.arange(1, 11, dtype=float)
+        y = 3.0 * x + 2.0
+        fit = polynomial_fit(x, y, 1)
+        assert fit.coefficients[0] == pytest.approx(3.0)
+        assert fit.coefficients[1] == pytest.approx(2.0)
+        assert fit.sse == pytest.approx(0.0, abs=1e-18)
+        assert fit.r_squared == pytest.approx(1.0)
+        assert fit.rmse == pytest.approx(0.0, abs=1e-9)
+
+    def test_exact_quadratic(self):
+        x = np.arange(1, 11, dtype=float)
+        y = 0.5 * x**2 - x + 4
+        fit = polynomial_fit(x, y, 2)
+        assert fit.coefficients[0] == pytest.approx(0.5)
+        assert fit.r_squared == pytest.approx(1.0)
+
+    def test_r_squared_identity(self):
+        rng = np.random.default_rng(1)
+        x = np.linspace(1, 10, 20)
+        y = 2 * x + rng.normal(0, 0.5, 20)
+        fit = polynomial_fit(x, y, 1)
+        sst = float(np.sum((y - y.mean()) ** 2))
+        assert fit.r_squared == pytest.approx(1 - fit.sse / sst)
+
+    def test_adjusted_r_squared_formula(self):
+        rng = np.random.default_rng(2)
+        x = np.linspace(1, 10, 15)
+        y = x + rng.normal(0, 0.3, 15)
+        fit = polynomial_fit(x, y, 2)
+        n, p = 15, 3
+        expected = 1 - (1 - fit.r_squared) * (n - 1) / (n - p)
+        assert fit.adj_r_squared == pytest.approx(expected)
+
+    def test_rmse_formula(self):
+        rng = np.random.default_rng(3)
+        x = np.linspace(1, 10, 12)
+        y = x + rng.normal(0, 0.2, 12)
+        fit = polynomial_fit(x, y, 1)
+        assert fit.rmse == pytest.approx(np.sqrt(fit.sse / (12 - 2)))
+
+    def test_predict(self):
+        fit = polynomial_fit([1.0, 2.0, 3.0, 4.0], [2.0, 4.0, 6.0, 8.0], 1)
+        assert fit.predict(10.0) == pytest.approx(20.0)
+
+    def test_needs_enough_points(self):
+        with pytest.raises(ValueError):
+            polynomial_fit([1.0, 2.0], [1.0, 2.0], 1)
+        with pytest.raises(ValueError):
+            polynomial_fit([1, 2, 3], [1, 2, 3], 2)
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            polynomial_fit([1, 2, 3], [1, 2], 1)
+
+    def test_negative_degree(self):
+        with pytest.raises(ValueError):
+            polynomial_fit([1, 2, 3], [1, 2, 3], -1)
+
+    def test_describe_contains_gof(self):
+        fit = polynomial_fit(np.arange(1.0, 9.0), np.arange(1.0, 9.0) * 2, 1)
+        text = fit.describe()
+        assert "SSE" in text and "adjR^2" in text and "RMSE" in text
+
+
+class TestGrowthExponent:
+    def test_exact_power_laws(self):
+        x = np.array([96, 192, 384, 768, 1536], dtype=float)
+        assert growth_exponent(x, 5 * x) == pytest.approx(1.0)
+        assert growth_exponent(x, 2 * x**2) == pytest.approx(2.0)
+        assert growth_exponent(x, 7 * np.sqrt(x)) == pytest.approx(0.5)
+
+    def test_constant_reads_zero(self):
+        x = np.array([10.0, 100.0, 1000.0])
+        assert growth_exponent(x, np.full(3, 4.0)) == pytest.approx(0.0)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            growth_exponent([0.0, 1.0], [1.0, 2.0])
+        with pytest.raises(ValueError):
+            growth_exponent([1.0, 2.0], [0.0, 2.0])
+
+
+class TestAssessLinearity:
+    X = np.array([96, 480, 960, 1920, 3840], dtype=float)
+
+    def test_pure_linear(self):
+        v = assess_linearity(self.X, 2e-6 * self.X + 1e-4)
+        assert v.verdict == "linear"
+        assert v.is_simd_like
+
+    def test_pure_quadratic(self):
+        v = assess_linearity(self.X, 1e-9 * self.X**2)
+        assert v.verdict == "quadratic"
+        assert v.is_simd_like  # "quadratic with small coefficient" counts
+
+    def test_cubic_is_superquadratic(self):
+        v = assess_linearity(self.X, 1e-12 * self.X**3)
+        assert v.verdict == "superquadratic"
+        assert not v.is_simd_like
+
+    def test_overhead_dominated_is_linear(self):
+        # Constant + small linear term: sub-linear growth exponent.
+        v = assess_linearity(self.X, 1e-5 + 1e-9 * self.X)
+        assert v.verdict == "linear"
+
+    def test_mild_quadratic_is_near_linear(self):
+        # Linear with a small quadratic bend (the paper's Fig. 8 shape).
+        y = 1e-6 * self.X + 4e-11 * self.X**2
+        v = assess_linearity(self.X, y)
+        assert v.verdict in ("linear", "near-linear")
+
+    def test_exponent_recorded(self):
+        v = assess_linearity(self.X, 2.0 * self.X)
+        assert v.growth_exponent == pytest.approx(1.0)
+
+    def test_describe(self):
+        v = assess_linearity(self.X, 2.0 * self.X)
+        assert "verdict" in v.describe()

@@ -1,0 +1,75 @@
+"""Unit tests for deadline reports."""
+
+import pytest
+
+from repro.analysis.deadlines import DeadlineReport, DeadlineRow
+from repro.core import constants as C
+
+
+def row(platform, n, missed, worst_ms=10.0, periods=16, skipped=0):
+    return DeadlineRow(
+        platform=platform,
+        n_aircraft=n,
+        periods=periods,
+        missed=missed,
+        skipped=skipped,
+        miss_rate=missed / periods,
+        worst_period_ms=worst_ms,
+        mean_utilization=0.1,
+    )
+
+
+@pytest.fixture
+def report():
+    return DeadlineReport(
+        rows=[
+            row("gpu", 96, 0),
+            row("gpu", 960, 0),
+            row("xeon", 96, 0),
+            row("xeon", 960, 3, worst_ms=800.0),
+        ]
+    )
+
+
+class TestDeadlineReport:
+    def test_never_missing(self, report):
+        assert report.platforms_never_missing() == ["gpu"]
+
+    def test_missing(self, report):
+        assert report.platforms_missing() == ["xeon"]
+
+    def test_first_miss_n(self, report):
+        assert report.first_miss_n("xeon") == 960
+        assert report.first_miss_n("gpu") is None
+
+    def test_headroom(self, report):
+        budget_ms = C.PERIOD_SECONDS * 1e3
+        assert report.headroom("gpu") == pytest.approx(budget_ms - 10.0)
+        assert report.headroom("xeon") < 0
+
+    def test_headroom_unknown_platform(self, report):
+        with pytest.raises(KeyError):
+            report.headroom("cray")
+
+    def test_summary_lines(self, report):
+        lines = report.summary_lines()
+        assert any("gpu" in ln and "0/32" in ln for ln in lines)
+        assert any("xeon" in ln and "3/32" in ln for ln in lines)
+
+    def test_by_platform_grouping(self, report):
+        groups = report.by_platform()
+        assert set(groups) == {"gpu", "xeon"}
+        assert len(groups["gpu"]) == 2
+
+
+class TestFromSchedule:
+    def test_round_trip(self):
+        from repro.backends.reference import ReferenceBackend
+        from repro.core.scheduler import run_schedule
+        from repro.core.setup import setup_flight
+
+        result = run_schedule(ReferenceBackend(), setup_flight(32, 1))
+        r = DeadlineRow.from_schedule(result)
+        assert r.platform == "reference"
+        assert r.periods == 16
+        assert r.never_misses

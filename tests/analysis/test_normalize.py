@@ -1,0 +1,51 @@
+"""Unit tests for throughput normalization (§7.2 future work)."""
+
+import pytest
+
+from repro.analysis.normalize import (
+    efficiency_ranking,
+    normalize_times,
+)
+
+
+class TestNormalizeTimes:
+    def test_scaling_formula(self):
+        s = normalize_times("fast", [96, 192], [1.0, 2.0], 4e12, 2e12)
+        # A platform with 2x the reference peak gets its time doubled.
+        assert s.normalized_seconds == (2.0, 4.0)
+        assert s.raw_seconds == (1.0, 2.0)
+
+    def test_reference_platform_unchanged(self):
+        s = normalize_times("ref", [96], [1.0], 1e9, 1e9)
+        assert s.normalized_seconds == (1.0,)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            normalize_times("x", [96], [1.0], 0.0, 1e9)
+        with pytest.raises(ValueError):
+            normalize_times("x", [96], [1.0], 1e9, -1.0)
+        with pytest.raises(ValueError):
+            normalize_times("x", [96, 192], [1.0], 1e9, 1e9)
+
+
+class TestEfficiencyRanking:
+    def test_orders_by_normalized_mean(self):
+        # "big" is faster raw but burns 100x the peak throughput.
+        big = normalize_times("big", [96, 192], [0.1, 0.2], 1e14, 1e12)
+        small = normalize_times("small", [96, 192], [1.0, 2.0], 1e12, 1e12)
+        assert efficiency_ranking([big, small]) == ["small", "big"]
+
+    def test_empty(self):
+        assert efficiency_ranking([]) == []
+
+    def test_disjoint_sizes_rejected(self):
+        a = normalize_times("a", [96], [1.0], 1e9, 1e9)
+        b = normalize_times("b", [192], [1.0], 1e9, 1e9)
+        with pytest.raises(ValueError):
+            efficiency_ranking([a, b])
+
+    def test_partial_overlap_uses_common_sizes(self):
+        a = normalize_times("a", [96, 192], [1.0, 100.0], 1e9, 1e9)
+        b = normalize_times("b", [96, 384], [2.0, 0.001], 1e9, 1e9)
+        # Common size is 96 only: a (1.0) beats b (2.0).
+        assert efficiency_ranking([a, b]) == ["a", "b"]

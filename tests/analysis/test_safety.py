@@ -1,0 +1,109 @@
+"""Unit tests for the separation-minima safety metrics."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.safety import (
+    HORIZONTAL_MINIMUM_NM,
+    VERTICAL_MINIMUM_FT,
+    SafetyLog,
+    separation_snapshot,
+)
+from repro.core.types import FleetState
+
+
+def fleet_at(points_alt):
+    f = FleetState.empty(len(points_alt))
+    for i, (x, y, alt) in enumerate(points_alt):
+        f.x[i], f.y[i], f.alt[i] = x, y, alt
+    return f
+
+
+class TestSeparationSnapshot:
+    def test_well_separated(self):
+        f = fleet_at([(0, 0, 10_000), (50, 0, 10_000), (0, 50, 10_000)])
+        snap = separation_snapshot(f)
+        assert snap.losses == 0
+        assert snap.min_horizontal_nm == pytest.approx(50.0)
+        assert snap.near_pairs == 0
+
+    def test_loss_of_separation(self):
+        f = fleet_at([(0, 0, 10_000), (2.0, 0, 10_500)])
+        snap = separation_snapshot(f)
+        assert snap.losses == 1
+        assert snap.min_horizontal_nm == pytest.approx(2.0)
+
+    def test_vertical_separation_prevents_loss(self):
+        f = fleet_at([(0, 0, 10_000), (1.0, 0, 12_000)])
+        snap = separation_snapshot(f)
+        assert snap.losses == 0
+        assert snap.min_horizontal_nm == np.inf  # no vertically-close pair
+
+    def test_boundaries(self):
+        # Exactly at the horizontal minimum: not a loss (strict <).
+        f = fleet_at([(0, 0, 10_000), (HORIZONTAL_MINIMUM_NM, 0, 10_000)])
+        assert separation_snapshot(f).losses == 0
+        # Exactly at the vertical minimum: vertically separated.
+        f = fleet_at([(0, 0, 10_000), (0.1, 0, 10_000 + VERTICAL_MINIMUM_FT)])
+        assert separation_snapshot(f).losses == 0
+
+    def test_near_pairs(self):
+        f = fleet_at([(0, 0, 10_000), (4.0, 0, 10_000)])  # 4 nm < 2x minimum
+        snap = separation_snapshot(f)
+        assert snap.losses == 0
+        assert snap.near_pairs == 1
+
+    def test_pairs_counted_once(self):
+        f = fleet_at([(0, 0, 10_000), (1, 0, 10_000), (0, 1, 10_000)])
+        snap = separation_snapshot(f)
+        assert snap.losses == 3  # the three unordered pairs
+
+    def test_chunking_invariance(self):
+        from repro.core.setup import setup_flight
+
+        f = setup_flight(300, 2018)
+        a = separation_snapshot(f, chunk=512)
+        b = separation_snapshot(f, chunk=7)
+        assert a == b
+
+    def test_single_aircraft(self):
+        f = fleet_at([(0, 0, 10_000)])
+        snap = separation_snapshot(f)
+        assert snap.losses == 0
+        assert snap.min_horizontal_nm == np.inf
+
+
+class TestSafetyLog:
+    def test_accumulates(self):
+        log = SafetyLog()
+        f = fleet_at([(0, 0, 10_000), (1.0, 0, 10_000)])
+        log.record(f)
+        f.x[1] = 50.0
+        log.record(f)
+        assert log.total_loss_events == 1
+        assert log.peak_losses == 1
+        assert log.worst_min_horizontal_nm == pytest.approx(1.0)
+        assert log.summary()["snapshots"] == 2
+
+    def test_empty_log(self):
+        log = SafetyLog()
+        assert log.total_loss_events == 0
+        assert log.peak_losses == 0
+        assert log.worst_min_horizontal_nm == np.inf
+
+
+class TestResolutionAblation:
+    def test_resolution_reduces_exposure(self):
+        """The headline safety result: Task 3 strictly reduces losses of
+        separation on the evolving random airfield (deterministic run)."""
+        from repro.harness.figures import ablation_resolution
+
+        table = ablation_resolution(n=480, major_cycles=4)
+        by_config = {r[0]: r for r in table.rows}
+        on_losses = by_config["resolution ON"][3]
+        off_losses = by_config["resolution OFF"][3]
+        assert on_losses < off_losses
+        # Worst separation can only improve (or stay) with resolution.
+        assert float(by_config["resolution ON"][5]) >= float(
+            by_config["resolution OFF"][5]
+        )

@@ -1,0 +1,51 @@
+"""Unit tests for text table rendering."""
+
+import pytest
+
+from repro.analysis.tables import format_seconds, render_series, render_table
+
+
+class TestFormatSeconds:
+    def test_scales(self):
+        assert format_seconds(0.0) == "0 s"
+        assert format_seconds(5e-9) == "5 ns"
+        assert format_seconds(5e-6) == "5 us"
+        assert format_seconds(5e-3) == "5 ms"
+        assert format_seconds(5.0) == "5 s"
+
+    def test_three_significant_digits(self):
+        assert format_seconds(1.23456e-3) == "1.23 ms"
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            format_seconds(-1.0)
+
+
+class TestRenderTable:
+    def test_alignment(self):
+        out = render_table(["a", "long_header"], [[1, 2], [333, 4]])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("a")
+        assert "long_header" in lines[0]
+        assert set(lines[1]) <= {"-", " "}
+
+    def test_cell_count_validation(self):
+        with pytest.raises(ValueError):
+            render_table(["a", "b"], [[1]])
+
+    def test_empty_rows(self):
+        out = render_table(["x"], [])
+        assert "x" in out
+
+
+class TestRenderSeries:
+    def test_contains_all_labels(self):
+        out = render_series("T", [96, 192], {"p1": [1e-3, 2e-3], "p2": [3e-3, 4e-3]})
+        assert "T" in out
+        assert "p1" in out and "p2" in out
+        assert "1 ms" in out and "4 ms" in out
+
+    def test_length_validation(self):
+        with pytest.raises(ValueError):
+            render_series("T", [96, 192], {"p": [1e-3]})

@@ -1,0 +1,111 @@
+"""Unit tests for the STARAN AP backend: linearity and equivalence."""
+
+import numpy as np
+import pytest
+
+from repro.ap.backend import ApBackend
+from repro.ap.staran import STARAN, STARAN_1972
+from repro.ap.tasks import charge_task1, charge_task23
+from repro.backends.reference import ReferenceBackend
+from repro.core.radar import generate_radar_frame
+from repro.core.setup import setup_flight
+from repro.core.tracking import correlate
+
+
+class TestConfig:
+    def test_registry_names(self):
+        assert STARAN.registry_name == "ap:staran"
+        assert ApBackend("staran-1972").config is STARAN_1972
+        with pytest.raises(KeyError):
+            ApBackend("staran-2030")
+
+    def test_1972_hardware_is_slower(self):
+        f1 = setup_flight(192, 2018)
+        f2 = setup_flight(192, 2018)
+        t_new = ApBackend(STARAN).detect_and_resolve(f1).seconds
+        t_old = ApBackend(STARAN_1972).detect_and_resolve(f2).seconds
+        assert t_old > t_new
+
+
+class TestEquivalence:
+    def test_matches_reference(self):
+        ref_fleet = setup_flight(130, 2018)
+        ap_fleet = setup_flight(130, 2018)
+        ref, ap = ReferenceBackend(), ApBackend()
+        for period in range(2):
+            ref.track_and_correlate(
+                ref_fleet, generate_radar_frame(ref_fleet, 2018, period)
+            )
+            ap.track_and_correlate(
+                ap_fleet, generate_radar_frame(ap_fleet, 2018, period)
+            )
+        ref.detect_and_resolve(ref_fleet)
+        ap.detect_and_resolve(ap_fleet)
+        assert ref_fleet.state_equal(ap_fleet)
+
+
+class TestLinearity:
+    def test_task1_cycles_linear_in_reports(self):
+        """The AP's headline property: per-report cost is a constant."""
+        per_report = []
+        for n in (100, 400, 1600):
+            fleet = setup_flight(n, 2018)
+            frame = generate_radar_frame(fleet, 2018, 0)
+            stats = correlate(fleet, frame)
+            ap = charge_task1(STARAN, n, stats)
+            iterations = sum(ids.shape[0] for ids in stats.round_radar_ids)
+            per_report.append(ap.cycles / iterations)
+        # Constant per-iteration cost (edges contribute O(1) total).
+        assert per_report[0] == pytest.approx(per_report[2], rel=0.05)
+
+    def test_task23_cycles_linear_in_steps(self):
+        from repro.core.resolution import detect_and_resolve
+
+        per_step = []
+        for n in (100, 400, 1600):
+            fleet = setup_flight(n, 2018)
+            det, res = detect_and_resolve(fleet)
+            ap = charge_task23(STARAN, n, det, res)
+            steps = n + res.trials_evaluated
+            per_step.append(ap.cycles / steps)
+        assert per_step[0] == pytest.approx(per_step[2], rel=0.1)
+
+    def test_timing_deterministic(self):
+        times = []
+        for _ in range(2):
+            fleet = setup_flight(96, 2018)
+            b = ApBackend()
+            frame = generate_radar_frame(fleet, 2018, 0)
+            times.append(
+                (
+                    b.track_and_correlate(fleet, frame).seconds,
+                    b.detect_and_resolve(fleet).seconds,
+                )
+            )
+        assert times[0] == times[1]
+
+    def test_meets_deadline_in_tested_range(self):
+        from repro.core import constants as C
+
+        fleet = setup_flight(3840, 2018)
+        b = ApBackend()
+        frame = generate_radar_frame(fleet, 2018, 0)
+        t1 = b.track_and_correlate(fleet, frame).seconds
+        t23 = b.detect_and_resolve(fleet).seconds
+        assert t1 + t23 < C.PERIOD_SECONDS
+
+
+class TestExtras:
+    def test_modules_reported(self):
+        fleet = setup_flight(600, 2018)
+        b = ApBackend()
+        t = b.detect_and_resolve(fleet)
+        assert t.stats["modules"] == 3  # ceil(600/256)
+
+    def test_setup_timing(self):
+        assert ApBackend().setup_timing(960).seconds > 0
+
+    def test_describe_and_peak(self):
+        b = ApBackend()
+        assert "associative" in b.describe()["kind"]
+        assert b.peak_throughput_ops_per_s() > 0

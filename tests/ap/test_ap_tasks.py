@@ -1,0 +1,70 @@
+"""Direct unit tests for the associative task cost replays."""
+
+import copy
+
+import pytest
+
+from repro.ap.staran import STARAN
+from repro.ap.tasks import charge_setup, charge_task1, charge_task23
+from repro.core.radar import generate_radar_frame
+from repro.core.resolution import detect_and_resolve
+from repro.core.setup import setup_flight
+from repro.core.tracking import correlate
+
+
+def tracked(n, seed=2018):
+    fleet = setup_flight(n, seed)
+    frame = generate_radar_frame(fleet, seed, 0)
+    return fleet, correlate(fleet, frame)
+
+
+class TestChargeTask1:
+    def test_constant_cost_per_report(self):
+        """The AP's defining property, asserted at the cycle level."""
+        per_iter = []
+        for n in (64, 256, 1024):
+            fleet, stats = tracked(n)
+            ap = charge_task1(STARAN, n, stats)
+            iters = sum(len(i) for i in stats.round_radar_ids)
+            per_iter.append(ap.cycles / iters)
+        assert per_iter[0] == pytest.approx(per_iter[-1], rel=0.05)
+
+    def test_counters(self):
+        fleet, stats = tracked(96)
+        ap = charge_task1(STARAN, 96, stats)
+        # One associative search per radar iteration.
+        iters = sum(len(i) for i in stats.round_radar_ids)
+        assert ap.searches == iters
+        assert ap.broadcasts >= 2 * iters
+
+
+class TestChargeTask23:
+    def test_step_count(self):
+        fleet = setup_flight(128, 2018)
+        det, res = detect_and_resolve(fleet)
+        ap = charge_task23(STARAN, 128, det, res)
+        # One global extremum per detection step and per trial.
+        assert ap.extrema == 128 + res.trials_evaluated
+
+    def test_trials_linear(self):
+        fleet = setup_flight(128, 2018)
+        det, res = detect_and_resolve(fleet)
+        base = charge_task23(STARAN, 128, det, res).cycles
+        res2 = copy.deepcopy(res)
+        res2.trials_evaluated += 128  # double the work roughly
+        more = charge_task23(STARAN, 128, det, res2).cycles
+        per_trial = (more - base) / 128
+        assert per_trial > 0
+        # Adding the same amount again costs exactly the same (linear).
+        res3 = copy.deepcopy(res2)
+        res3.trials_evaluated += 128
+        even_more = charge_task23(STARAN, 128, det, res3).cycles
+        assert even_more - more == pytest.approx(more - base)
+
+
+class TestChargeSetup:
+    def test_constant_in_fleet_size(self):
+        """Fully parallel initialisation: one record per PE."""
+        a = charge_setup(STARAN, 96).cycles
+        b = charge_setup(STARAN, 9600).cycles
+        assert a == b

@@ -1,0 +1,72 @@
+"""Unit tests for the associative-processor primitives."""
+
+import pytest
+
+from repro.ap.primitives import AssociativeArray, StaranCosts
+
+
+class TestSizing:
+    def test_one_module_up_to_256(self):
+        assert AssociativeArray(1).n_modules == 1
+        assert AssociativeArray(256).n_modules == 1
+        assert AssociativeArray(257).n_modules == 2
+
+    def test_fleet_sized_pes(self):
+        ap = AssociativeArray(1000)
+        assert ap.n_pes == 1024
+        assert ap.n_pes >= ap.n_records
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AssociativeArray(0)
+        with pytest.raises(ValueError):
+            AssociativeArray(10, pes_per_module=0)
+
+
+class TestConstantTime:
+    """The defining property: primitive costs do not depend on the
+    number of records (this is the hardware the STARAN provides)."""
+
+    @pytest.mark.parametrize("op", [
+        "broadcast_words",
+        "search",
+        "any_responder",
+        "pick_one",
+        "global_extremum",
+        "mask_op",
+    ])
+    def test_cost_independent_of_fleet(self, op):
+        small = AssociativeArray(10)
+        huge = AssociativeArray(100_000)
+        getattr(small, op)()
+        getattr(huge, op)()
+        assert small.cycles == huge.cycles > 0
+
+    def test_counters(self):
+        ap = AssociativeArray(100)
+        ap.search()
+        ap.broadcast_words(2)
+        ap.global_extremum()
+        assert ap.searches == 1
+        assert ap.broadcasts == 2
+        assert ap.extrema == 1
+
+    def test_multiply_costs_more_than_alu(self):
+        a, b = AssociativeArray(10), AssociativeArray(10)
+        a.alu(1)
+        b.multiply(1)
+        assert b.cycles > a.cycles
+
+    def test_seconds(self):
+        ap = AssociativeArray(10)
+        ap.scalar(40)
+        assert ap.seconds(40e6) == pytest.approx(1e-6)
+        with pytest.raises(ValueError):
+            ap.seconds(-1)
+
+
+class TestCosts:
+    def test_default_table(self):
+        c = StaranCosts()
+        assert c.field_mul > c.field_alu
+        assert c.any_responder < c.global_extremum

@@ -1,0 +1,91 @@
+"""Protocol conformance: every registered backend honours the contract.
+
+These tests run against *every* name in the registry — including any
+backend added later — so a new machine model cannot ship half-wired.
+"""
+
+import numpy as np
+import pytest
+
+from repro.backends.base import Backend
+from repro.backends.registry import available_backends, resolve_backend
+from repro.core.radar import generate_radar_frame
+from repro.core.setup import setup_flight
+
+ALL_BACKENDS = available_backends()
+
+
+def run_tasks(backend, n=96, seed=2018):
+    fleet = setup_flight(n, seed)
+    frame = generate_radar_frame(fleet, seed, 0)
+    t1 = backend.track_and_correlate(fleet, frame)
+    t23 = backend.detect_and_resolve(fleet)
+    return fleet, t1, t23
+
+
+@pytest.mark.parametrize("name", ALL_BACKENDS)
+class TestEveryBackend:
+    def test_is_backend_with_matching_name(self, name):
+        backend = resolve_backend(name)
+        assert isinstance(backend, Backend)
+        assert backend.name == name
+
+    def test_task_timings_well_formed(self, name):
+        backend = resolve_backend(name)
+        _, t1, t23 = run_tasks(backend)
+        assert t1.task == "task1" and t23.task == "task23"
+        assert t1.platform == name and t23.platform == name
+        assert t1.n_aircraft == t23.n_aircraft == 96
+        assert 0 < t1.seconds < 10.0
+        assert 0 < t23.seconds < 10.0
+
+    def test_breakdown_consistent(self, name):
+        backend = resolve_backend(name)
+        _, t1, t23 = run_tasks(backend)
+        for t in (t1, t23):
+            assert t.breakdown.total == pytest.approx(t.seconds, rel=1e-6)
+            for component in (
+                t.breakdown.compute,
+                t.breakdown.memory,
+                t.breakdown.transfer,
+                t.breakdown.sync,
+                t.breakdown.overhead,
+            ):
+                assert component >= -1e-12
+
+    def test_functional_result_matches_reference(self, name):
+        backend = resolve_backend(name)
+        fleet, _, _ = run_tasks(backend)
+        ref_fleet, _, _ = run_tasks(resolve_backend("reference"))
+        assert fleet.state_equal(ref_fleet), name
+
+    def test_determinism_flag_is_honest(self, name):
+        backend = resolve_backend(name)
+        # Two fresh instances, identical inputs.
+        a = run_tasks(resolve_backend(name))[2].seconds
+        b = run_tasks(resolve_backend(name))[2].seconds
+        if backend.deterministic_timing:
+            assert a == b, f"{name} claims determinism but varied"
+        # Nondeterministic backends get fresh seeds per instance with the
+        # same default — identical, so only check the flagged direction
+        # on repeated calls of ONE instance:
+        if not backend.deterministic_timing:
+            inst = resolve_backend(name)
+            times = set()
+            for _ in range(3):
+                fleet = setup_flight(96, 2018)
+                times.add(inst.detect_and_resolve(fleet).seconds)
+            assert len(times) > 1, f"{name} claims nondeterminism but repeated"
+
+    def test_describe_contract(self, name):
+        info = resolve_backend(name).describe()
+        assert info["name"] == name
+        assert "deterministic_timing" in info
+        assert "kind" in info or name == "reference"
+
+    def test_peak_throughput_nonnegative(self, name):
+        assert resolve_backend(name).peak_throughput_ops_per_s() >= 0.0
+
+    def test_validates_after_tasks(self, name):
+        fleet, _, _ = run_tasks(resolve_backend(name))
+        fleet.validate()

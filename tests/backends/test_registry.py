@@ -1,0 +1,82 @@
+"""Unit tests for the backend registry."""
+
+import pytest
+
+from repro.backends.base import Backend
+from repro.backends.reference import ReferenceBackend
+from repro.backends.registry import (
+    all_platform_names,
+    available_backends,
+    register_backend,
+    resolve_backend,
+)
+
+
+class TestResolution:
+    def test_none_is_reference(self):
+        assert isinstance(resolve_backend(None), ReferenceBackend)
+
+    def test_instance_passthrough(self):
+        b = ReferenceBackend()
+        assert resolve_backend(b) is b
+
+    def test_by_name(self):
+        assert resolve_backend("reference").name == "reference"
+        assert resolve_backend("cuda:gtx-880m").name == "cuda:gtx-880m"
+
+    def test_unknown_name_lists_known(self):
+        with pytest.raises(KeyError, match="known backends"):
+            resolve_backend("quantum:annealer")
+
+    def test_bad_type(self):
+        with pytest.raises(TypeError):
+            resolve_backend(42)
+
+
+class TestRegistry:
+    def test_all_ten_platforms_registered(self):
+        names = available_backends()
+        assert "reference" in names
+        assert "cuda:titan-x-pascal" in names
+        assert "simd:clearspeed-csx600" in names
+        assert "ap:staran" in names
+        assert "mimd:xeon-16" in names
+        assert len(names) >= 10
+
+    def test_paper_platforms_resolve(self):
+        for name in all_platform_names():
+            backend = resolve_backend(name)
+            assert isinstance(backend, Backend)
+            assert backend.name == name
+
+    def test_paper_platform_list_has_six(self):
+        # The six series of Figs. 4 and 6.
+        assert len(all_platform_names()) == 6
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError):
+            register_backend("reference", ReferenceBackend)
+
+    def test_factories_return_fresh_instances(self):
+        a = resolve_backend("mimd:xeon-16")
+        b = resolve_backend("mimd:xeon-16")
+        assert a is not b
+
+
+class TestReferenceBackend:
+    def test_timing_model(self):
+        from repro.core.radar import generate_radar_frame
+        from repro.core.setup import setup_flight
+
+        fleet = setup_flight(64, 2018)
+        ref = ReferenceBackend()
+        frame = generate_radar_frame(fleet, 2018, 0)
+        t1 = ref.track_and_correlate(fleet, frame)
+        t23 = ref.detect_and_resolve(fleet)
+        assert t1.seconds > 0 and t23.seconds > 0
+        assert t1.task == "task1" and t23.task == "task23"
+        assert t1.stats["committed"] >= 0
+        assert t23.stats["trials"] >= 0
+
+    def test_peak_throughput_zero(self):
+        assert ReferenceBackend().peak_throughput_ops_per_s() == 0.0

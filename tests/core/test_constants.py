@@ -1,0 +1,57 @@
+"""Sanity relations between the paper's constants."""
+
+from repro.core import constants as C
+
+
+def test_airfield_is_256_by_256():
+    assert C.AIRFIELD_SIZE_NM == 256.0
+    assert C.GRID_HALF_NM == 128.0
+
+
+def test_major_cycle_is_eight_seconds():
+    assert C.PERIODS_PER_MAJOR_CYCLE * C.PERIOD_SECONDS == 8.0
+
+
+def test_periods_per_hour_matches_paper_divisor():
+    # The paper divides nm/h velocities by 7200 to get nm/period.
+    assert C.PERIODS_PER_HOUR == 7200
+    assert C.PERIODS_PER_HOUR * C.PERIOD_SECONDS == 3600.0
+
+
+def test_collision_band_total_is_three_nm():
+    # The literal "3" of Eqs. (1)-(4): 1.5 nm per aircraft.
+    assert C.COLLISION_BAND_TOTAL_NM == 3.0
+    assert C.COLLISION_BAND_NM == 1.5
+
+
+def test_projection_horizon_is_twenty_minutes():
+    assert C.PROJECTION_HORIZON_PERIODS == 2400.0
+    assert C.PROJECTION_HORIZON_PERIODS * C.PERIOD_SECONDS == 20 * 60
+
+
+def test_collision_runs_in_last_period():
+    assert C.COLLISION_PERIOD_INDEX == 15
+
+
+def test_resolution_trial_count():
+    # +-5, +-10, ..., +-30 degrees -> 12 trials.
+    assert C.RESOLUTION_MAX_TRIALS == 12
+
+
+def test_radar_noise_fits_initial_gate():
+    # Noise must be small relative to the 0.5 nm gate half-width or
+    # round-1 correlation would routinely fail.
+    assert C.RADAR_NOISE_MAX_NM < C.TRACK_GATE_HALF_NM
+
+
+def test_track_rounds():
+    assert C.TRACK_TOTAL_ROUNDS == 3
+
+
+def test_speed_band():
+    assert 0 < C.SPEED_MIN_KNOTS < C.SPEED_MAX_KNOTS
+
+
+def test_sentinels_are_distinct():
+    assert len({C.NO_MATCH, C.DISCARDED, C.UNMATCHED, C.MATCHED_ONCE}) == 4
+    assert C.MULTI_MATCHED != C.UNMATCHED != C.MATCHED_ONCE

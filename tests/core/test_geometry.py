@@ -1,0 +1,105 @@
+"""Unit tests for the geometric helpers."""
+
+import numpy as np
+import pytest
+
+from repro.core import constants as C
+from repro.core.geometry import (
+    advance,
+    inside_gate,
+    project,
+    rotate_velocity,
+    trial_angle_deg,
+    wraparound,
+)
+
+
+class TestRotateVelocity:
+    def test_ninety_degrees(self):
+        dx, dy = rotate_velocity(1.0, 0.0, 90.0)
+        assert dx == pytest.approx(0.0, abs=1e-12)
+        assert dy == pytest.approx(1.0)
+
+    def test_preserves_speed(self):
+        rng = np.random.default_rng(1)
+        vx, vy = rng.normal(size=100), rng.normal(size=100)
+        rx, ry = rotate_velocity(vx, vy, 37.0)
+        assert np.allclose(np.hypot(rx, ry), np.hypot(vx, vy))
+
+    def test_inverse_rotation(self):
+        rx, ry = rotate_velocity(*rotate_velocity(0.3, -0.7, 25.0), -25.0)
+        assert rx == pytest.approx(0.3)
+        assert ry == pytest.approx(-0.7)
+
+    def test_zero_angle_identity(self):
+        rx, ry = rotate_velocity(2.0, 3.0, 0.0)
+        assert rx == 2.0 and ry == 3.0
+
+
+class TestAdvanceProject:
+    def test_advance_one_period(self):
+        x, y = advance(1.0, 2.0, 0.5, -0.5)
+        assert x == 1.5 and y == 1.5
+
+    def test_advance_multiple_periods(self):
+        x, y = advance(0.0, 0.0, 0.1, 0.2, periods=10)
+        assert x == pytest.approx(1.0) and y == pytest.approx(2.0)
+
+    def test_project_default_horizon(self):
+        x, y = project(0.0, 0.0, 0.01, 0.0)
+        assert x == pytest.approx(0.01 * C.PROJECTION_HORIZON_PERIODS)
+
+
+class TestWraparound:
+    def test_inside_untouched(self):
+        x, y = wraparound(np.array([10.0]), np.array([-50.0]))
+        assert x[0] == 10.0 and y[0] == -50.0
+
+    def test_mirrors_both_coordinates(self):
+        x, y = wraparound(np.array([130.0]), np.array([20.0]))
+        assert x[0] == -128.0  # mirrored to -130, clipped to the boundary
+        assert y[0] == -20.0
+
+    def test_exit_reenters_in_bounds(self):
+        rng = np.random.default_rng(0)
+        x = rng.uniform(-200, 200, 1000)
+        y = rng.uniform(-200, 200, 1000)
+        nx, ny = wraparound(x, y)
+        assert np.all(np.abs(nx) <= C.GRID_HALF_NM)
+        assert np.all(np.abs(ny) <= C.GRID_HALF_NM)
+
+    def test_heading_preserved_semantics(self):
+        """Mirroring both coordinates keeps the exit heading usable: an
+        aircraft leaving the NE corner re-enters at the SW corner."""
+        x, y = wraparound(np.array([129.0]), np.array([127.0]))
+        assert x[0] == -128.0  # mirrored then clipped to the boundary
+        assert y[0] == -127.0
+
+
+class TestInsideGate:
+    def test_strict_inequality(self):
+        assert not inside_gate(0.0, 0.0, 0.5, 0.0, 0.5)
+        assert inside_gate(0.0, 0.0, 0.499, 0.0, 0.5)
+
+    def test_both_axes_required(self):
+        assert not inside_gate(0.0, 0.0, 0.1, 0.9, 0.5)
+        assert not inside_gate(0.0, 0.0, 0.9, 0.1, 0.5)
+        assert inside_gate(0.0, 0.0, 0.1, 0.1, 0.5)
+
+    def test_vectorised(self):
+        hits = inside_gate(
+            np.zeros(3), np.zeros(3), np.array([0.1, 0.6, -0.2]), np.zeros(3), 0.5
+        )
+        assert hits.tolist() == [True, False, True]
+
+
+class TestTrialAngle:
+    def test_alternating_growing_sequence(self):
+        angles = [trial_angle_deg(a) for a in range(12)]
+        assert angles == [5, -5, 10, -10, 15, -15, 20, -20, 25, -25, 30, -30]
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError):
+            trial_angle_deg(12)
+        with pytest.raises(ValueError):
+            trial_angle_deg(-1)

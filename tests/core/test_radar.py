@@ -1,0 +1,125 @@
+"""Unit tests for GenerateRadarData."""
+
+import numpy as np
+import pytest
+
+from repro.core import constants as C
+from repro.core.radar import (
+    fourth_reversal_permutation,
+    generate_radar_frame,
+    radar_noise,
+)
+from repro.core.setup import setup_flight
+
+
+class TestRadarNoise:
+    def test_bounds(self):
+        nx, ny = radar_noise(2018, np.arange(10_000), period=4)
+        assert np.all(np.abs(nx) <= C.RADAR_NOISE_MAX_NM)
+        assert np.all(np.abs(ny) <= C.RADAR_NOISE_MAX_NM)
+
+    def test_periods_decorrelated(self):
+        ids = np.arange(100)
+        a, _ = radar_noise(2018, ids, period=0)
+        b, _ = radar_noise(2018, ids, period=1)
+        assert not np.array_equal(a, b)
+
+    def test_deterministic(self):
+        ids = np.arange(100)
+        a, ay = radar_noise(2018, ids, period=3)
+        b, by = radar_noise(2018, ids, period=3)
+        assert np.array_equal(a, b) and np.array_equal(ay, by)
+
+    def test_signed_noise(self):
+        nx, ny = radar_noise(2018, np.arange(10_000), period=0)
+        assert np.any(nx > 0) and np.any(nx < 0)
+        assert np.any(ny > 0) and np.any(ny < 0)
+
+
+class TestFourthReversal:
+    def test_is_permutation(self):
+        for n in (0, 1, 3, 4, 7, 8, 100, 101, 102, 103):
+            perm = fourth_reversal_permutation(n)
+            assert sorted(perm.tolist()) == list(range(n))
+
+    def test_exact_layout(self):
+        # n=8: fourths of 2: [1,0, 3,2, 5,4, 7,6]
+        assert fourth_reversal_permutation(8).tolist() == [1, 0, 3, 2, 5, 4, 7, 6]
+
+    def test_remainder_goes_to_last_fourth(self):
+        # n=10: quarter=2 -> [1,0, 3,2, 5,4, 9,8,7,6]
+        assert fourth_reversal_permutation(10).tolist() == [
+            1, 0, 3, 2, 5, 4, 9, 8, 7, 6,
+        ]
+
+    def test_involution(self):
+        """Reversing each fourth twice is the identity."""
+        perm = fourth_reversal_permutation(101)
+        assert np.array_equal(perm[perm], np.arange(101))
+
+    def test_actually_shuffles(self):
+        perm = fourth_reversal_permutation(96)
+        assert not np.array_equal(perm, np.arange(96))
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError):
+            fourth_reversal_permutation(-1)
+
+
+class TestGenerateRadarFrame:
+    def test_does_not_mutate_fleet(self):
+        fleet = setup_flight(64, 2018)
+        before = fleet.copy()
+        generate_radar_frame(fleet, 2018, 0)
+        assert fleet.state_equal(before)
+
+    def test_reports_near_expected_positions(self):
+        fleet = setup_flight(64, 2018)
+        frame = generate_radar_frame(fleet, 2018, 0)
+        ex = fleet.x + fleet.dx
+        ey = fleet.y + fleet.dy
+        # Invert the shuffle via true_id and check the noise bound.
+        assert np.all(np.abs(frame.rx - ex[frame.true_id]) <= C.RADAR_NOISE_MAX_NM)
+        assert np.all(np.abs(frame.ry - ey[frame.true_id]) <= C.RADAR_NOISE_MAX_NM)
+
+    def test_true_ids_are_a_permutation(self):
+        fleet = setup_flight(100, 2018)
+        frame = generate_radar_frame(fleet, 2018, 0)
+        assert sorted(frame.true_id.tolist()) == list(range(100))
+
+    def test_shuffle_breaks_identity_order(self):
+        fleet = setup_flight(96, 2018)
+        frame = generate_radar_frame(fleet, 2018, 0)
+        assert not np.array_equal(frame.true_id, np.arange(96))
+
+    def test_deterministic(self):
+        fleet = setup_flight(64, 2018)
+        a = generate_radar_frame(fleet, 2018, 5)
+        b = generate_radar_frame(fleet, 2018, 5)
+        assert np.array_equal(a.rx, b.rx)
+        assert np.array_equal(a.true_id, b.true_id)
+
+    def test_periods_differ(self):
+        fleet = setup_flight(64, 2018)
+        a = generate_radar_frame(fleet, 2018, 0)
+        b = generate_radar_frame(fleet, 2018, 1)
+        assert not np.array_equal(a.rx, b.rx)
+
+    def test_dropout(self):
+        fleet = setup_flight(1000, 2018)
+        frame = generate_radar_frame(fleet, 2018, 0, dropout=0.3)
+        assert 0 < frame.n < 1000
+        # Surviving reports still identify distinct aircraft.
+        assert np.unique(frame.true_id).size == frame.n
+
+    def test_dropout_validation(self):
+        fleet = setup_flight(10, 2018)
+        with pytest.raises(ValueError):
+            generate_radar_frame(fleet, 2018, 0, dropout=1.0)
+        with pytest.raises(ValueError):
+            generate_radar_frame(fleet, 2018, 0, dropout=-0.1)
+
+    def test_extreme_dropout_keeps_one_report(self):
+        fleet = setup_flight(3, 2018)
+        frame = generate_radar_frame(fleet, 2018, 0, dropout=0.999999)
+        assert frame.n >= 1

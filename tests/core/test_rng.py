@@ -1,0 +1,117 @@
+"""Unit tests for the counter-based random number generator."""
+
+import numpy as np
+import pytest
+
+from repro.core.rng import (
+    Stream,
+    random_int,
+    random_sign,
+    random_uniform,
+    random_unit,
+    splitmix64,
+)
+
+
+class TestSplitMix64:
+    def test_scalar_and_array_agree(self):
+        arr = splitmix64(np.arange(10, dtype=np.uint64))
+        for i in range(10):
+            assert splitmix64(i) == arr[i]
+
+    def test_deterministic(self):
+        a = splitmix64(np.arange(1000))
+        b = splitmix64(np.arange(1000))
+        assert np.array_equal(a, b)
+
+    def test_no_collisions_on_small_range(self):
+        out = splitmix64(np.arange(100_000))
+        assert np.unique(out).size == 100_000
+
+    def test_wraps_at_64_bits(self):
+        # 2**64 maps onto counter 0.
+        assert splitmix64(np.uint64(0)) == splitmix64(0)
+
+    def test_output_dtype(self):
+        assert splitmix64(np.arange(4)).dtype == np.uint64
+
+
+class TestRandomUnit:
+    def test_range(self):
+        u = random_unit(2018, np.arange(50_000), Stream.SETUP_X)
+        assert np.all(u >= 0.0) and np.all(u < 1.0)
+
+    def test_mean_is_half(self):
+        u = random_unit(2018, np.arange(100_000), Stream.SETUP_X)
+        assert abs(u.mean() - 0.5) < 0.01
+
+    def test_order_independence(self):
+        """The value for element i never depends on which others are drawn."""
+        ids = np.array([5, 17, 3])
+        batch = random_unit(7, ids, Stream.SETUP_Y)
+        for k, i in enumerate(ids):
+            assert random_unit(7, np.array([i]), Stream.SETUP_Y)[0] == batch[k]
+
+    def test_streams_differ(self):
+        ids = np.arange(100)
+        a = random_unit(1, ids, Stream.SETUP_X)
+        b = random_unit(1, ids, Stream.SETUP_Y)
+        assert not np.array_equal(a, b)
+
+    def test_seeds_differ(self):
+        ids = np.arange(100)
+        assert not np.array_equal(
+            random_unit(1, ids, Stream.SETUP_X),
+            random_unit(2, ids, Stream.SETUP_X),
+        )
+
+
+class TestRandomUniform:
+    def test_bounds(self):
+        x = random_uniform(9, np.arange(10_000), Stream.SETUP_SPEED, 30.0, 600.0)
+        assert np.all(x >= 30.0) and np.all(x < 600.0)
+
+    def test_array_bounds_broadcast(self):
+        highs = np.full(1000, 100.0)
+        x = random_uniform(9, np.arange(1000), Stream.SETUP_DX, 30.0, highs)
+        assert np.all(x >= 30.0) and np.all(x < 100.0)
+
+    def test_degenerate_interval(self):
+        x = random_uniform(9, np.arange(10), Stream.SETUP_DX, 5.0, 5.0)
+        assert np.all(x == 5.0)
+
+
+class TestRandomInt:
+    def test_inclusive_range(self):
+        draws = random_int(3, np.arange(20_000), Stream.SETUP_X_SIGN, 0, 50)
+        assert draws.min() == 0
+        assert draws.max() == 50
+
+    def test_every_value_hit(self):
+        draws = random_int(3, np.arange(20_000), Stream.SETUP_X_SIGN, 0, 50)
+        assert np.unique(draws).size == 51
+
+    def test_empty_range_raises(self):
+        with pytest.raises(ValueError):
+            random_int(3, np.arange(4), Stream.SETUP_X_SIGN, 5, 4)
+
+    def test_single_value_range(self):
+        draws = random_int(3, np.arange(100), Stream.SETUP_X_SIGN, 7, 7)
+        assert np.all(draws == 7)
+
+
+class TestRandomSign:
+    def test_values_are_plus_minus_one(self):
+        s = random_sign(4, np.arange(10_000), Stream.SETUP_X_SIGN, negative_when_even=True)
+        assert set(np.unique(s)) == {-1.0, 1.0}
+
+    def test_parity_convention(self):
+        """negative_when_even=True and False are exact complements."""
+        ids = np.arange(5_000)
+        a = random_sign(4, ids, Stream.SETUP_X_SIGN, negative_when_even=True)
+        b = random_sign(4, ids, Stream.SETUP_X_SIGN, negative_when_even=False)
+        assert np.array_equal(a, -b)
+
+    def test_roughly_balanced(self):
+        s = random_sign(4, np.arange(100_000), Stream.SETUP_Y_SIGN, negative_when_even=True)
+        assert abs(s.mean()) < 0.02

@@ -1,0 +1,92 @@
+"""Unit tests for SetupFlight (the airfield initialisation)."""
+
+import numpy as np
+import pytest
+
+from repro.core import constants as C
+from repro.core.setup import setup_flight, setup_flight_rows
+
+
+class TestSetupFlight:
+    def test_positions_cover_the_airfield(self):
+        f = setup_flight(5000, seed=1)
+        assert np.all(np.abs(f.x) <= C.GRID_HALF_NM)
+        assert np.all(np.abs(f.y) <= C.GRID_HALF_NM)
+        # All four quadrants are populated (the parity sign trick works).
+        assert np.any((f.x > 0) & (f.y > 0))
+        assert np.any((f.x < 0) & (f.y > 0))
+        assert np.any((f.x > 0) & (f.y < 0))
+        assert np.any((f.x < 0) & (f.y < 0))
+
+    def test_speed_band(self):
+        f = setup_flight(5000, seed=2)
+        speeds = f.speeds_knots()
+        assert np.all(speeds >= C.SPEED_MIN_KNOTS - 1e-9)
+        assert np.all(speeds <= C.SPEED_MAX_KNOTS + 1e-9)
+
+    def test_velocity_components_consistent(self):
+        """|dy| = sqrt(S^2 - dx^2) exactly (per-period units)."""
+        f = setup_flight(1000, seed=3)
+        s2 = (f.dx * C.PERIODS_PER_HOUR) ** 2 + (f.dy * C.PERIODS_PER_HOUR) ** 2
+        speeds = np.sqrt(s2)
+        assert np.all(speeds <= C.SPEED_MAX_KNOTS + 1e-9)
+        # dx magnitude drawn from [30, S]: never exceeds the speed.
+        assert np.all(np.abs(f.dx) <= f.speeds_per_period() + 1e-15)
+        assert np.all(np.abs(f.dx) * C.PERIODS_PER_HOUR >= C.SPEED_MIN_KNOTS - 1e-9)
+
+    def test_velocities_signed_in_all_directions(self):
+        f = setup_flight(5000, seed=4)
+        assert np.any(f.dx > 0) and np.any(f.dx < 0)
+        assert np.any(f.dy > 0) and np.any(f.dy < 0)
+
+    def test_altitude_band(self):
+        f = setup_flight(2000, seed=5)
+        assert np.all(f.alt >= C.ALTITUDE_MIN_FT)
+        assert np.all(f.alt <= C.ALTITUDE_MAX_FT)
+
+    def test_deterministic(self):
+        a = setup_flight(500, seed=2018)
+        b = setup_flight(500, seed=2018)
+        assert a.state_equal(b)
+
+    def test_seed_changes_fleet(self):
+        a = setup_flight(500, seed=1)
+        b = setup_flight(500, seed=2)
+        assert not a.state_equal(b)
+
+    def test_trial_path_initialised_to_velocity(self):
+        f = setup_flight(100, seed=6)
+        assert np.array_equal(f.batdx, f.dx)
+        assert np.array_equal(f.batdy, f.dy)
+
+    def test_prefix_stability(self):
+        """Counter-based generation: fleet of 100 is a prefix of fleet of 200."""
+        small = setup_flight(100, seed=2018)
+        big = setup_flight(200, seed=2018)
+        assert np.array_equal(small.x, big.x[:100])
+        assert np.array_equal(small.dy, big.dy[:100])
+        assert np.array_equal(small.alt, big.alt[:100])
+
+
+class TestSetupFlightRows:
+    def test_subset_matches_full(self):
+        """Per-thread generation (arbitrary id subsets) matches the full
+        fleet — the property that makes GPU/PE-chunked setup exact."""
+        full = setup_flight(256, seed=2018)
+        ids = np.array([3, 200, 77, 5])
+        rows = setup_flight_rows(2018, ids)
+        assert np.array_equal(rows["x"], full.x[ids])
+        assert np.array_equal(rows["dx"], full.dx[ids])
+        assert np.array_equal(rows["alt"], full.alt[ids])
+
+    def test_empty_subset(self):
+        rows = setup_flight_rows(2018, np.array([], dtype=np.int64))
+        assert rows["x"].shape == (0,)
+
+
+def test_setup_flight_validates():
+    # setup_flight runs validate() internally; a successful call implies
+    # a structurally sound fleet.  Smoke-check a few sizes.
+    for n in (1, 2, 96, 97):
+        f = setup_flight(n, seed=11)
+        assert f.n == n

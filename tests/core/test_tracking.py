@@ -1,0 +1,187 @@
+"""Unit tests for Task 1 (tracking & correlation)."""
+
+import numpy as np
+import pytest
+
+from repro.core import constants as C
+from repro.core.radar import generate_radar_frame
+from repro.core.setup import setup_flight
+from repro.core.tracking import compute_expected, correlate
+from repro.core.types import FleetState, RadarFrame
+
+from ..conftest import place_grid_fleet
+
+
+def frame_from(points, true_ids=None) -> RadarFrame:
+    """Build a radar frame from explicit (rx, ry) points."""
+    frame = RadarFrame.empty(len(points))
+    for i, (rx, ry) in enumerate(points):
+        frame.rx[i] = rx
+        frame.ry[i] = ry
+    if true_ids is not None:
+        frame.true_id[:] = true_ids
+    return frame
+
+
+class TestComputeExpected:
+    def test_dead_reckoning(self):
+        f = FleetState.empty(2)
+        f.x[:] = [1.0, -2.0]
+        f.y[:] = [0.0, 3.0]
+        f.dx[:] = [0.5, 0.0]
+        f.dy[:] = [0.0, -0.5]
+        compute_expected(f)
+        assert f.expected_x.tolist() == [1.5, -2.0]
+        assert f.expected_y.tolist() == [0.0, 2.5]
+
+
+class TestPerfectCorrelation:
+    def test_well_separated_fleet_fully_matched(self):
+        fleet = place_grid_fleet(100)
+        frame = generate_radar_frame(fleet, 2018, 0)
+        stats = correlate(fleet, frame)
+        assert stats.committed == 100
+        assert stats.coasted == 0
+        assert stats.rounds_executed == 1
+        assert stats.dropped_aircraft == 0
+        assert stats.discarded_radars == 0
+
+    def test_positions_updated_to_radar(self):
+        fleet = place_grid_fleet(50)
+        frame = generate_radar_frame(fleet, 2018, 0)
+        rx_by_true = np.empty(50)
+        ry_by_true = np.empty(50)
+        rx_by_true[frame.true_id] = frame.rx
+        ry_by_true[frame.true_id] = frame.ry
+        correlate(fleet, frame)
+        assert np.allclose(fleet.x, rx_by_true)
+        assert np.allclose(fleet.y, ry_by_true)
+
+    def test_match_bookkeeping_consistent(self):
+        fleet = place_grid_fleet(60)
+        frame = generate_radar_frame(fleet, 2018, 0)
+        correlate(fleet, frame)
+        matched = frame.match_with >= 0
+        # radar -> aircraft -> radar round trip.
+        planes = frame.match_with[matched]
+        assert np.array_equal(
+            fleet.matched_radar[planes], np.nonzero(matched)[0]
+        )
+        assert np.all(fleet.r_match[planes] == C.MATCHED_ONCE)
+
+
+class TestAmbiguityRules:
+    def make_single_aircraft(self):
+        f = FleetState.empty(1)
+        f.x[0] = 0.0
+        f.y[0] = 0.0
+        # Stationary so the expected position stays at the origin.
+        return f
+
+    def test_aircraft_seen_by_two_radars_is_dropped(self):
+        fleet = self.make_single_aircraft()
+        frame = frame_from([(0.1, 0.0), (-0.1, 0.0)])
+        stats = correlate(fleet, frame)
+        assert stats.dropped_aircraft == 1
+        assert fleet.r_match[0] == C.MULTI_MATCHED
+        # Aircraft keeps its expected position (origin).
+        assert fleet.x[0] == 0.0 and fleet.y[0] == 0.0
+        assert stats.committed == 0
+
+    def test_radar_seeing_two_aircraft_is_discarded(self):
+        f = FleetState.empty(2)
+        f.x[:] = [0.0, 0.4]
+        f.y[:] = [0.0, 0.0]
+        frame = frame_from([(0.2, 0.0)])  # inside both 1x1 gates
+        stats = correlate(f, frame)
+        assert stats.discarded_radars == 1
+        assert frame.match_with[0] == C.DISCARDED
+        # Neither aircraft gets the radar position.
+        assert stats.committed == 0
+
+    def test_serialization_order_first_radar_wins(self):
+        """Radar 0 matches the aircraft first; radar 1 then drops it."""
+        fleet = self.make_single_aircraft()
+        frame = frame_from([(0.1, 0.1), (0.2, -0.1)])
+        correlate(fleet, frame)
+        # Radar 0 recorded the match before the aircraft was dropped.
+        assert frame.match_with[0] == 0
+        assert frame.match_with[1] == C.NO_MATCH
+        assert fleet.r_match[0] == C.MULTI_MATCHED
+
+
+class TestGateDoubling:
+    def test_second_round_catches_moderate_noise(self):
+        """A report outside the 1x1 gate but inside 2x2 matches in round 2."""
+        f = FleetState.empty(1)
+        f.x[0] = 0.0
+        frame = frame_from([(0.7, 0.0)])  # outside 0.5, inside 1.0
+        stats = correlate(f, frame)
+        assert stats.rounds_executed >= 2
+        assert stats.committed == 1
+        assert f.x[0] == pytest.approx(0.7)
+
+    def test_third_round_gate_is_two_nm(self):
+        f = FleetState.empty(1)
+        f.x[0] = 0.0
+        frame = frame_from([(1.5, 0.0)])  # outside 1.0, inside 2.0
+        stats = correlate(f, frame)
+        assert stats.rounds_executed == 3
+        assert stats.committed == 1
+
+    def test_beyond_final_gate_stays_unmatched(self):
+        f = FleetState.empty(1)
+        f.x[0] = 0.0
+        f.dx[0] = 0.25
+        frame = frame_from([(10.0, 0.0)])
+        stats = correlate(f, frame)
+        assert stats.committed == 0
+        assert stats.coasted == 1
+        assert frame.match_with[0] == C.NO_MATCH
+        # Aircraft coasts to its expected position.
+        assert f.x[0] == pytest.approx(0.25)
+
+    def test_matched_aircraft_not_reconsidered_in_later_rounds(self):
+        """Round 2's bigger gate must not multi-match round-1 pairs."""
+        f = FleetState.empty(2)
+        f.x[:] = [0.0, 1.2]
+        frame = frame_from([(0.1, 0.0), (1.25, 0.0)])
+        stats = correlate(f, frame)
+        assert stats.committed == 2
+        assert stats.dropped_aircraft == 0
+
+    def test_rounds_stop_early_when_all_radars_matched(self):
+        fleet = place_grid_fleet(16)
+        frame = generate_radar_frame(fleet, 2018, 0)
+        stats = correlate(fleet, frame)
+        assert stats.rounds_executed == 1
+        assert len(stats.candidate_pairs) == 1
+
+
+class TestStatsConsistency:
+    def test_candidate_counts_match_bincount(self):
+        fleet = setup_flight(128, 2018)
+        frame = generate_radar_frame(fleet, 2018, 0)
+        stats = correlate(fleet, frame)
+        for r in range(stats.rounds_executed):
+            assert stats.round_candidates_per_radar[r].sum() == stats.candidate_pairs[r]
+
+    def test_matched_plus_coasted_is_fleet(self):
+        fleet = setup_flight(256, 2018)
+        frame = generate_radar_frame(fleet, 2018, 0)
+        stats = correlate(fleet, frame)
+        assert stats.committed + stats.coasted == fleet.n
+
+    def test_round_one_covers_all(self):
+        fleet = setup_flight(64, 2018)
+        frame = generate_radar_frame(fleet, 2018, 0)
+        stats = correlate(fleet, frame)
+        assert stats.round_radar_ids[0].shape[0] == frame.n
+        assert stats.round_active_planes[0] == fleet.n
+
+    def test_positions_stay_in_bounds_after_commit(self):
+        fleet = setup_flight(512, 2018)
+        for period in range(4):
+            frame = generate_radar_frame(fleet, 2018, period)
+            correlate(fleet, frame)
+            fleet.validate()

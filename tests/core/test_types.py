@@ -1,0 +1,119 @@
+"""Unit tests for FleetState, RadarFrame and TaskTiming."""
+
+import numpy as np
+import pytest
+
+from repro.core import constants as C
+from repro.core.types import FleetState, RadarFrame, TaskTiming, TimingBreakdown
+
+
+class TestFleetState:
+    def test_empty_shapes_and_defaults(self):
+        f = FleetState.empty(10)
+        assert f.n == 10
+        assert f.x.shape == (10,)
+        assert np.all(f.time_till == C.TIME_TILL_SAFE_PERIODS)
+        assert np.all(f.col_with == C.NO_MATCH)
+        assert np.all(f.r_match == C.UNMATCHED)
+
+    def test_empty_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            FleetState.empty(0)
+        with pytest.raises(ValueError):
+            FleetState.empty(-3)
+
+    def test_copy_is_deep(self):
+        f = FleetState.empty(4)
+        g = f.copy()
+        g.x[0] = 42.0
+        assert f.x[0] == 0.0
+
+    def test_state_equal(self):
+        f = FleetState.empty(4)
+        g = f.copy()
+        assert f.state_equal(g)
+        g.dy[2] = 1e-12
+        assert not f.state_equal(g)
+
+    def test_speeds(self):
+        f = FleetState.empty(2)
+        f.dx[:] = [3e-2, 0.0]
+        f.dy[:] = [4e-2, 0.0]
+        assert np.allclose(f.speeds_per_period(), [5e-2, 0.0])
+        assert np.allclose(f.speeds_knots(), [5e-2 * 7200, 0.0])
+
+    def test_reset_correlation(self):
+        f = FleetState.empty(3)
+        f.r_match[:] = C.MATCHED_ONCE
+        f.matched_radar[:] = 5
+        f.reset_correlation()
+        assert np.all(f.r_match == C.UNMATCHED)
+        assert np.all(f.matched_radar == C.NO_MATCH)
+
+    def test_reset_collision(self):
+        f = FleetState.empty(3)
+        f.dx[:] = 0.5
+        f.col[:] = 1
+        f.time_till[:] = 10.0
+        f.col_with[:] = 1
+        f.batdx[:] = 99.0
+        f.reset_collision()
+        assert np.all(f.col == 0)
+        assert np.all(f.time_till == C.TIME_TILL_SAFE_PERIODS)
+        assert np.all(f.col_with == C.NO_MATCH)
+        assert np.array_equal(f.batdx, f.dx)
+
+    def test_validate_catches_out_of_bounds(self):
+        f = FleetState.empty(2)
+        f.x[0] = 500.0
+        with pytest.raises(ValueError, match="bounding square"):
+            f.validate()
+
+    def test_validate_catches_nan(self):
+        f = FleetState.empty(2)
+        f.y[1] = np.nan
+        with pytest.raises(ValueError, match="non-finite"):
+            f.validate()
+
+
+class TestRadarFrame:
+    def test_empty(self):
+        r = RadarFrame.empty(5)
+        assert r.n == 5
+        assert np.all(r.match_with == C.NO_MATCH)
+        assert np.all(r.true_id == C.NO_MATCH)
+
+    def test_copy_is_deep(self):
+        r = RadarFrame.empty(3)
+        s = r.copy()
+        s.rx[0] = 1.0
+        assert r.rx[0] == 0.0
+
+    def test_reset_matches(self):
+        r = RadarFrame.empty(3)
+        r.match_with[:] = 7
+        r.reset_matches()
+        assert np.all(r.match_with == C.NO_MATCH)
+
+
+class TestTiming:
+    def test_breakdown_total(self):
+        b = TimingBreakdown(compute=1.0, memory=0.5, transfer=0.25, sync=0.125, overhead=0.125)
+        assert b.total == 2.0
+
+    def test_breakdown_scaled(self):
+        b = TimingBreakdown(compute=2.0, memory=1.0).scaled(0.5)
+        assert b.compute == 1.0 and b.memory == 0.5
+
+    def test_task_timing_rejects_negative(self):
+        with pytest.raises(ValueError):
+            TaskTiming(task="task1", platform="x", n_aircraft=1, seconds=-1.0)
+
+    def test_meets_deadline(self):
+        t = TaskTiming(task="task1", platform="x", n_aircraft=1, seconds=0.4)
+        assert t.meets_deadline(0.5)
+        assert not t.meets_deadline(0.3)
+
+    def test_milliseconds(self):
+        t = TaskTiming(task="task1", platform="x", n_aircraft=1, seconds=0.002)
+        assert t.milliseconds == pytest.approx(2.0)

@@ -1,0 +1,125 @@
+"""Unit tests for the CUDA backend."""
+
+import numpy as np
+import pytest
+
+from repro.backends.reference import ReferenceBackend
+from repro.core.radar import generate_radar_frame
+from repro.core.setup import setup_flight
+from repro.cuda.backend import CudaBackend
+
+
+def run_both(n=128, seed=2018, **kwargs):
+    ref_fleet = setup_flight(n, seed)
+    gpu_fleet = setup_flight(n, seed)
+    ref, gpu = ReferenceBackend(), CudaBackend("titan-x-pascal", **kwargs)
+    for period in range(2):
+        ref.track_and_correlate(ref_fleet, generate_radar_frame(ref_fleet, seed, period))
+        gpu.track_and_correlate(gpu_fleet, generate_radar_frame(gpu_fleet, seed, period))
+    ref.detect_and_resolve(ref_fleet)
+    gpu.detect_and_resolve(gpu_fleet)
+    return ref_fleet, gpu_fleet
+
+
+class TestFunctionalEquivalence:
+    def test_bit_identical_to_reference(self):
+        ref_fleet, gpu_fleet = run_both()
+        assert ref_fleet.state_equal(gpu_fleet)
+
+    def test_all_devices_agree(self):
+        fleets = []
+        for dev in ("geforce-9800-gt", "gtx-880m", "titan-x-pascal"):
+            fleet = setup_flight(96, 2018)
+            backend = CudaBackend(dev)
+            backend.track_and_correlate(fleet, generate_radar_frame(fleet, 2018, 0))
+            backend.detect_and_resolve(fleet)
+            fleets.append(fleet)
+        assert fleets[0].state_equal(fleets[1])
+        assert fleets[1].state_equal(fleets[2])
+
+
+class TestTimingProperties:
+    def test_deterministic_timing(self):
+        times = []
+        for _ in range(3):
+            fleet = setup_flight(96, 2018)
+            backend = CudaBackend("gtx-880m")
+            frame = generate_radar_frame(fleet, 2018, 0)
+            t1 = backend.track_and_correlate(fleet, frame)
+            t23 = backend.detect_and_resolve(fleet)
+            times.append((t1.seconds, t23.seconds))
+        assert times[0] == times[1] == times[2]
+
+    def test_device_performance_ordering(self):
+        results = {}
+        for dev in ("geforce-9800-gt", "gtx-880m", "titan-x-pascal"):
+            fleet = setup_flight(1920, 2018)
+            backend = CudaBackend(dev)
+            frame = generate_radar_frame(fleet, 2018, 0)
+            t1 = backend.track_and_correlate(fleet, frame)
+            t23 = backend.detect_and_resolve(fleet)
+            results[dev] = (t1.seconds, t23.seconds)
+        assert (
+            results["titan-x-pascal"][0]
+            < results["gtx-880m"][0]
+            < results["geforce-9800-gt"][0]
+        )
+        assert (
+            results["titan-x-pascal"][1]
+            < results["gtx-880m"][1]
+            < results["geforce-9800-gt"][1]
+        )
+
+    def test_meets_paper_deadlines_at_moderate_n(self):
+        """No NVIDIA card comes near the half-second budget at 1920."""
+        from repro.core import constants as C
+
+        for dev in ("geforce-9800-gt", "gtx-880m", "titan-x-pascal"):
+            fleet = setup_flight(1920, 2018)
+            backend = CudaBackend(dev)
+            frame = generate_radar_frame(fleet, 2018, 0)
+            t1 = backend.track_and_correlate(fleet, frame)
+            t23 = backend.detect_and_resolve(fleet)
+            assert t1.seconds + t23.seconds < C.PERIOD_SECONDS / 4
+
+
+class TestSplitKernelAblation:
+    def test_split_is_slower(self):
+        fleet_f = setup_flight(960, 2018)
+        fleet_s = setup_flight(960, 2018)
+        fused = CudaBackend("titan-x-pascal")
+        split = CudaBackend("titan-x-pascal", fused_collision_kernel=False)
+        t_f = fused.detect_and_resolve(fleet_f)
+        t_s = split.detect_and_resolve(fleet_s)
+        assert t_s.seconds > t_f.seconds
+        assert t_s.breakdown.transfer > 0
+        # Functional results identical either way.
+        assert fleet_f.state_equal(fleet_s)
+
+    def test_name_reflects_variants(self):
+        assert CudaBackend("gtx-880m").name == "cuda:gtx-880m"
+        assert "bs128" in CudaBackend("gtx-880m", block_size=128).name
+        assert "split" in CudaBackend("gtx-880m", fused_collision_kernel=False).name
+
+
+class TestExtras:
+    def test_setup_timing(self):
+        t = CudaBackend("titan-x-pascal").setup_timing(960)
+        assert t.task == "setup"
+        assert t.seconds > 0
+
+    def test_radar_phase_timing(self):
+        phase = CudaBackend("titan-x-pascal").radar_phase_timing(960, 960)
+        assert phase.seconds > 0
+
+    def test_describe(self):
+        info = CudaBackend("gtx-880m").describe()
+        assert info["compute_capability"] == "3.0"
+        assert info["cuda_cores"] == 1536
+
+    def test_peak_throughput(self):
+        assert CudaBackend("titan-x-pascal").peak_throughput_ops_per_s() > 1e12
+
+    def test_unknown_device(self):
+        with pytest.raises(KeyError):
+            CudaBackend("quadro-zzz")

@@ -1,0 +1,71 @@
+"""Unit tests for the CUDA device tables."""
+
+import pytest
+
+from repro.cuda.device import (
+    DEVICES,
+    GEFORCE_9800_GT,
+    GTX_880M,
+    TITAN_X_PASCAL,
+    WARP_SIZE,
+    get_device,
+)
+
+
+def test_three_paper_cards_present():
+    assert set(DEVICES) == {"geforce-9800-gt", "gtx-880m", "titan-x-pascal"}
+
+
+def test_get_device():
+    assert get_device("gtx-880m") is GTX_880M
+    with pytest.raises(KeyError, match="unknown CUDA device"):
+        get_device("rtx-4090")
+
+
+def test_compute_capabilities():
+    assert GEFORCE_9800_GT.compute_capability < (2, 0)
+    assert GTX_880M.compute_capability == (3, 0)
+    assert TITAN_X_PASCAL.compute_capability == (6, 1)
+
+
+def test_core_counts():
+    assert GEFORCE_9800_GT.total_cores == 112
+    assert GTX_880M.total_cores == 1536
+    assert TITAN_X_PASCAL.total_cores == 3584
+
+
+def test_card_generations_ordered_by_capability():
+    assert (
+        GEFORCE_9800_GT.total_cores
+        < GTX_880M.total_cores
+        < TITAN_X_PASCAL.total_cores
+    )
+    assert (
+        GEFORCE_9800_GT.mem_bandwidth_gbs
+        < GTX_880M.mem_bandwidth_gbs
+        < TITAN_X_PASCAL.mem_bandwidth_gbs
+    )
+
+
+def test_only_tesla_era_card_has_strict_coalescing():
+    assert GEFORCE_9800_GT.strict_coalescing
+    assert not GTX_880M.strict_coalescing
+    assert not TITAN_X_PASCAL.strict_coalescing
+
+
+def test_l2_absent_on_cc1x():
+    assert GEFORCE_9800_GT.l2_bytes == 0
+    assert GTX_880M.l2_bytes > 0
+
+
+def test_max_warps_per_sm():
+    assert GTX_880M.max_warps_per_sm == 2048 // WARP_SIZE
+
+
+def test_peak_gflops_positive():
+    for dev in DEVICES.values():
+        assert dev.peak_gflops > 0
+
+
+def test_registry_names():
+    assert TITAN_X_PASCAL.registry_name == "cuda:titan-x-pascal"

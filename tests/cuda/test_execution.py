@@ -1,0 +1,138 @@
+"""Unit tests for the warp cost ledger."""
+
+import numpy as np
+import pytest
+
+from repro.cuda.device import GEFORCE_9800_GT, TITAN_X_PASCAL
+from repro.cuda.execution import WarpLedger
+from repro.cuda.grid import LaunchConfig
+
+
+def ledger(n=96, device=TITAN_X_PASCAL, block=96):
+    return WarpLedger(device, LaunchConfig(n, block))
+
+
+class TestMaskPlumbing:
+    def test_full_mask_covers_useful_threads(self):
+        led = ledger(100)
+        mask = led.full_mask()
+        assert mask.sum() == 100
+        assert mask.shape == (128,)  # padded to whole warps
+
+    def test_lanes_to_warps_none_is_all(self):
+        led = ledger(96)
+        assert led.lanes_to_warps(None).tolist() == [True, True, True]
+
+    def test_lanes_to_warps_partial(self):
+        led = ledger(96)
+        lane = np.zeros(96, dtype=bool)
+        lane[40] = True  # warp 1
+        assert led.lanes_to_warps(lane).tolist() == [False, True, False]
+
+    def test_lanes_to_warps_accepts_padded(self):
+        led = ledger(100)
+        lane = np.zeros(128, dtype=bool)
+        lane[127] = True
+        assert led.lanes_to_warps(lane).tolist() == [False, False, False, True]
+
+    def test_lanes_to_warps_rejects_bad_length(self):
+        with pytest.raises(ValueError):
+            ledger(96).lanes_to_warps(np.zeros(50, dtype=bool))
+
+    def test_warp_values_max_and_sum(self):
+        led = ledger(64)
+        vals = np.zeros(64)
+        vals[0] = 3.0
+        vals[1] = 5.0
+        vals[40] = 7.0
+        assert led.warp_values(vals, "max").tolist() == [5.0, 7.0]
+        assert led.warp_values(vals, "sum").tolist() == [8.0, 7.0]
+
+    def test_warp_values_bad_reduce(self):
+        with pytest.raises(ValueError):
+            ledger(64).warp_values(np.zeros(64), "median")
+
+
+class TestCharging:
+    def test_divergence_charges_whole_warp(self):
+        """One active lane costs the same as 32: SIMT serialization."""
+        led_one = ledger(96)
+        lane = np.zeros(96, dtype=bool)
+        lane[0] = True
+        led_one.charge_issue(10, lane)
+
+        led_all = ledger(96)
+        full = np.zeros(96, dtype=bool)
+        full[:32] = True
+        led_all.charge_issue(10, full)
+
+        assert led_one.issue[0] == led_all.issue[0] == 10.0
+
+    def test_inactive_warps_not_charged(self):
+        led = ledger(96)
+        lane = np.zeros(96, dtype=bool)
+        lane[:32] = True
+        led.charge_issue(5, lane)
+        assert led.issue.tolist() == [5.0, 0.0, 0.0]
+
+    def test_special_multiplier(self):
+        led = ledger(32, device=GEFORCE_9800_GT)
+        led.charge_issue(1, special=True)
+        assert led.issue[0] == GEFORCE_9800_GT.special_op_factor
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            ledger().charge_issue(-1)
+
+    def test_per_warp_vector(self):
+        led = ledger(96)
+        led.charge_issue_per_warp(np.array([1.0, 2.0, 3.0]))
+        assert led.issue.tolist() == [1.0, 2.0, 3.0]
+        with pytest.raises(ValueError):
+            led.charge_issue_per_warp(np.array([1.0, 2.0]))
+
+    def test_uniform_load_is_issue_only(self):
+        led = ledger(96)
+        led.charge_uniform_load(4)
+        assert led.issue.sum() == 12.0  # 4 per warp x 3 warps
+        assert led.transactions.sum() == 0
+        assert led.mem_bytes.sum() == 0
+
+    def test_stream_accounting(self):
+        led = ledger(96)
+        led.charge_stream(1280, passes=2.0)
+        t = led.totals()
+        assert t.bytes == 2560
+        assert t.transactions == 2560 / TITAN_X_PASCAL.mem_segment_bytes
+        with pytest.raises(ValueError):
+            led.charge_stream(-1)
+
+    def test_contiguous_access_charges_all_warps(self):
+        led = ledger(96)
+        led.charge_contiguous_access(1)
+        # 3 warps x 2 transactions (256B over 128B segments).
+        assert led.transactions.sum() == 6
+
+    def test_gather_respects_mask(self):
+        led = ledger(96)
+        idx = np.zeros(96, dtype=np.int64)
+        mask = np.zeros(96, dtype=bool)
+        mask[:32] = True
+        led.charge_gather(idx, mask)
+        assert led.transactions[0] == 1  # broadcast-like
+        assert led.transactions[1] == 0
+
+    def test_gather_repeats(self):
+        led1 = ledger(96)
+        led1.charge_gather(np.arange(96), repeats=3)
+        led2 = ledger(96)
+        for _ in range(3):
+            led2.charge_gather(np.arange(96))
+        assert led1.transactions.sum() == led2.transactions.sum()
+
+    def test_totals_combine_warp_and_stream(self):
+        led = ledger(96)
+        led.charge_contiguous_access(1)
+        led.charge_stream(128)
+        t = led.totals()
+        assert t.transactions == 7  # 6 warp + 1 stream

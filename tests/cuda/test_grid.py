@@ -1,0 +1,46 @@
+"""Unit tests for launch configuration."""
+
+import pytest
+
+from repro.cuda.device import GTX_880M
+from repro.cuda.grid import PAPER_BLOCK_SIZE, LaunchConfig
+
+
+def test_paper_block_size_is_96():
+    assert PAPER_BLOCK_SIZE == 96
+    assert PAPER_BLOCK_SIZE % 32 == 0  # three warps
+
+
+class TestLaunchConfig:
+    def test_exact_one_block(self):
+        cfg = LaunchConfig(96)
+        assert cfg.n_blocks == 1
+        assert cfg.warps_per_block == 3
+        assert cfg.n_warps == 3
+
+    def test_blocks_grow_with_n(self):
+        # The paper's rule: 96 threads/block, more blocks for more aircraft.
+        assert LaunchConfig(97).n_blocks == 2
+        assert LaunchConfig(960).n_blocks == 10
+        assert LaunchConfig(961).n_blocks == 11
+
+    def test_partial_last_warp(self):
+        cfg = LaunchConfig(100)
+        assert cfg.n_warps == 4  # 3 full warps + 4 threads
+        assert cfg.padded_threads == 128
+
+    def test_rejects_bad_sizes(self):
+        with pytest.raises(ValueError):
+            LaunchConfig(0)
+        with pytest.raises(ValueError):
+            LaunchConfig(10, block_size=48)  # not a warp multiple
+        with pytest.raises(ValueError):
+            LaunchConfig(10, block_size=0)
+
+    def test_for_problem_checks_device_limit(self):
+        with pytest.raises(ValueError, match="exceeds device limit"):
+            LaunchConfig.for_problem(10, GTX_880M, block_size=2048)
+
+    def test_for_problem_ok(self):
+        cfg = LaunchConfig.for_problem(500, GTX_880M)
+        assert cfg.block_size == 96

@@ -1,0 +1,171 @@
+"""Unit tests for the four ATM kernel cost models."""
+
+import numpy as np
+import pytest
+
+from repro.core.radar import generate_radar_frame
+from repro.core.resolution import detect_and_resolve
+from repro.core.setup import setup_flight
+from repro.core.tracking import correlate
+from repro.cuda.device import GEFORCE_9800_GT, GTX_880M, TITAN_X_PASCAL
+from repro.cuda.execution import WarpLedger
+from repro.cuda.grid import LaunchConfig
+from repro.cuda.kernels.check_collision import (
+    altitude_pass_counts,
+    charge_check_collision,
+)
+from repro.cuda.kernels.generate_radar import charge_generate_radar
+from repro.cuda.kernels.setup_flight import charge_setup_flight
+from repro.cuda.kernels.track_drone import charge_track_drone
+
+
+def tracked_state(n, seed=2018):
+    fleet = setup_flight(n, seed)
+    frame = generate_radar_frame(fleet, seed, 0)
+    stats = correlate(fleet, frame)
+    return fleet, frame, stats
+
+
+def collision_state(n, seed=2018):
+    fleet = setup_flight(n, seed)
+    det, res = detect_and_resolve(fleet)
+    return fleet, det, res
+
+
+class TestSetupFlightKernel:
+    def test_positive_and_deterministic(self):
+        a = charge_setup_flight(TITAN_X_PASCAL, 960)
+        b = charge_setup_flight(TITAN_X_PASCAL, 960)
+        assert a.seconds == b.seconds > 0
+
+    def test_scales_with_n(self):
+        small = charge_setup_flight(GEFORCE_9800_GT, 960)
+        big = charge_setup_flight(GEFORCE_9800_GT, 9600)
+        assert big.seconds > small.seconds
+
+    def test_far_below_period_budget(self):
+        kt = charge_setup_flight(GEFORCE_9800_GT, 4000)
+        assert kt.seconds < 0.01
+
+
+class TestGenerateRadarKernel:
+    def test_includes_host_round_trip(self):
+        phase = charge_generate_radar(TITAN_X_PASCAL, 960, 960)
+        assert phase.transfer_seconds > 0
+        assert phase.seconds == pytest.approx(
+            phase.kernel.seconds + phase.transfer_seconds
+        )
+
+    def test_transfer_grows_with_reports(self):
+        a = charge_generate_radar(TITAN_X_PASCAL, 960, 100)
+        b = charge_generate_radar(TITAN_X_PASCAL, 960, 10_000)
+        assert b.transfer_seconds > a.transfer_seconds
+
+
+class TestTrackDroneKernel:
+    def test_positive_cost(self):
+        fleet, frame, stats = tracked_state(192)
+        kt = charge_track_drone(GTX_880M, fleet, frame, stats)
+        assert kt.seconds > 0
+        assert kt.issue_total > 0
+
+    def test_deterministic(self):
+        fleet, frame, stats = tracked_state(192)
+        a = charge_track_drone(GTX_880M, fleet, frame, stats)
+        b = charge_track_drone(GTX_880M, fleet, frame, stats)
+        assert a.seconds == b.seconds
+
+    def test_more_rounds_cost_more(self):
+        """A frame that forces retry rounds is costlier than one that
+        correlates completely in round 1."""
+        fleet, frame, stats = tracked_state(192)
+        assert stats.rounds_executed == 1
+        one_round = charge_track_drone(GTX_880M, fleet, frame, stats)
+
+        # Fabricate stats with two extra rounds over the same fleet.
+        import copy
+
+        stats3 = copy.deepcopy(stats)
+        stats3.rounds_executed = 3
+        for _ in range(2):
+            stats3.round_radar_ids.append(np.arange(50))
+            stats3.round_active_planes.append(50)
+            stats3.round_candidates_per_radar.append(
+                np.zeros(frame.n, dtype=np.int64)
+            )
+            stats3.candidate_pairs.append(0)
+            stats3.matched.append(0)
+        three_rounds = charge_track_drone(GTX_880M, fleet, frame, stats3)
+        assert three_rounds.seconds > one_round.seconds
+
+    def test_scales_with_fleet(self):
+        small = charge_track_drone(GTX_880M, *tracked_state(192))
+        big = charge_track_drone(GTX_880M, *tracked_state(1920))
+        assert big.seconds > small.seconds
+
+    def test_device_ordering(self):
+        fleet, frame, stats = tracked_state(1920)
+        t_old = charge_track_drone(GEFORCE_9800_GT, fleet, frame, stats)
+        t_new = charge_track_drone(TITAN_X_PASCAL, fleet, frame, stats)
+        assert t_new.seconds < t_old.seconds
+
+
+class TestAltitudePassCounts:
+    def test_matches_bruteforce(self):
+        fleet, det, res = collision_state(100)
+        cfg = LaunchConfig(100)
+        led = WarpLedger(TITAN_X_PASCAL, cfg)
+        counts = altitude_pass_counts(led, fleet.alt)
+
+        # Brute force: warp w passes iteration p if any of its lanes is
+        # within 1000 ft of aircraft p.
+        from repro.core import constants as C
+
+        n = 100
+        expected = np.zeros(led.n_warps, dtype=np.int64)
+        for w in range(led.n_warps):
+            lanes = range(w * 32, min((w + 1) * 32, n))
+            for p in range(n):
+                if any(
+                    abs(fleet.alt[i] - fleet.alt[p]) < C.ALTITUDE_SEPARATION_FT
+                    for i in lanes
+                ):
+                    expected[w] += 1
+        assert np.array_equal(counts, expected)
+
+
+class TestCheckCollisionKernel:
+    def test_positive_cost(self):
+        fleet, det, res = collision_state(192)
+        kt = charge_check_collision(GTX_880M, fleet, det, res)
+        assert kt.seconds > 0
+
+    def test_deterministic(self):
+        fleet, det, res = collision_state(192)
+        a = charge_check_collision(GTX_880M, fleet, det, res)
+        b = charge_check_collision(GTX_880M, fleet, det, res)
+        assert a.seconds == b.seconds
+
+    def test_resolution_attempts_cost_extra(self):
+        fleet, det, res = collision_state(192)
+        base = charge_check_collision(GTX_880M, fleet, det, res)
+        import copy
+
+        res2 = copy.deepcopy(res)
+        res2.attempts = res.attempts + 3  # every warp re-sweeps more
+        res2.trials_evaluated += 3 * fleet.n
+        more = charge_check_collision(GTX_880M, fleet, det, res2)
+        assert more.seconds > base.seconds
+
+    def test_superlinear_total_work(self):
+        """Per-aircraft sweeps over the whole table: doubling the fleet
+        more than doubles the modelled time once compute dominates."""
+        t1 = charge_check_collision(GEFORCE_9800_GT, *collision_state(960)).seconds
+        t2 = charge_check_collision(GEFORCE_9800_GT, *collision_state(1920)).seconds
+        assert t2 > 2.0 * t1
+
+    def test_old_card_pays_for_missing_cache(self):
+        fleet, det, res = collision_state(1920)
+        old = charge_check_collision(GEFORCE_9800_GT, fleet, det, res)
+        new = charge_check_collision(TITAN_X_PASCAL, fleet, det, res)
+        assert old.bytes_total > new.bytes_total

@@ -1,0 +1,122 @@
+"""Unit tests for the transfer model and coalescing analysis."""
+
+import numpy as np
+import pytest
+
+from repro.cuda.device import GEFORCE_9800_GT, TITAN_X_PASCAL
+from repro.cuda.memory import TransferModel, transaction_count
+
+
+class TestTransferModel:
+    def test_zero_bytes_is_free(self):
+        assert TransferModel(TITAN_X_PASCAL).copy_seconds(0) == 0.0
+
+    def test_latency_plus_bandwidth(self):
+        t = TransferModel(TITAN_X_PASCAL).copy_seconds(12_000_000_000)
+        assert t == pytest.approx(TITAN_X_PASCAL.pcie_latency_s + 1.0)
+
+    def test_round_trip_doubles(self):
+        m = TransferModel(TITAN_X_PASCAL)
+        assert m.round_trip_seconds(1000) == pytest.approx(2 * m.copy_seconds(1000))
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            TransferModel(TITAN_X_PASCAL).copy_seconds(-1)
+
+    def test_small_transfers_latency_bound(self):
+        m = TransferModel(TITAN_X_PASCAL)
+        assert m.copy_seconds(16) == pytest.approx(
+            TITAN_X_PASCAL.pcie_latency_s, rel=1e-3
+        )
+
+
+def warp_offsets(indices, itemsize=8):
+    """(1, 32) byte offsets from element indices."""
+    return (np.asarray(indices, dtype=np.int64) * itemsize).reshape(1, 32)
+
+
+ALL_ACTIVE = np.ones((1, 32), dtype=bool)
+
+
+class TestModernCoalescing:
+    def test_contiguous_float64_is_two_segments(self):
+        # 32 lanes x 8 B = 256 B = two 128 B segments.
+        tx = transaction_count(
+            TITAN_X_PASCAL, warp_offsets(np.arange(32)), ALL_ACTIVE, 8
+        )
+        assert tx[0] == 2
+
+    def test_same_address_is_one_transaction(self):
+        tx = transaction_count(
+            TITAN_X_PASCAL, warp_offsets(np.zeros(32)), ALL_ACTIVE, 8
+        )
+        assert tx[0] == 1
+
+    def test_stride_two_doubles_span(self):
+        tx = transaction_count(
+            TITAN_X_PASCAL, warp_offsets(np.arange(32) * 2), ALL_ACTIVE, 8
+        )
+        assert tx[0] == 4
+
+    def test_fully_scattered_is_one_per_lane(self):
+        idx = np.arange(32) * 1000  # each lane in its own segment
+        tx = transaction_count(TITAN_X_PASCAL, warp_offsets(idx), ALL_ACTIVE, 8)
+        assert tx[0] == 32
+
+    def test_inactive_lanes_ignored(self):
+        active = ALL_ACTIVE.copy()
+        active[0, 16:] = False
+        idx = np.arange(32) * 1000
+        tx = transaction_count(TITAN_X_PASCAL, warp_offsets(idx), active, 8)
+        assert tx[0] == 16
+
+    def test_fully_inactive_warp_is_zero(self):
+        tx = transaction_count(
+            TITAN_X_PASCAL, warp_offsets(np.arange(32)), np.zeros((1, 32), bool), 8
+        )
+        assert tx[0] == 0
+
+    def test_order_within_warp_does_not_matter(self):
+        idx = np.arange(32)
+        rng = np.random.default_rng(0)
+        shuffled = rng.permutation(idx)
+        a = transaction_count(TITAN_X_PASCAL, warp_offsets(idx), ALL_ACTIVE, 8)
+        b = transaction_count(TITAN_X_PASCAL, warp_offsets(shuffled), ALL_ACTIVE, 8)
+        assert a[0] == b[0]
+
+
+class TestStrictCoalescing:
+    def test_sequential_aligned_is_one_per_half_warp(self):
+        tx = transaction_count(
+            GEFORCE_9800_GT, warp_offsets(np.arange(32)), ALL_ACTIVE, 8
+        )
+        assert tx[0] == 2  # one per half-warp
+
+    def test_permuted_serializes(self):
+        """CC 1.1 requires lane k -> word k; a permutation serializes."""
+        idx = np.arange(32)
+        idx[0], idx[1] = idx[1], idx[0]
+        tx = transaction_count(GEFORCE_9800_GT, warp_offsets(idx), ALL_ACTIVE, 8)
+        # First half-warp serializes (16), second coalesces... the second
+        # half's base is element 16, aligned, sequential -> 1.
+        assert tx[0] == 17
+
+    def test_same_address_serializes_on_tesla(self):
+        tx = transaction_count(
+            GEFORCE_9800_GT, warp_offsets(np.zeros(32)), ALL_ACTIVE, 8
+        )
+        assert tx[0] == 32  # no broadcast in the CC 1.x load path
+
+    def test_misaligned_base_serializes(self):
+        tx = transaction_count(
+            GEFORCE_9800_GT, warp_offsets(np.arange(32) + 1), ALL_ACTIVE, 8
+        )
+        assert tx[0] == 32
+
+
+class TestValidation:
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            transaction_count(
+                TITAN_X_PASCAL, np.zeros((1, 16), np.int64), ALL_ACTIVE, 8
+            )

@@ -1,0 +1,55 @@
+"""Unit tests for the occupancy calculator."""
+
+import pytest
+
+from repro.cuda.device import GEFORCE_9800_GT, GTX_880M, TITAN_X_PASCAL
+from repro.cuda.grid import LaunchConfig
+from repro.cuda.occupancy import compute_occupancy
+
+
+class TestOccupancy:
+    def test_threads_per_sm_limit(self):
+        # 9800 GT: 768 threads/SM at 96/block -> 8 blocks/SM (also the
+        # block limit).
+        occ = compute_occupancy(GEFORCE_9800_GT, LaunchConfig(96 * 200))
+        assert occ.blocks_per_sm == 8
+        assert occ.warps_per_sm == 24
+
+    def test_block_limit_binds_on_kepler(self):
+        # 880M: 2048/96 = 21 by threads, 16 by blocks -> 16.
+        occ = compute_occupancy(GTX_880M, LaunchConfig(96 * 200))
+        assert occ.blocks_per_sm == 16
+
+    def test_register_limit(self):
+        occ = compute_occupancy(
+            TITAN_X_PASCAL, LaunchConfig(96 * 200), regs_per_thread=256
+        )
+        # 65536 / (256 * 96) = 2 blocks per SM.
+        assert occ.blocks_per_sm == 2
+
+    def test_register_validation(self):
+        with pytest.raises(ValueError):
+            compute_occupancy(GTX_880M, LaunchConfig(96), regs_per_thread=0)
+
+    def test_single_wave_when_device_big_enough(self):
+        occ = compute_occupancy(TITAN_X_PASCAL, LaunchConfig(96))
+        assert occ.waves == 1
+        assert occ.concurrent_blocks >= 1
+
+    def test_waves_grow_with_blocks(self):
+        small = compute_occupancy(GEFORCE_9800_GT, LaunchConfig(96 * 112))
+        big = compute_occupancy(GEFORCE_9800_GT, LaunchConfig(96 * 1121))
+        assert big.waves > small.waves
+
+    def test_wave_arithmetic(self):
+        occ = compute_occupancy(GEFORCE_9800_GT, LaunchConfig(96 * 112))
+        # 112 blocks over 14 SMs x 8 blocks/SM = exactly one wave.
+        assert occ.concurrent_blocks == 112
+        assert occ.waves == 1
+        occ2 = compute_occupancy(GEFORCE_9800_GT, LaunchConfig(96 * 113))
+        assert occ2.waves == 2
+
+    def test_occupancy_fraction_bounded(self):
+        for dev in (GEFORCE_9800_GT, GTX_880M, TITAN_X_PASCAL):
+            occ = compute_occupancy(dev, LaunchConfig(960))
+            assert 0 < occ.occupancy_fraction <= 1.0

@@ -1,0 +1,73 @@
+"""Unit tests for the shared-memory tiled collision-kernel variant."""
+
+import pytest
+
+from repro.core.resolution import detect_and_resolve
+from repro.core.setup import setup_flight
+from repro.cuda.device import DEVICES, GEFORCE_9800_GT, TITAN_X_PASCAL
+from repro.cuda.grid import LaunchConfig
+from repro.cuda.kernels.check_collision import (
+    charge_check_collision,
+    charge_check_collision_tiled,
+)
+from repro.cuda.occupancy import compute_occupancy
+
+
+def state(n=480, seed=2018):
+    fleet = setup_flight(n, seed)
+    det, res = detect_and_resolve(fleet)
+    return fleet, det, res
+
+
+class TestTiledKernel:
+    def test_positive_and_deterministic(self):
+        fleet, det, res = state()
+        a = charge_check_collision_tiled(GEFORCE_9800_GT, fleet, det, res)
+        b = charge_check_collision_tiled(GEFORCE_9800_GT, fleet, det, res)
+        assert a.seconds == b.seconds > 0
+
+    @pytest.mark.parametrize("key", sorted(DEVICES))
+    def test_never_faster_than_global(self, key):
+        fleet, det, res = state()
+        g = charge_check_collision(DEVICES[key], fleet, det, res)
+        t = charge_check_collision_tiled(DEVICES[key], fleet, det, res)
+        assert t.seconds >= g.seconds
+
+    def test_occupancy_squeezed_on_cc1x(self):
+        fleet, det, res = state()
+        t = charge_check_collision_tiled(GEFORCE_9800_GT, fleet, det, res)
+        g = charge_check_collision(GEFORCE_9800_GT, fleet, det, res)
+        assert t.occupancy.blocks_per_sm < g.occupancy.blocks_per_sm
+
+    def test_dram_traffic_scales_with_blocks(self):
+        small_fleet, sd, sr = state(480)
+        big_fleet, bd, br = state(1920)
+        small = charge_check_collision_tiled(TITAN_X_PASCAL, small_fleet, sd, sr)
+        big = charge_check_collision_tiled(TITAN_X_PASCAL, big_fleet, bd, br)
+        # Per-block streaming: bytes grow ~quadratically (blocks x table).
+        assert big.bytes_total > 10 * small.bytes_total
+
+
+class TestSmemOccupancy:
+    def test_smem_limits_blocks(self):
+        occ = compute_occupancy(
+            GEFORCE_9800_GT, LaunchConfig(96 * 50), smem_per_block=4 * 1024
+        )
+        assert occ.blocks_per_sm == 4  # 16 KiB / 4 KiB
+
+    def test_oversized_block_rejected(self):
+        with pytest.raises(ValueError, match="shared memory"):
+            compute_occupancy(
+                GEFORCE_9800_GT, LaunchConfig(96), smem_per_block=32 * 1024
+            )
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            compute_occupancy(
+                GEFORCE_9800_GT, LaunchConfig(96), smem_per_block=-1
+            )
+
+    def test_zero_smem_unchanged(self):
+        a = compute_occupancy(TITAN_X_PASCAL, LaunchConfig(960))
+        b = compute_occupancy(TITAN_X_PASCAL, LaunchConfig(960), smem_per_block=0)
+        assert a == b

@@ -1,0 +1,81 @@
+"""Unit tests for the kernel timing assembly."""
+
+import numpy as np
+import pytest
+
+from repro.cuda.device import GEFORCE_9800_GT, GTX_880M, TITAN_X_PASCAL
+from repro.cuda.execution import WarpLedger
+from repro.cuda.grid import LaunchConfig
+from repro.cuda.timing import kernel_timing
+
+
+def timed(n, device, issue_per_warp=100.0, stream_bytes=0.0):
+    cfg = LaunchConfig(n)
+    led = WarpLedger(device, cfg)
+    led.charge_issue(issue_per_warp)
+    if stream_bytes:
+        led.charge_stream(stream_bytes)
+    return kernel_timing("k", device, cfg, led)
+
+
+class TestKernelTiming:
+    def test_launch_overhead_always_paid(self):
+        kt = timed(96, TITAN_X_PASCAL, issue_per_warp=0.0)
+        assert kt.seconds >= TITAN_X_PASCAL.kernel_launch_s
+
+    def test_deterministic(self):
+        a = timed(960, GTX_880M)
+        b = timed(960, GTX_880M)
+        assert a.seconds == b.seconds
+
+    def test_faster_device_is_faster(self):
+        # Same cost profile, three devices: newer cards finish sooner.
+        t_old = timed(9600, GEFORCE_9800_GT, issue_per_warp=5000.0)
+        t_mid = timed(9600, GTX_880M, issue_per_warp=5000.0)
+        t_new = timed(9600, TITAN_X_PASCAL, issue_per_warp=5000.0)
+        assert t_new.seconds < t_mid.seconds < t_old.seconds
+
+    def test_compute_scales_with_issue(self):
+        small = timed(96 * 200, GEFORCE_9800_GT, issue_per_warp=1000.0)
+        big = timed(96 * 200, GEFORCE_9800_GT, issue_per_warp=2000.0)
+        assert big.compute_seconds == pytest.approx(2 * small.compute_seconds)
+
+    def test_bandwidth_bound_kernel(self):
+        kt = timed(96, TITAN_X_PASCAL, issue_per_warp=1.0, stream_bytes=4.8e9)
+        assert kt.bound == "bandwidth"
+        assert kt.bandwidth_seconds == pytest.approx(0.01)  # 4.8GB / 480GB/s
+
+    def test_breakdown_sums_to_total(self):
+        for kt in (
+            timed(960, GTX_880M),
+            timed(96, TITAN_X_PASCAL, issue_per_warp=1.0, stream_bytes=4.8e9),
+        ):
+            b = kt.breakdown()
+            assert b.total == pytest.approx(kt.seconds)
+
+    def test_wave_staircase(self):
+        """Crossing a wave boundary produces a jump in compute time."""
+        dev = GEFORCE_9800_GT  # 112 concurrent blocks at 96/block
+        per_block_issue = 1000.0
+
+        def compute_at(blocks):
+            cfg = LaunchConfig(blocks * 96)
+            led = WarpLedger(dev, cfg)
+            led.charge_issue(per_block_issue)  # same per-warp cost
+            return kernel_timing("k", dev, cfg, led).compute_seconds
+
+        one_wave = compute_at(112)
+        two_waves = compute_at(113)
+        assert two_waves > one_wave
+
+    def test_occupancy_embedded(self):
+        kt = timed(96 * 500, GTX_880M)
+        assert kt.occupancy.waves >= 1
+        assert kt.occupancy.blocks_per_sm == 16
+
+    def test_latency_term_positive_with_transactions(self):
+        cfg = LaunchConfig(96)
+        led = WarpLedger(GEFORCE_9800_GT, cfg)
+        led.charge_contiguous_access(4)
+        kt = kernel_timing("k", GEFORCE_9800_GT, cfg, led)
+        assert kt.latency_seconds > 0

@@ -1,0 +1,74 @@
+"""Unit tests for the voice advisory channel."""
+
+import pytest
+
+from repro.extended.advisory import Advisory, AdvisoryChannel, AdvisoryKind
+
+
+def adv(kind=AdvisoryKind.COLLISION, aircraft=0, cycle=0, payload=0.0):
+    return Advisory(kind=kind, aircraft=aircraft, payload=payload, issued_cycle=cycle)
+
+
+class TestChannel:
+    def test_rate_limit(self):
+        ch = AdvisoryChannel(slots_per_cycle=2)
+        ch.submit_many(adv(aircraft=i) for i in range(5))
+        stats = ch.service_cycle(0)
+        assert stats.uttered == 2
+        assert stats.backlog == 3
+
+    def test_priority_order(self):
+        ch = AdvisoryChannel(slots_per_cycle=1)
+        ch.submit(adv(AdvisoryKind.APPROACH, aircraft=1))
+        ch.submit(adv(AdvisoryKind.TERRAIN, aircraft=2))
+        ch.submit(adv(AdvisoryKind.COLLISION, aircraft=3))
+        stats = ch.service_cycle(0)
+        assert stats.uttered_by_kind == {"COLLISION": 1}
+
+    def test_fifo_within_priority(self):
+        ch = AdvisoryChannel(slots_per_cycle=1, max_age_cycles=5)
+        ch.submit(adv(aircraft=1, cycle=0))
+        ch.submit(adv(aircraft=2, cycle=1))
+        stats = ch.service_cycle(1)
+        assert stats.uttered == 1
+        assert stats.max_delay_cycles == 1  # the cycle-0 message went first
+
+    def test_stale_dropped(self):
+        ch = AdvisoryChannel(slots_per_cycle=4, max_age_cycles=2)
+        ch.submit(adv(aircraft=1, cycle=0))
+        stats = ch.service_cycle(5)
+        assert stats.uttered == 0
+        assert stats.dropped_stale == 1
+        assert stats.backlog == 0
+
+    def test_backlog_purged_of_stale(self):
+        ch = AdvisoryChannel(slots_per_cycle=1, max_age_cycles=1)
+        ch.submit_many(adv(aircraft=i, cycle=0) for i in range(4))
+        stats = ch.service_cycle(2)  # all too old
+        assert stats.uttered == 0
+        assert stats.dropped_stale == 4
+        assert ch.backlog == 0
+
+    def test_drain_over_cycles(self):
+        ch = AdvisoryChannel(slots_per_cycle=2, max_age_cycles=10)
+        ch.submit_many(adv(aircraft=i) for i in range(6))
+        total = 0
+        for cycle in range(3):
+            total += ch.service_cycle(cycle).uttered
+        assert total == 6
+        assert ch.backlog == 0
+
+    def test_submit_many_counts(self):
+        ch = AdvisoryChannel()
+        assert ch.submit_many(adv(aircraft=i) for i in range(3)) == 3
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AdvisoryChannel(slots_per_cycle=0)
+        with pytest.raises(ValueError):
+            AdvisoryChannel(max_age_cycles=0)
+
+    def test_empty_service(self):
+        stats = AdvisoryChannel().service_cycle(0)
+        assert stats.queued == 0
+        assert stats.uttered == 0

@@ -1,0 +1,136 @@
+"""Unit tests for final-approach sequencing."""
+
+import numpy as np
+import pytest
+
+from repro.core import constants as C
+from repro.core.types import FleetState
+from repro.extended.approach import (
+    IN_TRAIL_SEPARATION_NM,
+    MIN_APPROACH_SPEED,
+    Runway,
+    sequence_approach,
+)
+
+RUNWAY = Runway(x=-40.0, y=-20.0, course_deg=0.0, length_nm=40.0)
+
+
+def approach_fleet(distances_nm, alt=4000.0, speed_knots=140.0):
+    """Aircraft on final, ``distances_nm`` out from the threshold,
+    flying the approach course (east, toward +x)."""
+    n = len(distances_nm)
+    f = FleetState.empty(n)
+    f.x[:] = RUNWAY.x - np.asarray(distances_nm, dtype=float)
+    f.y[:] = RUNWAY.y
+    f.dx[:] = speed_knots / C.PERIODS_PER_HOUR
+    f.dy[:] = 0.0
+    f.alt[:] = alt
+    f.batdx[:] = f.dx
+    f.batdy[:] = f.dy
+    return f
+
+
+class TestCorridorGeometry:
+    def test_along_distance(self):
+        along, across = RUNWAY.corridor_coordinates(RUNWAY.x - 10.0, RUNWAY.y)
+        assert along == pytest.approx(10.0)
+        assert across == pytest.approx(0.0)
+
+    def test_across_sign(self):
+        _, across = RUNWAY.corridor_coordinates(RUNWAY.x - 10.0, RUNWAY.y + 2.0)
+        assert across == pytest.approx(2.0)
+
+    def test_on_approach_filters(self):
+        fleet = approach_fleet([10.0, 20.0])
+        fleet.alt[1] = 20_000.0  # too high
+        mask = RUNWAY.on_approach(fleet)
+        assert mask.tolist() == [True, False]
+
+    def test_outbound_excluded(self):
+        fleet = approach_fleet([10.0])
+        fleet.dx[0] = -fleet.dx[0]  # flying away from the runway
+        assert not RUNWAY.on_approach(fleet)[0]
+
+    def test_beyond_corridor_excluded(self):
+        fleet = approach_fleet([50.0])  # corridor is 40 nm long
+        assert not RUNWAY.on_approach(fleet)[0]
+
+    def test_lateral_excluded(self):
+        fleet = approach_fleet([10.0])
+        fleet.y[0] += 10.0  # 10 nm off the centreline
+        assert not RUNWAY.on_approach(fleet)[0]
+
+    def test_rotated_runway(self):
+        rw = Runway(x=0.0, y=0.0, course_deg=90.0, length_nm=30.0)
+        along, across = rw.corridor_coordinates(0.0, -10.0)
+        assert along == pytest.approx(10.0)
+        assert abs(across) < 1e-9
+
+
+class TestSequencing:
+    def test_well_spaced_stream_untouched(self):
+        fleet = approach_fleet([5.0, 10.0, 15.0, 20.0])
+        before = fleet.dx.copy()
+        stats = sequence_approach(fleet, RUNWAY)
+        assert stats.on_approach == 4
+        assert stats.violations == 0
+        assert np.array_equal(fleet.dx, before)
+
+    def test_sequence_ordered_by_distance(self):
+        fleet = approach_fleet([15.0, 5.0, 25.0])
+        stats = sequence_approach(fleet, RUNWAY)
+        assert stats.sequence == [1, 0, 2]
+
+    def test_close_follower_slowed(self):
+        fleet = approach_fleet([5.0, 6.0])  # 1 nm in trail: violation
+        v_before = float(np.hypot(fleet.dx[1], fleet.dy[1]))
+        stats = sequence_approach(fleet, RUNWAY)
+        assert stats.violations == 1
+        assert stats.advisories == 1
+        v_after = float(np.hypot(fleet.dx[1], fleet.dy[1]))
+        assert v_after < v_before
+        # Leader untouched.
+        assert fleet.dx[0] == pytest.approx(140.0 / C.PERIODS_PER_HOUR)
+
+    def test_heading_preserved_by_advisory(self):
+        rw = Runway(x=0.0, y=0.0, course_deg=45.0, length_nm=40.0)
+        n = 2
+        fleet = FleetState.empty(n)
+        d = np.array([5.0, 6.5])
+        theta = np.deg2rad(45.0)
+        fleet.x[:] = -d * np.cos(theta)
+        fleet.y[:] = -d * np.sin(theta)
+        speed = 140.0 / C.PERIODS_PER_HOUR
+        fleet.dx[:] = speed * np.cos(theta)
+        fleet.dy[:] = speed * np.sin(theta)
+        fleet.alt[:] = 3000.0
+        heading_before = np.arctan2(fleet.dy[1], fleet.dx[1])
+        stats = sequence_approach(fleet, rw)
+        assert stats.advisories == 1
+        heading_after = np.arctan2(fleet.dy[1], fleet.dx[1])
+        assert heading_after == pytest.approx(heading_before)
+
+    def test_speed_floor_respected(self):
+        fleet = approach_fleet([5.0, 6.0], speed_knots=80.0)  # at the floor
+        stats = sequence_approach(fleet, RUNWAY)
+        assert stats.violations == 1
+        assert stats.advisories == 0  # cannot slow below the floor
+        assert np.hypot(fleet.dx[1], fleet.dy[1]) >= MIN_APPROACH_SPEED - 1e-12
+
+    def test_empty_corridor(self):
+        fleet = approach_fleet([10.0])
+        fleet.alt[0] = 30_000.0
+        stats = sequence_approach(fleet, RUNWAY)
+        assert stats.on_approach == 0
+        assert stats.sequence == []
+
+    def test_single_aircraft_no_pairs(self):
+        fleet = approach_fleet([10.0])
+        stats = sequence_approach(fleet, RUNWAY)
+        assert stats.on_approach == 1
+        assert stats.violations == 0
+
+    def test_separation_threshold_exact(self):
+        fleet = approach_fleet([5.0, 5.0 + IN_TRAIL_SEPARATION_NM])
+        stats = sequence_approach(fleet, RUNWAY)
+        assert stats.violations == 0

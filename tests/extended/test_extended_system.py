@@ -1,0 +1,149 @@
+"""Integration tests: the complete ATM system (paper §7.1 future work)."""
+
+import numpy as np
+import pytest
+
+from repro.backends.registry import all_platform_names, resolve_backend
+from repro.core.setup import setup_flight
+from repro.extended import (
+    AdvisoryChannel,
+    Runway,
+    TerrainGrid,
+    run_extended_schedule,
+)
+from repro.extended.costs import advisory_timing, approach_timing, terrain_timing
+from repro.extended.scheduler import (
+    APPROACH_PERIODS,
+    DISPLAY_PERIODS,
+    TERRAIN_PERIOD,
+)
+
+
+@pytest.fixture(scope="module")
+def grid():
+    return TerrainGrid.generate(2018)
+
+
+class TestSchedule:
+    def test_task_table_layout(self, grid):
+        fleet = setup_flight(96, 2018)
+        res = run_extended_schedule(
+            resolve_backend("cuda:titan-x-pascal"), fleet, terrain=grid
+        )
+        by_period = {p.period: [t.task for t in p.tasks] for p in res.periods}
+        assert by_period[0][0] == "task1"
+        assert "advisory" in by_period[0]
+        for p in APPROACH_PERIODS:
+            assert "approach" in by_period[p]
+        for p in DISPLAY_PERIODS:
+            assert "display" in by_period[p]
+        assert "terrain" in by_period[TERRAIN_PERIOD]
+        assert "task23" in by_period[15]
+        # Ordinary periods run Task 1 only.
+        assert by_period[2] == ["task1"]
+
+    def test_full_system_still_viable_on_nvidia(self, grid):
+        """The paper's §7.1 question, answered: yes — the complete task
+        set still never misses on the GPU models."""
+        for device in ("cuda:geforce-9800-gt", "cuda:gtx-880m", "cuda:titan-x-pascal"):
+            fleet = setup_flight(960, 2018)
+            res = run_extended_schedule(
+                resolve_backend(device), fleet, terrain=grid, major_cycles=2
+            )
+            assert res.missed_deadlines == 0, device
+            assert res.skipped_tasks == 0, device
+
+    def test_extended_tasks_are_cheap_next_to_collisions(self, grid):
+        fleet = setup_flight(960, 2018)
+        res = run_extended_schedule(
+            resolve_backend("cuda:titan-x-pascal"), fleet, terrain=grid
+        )
+        assert res.task_times("terrain").max() < res.task_times("task23").max()
+
+    def test_functional_equivalence_across_platforms(self, grid):
+        """The full system keeps the bit-identical-results property."""
+        states = []
+        for name in ("reference", "cuda:gtx-880m", "simd:clearspeed-csx600"):
+            fleet = setup_flight(128, 2018)
+            run_extended_schedule(
+                resolve_backend(name),
+                fleet,
+                terrain=grid,
+                runway=Runway(),
+                channel=AdvisoryChannel(),
+                major_cycles=2,
+            )
+            states.append(fleet)
+        assert states[0].state_equal(states[1])
+        assert states[0].state_equal(states[2])
+
+    def test_summary_contains_all_tasks(self, grid):
+        fleet = setup_flight(96, 2018)
+        res = run_extended_schedule(resolve_backend(None), fleet, terrain=grid)
+        s = res.summary()
+        for task in ("task1", "task23", "terrain", "approach", "advisory"):
+            assert f"{task}_mean_s" in s
+
+    def test_rejects_zero_cycles(self, grid):
+        with pytest.raises(ValueError):
+            run_extended_schedule(
+                resolve_backend(None), setup_flight(8, 1), terrain=grid,
+                major_cycles=0,
+            )
+
+
+class TestCostAdapters:
+    """Every platform type gets a positive, sane modelled time."""
+
+    @pytest.mark.parametrize("name", all_platform_names() + ["reference"])
+    def test_terrain_timing_positive(self, name, grid):
+        from repro.extended.terrain_avoidance import check_terrain
+
+        backend = resolve_backend(name)
+        fleet = setup_flight(192, 2018)
+        stats = check_terrain(fleet, grid)
+        t = terrain_timing(backend, fleet.n, stats)
+        assert t.seconds > 0
+        assert t.task == "terrain"
+        assert t.platform == backend.name
+
+    @pytest.mark.parametrize("name", all_platform_names() + ["reference"])
+    def test_approach_timing_positive(self, name):
+        from repro.extended.approach import sequence_approach
+
+        backend = resolve_backend(name)
+        fleet = setup_flight(192, 2018)
+        stats = sequence_approach(fleet, Runway())
+        t = approach_timing(backend, fleet.n, stats)
+        assert t.seconds > 0
+
+    @pytest.mark.parametrize("name", all_platform_names() + ["reference"])
+    def test_advisory_timing_positive(self, name):
+        from repro.extended.advisory import AdvisoryStats
+
+        backend = resolve_backend(name)
+        t = advisory_timing(backend, 192, AdvisoryStats(uttered=3, backlog=2))
+        assert t.seconds > 0
+
+    def test_terrain_scales_with_fleet(self, grid):
+        from repro.extended.terrain_avoidance import check_terrain
+
+        backend = resolve_backend("ap:staran")
+        times = []
+        for n in (96, 960):
+            fleet = setup_flight(n, 2018)
+            stats = check_terrain(fleet, grid)
+            times.append(terrain_timing(backend, n, stats).seconds)
+        # AP terrain check is constant-time parallel except the advisory
+        # tail — it must grow far slower than the fleet.
+        assert times[1] < 10 * times[0]
+
+    def test_deterministic_platforms_repeat(self, grid):
+        from repro.extended.terrain_avoidance import check_terrain
+
+        backend = resolve_backend("cuda:gtx-880m")
+        fleet = setup_flight(192, 2018)
+        stats = check_terrain(fleet.copy(), grid)
+        a = terrain_timing(backend, fleet.n, stats).seconds
+        b = terrain_timing(backend, fleet.n, stats).seconds
+        assert a == b

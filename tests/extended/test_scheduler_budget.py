@@ -1,0 +1,115 @@
+"""Extended-scheduler budget rules: skips and advisory flow."""
+
+import numpy as np
+import pytest
+
+from repro.backends.base import Backend
+from repro.core import constants as C
+from repro.core.collision import DetectionMode
+from repro.core.setup import setup_flight
+from repro.core.types import FleetState, RadarFrame, TaskTiming
+from repro.extended import AdvisoryChannel, TerrainGrid, run_extended_schedule
+from repro.extended.scheduler import TERRAIN_PERIOD
+
+
+class SlowTask1Backend(Backend):
+    """Task 1 eats the whole period: every other task must be skipped."""
+
+    name = "slow-fake"
+
+    def __init__(self, task1_s: float):
+        self.task1_s = task1_s
+
+    def track_and_correlate(self, fleet: FleetState, frame: RadarFrame) -> TaskTiming:
+        return TaskTiming("task1", self.name, fleet.n, self.task1_s)
+
+    def detect_and_resolve(self, fleet, mode=DetectionMode.SIGNED) -> TaskTiming:
+        return TaskTiming("task23", self.name, fleet.n, 0.001)
+
+
+@pytest.fixture(scope="module")
+def grid():
+    return TerrainGrid.generate(2018, resolution_nm=4.0)
+
+
+class TestSkipRules:
+    def test_everything_skipped_when_task1_overruns(self, grid):
+        fleet = setup_flight(32, 2018)
+        res = run_extended_schedule(
+            SlowTask1Backend(0.6), fleet, terrain=grid, major_cycles=1
+        )
+        assert res.missed_deadlines == 16
+        skipped = {s for p in res.periods for s in p.skipped}
+        assert skipped == {"advisory", "display", "approach", "terrain", "task23"}
+        # Only task1 timings exist.
+        assert res.task_times("terrain").size == 0
+        assert res.task_times("task23").size == 0
+
+    def test_nothing_skipped_with_fast_backend(self, grid):
+        fleet = setup_flight(32, 2018)
+        res = run_extended_schedule(
+            SlowTask1Backend(0.001), fleet, terrain=grid, major_cycles=1
+        )
+        assert res.skipped_tasks == 0
+        assert res.missed_deadlines == 0
+
+    def test_skip_counts_as_miss(self, grid):
+        fleet = setup_flight(32, 2018)
+        res = run_extended_schedule(
+            SlowTask1Backend(C.PERIOD_SECONDS), fleet, terrain=grid
+        )
+        terrain_period = [p for p in res.periods if p.period == TERRAIN_PERIOD][0]
+        assert "terrain" in terrain_period.skipped
+        assert terrain_period.deadline_missed
+
+
+class TestAdvisoryFlow:
+    def test_unresolved_conflicts_reach_the_channel(self, grid):
+        """Collision advisories queue in cycle k and are spoken at the
+        start of cycle k+1."""
+        from repro.backends.registry import resolve_backend
+        from repro.harness.workloads import crossing_streams
+
+        fleet = crossing_streams(24)  # dense: some conflicts stay unresolved
+        channel = AdvisoryChannel(slots_per_cycle=2, max_age_cycles=3)
+        res = run_extended_schedule(
+            resolve_backend("cuda:titan-x-pascal"),
+            fleet,
+            terrain=grid,
+            channel=channel,
+            major_cycles=2,
+        )
+        # Cycle 0 period 15 found unresolved conflicts...
+        first_cd = [
+            t
+            for p in res.periods
+            if p.major_cycle == 0
+            for t in p.tasks
+            if t.task == "task23"
+        ][0]
+        assert first_cd.stats["unresolved"] > 0
+        # ...so cycle 1's advisory service had something to say.
+        second_ava = [
+            t
+            for p in res.periods
+            if p.major_cycle == 1
+            for t in p.tasks
+            if t.task == "advisory"
+        ][0]
+        assert second_ava.stats["uttered"] > 0
+
+    def test_channel_backlog_bounded_by_staleness(self, grid):
+        from repro.backends.registry import resolve_backend
+        from repro.harness.workloads import crossing_streams
+
+        fleet = crossing_streams(24)
+        channel = AdvisoryChannel(slots_per_cycle=1, max_age_cycles=1)
+        run_extended_schedule(
+            resolve_backend("cuda:titan-x-pascal"),
+            fleet,
+            terrain=grid,
+            channel=channel,
+            major_cycles=4,
+        )
+        # With aggressive staleness the backlog cannot grow without bound.
+        assert channel.backlog < 200

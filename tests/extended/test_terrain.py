@@ -1,0 +1,108 @@
+"""Unit tests for the synthetic terrain substrate."""
+
+import numpy as np
+import pytest
+
+from repro.core import constants as C
+from repro.extended.terrain import TerrainGrid
+
+
+@pytest.fixture(scope="module")
+def grid():
+    return TerrainGrid.generate(2018)
+
+
+class TestGeneration:
+    def test_deterministic(self, grid):
+        again = TerrainGrid.generate(2018)
+        assert np.array_equal(grid.cells, again.cells)
+
+    def test_seed_changes_landscape(self, grid):
+        other = TerrainGrid.generate(2019)
+        assert not np.array_equal(grid.cells, other.cells)
+
+    def test_elevation_range(self, grid):
+        assert grid.cells.min() >= 0.0
+        assert grid.cells.max() <= grid.peak_ft
+
+    def test_has_flat_lowland_and_ridges(self, grid):
+        s = grid.stats()
+        assert s["flat_fraction"] > 0.2  # plenty of safe lowland
+        assert s["max_ft"] > 0.5 * grid.peak_ft  # real ridges exist
+
+    def test_resolution_controls_side(self):
+        coarse = TerrainGrid.generate(1, resolution_nm=4.0)
+        assert coarse.side == 65
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TerrainGrid.generate(1, resolution_nm=0.0)
+        with pytest.raises(ValueError):
+            TerrainGrid.generate(1, peak_ft=-1.0)
+
+
+class TestSampling:
+    def test_matches_cells_at_nodes(self, grid):
+        # Grid node (i, j) sits at airfield (-128 + i, -128 + j).
+        for i, j in ((0, 0), (10, 20), (256, 256)):
+            x = -C.GRID_HALF_NM + i
+            y = -C.GRID_HALF_NM + j
+            assert grid.elevation_at(x, y) == pytest.approx(grid.cells[i, j])
+
+    def test_bilinear_between_nodes(self, grid):
+        a = grid.cells[100, 100]
+        b = grid.cells[101, 100]
+        mid = grid.elevation_at(-C.GRID_HALF_NM + 100.5, -C.GRID_HALF_NM + 100)
+        lo, hi = min(a, b), max(a, b)
+        assert lo - 1e-9 <= mid <= hi + 1e-9
+
+    def test_out_of_bounds_clamps(self, grid):
+        inside = grid.elevation_at(C.GRID_HALF_NM, 0.0)
+        outside = grid.elevation_at(C.GRID_HALF_NM + 50, 0.0)
+        assert outside == pytest.approx(inside)
+
+    def test_vectorised(self, grid):
+        xs = np.linspace(-100, 100, 50)
+        ys = np.zeros(50)
+        elev = grid.elevation_at(xs, ys)
+        assert elev.shape == (50,)
+        assert np.all(elev >= 0)
+
+
+class TestPathMaximum:
+    def test_stationary_aircraft(self, grid):
+        here = grid.elevation_at(10.0, 10.0)
+        along = grid.max_elevation_along(
+            np.array([10.0]), np.array([10.0]),
+            np.array([0.0]), np.array([0.0]),
+            periods=360, samples=12,
+        )
+        assert along[0] == pytest.approx(here)
+
+    def test_dominates_pointwise_samples(self, grid):
+        x, y, dx, dy = 0.0, 0.0, 0.02, 0.01
+        best = grid.max_elevation_along(
+            np.array([x]), np.array([y]), np.array([dx]), np.array([dy]),
+            periods=360, samples=12,
+        )[0]
+        for k in range(1, 13):
+            t = 360 * k / 12
+            assert best >= grid.elevation_at(x + dx * t, y + dy * t) - 1e-9
+
+    def test_more_samples_never_lower(self, grid):
+        args = (
+            np.array([-50.0]), np.array([30.0]),
+            np.array([0.05]), np.array([-0.02]),
+        )
+        coarse = grid.max_elevation_along(*args, periods=360, samples=3)[0]
+        # Not strictly monotone in general, but the sample set of 12
+        # includes t=120,240,360 = the 3-sample set, so 12 >= 3 here.
+        fine = grid.max_elevation_along(*args, periods=360, samples=12)[0]
+        assert fine >= coarse - 1e-9
+
+    def test_sample_validation(self, grid):
+        with pytest.raises(ValueError):
+            grid.max_elevation_along(
+                np.zeros(1), np.zeros(1), np.zeros(1), np.zeros(1),
+                periods=360, samples=0,
+            )

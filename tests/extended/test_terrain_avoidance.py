@@ -1,0 +1,104 @@
+"""Unit tests for the terrain-avoidance task."""
+
+import numpy as np
+import pytest
+
+from repro.core.types import FleetState
+from repro.extended.terrain import TerrainGrid
+from repro.extended.terrain_avoidance import (
+    CLIMB_MARGIN_FT,
+    CLIMB_PER_CYCLE_FT,
+    MIN_CLEARANCE_FT,
+    check_terrain,
+)
+
+
+@pytest.fixture(scope="module")
+def grid():
+    return TerrainGrid.generate(2018)
+
+
+def fleet_at(x, y, alt, dx=0.0, dy=0.0):
+    f = FleetState.empty(len(x))
+    f.x[:] = x
+    f.y[:] = y
+    f.alt[:] = alt
+    f.dx[:] = dx
+    f.dy[:] = dy
+    f.batdx[:] = f.dx
+    f.batdy[:] = f.dy
+    return f
+
+
+def highest_cell(grid):
+    i, j = np.unravel_index(np.argmax(grid.cells), grid.cells.shape)
+    return (-128.0 + i, -128.0 + j, grid.cells[i, j])
+
+
+class TestCheckTerrain:
+    def test_high_flyer_is_clear(self, grid):
+        fleet = fleet_at([0.0], [0.0], [39_000.0])
+        stats = check_terrain(fleet, grid)
+        assert stats.violations == 0
+        assert stats.climb_applied_ft == 0.0
+        assert fleet.alt[0] == 39_000.0
+
+    def test_low_flyer_over_ridge_gets_climb(self, grid):
+        x, y, elev = highest_cell(grid)
+        fleet = fleet_at([x], [y], [elev + 100.0])  # clearance 100 < 1000
+        stats = check_terrain(fleet, grid)
+        assert stats.violations == 1
+        assert stats.advisories == 1
+        assert fleet.alt[0] == pytest.approx(elev + 100.0 + CLIMB_PER_CYCLE_FT)
+
+    def test_climb_is_rate_limited(self, grid):
+        x, y, elev = highest_cell(grid)
+        fleet = fleet_at([x], [y], [elev + 100.0])
+        check_terrain(fleet, grid)
+        # One pass climbs at most CLIMB_PER_CYCLE_FT.
+        assert fleet.alt[0] - (elev + 100.0) <= CLIMB_PER_CYCLE_FT + 1e-9
+
+    def test_repeated_passes_reach_safety(self, grid):
+        x, y, elev = highest_cell(grid)
+        fleet = fleet_at([x], [y], [elev + 100.0])
+        for _ in range(40):
+            stats = check_terrain(fleet, grid)
+            if stats.violations == 0:
+                break
+        assert stats.violations == 0
+        assert fleet.alt[0] >= elev + MIN_CLEARANCE_FT
+
+    def test_small_violation_clears_in_one_pass(self, grid):
+        x, y, elev = highest_cell(grid)
+        # 50 ft short of the MOC: one bounded climb step suffices.
+        fleet = fleet_at([x], [y], [elev + MIN_CLEARANCE_FT - 50.0])
+        first = check_terrain(fleet, grid)
+        assert first.violations == 1
+        second = check_terrain(fleet, grid)
+        assert second.violations == 0
+
+    def test_lookahead_catches_ridge_ahead(self, grid):
+        x, y, elev = highest_cell(grid)
+        # Aircraft 20 nm west of the ridge, flying east at 0.1 nm/period
+        # covers 36 nm in the 360-period look-ahead: the ridge is in scope.
+        fleet = fleet_at([x - 20.0], [y], [elev + 200.0], dx=0.1)
+        stats = check_terrain(fleet, grid)
+        assert stats.violations == 1
+
+    def test_stats_shapes(self, grid):
+        from repro.core.setup import setup_flight
+
+        fleet = setup_flight(100, 2018)
+        stats = check_terrain(fleet, grid)
+        assert stats.aircraft_checked == 100
+        assert stats.violation_mask.shape == (100,)
+        assert stats.violations == int(stats.violation_mask.sum())
+        assert len(stats.advisory_targets) == stats.advisories
+
+    def test_altitude_only_moves_up(self, grid):
+        from repro.core.setup import setup_flight
+
+        fleet = setup_flight(200, 2018)
+        before = fleet.alt.copy()
+        check_terrain(fleet, grid)
+        assert np.all(fleet.alt >= before)

@@ -1,0 +1,43 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.harness.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_experiment_subcommands_exist(self):
+        parser = build_parser()
+        for cmd in ("fig4", "fig9", "tbl-deadline", "abl-fused"):
+            args = parser.parse_args([cmd])
+            assert args.command == cmd
+
+    def test_ns_option(self):
+        args = build_parser().parse_args(["fig4", "--ns", "96", "192"])
+        assert args.ns == [96, 192]
+
+
+class TestMain:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig4" in out
+        assert "cuda:titan-x-pascal" in out
+
+    def test_describe(self, capsys):
+        assert main(["describe", "cuda:gtx-880m"]) == 0
+        out = capsys.readouterr().out
+        assert "compute_capability" in out
+
+    def test_run_small_figure(self, capsys):
+        assert main(["fig8", "--ns", "96", "192", "288", "480"]) == 0
+        out = capsys.readouterr().out
+        assert "fig8" in out and "verdict" in out
+
+    def test_determinism_args(self, capsys):
+        assert main(["tbl-determinism", "--n", "96", "--repeats", "2"]) == 0
+        assert "deterministic" in capsys.readouterr().out

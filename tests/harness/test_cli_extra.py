@@ -1,0 +1,47 @@
+"""CLI tests for the report subcommand, --plot flag and extension ids."""
+
+import json
+
+import pytest
+
+from repro.harness.cli import main
+
+
+class TestReportCommand:
+    def test_report_subset_to_file(self, capsys, tmp_path):
+        out_path = tmp_path / "r.json"
+        assert main(["report", "--only", "tbl-determinism", "--out", str(out_path)]) == 0
+        text = capsys.readouterr().out
+        assert "reproduction report" in text
+        data = json.loads(out_path.read_text())
+        assert list(data["experiments"]) == ["tbl-determinism"]
+
+    def test_report_stdout_only(self, capsys):
+        assert main(["report", "--only", "abl-fused"]) == 0
+        assert "abl-fused" in capsys.readouterr().out
+
+
+class TestPlotFlag:
+    def test_plot_appends_chart(self, capsys):
+        assert main(["fig5", "--ns", "96", "192", "288", "480", "--plot"]) == 0
+        out = capsys.readouterr().out
+        assert "(aircraft)" in out  # the chart's x axis label
+        assert "o=cuda:geforce-9800-gt" in out
+
+    def test_plot_ignored_for_tables(self, capsys):
+        assert main(["tbl-determinism", "--n", "96", "--repeats", "2", "--plot"]) == 0
+        out = capsys.readouterr().out
+        assert "(aircraft)" not in out
+
+
+class TestExtensionCommands:
+    def test_ext_vector_runs(self, capsys):
+        assert main(["ext-vector", "--ns", "96", "192", "288", "480"]) == 0
+        out = capsys.readouterr().out
+        assert "vector:xeon-phi-7250" in out
+
+    def test_ext_viability_runs(self, capsys):
+        assert main(["ext-viability", "--ns", "96"]) == 0
+        out = capsys.readouterr().out
+        assert "ext-viability" in out
+        assert "terrain" in out

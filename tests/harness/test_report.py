@@ -1,0 +1,97 @@
+"""Unit tests for the reproduction report runner."""
+
+import json
+
+import pytest
+
+from repro.harness.figures import EXPERIMENTS
+from repro.harness.report import (
+    QUICK_OVERRIDES,
+    build_report,
+    render_report,
+    write_report,
+)
+
+FAST_SUBSET = ["fig8", "tbl-determinism", "abl-fused"]
+
+
+@pytest.fixture(scope="module")
+def report():
+    return build_report(quick=True, only=FAST_SUBSET)
+
+
+class TestBuildReport:
+    def test_metadata(self, report):
+        assert "Air Traffic Management" in report["paper"]
+        assert report["profile"] == "quick"
+        assert report["seed"] == 2018
+
+    def test_contains_requested_experiments(self, report):
+        assert sorted(report["experiments"]) == sorted(FAST_SUBSET)
+
+    def test_entries_have_data_and_text(self, report):
+        for exp_id, entry in report["experiments"].items():
+            assert entry["data"]["experiment"] == exp_id
+            assert exp_id in entry["rendered"]
+            assert "parameters" in entry
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(KeyError, match="unknown experiment"):
+            build_report(only=["fig99"])
+
+    def test_quick_overrides_cover_every_experiment(self):
+        assert set(QUICK_OVERRIDES) == set(EXPERIMENTS)
+
+
+class TestRendering:
+    def test_render_contains_all_sections(self, report):
+        text = render_report(report)
+        for exp_id in FAST_SUBSET:
+            assert exp_id in text
+        assert "reproduction report" in text
+
+    def test_json_round_trip(self, report, tmp_path):
+        path = tmp_path / "report.json"
+        write_report(str(path), report)
+        loaded = json.loads(path.read_text())
+        assert loaded["experiments"].keys() == report["experiments"].keys()
+        assert (
+            loaded["experiments"]["fig8"]["data"]["verdict"]
+            == report["experiments"]["fig8"]["data"]["verdict"]
+        )
+
+
+class TestToDicts:
+    def test_figure_to_dict(self):
+        from repro.harness.figures import fig5
+
+        d = fig5(ns=(96, 192, 288, 480), periods=1).to_dict()
+        assert d["experiment"] == "fig5"
+        assert set(d["series"]) == {
+            "cuda:geforce-9800-gt", "cuda:gtx-880m", "cuda:titan-x-pascal",
+        }
+        assert all(len(v) == 4 for v in d["series"].values())
+        for verdict in d["verdicts"].values():
+            assert "growth_exponent" in verdict
+
+    def test_deadline_to_dict(self):
+        from repro.harness.figures import deadline_table
+
+        d = deadline_table(
+            ns=(96,), platforms=("cuda:titan-x-pascal",), major_cycles=1
+        ).to_dict()
+        assert d["experiment"] == "tbl-deadline"
+        assert d["never_miss"] == ["cuda:titan-x-pascal"]
+
+    def test_ablation_to_dict(self):
+        from repro.harness.figures import ablation_fused
+
+        d = ablation_fused(ns=(96,)).to_dict()
+        assert d["experiment"] == "abl-fused"
+        assert len(d["rows"]) == 1
+
+    def test_json_serializable(self):
+        from repro.harness.figures import fig9
+
+        d = fig9(ns=(96, 192, 288, 480), periods=1).to_dict()
+        json.dumps(d)  # must not raise

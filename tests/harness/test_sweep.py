@@ -1,0 +1,55 @@
+"""Unit tests for the measurement sweep machinery."""
+
+import pytest
+
+from repro.harness.sweep import (
+    DEFAULT_NS_ALL_PLATFORMS,
+    DEFAULT_NS_NVIDIA,
+    measure_platform,
+    sweep,
+)
+
+
+class TestDefaults:
+    def test_sizes_are_multiples_of_96(self):
+        for n in DEFAULT_NS_ALL_PLATFORMS + DEFAULT_NS_NVIDIA:
+            assert n % 96 == 0
+
+    def test_sizes_ascending(self):
+        assert list(DEFAULT_NS_ALL_PLATFORMS) == sorted(DEFAULT_NS_ALL_PLATFORMS)
+        assert list(DEFAULT_NS_NVIDIA) == sorted(DEFAULT_NS_NVIDIA)
+
+
+class TestMeasurePlatform:
+    def test_basic_measurement(self):
+        m = measure_platform("reference", 96, periods=2)
+        assert m.platform == "reference"
+        assert m.n_aircraft == 96
+        assert len(m.task1_seconds) == 2
+        assert m.task1_mean_s > 0
+        assert m.task23_s > 0
+        assert m.task1_max_s >= m.task1_mean_s
+
+    def test_periods_validation(self):
+        with pytest.raises(ValueError):
+            measure_platform("reference", 96, periods=0)
+
+    def test_deterministic_for_deterministic_backends(self):
+        a = measure_platform("cuda:titan-x-pascal", 96)
+        b = measure_platform("cuda:titan-x-pascal", 96)
+        assert a.task1_seconds == b.task1_seconds
+        assert a.task23_s == b.task23_s
+
+
+class TestSweep:
+    def test_shape(self):
+        data = sweep(["reference", "cuda:gtx-880m"], ns=(96, 192), periods=1)
+        assert data.ns == (96, 192)
+        assert set(data.platforms()) == {"reference", "cuda:gtx-880m"}
+        assert len(data.task1_series("reference")) == 2
+        assert len(data.task23_series("cuda:gtx-880m")) == 2
+
+    def test_series_monotone_for_machine_models(self):
+        data = sweep(["cuda:geforce-9800-gt"], ns=(96, 480, 960), periods=1)
+        t23 = data.task23_series("cuda:geforce-9800-gt")
+        assert t23[0] < t23[1] < t23[2]

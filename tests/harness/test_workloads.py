@@ -1,0 +1,124 @@
+"""Unit tests for the scripted traffic scenarios."""
+
+import numpy as np
+import pytest
+
+from repro.core import constants as C
+from repro.core.collision import detect
+from repro.extended.approach import Runway, sequence_approach
+from repro.harness.workloads import (
+    arrival_stream,
+    crossing_streams,
+    enroute,
+    holding_stack,
+    terminal_area,
+)
+
+
+class TestEnroute:
+    def test_is_setup_flight(self):
+        from repro.core.setup import setup_flight
+
+        assert enroute(64, 7).state_equal(setup_flight(64, 7))
+
+
+class TestCrossingStreams:
+    def test_geometry(self):
+        fleet = crossing_streams(10)
+        assert fleet.n == 20
+        # Eastbound along y=0, northbound along x=0.
+        assert np.all(fleet.y[:10] == 0.0)
+        assert np.all(fleet.x[10:] == 0.0)
+        assert np.all(fleet.dx[:10] > 0) and np.all(fleet.dy[:10] == 0)
+        assert np.all(fleet.dy[10:] > 0) and np.all(fleet.dx[10:] == 0)
+
+    def test_conflicts_are_dense(self):
+        fleet = crossing_streams(16)
+        stats = detect(fleet)
+        # Same level, crossing paths: detection must flag a lot of them.
+        assert stats.critical_conflicts > 0
+        assert stats.flagged_aircraft >= 4
+
+    def test_same_flight_level(self):
+        fleet = crossing_streams(8, altitude_ft=35_000.0)
+        assert np.all(np.abs(fleet.alt - 35_000.0) <= 50.0)
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            crossing_streams(1000, in_trail_nm=6.0)
+        with pytest.raises(ValueError):
+            crossing_streams(0)
+
+    def test_deterministic(self):
+        assert crossing_streams(6).state_equal(crossing_streams(6))
+
+
+class TestHoldingStack:
+    def test_clean_stack_has_no_critical_conflicts(self):
+        fleet = holding_stack(24)
+        stats = detect(fleet)
+        assert stats.critical_conflicts == 0
+
+    def test_level_spacing_at_gate_threshold(self):
+        fleet = holding_stack(48)
+        levels = np.unique(fleet.alt)
+        gaps = np.diff(np.sort(levels))
+        assert np.all(gaps >= C.ALTITUDE_SEPARATION_FT - 1e-9)
+
+    def test_speeds_equal(self):
+        fleet = holding_stack(12, speed_knots=230.0)
+        assert np.allclose(fleet.speeds_knots(), 230.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            holding_stack(0)
+
+
+class TestArrivalStream:
+    def test_all_on_approach(self):
+        runway = Runway()
+        fleet = arrival_stream(8, runway)
+        assert int(runway.on_approach(fleet).sum()) == 8
+
+    def test_initially_legal_spacing(self):
+        runway = Runway()
+        fleet = arrival_stream(8, runway, in_trail_nm=3.5)
+        stats = sequence_approach(fleet, runway)
+        assert stats.violations == 0
+        assert stats.sequence == list(range(8))
+
+    def test_tight_spacing_triggers_advisories(self):
+        runway = Runway()
+        fleet = arrival_stream(8, runway, in_trail_nm=2.0)
+        stats = sequence_approach(fleet, runway)
+        assert stats.violations == 7
+        assert stats.advisories == 7
+
+    def test_corridor_capacity_validation(self):
+        with pytest.raises(ValueError):
+            arrival_stream(100, Runway(), in_trail_nm=3.5)
+
+
+class TestTerminalArea:
+    def test_composite_counts(self):
+        fleet = terminal_area(50, 6)
+        assert fleet.n == 56
+
+    def test_arrivals_preserved(self):
+        runway = Runway()
+        fleet = terminal_area(50, 6, runway)
+        assert int(runway.on_approach(fleet).sum()) >= 6
+
+    def test_runs_on_extended_schedule(self):
+        from repro.backends.registry import resolve_backend
+        from repro.extended import TerrainGrid, run_extended_schedule
+
+        fleet = terminal_area(90, 6)
+        res = run_extended_schedule(
+            resolve_backend("cuda:titan-x-pascal"),
+            fleet,
+            terrain=TerrainGrid.generate(2018),
+        )
+        assert res.missed_deadlines == 0
+        approach_times = res.task_times("approach")
+        assert approach_times.size == 2  # periods 3 and 11

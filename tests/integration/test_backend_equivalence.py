@@ -1,0 +1,90 @@
+"""Integration: every architecture backend computes identical ATM results.
+
+This is the repository's central correctness property (DESIGN.md §5):
+the algorithms are shared, the machines differ only in *timing*, so the
+flight table must evolve bit-identically on every platform.
+"""
+
+import numpy as np
+import pytest
+
+from repro.backends.registry import all_platform_names, resolve_backend
+from repro.core.scheduler import run_schedule
+from repro.core.setup import setup_flight
+
+ALL_PLATFORMS = all_platform_names() + ["reference"]
+
+
+def evolve(backend_name, n=128, cycles=1, seed=2018):
+    backend = resolve_backend(backend_name)
+    fleet = setup_flight(n, seed)
+    result = run_schedule(backend, fleet, major_cycles=cycles, seed=seed)
+    return fleet, result
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("platform", all_platform_names())
+    def test_platform_matches_reference_over_major_cycle(self, platform):
+        ref_fleet, _ = evolve("reference")
+        fleet, _ = evolve(platform)
+        assert fleet.state_equal(ref_fleet), platform
+
+    def test_equivalence_persists_over_two_cycles(self):
+        ref_fleet, _ = evolve("reference", cycles=2)
+        gpu_fleet, _ = evolve("cuda:geforce-9800-gt", cycles=2)
+        mimd_fleet, _ = evolve("mimd:xeon-16", cycles=2)
+        assert gpu_fleet.state_equal(ref_fleet)
+        assert mimd_fleet.state_equal(ref_fleet)
+
+    def test_equivalence_with_odd_fleet_size(self):
+        """Non-multiple-of-96 sizes exercise partial warps/stripes."""
+        ref_fleet, _ = evolve("reference", n=101)
+        for platform in ("cuda:gtx-880m", "simd:clearspeed-csx600", "ap:staran"):
+            fleet, _ = evolve(platform, n=101)
+            assert fleet.state_equal(ref_fleet), platform
+
+
+class TestPaperHeadlines:
+    """The §6.2 claims, asserted end-to-end at a moderate fleet size."""
+
+    def test_nvidia_never_misses_and_beats_everyone(self):
+        n = 960
+        results = {}
+        for platform in all_platform_names():
+            _, result = evolve(platform, n=n)
+            results[platform] = result
+
+        nvidia = [p for p in results if p.startswith("cuda:")]
+        others = [p for p in results if not p.startswith("cuda:")]
+
+        for p in nvidia:
+            assert results[p].missed_deadlines == 0, p
+
+        # Every NVIDIA device outruns every non-NVIDIA platform on both
+        # task curves (paper: "much faster than all the AP, ClearSpeed,
+        # and Xeon implementations").
+        for p in nvidia:
+            t1_nv = results[p].task1_times().mean()
+            t23_nv = results[p].task23_times().mean()
+            for q in others:
+                assert t1_nv < results[q].task1_times().mean(), (p, q)
+                assert t23_nv < results[q].task23_times().mean(), (p, q)
+
+    def test_deterministic_platforms_repeat_exactly(self):
+        for platform in (
+            "cuda:titan-x-pascal",
+            "simd:clearspeed-csx600",
+            "ap:staran",
+        ):
+            _, a = evolve(platform, n=192)
+            _, b = evolve(platform, n=192)
+            assert np.array_equal(a.task1_times(), b.task1_times()), platform
+
+    def test_mimd_misses_deadlines_at_scale(self):
+        _, result = evolve("mimd:xeon-16", n=2880)
+        assert result.missed_deadlines > 0
+
+    def test_ap_and_simd_hold_deadlines_at_scale(self):
+        for platform in ("ap:staran", "simd:clearspeed-csx600"):
+            _, result = evolve(platform, n=2880)
+            assert result.missed_deadlines == 0, platform

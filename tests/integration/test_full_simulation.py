@@ -1,0 +1,65 @@
+"""Integration: long simulation runs stay physically sane."""
+
+import numpy as np
+import pytest
+
+from repro.core import constants as C
+from repro.core.simulation import Simulation
+
+
+class TestLongRuns:
+    def test_four_major_cycles_stay_in_bounds(self):
+        sim = Simulation(256, seed=2018)
+        sim.run(major_cycles=4)
+        sim.fleet.validate()
+
+    def test_speeds_drift_free_over_time(self):
+        """Resolution rotates velocities but never changes speeds, and
+        tracking never touches them — speeds are conserved quantities."""
+        sim = Simulation(256, seed=2018)
+        before = np.sort(sim.fleet.speeds_knots())
+        sim.run(major_cycles=4)
+        after = np.sort(sim.fleet.speeds_knots())
+        assert np.allclose(before, after)
+
+    def test_tracking_keeps_fleet_close_to_truth(self):
+        """Over many periods the committed positions follow the flight
+        paths: per-period displacement is bounded by max speed."""
+        sim = Simulation(128, seed=2018)
+        prev = sim.positions()
+        max_step = (
+            C.SPEED_MAX_KNOTS / C.PERIODS_PER_HOUR
+            + 2 * C.RADAR_NOISE_MAX_NM
+        )
+        for _ in range(8):
+            sim.step_period()
+            pos = sim.positions()
+            step = np.hypot(*(pos - prev).T)
+            # Wrapped aircraft teleport across the field; ignore them.
+            moved_normally = step < C.AIRFIELD_SIZE_NM
+            assert np.all(step[moved_normally] <= max_step + 1e-9)
+            prev = pos
+
+    def test_resolution_reduces_critical_conflicts(self):
+        from repro.core.collision import detect
+
+        sim = Simulation(512, seed=2018)
+        probe = sim.fleet.copy()
+        before = detect(probe).flagged_aircraft
+        sim.run_collision_tasks()
+        probe2 = sim.fleet.copy()
+        after = detect(probe2).flagged_aircraft
+        assert after <= before
+
+    def test_radar_dropout_simulation_runs(self):
+        sim = Simulation(128, seed=2018, radar_dropout=0.2)
+        result = sim.run(major_cycles=1)
+        assert result.total_periods == 16
+        sim.fleet.validate()
+
+    def test_paper_abs_mode_end_to_end(self):
+        from repro.core.collision import DetectionMode
+
+        sim = Simulation(128, seed=2018, mode=DetectionMode.PAPER_ABS)
+        result = sim.run(major_cycles=1)
+        assert result.total_periods == 16

@@ -1,0 +1,46 @@
+"""Golden regression tests for the deterministic timing models.
+
+The deterministic backends promise bit-identical modelled times for
+identical inputs — so those times are also *stable across commits*
+unless a cost model changes.  These snapshots pin the models at the
+values used to produce EXPERIMENTS.md.
+
+If you deliberately recalibrate a model (see the "Calibration
+disclosures" section of EXPERIMENTS.md), update the snapshot *and* the
+affected EXPERIMENTS.md numbers together.
+"""
+
+import pytest
+
+from repro.backends.registry import resolve_backend
+from repro.core.radar import generate_radar_frame
+from repro.core.setup import setup_flight
+
+#: (task1_seconds, task23_seconds) at n = 960, seed 2018, period 0.
+GOLDEN = {
+    "cuda:geforce-9800-gt": (0.0001474912, 0.0014210704000000001),
+    "cuda:gtx-880m": (2.3753039832285112e-05, 0.000209840321453529),
+    "cuda:titan-x-pascal": (1.3964220183486238e-05, 9.822537050105857e-05),
+    "ap:staran": (0.0031801, 0.047039),
+    "simd:clearspeed-csx600": (0.001013456, 0.007678056),
+    "vector:xeon-phi-7250": (3.994159663865546e-05, 3.8743159138655465e-05),
+}
+
+
+@pytest.mark.parametrize("platform", sorted(GOLDEN))
+def test_golden_modelled_times(platform):
+    backend = resolve_backend(platform)
+    fleet = setup_flight(960, 2018)
+    frame = generate_radar_frame(fleet, 2018, 0)
+    t1 = backend.track_and_correlate(fleet, frame).seconds
+    t23 = backend.detect_and_resolve(fleet).seconds
+    expected_t1, expected_t23 = GOLDEN[platform]
+    assert t1 == pytest.approx(expected_t1, rel=1e-9), "task1 model drifted"
+    assert t23 == pytest.approx(expected_t23, rel=1e-9), "task2+3 model drifted"
+
+
+def test_golden_fleet_checksum():
+    """The airfield itself is part of the contract: same seed, same sky."""
+    fleet = setup_flight(960, 2018)
+    assert float(fleet.x.sum()) == pytest.approx(568.5722394786221, rel=1e-12)
+    assert float(fleet.alt.sum()) == pytest.approx(19141909.76293423, rel=1e-12)

@@ -1,0 +1,102 @@
+"""Unit tests for the multi-core work-queue discrete-event simulation."""
+
+import numpy as np
+import pytest
+
+from repro.mimd.events import WorkChunk, simulate_work_queue
+
+
+def run(chunks, cores=4, pop=0.0, sigma=0.0, seed=0):
+    return simulate_work_queue(
+        cores,
+        chunks,
+        pop_cost_s=pop,
+        jitter_sigma=sigma,
+        rng=np.random.default_rng(seed),
+    )
+
+
+class TestWorkChunk:
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            WorkChunk(-1.0)
+        with pytest.raises(ValueError):
+            WorkChunk(1.0, -1.0)
+
+
+class TestQueueSimulation:
+    def test_empty_run(self):
+        result = run([])
+        assert result.makespan_s == 0.0
+        assert result.n_chunks == 0
+
+    def test_perfect_scaling_without_contention(self):
+        chunks = [WorkChunk(1.0) for _ in range(8)]
+        result = run(chunks, cores=4)
+        assert result.makespan_s == pytest.approx(2.0)
+        assert result.parallel_efficiency == pytest.approx(1.0)
+
+    def test_makespan_bounds(self):
+        rng = np.random.default_rng(7)
+        chunks = [WorkChunk(float(w)) for w in rng.uniform(0.1, 1.0, 50)]
+        total = sum(c.compute_s for c in chunks)
+        result = run(chunks, cores=8)
+        assert result.makespan_s >= total / 8 - 1e-12
+        assert result.makespan_s <= total  # never worse than serial
+        assert result.makespan_s >= max(c.compute_s for c in chunks)
+
+    def test_single_core_is_serial(self):
+        chunks = [WorkChunk(0.5) for _ in range(6)]
+        result = run(chunks, cores=1)
+        assert result.makespan_s == pytest.approx(3.0)
+
+    def test_sync_serializes(self):
+        """Chunks whose cost is all interconnect time cannot scale."""
+        chunks = [WorkChunk(0.0, 1.0) for _ in range(8)]
+        result = run(chunks, cores=8)
+        assert result.makespan_s == pytest.approx(8.0)
+        assert result.sync_busy_s == pytest.approx(8.0)
+
+    def test_compute_overlaps_sync_of_others(self):
+        # One big compute chunk + many sync chunks: total time is the
+        # max of the two resources, not the sum.
+        chunks = [WorkChunk(4.0, 0.0)] + [WorkChunk(0.0, 0.5) for _ in range(6)]
+        result = run(chunks, cores=4)
+        assert result.makespan_s == pytest.approx(4.0)
+
+    def test_queue_pop_serializes_at_scale(self):
+        chunks = [WorkChunk(0.0, 0.0) for _ in range(1000)]
+        result = run(chunks, cores=16, pop=0.001)
+        assert result.makespan_s == pytest.approx(1.0, rel=0.05)
+
+    def test_jitter_changes_makespan(self):
+        chunks = [WorkChunk(1.0) for _ in range(16)]
+        a = run(chunks, cores=4, sigma=0.3, seed=1)
+        b = run(chunks, cores=4, sigma=0.3, seed=2)
+        assert a.makespan_s != b.makespan_s
+
+    def test_zero_jitter_is_deterministic(self):
+        chunks = [WorkChunk(1.0) for _ in range(16)]
+        a = run(chunks, cores=4, seed=1)
+        b = run(chunks, cores=4, seed=2)
+        assert a.makespan_s == b.makespan_s
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            run([WorkChunk(1.0)], cores=0)
+        with pytest.raises(ValueError):
+            simulate_work_queue(
+                2, [], pop_cost_s=-1.0, jitter_sigma=0.0,
+                rng=np.random.default_rng(0),
+            )
+        with pytest.raises(ValueError):
+            simulate_work_queue(
+                2, [], pop_cost_s=0.0, jitter_sigma=-0.1,
+                rng=np.random.default_rng(0),
+            )
+
+    def test_core_finish_times(self):
+        chunks = [WorkChunk(1.0) for _ in range(4)]
+        result = run(chunks, cores=2)
+        assert len(result.core_finish_s) == 2
+        assert max(result.core_finish_s) == result.makespan_s

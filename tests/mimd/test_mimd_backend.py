@@ -1,0 +1,127 @@
+"""Unit tests for the multi-core MIMD backend."""
+
+import numpy as np
+import pytest
+
+from repro.backends.reference import ReferenceBackend
+from repro.core import constants as C
+from repro.core.radar import generate_radar_frame
+from repro.core.setup import setup_flight
+from repro.mimd.backend import MimdBackend
+from repro.mimd.xeon import XEON_8, XEON_16
+
+
+class TestConfig:
+    def test_by_key(self):
+        assert MimdBackend("xeon-16").config is XEON_16
+        assert MimdBackend("xeon-8").config is XEON_8
+        with pytest.raises(KeyError):
+            MimdBackend("xeon-128")
+
+    def test_flagged_nondeterministic(self):
+        assert MimdBackend().deterministic_timing is False
+
+
+class TestEquivalence:
+    def test_matches_reference(self):
+        """Asynchronous *timing*, identical *results* — the algorithms
+        are the same; only the machine differs."""
+        ref_fleet = setup_flight(140, 2018)
+        mimd_fleet = setup_flight(140, 2018)
+        ref, mimd = ReferenceBackend(), MimdBackend()
+        for period in range(2):
+            ref.track_and_correlate(
+                ref_fleet, generate_radar_frame(ref_fleet, 2018, period)
+            )
+            mimd.track_and_correlate(
+                mimd_fleet, generate_radar_frame(mimd_fleet, 2018, period)
+            )
+        ref.detect_and_resolve(ref_fleet)
+        mimd.detect_and_resolve(mimd_fleet)
+        assert ref_fleet.state_equal(mimd_fleet)
+
+
+class TestTimingProperties:
+    def test_repeated_calls_vary(self):
+        """The paper's §6.2 contrast: MIMD timing is not repeatable."""
+        backend = MimdBackend(seed=2018)
+        times = []
+        for _ in range(3):
+            fleet = setup_flight(96, 2018)
+            frame = generate_radar_frame(fleet, 2018, 0)
+            times.append(backend.track_and_correlate(fleet, frame).seconds)
+        assert len(set(times)) > 1
+
+    def test_experiment_reproducible_with_seed(self):
+        def experiment():
+            backend = MimdBackend(seed=99)
+            fleet = setup_flight(96, 2018)
+            frame = generate_radar_frame(fleet, 2018, 0)
+            t1 = backend.track_and_correlate(fleet, frame).seconds
+            t23 = backend.detect_and_resolve(fleet).seconds
+            return t1, t23
+
+        assert experiment() == experiment()
+
+    def test_more_cores_help_when_compute_bound(self):
+        """With identical per-op costs and no jitter, doubling the cores
+        cannot hurt — and helps while compute dominates."""
+        import dataclasses
+
+        base = dataclasses.replace(XEON_16, jitter_sigma=0.0, read_lock_s=0.0,
+                                   lock_op_s=0.0, queue_pop_s=0.0)
+        half = dataclasses.replace(base, name="half", key="half", n_cores=8)
+        t16 = (
+            MimdBackend(base, seed=1)
+            .detect_and_resolve(setup_flight(192, 2018))
+            .seconds
+        )
+        t8 = (
+            MimdBackend(half, seed=1)
+            .detect_and_resolve(setup_flight(192, 2018))
+            .seconds
+        )
+        assert t16 < t8
+
+    def test_misses_deadline_at_scale(self):
+        """The paper's headline MIMD failure: the collision tasks blow
+        the half-second budget well inside the tested range."""
+        backend = MimdBackend(seed=2018)
+        fleet = setup_flight(2880, 2018)
+        t23 = backend.detect_and_resolve(fleet)
+        assert t23.seconds > C.PERIOD_SECONDS
+
+    def test_meets_deadline_at_small_scale(self):
+        backend = MimdBackend(seed=2018)
+        fleet = setup_flight(480, 2018)
+        frame = generate_radar_frame(fleet, 2018, 0)
+        t1 = backend.track_and_correlate(fleet, frame)
+        t23 = backend.detect_and_resolve(fleet)
+        assert t1.seconds + t23.seconds < C.PERIOD_SECONDS
+
+    def test_superlinear_growth(self):
+        backend = MimdBackend(seed=2018)
+        t = {}
+        for n in (480, 1920):
+            fleet = setup_flight(n, 2018)
+            t[n] = backend.detect_and_resolve(fleet).seconds
+        assert t[1920] / t[480] > 6.0  # much worse than the 4x of linear
+
+    def test_stats_exposed(self):
+        backend = MimdBackend(seed=2018)
+        fleet = setup_flight(96, 2018)
+        t = backend.detect_and_resolve(fleet)
+        assert t.stats["chunks"] > 0
+        assert 0 < t.stats["parallel_efficiency"] <= 1.0
+
+    def test_breakdown_components_sum(self):
+        backend = MimdBackend(seed=2018)
+        fleet = setup_flight(96, 2018)
+        frame = generate_radar_frame(fleet, 2018, 0)
+        t = backend.track_and_correlate(fleet, frame)
+        assert t.breakdown.total == pytest.approx(t.seconds)
+
+    def test_describe_and_peak(self):
+        b = MimdBackend()
+        assert b.describe()["n_cores"] == 16
+        assert b.peak_throughput_ops_per_s() == pytest.approx(16 * 2.4e9)

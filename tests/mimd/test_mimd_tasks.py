@@ -1,0 +1,79 @@
+"""Unit tests for the MIMD chunk builders."""
+
+import numpy as np
+import pytest
+
+from repro.core import constants as C
+from repro.core.radar import generate_radar_frame
+from repro.core.resolution import detect_and_resolve
+from repro.core.setup import setup_flight
+from repro.core.tracking import correlate
+from repro.mimd.tasks import in_band_counts, task1_chunks, task23_chunks
+from repro.mimd.xeon import XEON_16
+
+
+class TestInBandCounts:
+    def test_matches_bruteforce(self):
+        rng = np.random.default_rng(5)
+        alt = rng.uniform(1000, 40000, 200)
+        counts = in_band_counts(alt)
+        brute = np.array(
+            [
+                np.count_nonzero(
+                    (np.abs(alt - alt[i]) < C.ALTITUDE_SEPARATION_FT)
+                )
+                - 1
+                for i in range(200)
+            ]
+        )
+        assert np.array_equal(counts, brute)
+
+    def test_all_same_altitude(self):
+        counts = in_band_counts(np.full(10, 5000.0))
+        assert np.all(counts == 9)
+
+    def test_all_far_apart(self):
+        counts = in_band_counts(np.arange(10) * 5000.0)
+        assert np.all(counts == 0)
+
+    def test_single_aircraft(self):
+        assert in_band_counts(np.array([10_000.0])).tolist() == [0]
+
+
+class TestTask1Chunks:
+    def test_one_chunk_per_active_radar(self):
+        fleet = setup_flight(100, 2018)
+        frame = generate_radar_frame(fleet, 2018, 0)
+        stats = correlate(fleet, frame)
+        chunks = task1_chunks(XEON_16, fleet.n, stats)
+        expected = sum(ids.shape[0] for ids in stats.round_radar_ids)
+        assert len(chunks) == expected
+
+    def test_chunks_have_positive_cost(self):
+        fleet = setup_flight(64, 2018)
+        frame = generate_radar_frame(fleet, 2018, 0)
+        stats = correlate(fleet, frame)
+        for c in task1_chunks(XEON_16, fleet.n, stats):
+            assert c.compute_s > 0
+            assert c.sync_s > 0  # at least the read-lock scan traffic
+
+
+class TestTask23Chunks:
+    def test_detection_plus_trial_chunks(self):
+        fleet = setup_flight(150, 2018)
+        det, res = detect_and_resolve(fleet)
+        chunks = task23_chunks(XEON_16, fleet.alt, det, res)
+        assert len(chunks) == fleet.n + res.trials_evaluated
+
+    def test_sync_grows_with_band_density(self):
+        """A same-altitude fleet generates far more lock traffic."""
+        fleet = setup_flight(100, 2018)
+        det, res = detect_and_resolve(fleet)
+        spread = sum(
+            c.sync_s for c in task23_chunks(XEON_16, fleet.alt, det, res)[:100]
+        )
+        dense_alt = np.full(100, 10_000.0)
+        dense = sum(
+            c.sync_s for c in task23_chunks(XEON_16, dense_alt, det, res)[:100]
+        )
+        assert dense > spread

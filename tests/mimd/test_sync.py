@@ -1,0 +1,45 @@
+"""Unit tests for serialized resources."""
+
+import pytest
+
+from repro.mimd.sync import SerializedResource
+
+
+class TestSerializedResource:
+    def test_idle_resource_serves_immediately(self):
+        r = SerializedResource()
+        assert r.acquire(5.0, 1.0) == 6.0
+        assert r.total_wait == 0.0
+
+    def test_busy_resource_queues(self):
+        r = SerializedResource()
+        r.acquire(0.0, 2.0)  # busy until 2.0
+        done = r.acquire(1.0, 1.0)  # arrives at 1, waits 1
+        assert done == 3.0
+        assert r.total_wait == 1.0
+
+    def test_fifo_accumulation(self):
+        r = SerializedResource()
+        for _ in range(10):
+            r.acquire(0.0, 1.0)
+        assert r.free_at == 10.0
+        assert r.total_busy == 10.0
+        assert r.requests == 10
+
+    def test_gap_resets_queueing(self):
+        r = SerializedResource()
+        r.acquire(0.0, 1.0)
+        done = r.acquire(100.0, 1.0)
+        assert done == 101.0
+        assert r.total_wait == 0.0
+
+    def test_mean_wait(self):
+        r = SerializedResource()
+        assert r.mean_wait == 0.0
+        r.acquire(0.0, 2.0)
+        r.acquire(0.0, 2.0)
+        assert r.mean_wait == pytest.approx(1.0)
+
+    def test_negative_hold_rejected(self):
+        with pytest.raises(ValueError):
+            SerializedResource().acquire(0.0, -1.0)

@@ -1,0 +1,122 @@
+"""Hypothesis property tests on the memory/coalescing models."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.cuda.device import GEFORCE_9800_GT, TITAN_X_PASCAL
+from repro.cuda.memory import TransferModel, transaction_count
+from repro.vector.tasks import group_any_counts
+
+lane_indices = arrays(
+    np.int64, 32, elements=st.integers(min_value=0, max_value=100_000)
+)
+lane_mask = arrays(np.bool_, 32)
+
+
+def as_warp(indices, itemsize=8):
+    return (indices * itemsize).reshape(1, 32)
+
+
+class TestCoalescingProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(lane_indices)
+    def test_modern_tx_bounds(self, idx):
+        tx = transaction_count(
+            TITAN_X_PASCAL, as_warp(idx), np.ones((1, 32), bool), 8
+        )[0]
+        assert 1 <= tx <= 32
+
+    @settings(max_examples=60, deadline=None)
+    @given(lane_indices)
+    def test_strict_tx_bounds(self, idx):
+        tx = transaction_count(
+            GEFORCE_9800_GT, as_warp(idx), np.ones((1, 32), bool), 8
+        )[0]
+        # Per half-warp: 1 (coalesced) .. 16 (serialized).
+        assert 2 <= tx <= 32
+
+    @settings(max_examples=60, deadline=None)
+    @given(lane_indices)
+    def test_modern_permutation_invariance(self, idx):
+        rng = np.random.default_rng(int(idx.sum()) % 2**31)
+        perm = rng.permutation(idx)
+        a = transaction_count(TITAN_X_PASCAL, as_warp(idx), np.ones((1, 32), bool), 8)
+        b = transaction_count(TITAN_X_PASCAL, as_warp(perm), np.ones((1, 32), bool), 8)
+        assert a[0] == b[0]
+
+    @settings(max_examples=60, deadline=None)
+    @given(lane_indices, lane_mask)
+    def test_masking_never_increases_tx(self, idx, mask):
+        full = transaction_count(
+            TITAN_X_PASCAL, as_warp(idx), np.ones((1, 32), bool), 8
+        )[0]
+        masked = transaction_count(
+            TITAN_X_PASCAL, as_warp(idx), mask.reshape(1, 32), 8
+        )[0]
+        assert masked <= full
+
+    @settings(max_examples=40, deadline=None)
+    @given(lane_indices)
+    def test_strict_never_beats_modern(self, idx):
+        """CC 1.x coalescing rules are strictly weaker: never fewer
+        transactions than the Fermi+ rule on the same pattern."""
+        modern = transaction_count(
+            TITAN_X_PASCAL, as_warp(idx), np.ones((1, 32), bool), 8
+        )[0]
+        # Compare at the same segment granularity by scaling: strict
+        # uses 64B segments vs 128B — compare against a 2x allowance.
+        strict = transaction_count(
+            GEFORCE_9800_GT, as_warp(idx), np.ones((1, 32), bool), 8
+        )[0]
+        assert strict >= modern / 2
+
+
+class TestTransferProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(min_value=0, max_value=10**12))
+    def test_monotone_in_bytes(self, n_bytes):
+        m = TransferModel(TITAN_X_PASCAL)
+        assert m.copy_seconds(n_bytes + 1) > m.copy_seconds(n_bytes) or n_bytes == 0
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.integers(min_value=1, max_value=10**9),
+        st.integers(min_value=1, max_value=10**9),
+    )
+    def test_subadditive_batching(self, a, b):
+        """One combined copy never costs more than two separate ones
+        (each copy pays the PCIe latency)."""
+        m = TransferModel(TITAN_X_PASCAL)
+        assert m.copy_seconds(a + b) <= m.copy_seconds(a) + m.copy_seconds(b)
+
+
+class TestGroupAnyProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        arrays(np.float64, st.integers(min_value=1, max_value=64),
+               elements=st.floats(0, 40_000)),
+        st.sampled_from([8, 16]),
+    )
+    def test_counts_bounded(self, values, width):
+        counts = group_any_counts(values, width, 1000.0)
+        n = values.shape[0]
+        assert counts.shape[0] == -(-n // width)
+        assert np.all(counts >= 0)
+        assert np.all(counts <= n)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        arrays(np.float64, 32, elements=st.floats(0, 40_000)),
+    )
+    def test_group_any_at_least_lane_share(self, values):
+        """A group's deep-path count is at least any single lane's
+        in-band count (any-lane semantics dominate per-lane)."""
+        width = 16
+        counts = group_any_counts(values, width, 1000.0)
+        for g in range(2):
+            lanes = values[g * width : (g + 1) * width]
+            for lane_value in lanes:
+                lane_count = int(np.count_nonzero(np.abs(values - lane_value) < 1000.0))
+                assert counts[g] >= lane_count

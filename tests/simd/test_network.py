@@ -1,0 +1,39 @@
+"""Unit tests for the ring network model."""
+
+import pytest
+
+from repro.simd.network import RingNetwork
+
+
+class TestRing:
+    def test_shift_wraps(self):
+        ring = RingNetwork(96)
+        assert ring.shift_cycles(96) == 0  # full loop
+        assert ring.shift_cycles(97) == ring.shift_cycles(1)
+
+    def test_shift_scales_with_words(self):
+        ring = RingNetwork(96)
+        assert ring.shift_cycles(5, words=4) == 4 * ring.shift_cycles(5)
+
+    def test_distribute_full_array(self):
+        ring = RingNetwork(96)
+        assert ring.distribute_cycles(96) == 96
+
+    def test_distribute_striped(self):
+        ring = RingNetwork(96)
+        assert ring.distribute_cycles(97) == 192  # two stripes
+
+    def test_distribute_empty(self):
+        assert RingNetwork(96).distribute_cycles(0) == 0
+
+    def test_gather_matches_distribute(self):
+        ring = RingNetwork(96)
+        assert ring.gather_cycles(500) == ring.distribute_cycles(500)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RingNetwork(0)
+        with pytest.raises(ValueError):
+            RingNetwork(96, cycles_per_hop=0)
+        with pytest.raises(ValueError):
+            RingNetwork(96).distribute_cycles(-1)

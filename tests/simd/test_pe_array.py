@@ -1,0 +1,96 @@
+"""Unit tests for the SIMD PE array cycle ledger."""
+
+import math
+
+import pytest
+
+from repro.simd.instructions import DEFAULT_COSTS, Op
+from repro.simd.pe_array import PEArray
+
+
+class TestStriping:
+    def test_one_element_per_pe(self):
+        assert PEArray(96, 96).stripe == 1
+
+    def test_virtual_pes(self):
+        assert PEArray(96, 97).stripe == 2
+        assert PEArray(96, 960).stripe == 10
+        assert PEArray(96, 961).stripe == 11
+
+    def test_fewer_elements_than_pes(self):
+        assert PEArray(96, 10).stripe == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PEArray(0, 10)
+        with pytest.raises(ValueError):
+            PEArray(96, 0)
+
+
+class TestCharging:
+    def test_vector_op_scales_with_stripe(self):
+        a = PEArray(96, 96)
+        b = PEArray(96, 960)
+        a.vector(Op.ALU, 10)
+        b.vector(Op.ALU, 10)
+        assert b.cycles == pytest.approx(10 * a.cycles)
+
+    def test_scalar_independent_of_size(self):
+        a = PEArray(96, 96)
+        b = PEArray(96, 9600)
+        a.scalar(Op.SCALAR, 5)
+        b.scalar(Op.SCALAR, 5)
+        assert a.cycles == b.cycles
+
+    def test_special_costs_more_than_alu(self):
+        a = PEArray(96, 96)
+        b = PEArray(96, 96)
+        a.vector(Op.ALU, 1)
+        b.vector(Op.SPECIAL, 1)
+        assert b.cycles > a.cycles
+
+    def test_broadcast(self):
+        pe = PEArray(96, 96)
+        pe.broadcast(3)
+        assert pe.cycles == 3 * DEFAULT_COSTS.of(Op.BROADCAST)
+
+    def test_negative_counts_rejected(self):
+        pe = PEArray(96, 96)
+        with pytest.raises(ValueError):
+            pe.vector(Op.ALU, -1)
+        with pytest.raises(ValueError):
+            pe.scalar(Op.SCALAR, -1)
+
+    def test_reduction_has_log_depth(self):
+        small = PEArray(4, 4)
+        big = PEArray(1024, 1024)
+        small.reduce()
+        big.reduce()
+        # log2(1024)=10 levels vs log2(4)=2 levels.
+        expected_small = DEFAULT_COSTS.reduction_base + DEFAULT_COSTS.reduction_per_level * 2
+        expected_big = DEFAULT_COSTS.reduction_base + DEFAULT_COSTS.reduction_per_level * 10
+        assert small.cycles == pytest.approx(expected_small)
+        assert big.cycles == pytest.approx(expected_big)
+
+    def test_reduction_striping_adds_local_pass(self):
+        flat = PEArray(96, 96)
+        striped = PEArray(96, 960)
+        flat.reduce()
+        striped.reduce()
+        assert striped.cycles > flat.cycles
+
+    def test_seconds_conversion(self):
+        pe = PEArray(96, 96)
+        pe.vector(Op.ALU, 250)  # 250 cycles at stripe 1
+        assert pe.seconds(250e6) == pytest.approx(1e-6)
+        with pytest.raises(ValueError):
+            pe.seconds(0)
+
+    def test_instruction_counters(self):
+        pe = PEArray(96, 96)
+        pe.vector(Op.ALU, 3)
+        pe.scalar(Op.SCALAR, 2)
+        pe.reduce(1)
+        assert pe.vector_instructions == 3
+        assert pe.scalar_instructions == 2
+        assert pe.reductions == 1

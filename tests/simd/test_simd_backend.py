@@ -1,0 +1,109 @@
+"""Unit tests for the ClearSpeed SIMD backend and task cost replays."""
+
+import numpy as np
+import pytest
+
+from repro.backends.reference import ReferenceBackend
+from repro.core.radar import generate_radar_frame
+from repro.core.setup import setup_flight
+from repro.simd.backend import SimdBackend
+from repro.simd.clearspeed import CSX600, CSX600_DUAL
+
+
+class TestConfig:
+    def test_csx600_is_96_pes_at_250mhz(self):
+        assert CSX600.n_pes == 96
+        assert CSX600.clock_hz == 250e6
+
+    def test_by_key(self):
+        assert SimdBackend("clearspeed-csx600").config is CSX600
+        with pytest.raises(KeyError):
+            SimdBackend("clearspeed-csx900")
+
+
+class TestEquivalence:
+    def test_matches_reference(self):
+        ref_fleet = setup_flight(150, 2018)
+        simd_fleet = setup_flight(150, 2018)
+        ref, simd = ReferenceBackend(), SimdBackend()
+        for period in range(2):
+            ref.track_and_correlate(
+                ref_fleet, generate_radar_frame(ref_fleet, 2018, period)
+            )
+            simd.track_and_correlate(
+                simd_fleet, generate_radar_frame(simd_fleet, 2018, period)
+            )
+        ref.detect_and_resolve(ref_fleet)
+        simd.detect_and_resolve(simd_fleet)
+        assert ref_fleet.state_equal(simd_fleet)
+
+
+class TestTiming:
+    def test_deterministic(self):
+        times = []
+        for _ in range(2):
+            fleet = setup_flight(96, 2018)
+            b = SimdBackend()
+            frame = generate_radar_frame(fleet, 2018, 0)
+            times.append(
+                (
+                    b.track_and_correlate(fleet, frame).seconds,
+                    b.detect_and_resolve(fleet).seconds,
+                )
+            )
+        assert times[0] == times[1]
+
+    def test_stripe_reported(self):
+        fleet = setup_flight(960, 2018)
+        b = SimdBackend()
+        frame = generate_radar_frame(fleet, 2018, 0)
+        t = b.track_and_correlate(fleet, frame)
+        assert t.stats["stripe"] == 10
+
+    def test_task1_roughly_linear_at_fixed_stripe(self):
+        """With stripe pinned at 1 (n <= 96), Task 1 grows ~linearly in
+        the radar count."""
+        times = {}
+        for n in (24, 48, 96):
+            fleet = setup_flight(n, 2018)
+            b = SimdBackend()
+            frame = generate_radar_frame(fleet, 2018, 0)
+            times[n] = b.track_and_correlate(fleet, frame).seconds
+        ratio = times[96] / times[24]
+        assert 2.5 < ratio < 5.5  # ~4x for 4x the reports
+
+    def test_striping_bends_the_curve(self):
+        """Beyond 96 aircraft each vector op replays per stripe: going
+        96 -> 960 costs much more than 10x on Task 2+3."""
+        t = {}
+        for n in (96, 960):
+            fleet = setup_flight(n, 2018)
+            b = SimdBackend()
+            t[n] = b.detect_and_resolve(fleet).seconds
+        assert t[960] / t[96] > 20
+
+    def test_dual_chip_is_faster_at_scale(self):
+        f1 = setup_flight(1920, 2018)
+        f2 = setup_flight(1920, 2018)
+        t1 = SimdBackend(CSX600).detect_and_resolve(f1).seconds
+        t2 = SimdBackend(CSX600_DUAL).detect_and_resolve(f2).seconds
+        assert t2 < t1
+
+    def test_meets_deadline_in_tested_range(self):
+        from repro.core import constants as C
+
+        fleet = setup_flight(3840, 2018)
+        b = SimdBackend()
+        frame = generate_radar_frame(fleet, 2018, 0)
+        t1 = b.track_and_correlate(fleet, frame).seconds
+        t23 = b.detect_and_resolve(fleet).seconds
+        assert t1 + t23 < C.PERIOD_SECONDS
+
+    def test_setup_timing(self):
+        t = SimdBackend().setup_timing(960)
+        assert t.seconds > 0
+
+    def test_describe_and_peak(self):
+        b = SimdBackend()
+        assert b.describe()["n_pes"] == 96
+        assert b.peak_throughput_ops_per_s() == pytest.approx(96 * 250e6)

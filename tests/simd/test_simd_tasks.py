@@ -1,0 +1,77 @@
+"""Direct unit tests for the SIMD task cost replays."""
+
+import numpy as np
+import pytest
+
+from repro.core.radar import generate_radar_frame
+from repro.core.resolution import detect_and_resolve
+from repro.core.setup import setup_flight
+from repro.core.tracking import correlate
+from repro.simd.clearspeed import CSX600, CSX600_DUAL
+from repro.simd.tasks import charge_setup, charge_task1, charge_task23
+
+
+def tracked(n, seed=2018):
+    fleet = setup_flight(n, seed)
+    frame = generate_radar_frame(fleet, seed, 0)
+    return fleet, correlate(fleet, frame)
+
+
+class TestChargeTask1:
+    def test_cycles_positive(self):
+        fleet, stats = tracked(96)
+        pe = charge_task1(CSX600, fleet.n, stats)
+        assert pe.cycles > 0
+        assert pe.vector_instructions > 0
+        assert pe.reductions > 0
+
+    def test_iterations_drive_cost(self):
+        """Cost per radar iteration is constant at fixed stripe."""
+        small_fleet, small_stats = tracked(48)
+        big_fleet, big_stats = tracked(96)
+        pe_small = charge_task1(CSX600, 48, small_stats)
+        pe_big = charge_task1(CSX600, 96, big_stats)
+        iters_small = sum(len(i) for i in small_stats.round_radar_ids)
+        iters_big = sum(len(i) for i in big_stats.round_radar_ids)
+        per_small = pe_small.cycles / iters_small
+        per_big = pe_big.cycles / iters_big
+        assert per_small == pytest.approx(per_big, rel=0.15)
+
+    def test_stripe_multiplies_vector_cost(self):
+        fleet, stats = tracked(960)
+        one_chip = charge_task1(CSX600, 960, stats)
+        two_chips = charge_task1(CSX600_DUAL, 960, stats)
+        assert two_chips.cycles < one_chip.cycles
+        assert one_chip.stripe == 10
+        assert two_chips.stripe == 5
+
+
+class TestChargeTask23:
+    def test_detection_steps_equal_fleet(self):
+        fleet = setup_flight(96, 2018)
+        det, res = detect_and_resolve(fleet)
+        pe = charge_task23(CSX600, 96, det, res)
+        assert pe.cycles > 0
+
+    def test_trials_add_cost(self):
+        fleet = setup_flight(96, 2018)
+        det, res = detect_and_resolve(fleet)
+        base = charge_task23(CSX600, 96, det, res).cycles
+        import copy
+
+        res2 = copy.deepcopy(res)
+        res2.trials_evaluated += 100
+        more = charge_task23(CSX600, 96, det, res2).cycles
+        assert more > base
+
+
+class TestChargeSetup:
+    def test_includes_network_load(self):
+        pe = charge_setup(CSX600, 960)
+        # Edge-on load of 960 elements over 96 PEs: 10 stripes x 96 hops.
+        assert pe.cycles >= 960
+
+    def test_scales_with_stripe_only(self):
+        a = charge_setup(CSX600, 96).cycles
+        b = charge_setup(CSX600, 192).cycles
+        assert b > a

@@ -1,0 +1,134 @@
+"""Unit tests for the wide-vector (AVX-512 / Xeon Phi) backend."""
+
+import numpy as np
+import pytest
+
+from repro.backends.reference import ReferenceBackend
+from repro.core import constants as C
+from repro.core.radar import generate_radar_frame
+from repro.core.setup import setup_flight
+from repro.vector.backend import VectorBackend
+from repro.vector.machine import AVX512_WORKSTATION, XEON_PHI_7250
+from repro.vector.tasks import group_any_counts
+
+
+class TestConfig:
+    def test_registry_keys(self):
+        assert VectorBackend("xeon-phi-7250").config is XEON_PHI_7250
+        assert VectorBackend("avx512-16c").config is AVX512_WORKSTATION
+        with pytest.raises(KeyError):
+            VectorBackend("sse2-box")
+
+    def test_peak_throughput(self):
+        assert XEON_PHI_7250.peak_lane_ops_per_s == pytest.approx(68 * 16 * 1.4e9)
+
+    def test_cost_helpers_validate(self):
+        with pytest.raises(ValueError):
+            XEON_PHI_7250.vector_seconds(-1.0)
+        with pytest.raises(ValueError):
+            XEON_PHI_7250.stream_seconds(-1.0)
+
+    def test_groups(self):
+        assert XEON_PHI_7250.groups(16) == 1
+        assert XEON_PHI_7250.groups(17) == 2
+
+
+class TestGroupAnyCounts:
+    def test_matches_bruteforce(self):
+        rng = np.random.default_rng(3)
+        alt = rng.uniform(1000, 40000, 70)
+        width = 16
+        counts = group_any_counts(alt, width, C.ALTITUDE_SEPARATION_FT)
+        n_groups = -(-70 // width)
+        assert counts.shape == (n_groups,)
+        for g in range(n_groups):
+            lanes = alt[g * width : (g + 1) * width]
+            expected = sum(
+                1
+                for p in range(70)
+                if np.any(np.abs(lanes - alt[p]) < C.ALTITUDE_SEPARATION_FT)
+            )
+            assert counts[g] == expected
+
+    def test_all_same_altitude(self):
+        counts = group_any_counts(np.full(32, 1000.0), 16, 1000.0)
+        assert np.all(counts == 32)
+
+
+class TestEquivalence:
+    def test_matches_reference(self):
+        ref_fleet = setup_flight(130, 2018)
+        vec_fleet = setup_flight(130, 2018)
+        ref, vec = ReferenceBackend(), VectorBackend()
+        for period in range(2):
+            ref.track_and_correlate(
+                ref_fleet, generate_radar_frame(ref_fleet, 2018, period)
+            )
+            vec.track_and_correlate(
+                vec_fleet, generate_radar_frame(vec_fleet, 2018, period)
+            )
+        ref.detect_and_resolve(ref_fleet)
+        vec.detect_and_resolve(vec_fleet)
+        assert ref_fleet.state_equal(vec_fleet)
+
+
+class TestTimingProperties:
+    def test_deterministic(self):
+        times = []
+        for _ in range(2):
+            fleet = setup_flight(192, 2018)
+            b = VectorBackend()
+            frame = generate_radar_frame(fleet, 2018, 0)
+            times.append(
+                (
+                    b.track_and_correlate(fleet, frame).seconds,
+                    b.detect_and_resolve(fleet).seconds,
+                )
+            )
+        assert times[0] == times[1]
+        assert VectorBackend().deterministic_timing
+
+    def test_phi_beats_workstation_at_scale(self):
+        t = {}
+        for key in ("xeon-phi-7250", "avx512-16c"):
+            fleet = setup_flight(3840, 2018)
+            b = VectorBackend(key)
+            t[key] = b.detect_and_resolve(fleet).seconds
+        assert t["xeon-phi-7250"] < t["avx512-16c"]
+
+    def test_workstation_wins_small_fleets(self):
+        """Fork/join overhead and clock favour the 16-core box when the
+        fleet is tiny — a real crossover wide-vector users know."""
+        t = {}
+        for key in ("xeon-phi-7250", "avx512-16c"):
+            fleet = setup_flight(96, 2018)
+            b = VectorBackend(key)
+            frame = generate_radar_frame(fleet, 2018, 0)
+            t[key] = b.track_and_correlate(fleet, frame).seconds
+        assert t["avx512-16c"] < t["xeon-phi-7250"]
+
+    def test_meets_deadlines_in_range(self):
+        fleet = setup_flight(3840, 2018)
+        b = VectorBackend()
+        frame = generate_radar_frame(fleet, 2018, 0)
+        t1 = b.track_and_correlate(fleet, frame).seconds
+        t23 = b.detect_and_resolve(fleet).seconds
+        assert t1 + t23 < C.PERIOD_SECONDS
+
+    def test_breakdown_sums(self):
+        fleet = setup_flight(192, 2018)
+        b = VectorBackend()
+        t = b.detect_and_resolve(fleet)
+        assert t.breakdown.total == pytest.approx(t.seconds)
+
+    def test_describe(self):
+        info = VectorBackend().describe()
+        assert info["lanes_per_core"] == 16
+        assert "vector" in info["kind"]
+
+    def test_schedule_never_misses(self):
+        from repro.core.scheduler import run_schedule
+
+        fleet = setup_flight(960, 2018)
+        result = run_schedule(VectorBackend(), fleet, major_cycles=1)
+        assert result.missed_deadlines == 0

@@ -1,0 +1,30 @@
+# Developer entry points.  Everything runs from a plain checkout with
+# `pip install -e .[dev]` (or PYTHONPATH=src, which these targets set).
+
+PYTHON ?= python
+PYTEST  = PYTHONPATH=src $(PYTHON) -m pytest
+
+.PHONY: test docs-check bench profile report all
+
+## the tier-1 suite (unit + integration + property tests)
+test:
+	$(PYTEST) -x -q
+
+## execute the documentation's code blocks (pytest marker: docs)
+docs-check:
+	$(PYTEST) -m docs tests/docs -q
+
+## regenerate every figure/table benchmark and assert shape claims
+bench:
+	$(PYTEST) benchmarks/ --benchmark-only
+
+## example profile: span tree for fig4 on the Titan X
+profile:
+	PYTHONPATH=src $(PYTHON) -m repro.harness.cli profile fig4 \
+		--backend cuda:titan-x-pascal
+
+## the full quick-profile reproduction report
+report:
+	PYTHONPATH=src $(PYTHON) -m repro.harness.cli report --out report.json
+
+all: test docs-check

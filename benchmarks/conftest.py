@@ -26,6 +26,16 @@ NVIDIA_NS = (96, 480, 960, 1920, 2880)
 PERIODS = 2
 
 
+@pytest.fixture(autouse=True)
+def _tracing_disabled():
+    """Benchmarks publish timing numbers; a collector leaked from other
+    code would skew them, so force the obs layer into no-op mode."""
+    from repro.obs import deactivate
+
+    deactivate()
+    yield
+
+
 @pytest.fixture
 def bench_once(benchmark):
     """Run a harness callable exactly once under the benchmark timer.

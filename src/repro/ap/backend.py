@@ -9,6 +9,9 @@ from ..core.collision import DetectionMode
 from ..core.resolution import detect_and_resolve as core_detect_and_resolve
 from ..core.tracking import correlate as core_correlate
 from ..core.types import FleetState, RadarFrame, TaskTiming, TimingBreakdown
+from ..obs import count as obs_count
+from ..obs import span as obs_span
+from .primitives import AssociativeArray
 from .staran import STARAN, STARAN_1972, ApConfig
 from .tasks import charge_setup, charge_task1, charge_task23
 
@@ -32,16 +35,37 @@ class ApBackend(Backend):
         self.config = config
         self.name = config.registry_name
 
+    def _emit_ap_obs(self, ap: AssociativeArray) -> dict:
+        """Trace the associative ledger: one span per primitive class."""
+        detail = {}
+        for klass, class_s in ap.class_seconds(self.config.clock_hz).items():
+            name = f"ap.{klass}"
+            detail[name] = class_s
+            with obs_span(
+                name, cat="ap", count=ap.class_counts[klass], modules=ap.n_modules
+            ) as sp:
+                sp.add_modelled(class_s)
+            obs_count(f"{name}.calls", ap.class_counts[klass])
+        obs_count("ap.searches", ap.searches)
+        obs_count("ap.broadcasts", ap.broadcasts)
+        obs_count("ap.extrema", ap.extrema)
+        return detail
+
     def track_and_correlate(self, fleet: FleetState, frame: RadarFrame) -> TaskTiming:
-        stats = core_correlate(fleet, frame)
-        ap = charge_task1(self.config, fleet.n, stats)
-        seconds = ap.seconds(self.config.clock_hz)
+        with self._task_span("task1", fleet.n) as task:
+            with obs_span("core.correlate", cat="core"):
+                stats = core_correlate(fleet, frame)
+            ap = charge_task1(self.config, fleet.n, stats)
+            seconds = ap.seconds(self.config.clock_hz)
+            detail = self._emit_ap_obs(ap)
+            task.add_modelled(seconds)
         return TaskTiming(
             task="task1",
             platform=self.name,
             n_aircraft=fleet.n,
             seconds=seconds,
             breakdown=TimingBreakdown(compute=seconds),
+            detail=detail,
             stats={
                 "rounds": stats.rounds_executed,
                 "committed": stats.committed,
@@ -56,15 +80,20 @@ class ApBackend(Backend):
         fleet: FleetState,
         mode: DetectionMode = DetectionMode.SIGNED,
     ) -> TaskTiming:
-        det, res = core_detect_and_resolve(fleet, mode)
-        ap = charge_task23(self.config, fleet.n, det, res)
-        seconds = ap.seconds(self.config.clock_hz)
+        with self._task_span("task23", fleet.n) as task:
+            with obs_span("core.detect_and_resolve", cat="core"):
+                det, res = core_detect_and_resolve(fleet, mode)
+            ap = charge_task23(self.config, fleet.n, det, res)
+            seconds = ap.seconds(self.config.clock_hz)
+            detail = self._emit_ap_obs(ap)
+            task.add_modelled(seconds)
         return TaskTiming(
             task="task23",
             platform=self.name,
             n_aircraft=fleet.n,
             seconds=seconds,
             breakdown=TimingBreakdown(compute=seconds),
+            detail=detail,
             stats={
                 "conflicts": det.conflicts,
                 "critical_conflicts": det.critical_conflicts,

@@ -29,6 +29,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
+from typing import Dict
 
 __all__ = ["StaranCosts", "AssociativeArray"]
 
@@ -74,6 +75,10 @@ class AssociativeArray:
     searches: int = 0
     broadcasts: int = 0
     extrema: int = 0
+    #: per-primitive-class cycle and call tallies (``search``,
+    #: ``multiply``, ``global_extremum``, ...) for repro.obs export.
+    class_cycles: Dict[str, float] = field(default_factory=dict)
+    class_counts: Dict[str, float] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         if self.n_records <= 0:
@@ -94,41 +99,52 @@ class AssociativeArray:
     # constant-time primitives
     # ------------------------------------------------------------------
 
+    def _charge(self, klass: str, cycles: float, count: float) -> None:
+        self.cycles += cycles
+        self.class_cycles[klass] = self.class_cycles.get(klass, 0.0) + cycles
+        self.class_counts[klass] = self.class_counts.get(klass, 0.0) + count
+
     def broadcast_words(self, words: float = 1.0) -> None:
-        self.cycles += self.costs.broadcast * words
+        self._charge("broadcast", self.costs.broadcast * words, words)
         self.broadcasts += int(words)
 
     def search(self, field_ops: float = 1.0) -> None:
         """Associative search: parallel field comparisons, all PEs."""
-        self.cycles += self.costs.field_alu * field_ops
+        self._charge("search", self.costs.field_alu * field_ops, 1)
         self.searches += 1
 
     def alu(self, field_ops: float = 1.0) -> None:
-        self.cycles += self.costs.field_alu * field_ops
+        self._charge("alu", self.costs.field_alu * field_ops, field_ops)
 
     def multiply(self, count: float = 1.0) -> None:
-        self.cycles += self.costs.field_mul * count
+        self._charge("multiply", self.costs.field_mul * count, count)
 
     def mem(self, accesses: float = 1.0) -> None:
-        self.cycles += self.costs.field_mem * accesses
+        self._charge("mem", self.costs.field_mem * accesses, accesses)
 
     def any_responder(self, count: float = 1.0) -> None:
-        self.cycles += self.costs.any_responder * count
+        self._charge("any_responder", self.costs.any_responder * count, count)
 
     def pick_one(self, count: float = 1.0) -> None:
-        self.cycles += self.costs.pick_one * count
+        self._charge("pick_one", self.costs.pick_one * count, count)
 
     def global_extremum(self, count: float = 1.0) -> None:
-        self.cycles += self.costs.global_extremum * count
+        self._charge("global_extremum", self.costs.global_extremum * count, count)
         self.extrema += int(count)
 
     def mask_op(self, count: float = 1.0) -> None:
-        self.cycles += self.costs.mask * count
+        self._charge("mask", self.costs.mask * count, count)
 
     def scalar(self, count: float = 1.0) -> None:
-        self.cycles += self.costs.scalar * count
+        self._charge("scalar", self.costs.scalar * count, count)
 
     def seconds(self, clock_hz: float) -> float:
         if clock_hz <= 0:
             raise ValueError("clock must be positive")
         return self.cycles / clock_hz
+
+    def class_seconds(self, clock_hz: float) -> Dict[str, float]:
+        """Per-primitive-class seconds; values sum to ``seconds()``."""
+        if clock_hz <= 0:
+            raise ValueError("clock must be positive")
+        return {k: v / clock_hz for k, v in self.class_cycles.items()}

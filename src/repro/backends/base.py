@@ -50,9 +50,31 @@ class Backend(abc.ABC):
     # shared helpers
     # ------------------------------------------------------------------
 
+    def _task_span(self, task: str, n_aircraft: int):
+        """Open the mandatory per-invocation tracing span (see repro.obs).
+
+        Every backend wraps its task body in ``with self._task_span(...)``
+        so a profile of *any* platform shows the same top-level tree:
+        one ``task1``/``task23`` span per invocation, category ``task``,
+        with wall time recorded automatically and modelled time
+        attributed by the backend.  A no-op when no collector is active.
+        """
+        from ..obs import span
+
+        return span(task, cat="task", platform=self.name, n_aircraft=n_aircraft)
+
     def describe(self) -> Dict[str, Any]:
-        """Human-readable platform description (overridden per machine)."""
-        return {"name": self.name, "deterministic_timing": self.deterministic_timing}
+        """Human-readable platform description (overridden per machine).
+
+        Always includes ``peak_throughput_ops_per_s``; the reference
+        backend's 0.0 sentinel ("not a machine model") is reported as
+        the number it is — consumers must not divide by it blindly.
+        """
+        return {
+            "name": self.name,
+            "deterministic_timing": self.deterministic_timing,
+            "peak_throughput_ops_per_s": self.peak_throughput_ops_per_s(),
+        }
 
     def peak_throughput_ops_per_s(self) -> float:
         """Peak useful-operation throughput, for §7.2-style normalization.

@@ -16,6 +16,7 @@ from ..core.collision import DetectionMode
 from ..core.resolution import detect_and_resolve as core_detect_and_resolve
 from ..core.tracking import correlate as core_correlate
 from ..core.types import FleetState, RadarFrame, TaskTiming, TimingBreakdown
+from ..obs import span as obs_span
 from .base import Backend
 
 __all__ = ["ReferenceBackend"]
@@ -37,12 +38,23 @@ class ReferenceBackend(Backend):
     deterministic_timing = True
 
     def track_and_correlate(self, fleet: FleetState, frame: RadarFrame) -> TaskTiming:
-        stats = core_correlate(fleet, frame)
-        # A sequential machine scans every (radar, aircraft) pair each
-        # executed round, plus per-aircraft setup and commit work.
-        scan_ops = _OPS_PER_GATE_TEST * frame.n * fleet.n * stats.rounds_executed
-        linear_ops = 12.0 * fleet.n
-        seconds = (scan_ops + linear_ops) * _SECONDS_PER_OP
+        with self._task_span("task1", fleet.n) as task:
+            with obs_span("core.correlate", cat="core"):
+                stats = core_correlate(fleet, frame)
+            # A sequential machine scans every (radar, aircraft) pair each
+            # executed round, plus per-aircraft setup and commit work.
+            scan_ops = _OPS_PER_GATE_TEST * frame.n * fleet.n * stats.rounds_executed
+            linear_ops = 12.0 * fleet.n
+            seconds = (scan_ops + linear_ops) * _SECONDS_PER_OP
+            detail = {
+                "reference.scan": scan_ops * _SECONDS_PER_OP,
+                "reference.linear": linear_ops * _SECONDS_PER_OP,
+            }
+            with obs_span("reference.scan", cat="reference", ops=scan_ops) as sp:
+                sp.add_modelled(detail["reference.scan"])
+            with obs_span("reference.linear", cat="reference", ops=linear_ops) as sp:
+                sp.add_modelled(detail["reference.linear"])
+            task.add_modelled(seconds)
         return TaskTiming(
             task="task1",
             platform=self.name,
@@ -56,6 +68,7 @@ class ReferenceBackend(Backend):
                 "discarded_radars": stats.discarded_radars,
                 "dropped_aircraft": stats.dropped_aircraft,
             },
+            detail=detail,
         )
 
     def detect_and_resolve(
@@ -63,10 +76,21 @@ class ReferenceBackend(Backend):
         fleet: FleetState,
         mode: DetectionMode = DetectionMode.SIGNED,
     ) -> TaskTiming:
-        det, res = core_detect_and_resolve(fleet, mode)
-        pair_ops = _OPS_PER_PAIR_CHECK * det.pairs_checked
-        trial_ops = _OPS_PER_PAIR_CHECK * res.trials_evaluated * fleet.n
-        seconds = (pair_ops + trial_ops) * _SECONDS_PER_OP
+        with self._task_span("task23", fleet.n) as task:
+            with obs_span("core.detect_and_resolve", cat="core"):
+                det, res = core_detect_and_resolve(fleet, mode)
+            pair_ops = _OPS_PER_PAIR_CHECK * det.pairs_checked
+            trial_ops = _OPS_PER_PAIR_CHECK * res.trials_evaluated * fleet.n
+            seconds = (pair_ops + trial_ops) * _SECONDS_PER_OP
+            detail = {
+                "reference.pairs": pair_ops * _SECONDS_PER_OP,
+                "reference.trials": trial_ops * _SECONDS_PER_OP,
+            }
+            with obs_span("reference.pairs", cat="reference", ops=pair_ops) as sp:
+                sp.add_modelled(detail["reference.pairs"])
+            with obs_span("reference.trials", cat="reference", ops=trial_ops) as sp:
+                sp.add_modelled(detail["reference.trials"])
+            task.add_modelled(seconds)
         return TaskTiming(
             task="task23",
             platform=self.name,
@@ -81,6 +105,7 @@ class ReferenceBackend(Backend):
                 "unresolved": res.unresolved,
                 "trials": res.trials_evaluated,
             },
+            detail=detail,
         )
 
     def describe(self) -> Dict[str, Any]:

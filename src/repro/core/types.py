@@ -214,6 +214,16 @@ class TimingBreakdown:
     def total(self) -> float:
         return self.compute + self.memory + self.transfer + self.sync + self.overhead
 
+    def as_dict(self) -> Dict[str, float]:
+        """The five components as a plain dict (JSON-friendly)."""
+        return {
+            "compute": self.compute,
+            "memory": self.memory,
+            "transfer": self.transfer,
+            "sync": self.sync,
+            "overhead": self.overhead,
+        }
+
     def scaled(self, factor: float) -> "TimingBreakdown":
         return TimingBreakdown(
             compute=self.compute * factor,
@@ -245,6 +255,11 @@ class TaskTiming:
     breakdown: TimingBreakdown = field(default_factory=TimingBreakdown)
     #: free-form dynamic statistics (rounds used, conflicts found, ...).
     stats: Dict[str, Any] = field(default_factory=dict)
+    #: optional fine-grained modelled-time attribution (span-name ->
+    #: seconds) produced by the :mod:`repro.obs` instrumentation; the
+    #: figure/report pipeline passes it through untouched.  Where a
+    #: backend populates it, the values sum to ``seconds``.
+    detail: Dict[str, float] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         if self.seconds < 0:

@@ -21,6 +21,8 @@ from ..core.collision import DetectionMode
 from ..core.resolution import detect_and_resolve as core_detect_and_resolve
 from ..core.tracking import correlate as core_correlate
 from ..core.types import FleetState, RadarFrame, TaskTiming, TimingBreakdown
+from ..obs import count as obs_count
+from ..obs import span as obs_span
 from .device import DeviceProperties, get_device
 from .grid import PAPER_BLOCK_SIZE
 from .kernels.check_collision import charge_check_collision
@@ -62,14 +64,26 @@ class CudaBackend(Backend):
     # ------------------------------------------------------------------
 
     def track_and_correlate(self, fleet: FleetState, frame: RadarFrame) -> TaskTiming:
-        stats = core_correlate(fleet, frame)
-        kt = charge_track_drone(self.device, fleet, frame, stats, self.block_size)
+        with self._task_span("task1", fleet.n) as task:
+            with obs_span("core.correlate", cat="core"):
+                stats = core_correlate(fleet, frame)
+            kt = charge_track_drone(self.device, fleet, frame, stats, self.block_size)
+            with obs_span("cuda.kernel.TrackDrone", cat="cuda", **kt.obs_attrs()) as sp:
+                sp.add_modelled(kt.seconds)
+            obs_count("cuda.kernel_launches")
+            obs_count("cuda.issue_total", kt.issue_total)
+            obs_count("cuda.bytes_total", kt.bytes_total)
+            task.add_modelled(kt.seconds)
         return TaskTiming(
             task="task1",
             platform=self.name,
             n_aircraft=fleet.n,
             seconds=kt.seconds,
             breakdown=kt.breakdown(),
+            detail={
+                "cuda.kernel.TrackDrone": kt.seconds - kt.launch_seconds,
+                "cuda.launch": kt.launch_seconds,
+            },
             stats={
                 "rounds": stats.rounds_executed,
                 "committed": stats.committed,
@@ -86,32 +100,56 @@ class CudaBackend(Backend):
         fleet: FleetState,
         mode: DetectionMode = DetectionMode.SIGNED,
     ) -> TaskTiming:
-        det, res = core_detect_and_resolve(fleet, mode)
-        kt = charge_check_collision(self.device, fleet, det, res, self.block_size)
-        seconds = kt.seconds
-        breakdown = kt.breakdown()
-        if not self.fused_collision_kernel:
-            # Split design: Task 2 and Task 3 in separate kernels with
-            # the drone struct round-tripped through the host between
-            # them (the overhead the paper's fused kernel avoids).
-            extra_transfer = TransferModel(self.device).round_trip_seconds(
-                fleet.n * _DRONE_STRUCT_BYTES
-            )
-            extra_launch = self.device.kernel_launch_s
-            seconds += extra_transfer + extra_launch
-            breakdown = TimingBreakdown(
-                compute=breakdown.compute,
-                memory=breakdown.memory,
-                transfer=extra_transfer,
-                sync=breakdown.sync,
-                overhead=breakdown.overhead + extra_launch,
-            )
+        with self._task_span("task23", fleet.n) as task:
+            with obs_span("core.detect_and_resolve", cat="core"):
+                det, res = core_detect_and_resolve(fleet, mode)
+            kt = charge_check_collision(self.device, fleet, det, res, self.block_size)
+            seconds = kt.seconds
+            breakdown = kt.breakdown()
+            detail = {
+                "cuda.kernel.CheckCollisionPath": kt.seconds - kt.launch_seconds,
+                "cuda.launch": kt.launch_seconds,
+            }
+            with obs_span(
+                "cuda.kernel.CheckCollisionPath", cat="cuda", **kt.obs_attrs()
+            ) as sp:
+                sp.add_modelled(kt.seconds)
+            obs_count("cuda.kernel_launches")
+            obs_count("cuda.issue_total", kt.issue_total)
+            obs_count("cuda.bytes_total", kt.bytes_total)
+            if not self.fused_collision_kernel:
+                # Split design: Task 2 and Task 3 in separate kernels with
+                # the drone struct round-tripped through the host between
+                # them (the overhead the paper's fused kernel avoids).
+                extra_transfer = TransferModel(self.device).round_trip_seconds(
+                    fleet.n * _DRONE_STRUCT_BYTES
+                )
+                extra_launch = self.device.kernel_launch_s
+                seconds += extra_transfer + extra_launch
+                breakdown = TimingBreakdown(
+                    compute=breakdown.compute,
+                    memory=breakdown.memory,
+                    transfer=extra_transfer,
+                    sync=breakdown.sync,
+                    overhead=breakdown.overhead + extra_launch,
+                )
+                detail["cuda.transfer.drone_struct"] = extra_transfer
+                detail["cuda.launch"] += extra_launch
+                with obs_span(
+                    "cuda.transfer.drone_struct",
+                    cat="cuda",
+                    bytes=fleet.n * _DRONE_STRUCT_BYTES,
+                ) as sp:
+                    sp.add_modelled(extra_transfer + extra_launch)
+                obs_count("cuda.kernel_launches")
+            task.add_modelled(seconds)
         return TaskTiming(
             task="task23",
             platform=self.name,
             n_aircraft=fleet.n,
             seconds=seconds,
             breakdown=breakdown,
+            detail=detail,
             stats={
                 "conflicts": det.conflicts,
                 "critical_conflicts": det.critical_conflicts,
@@ -130,6 +168,8 @@ class CudaBackend(Backend):
     def setup_timing(self, n: int) -> TaskTiming:
         """Modelled one-time SetupFlight cost."""
         kt = charge_setup_flight(self.device, n, self.block_size)
+        with obs_span("cuda.kernel.SetupFlight", cat="cuda", **kt.obs_attrs()) as sp:
+            sp.add_modelled(kt.seconds)
         return TaskTiming(
             task="setup",
             platform=self.name,

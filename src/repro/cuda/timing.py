@@ -62,6 +62,27 @@ class KernelTiming:
         }
         return max(terms, key=terms.get)
 
+    def obs_attrs(self) -> dict:
+        """Span attributes for the kernel-launch tracing span.
+
+        Everything a profile needs to explain the launch: the roofline
+        terms, which one bound it, and the occupancy picture.
+        """
+        return {
+            "device": self.device,
+            "bound": self.bound,
+            "occupancy": self.occupancy.occupancy_fraction,
+            "waves": self.occupancy.waves,
+            "blocks_per_sm": self.occupancy.blocks_per_sm,
+            "issue_total": self.issue_total,
+            "transactions_total": self.transactions_total,
+            "bytes_total": self.bytes_total,
+            "compute_s": self.compute_seconds,
+            "bandwidth_s": self.bandwidth_seconds,
+            "latency_s": self.latency_seconds,
+            "launch_s": self.launch_seconds,
+        }
+
     def breakdown(self) -> TimingBreakdown:
         """Map the roofline terms onto the shared breakdown format.
 

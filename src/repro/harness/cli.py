@@ -7,6 +7,8 @@ Examples::
     atm-repro fig9 --ns 96 480 960 1920
     atm-repro tbl-deadline --ns 960 1920
     atm-repro describe cuda:titan-x-pascal
+    atm-repro profile fig4 --backend cuda:titan-x-pascal
+    atm-repro report --trace report-trace.json
 """
 
 from __future__ import annotations
@@ -20,6 +22,25 @@ from .figures import EXPERIMENTS, run_experiment
 
 __all__ = ["main", "build_parser"]
 
+_EPILOG = """\
+report flags:
+  --only ID [ID ...]   run a subset of experiment ids (see 'atm-repro list')
+  --full               full sweeps (each experiment's defaults); the default
+                       quick profile uses reduced fleet-size sweeps and
+                       finishes in a couple of minutes
+  --seed N             master airfield seed passed to every experiment
+                       (default 2018; the same seed reproduces the same
+                       report bit for bit on deterministic platforms)
+  --trace FILE         also write a Chrome-trace JSON of the whole run
+                       (open in chrome://tracing or https://ui.perfetto.dev)
+
+profiling:
+  atm-repro profile <experiment> [--backend NAME] [--n N] [--trace FILE]
+  runs an experiment under the repro.obs collector and prints the span
+  tree: wall-clock vs modelled-time attribution per backend component.
+  See docs/observability.md.
+"""
+
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
@@ -29,6 +50,8 @@ def build_parser() -> argparse.ArgumentParser:
             "accelerators with SIMD, Associative, and Multi-core Processors "
             "for Air Traffic Management' (ICPP 2018)"
         ),
+        epilog=_EPILOG,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -47,6 +70,40 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("--seed", type=int, default=2018)
     report.add_argument(
         "--only", nargs="+", default=None, help="subset of experiment ids"
+    )
+    report.add_argument(
+        "--trace",
+        default=None,
+        metavar="FILE",
+        help="write a Chrome-trace JSON of the whole run here",
+    )
+
+    profile = sub.add_parser(
+        "profile",
+        help="run one experiment under the obs collector and print the span tree",
+    )
+    profile.add_argument("experiment", help="experiment id, e.g. fig4")
+    profile.add_argument(
+        "--backend",
+        default=None,
+        help="profile a single platform (registry name) instead of the"
+        " whole experiment",
+    )
+    profile.add_argument(
+        "--n", type=int, default=960, help="fleet size (with --backend)"
+    )
+    profile.add_argument(
+        "--periods", type=int, default=3, help="tracking periods (with --backend)"
+    )
+    profile.add_argument("--seed", type=int, default=2018)
+    profile.add_argument(
+        "--full", action="store_true", help="full sweeps instead of quick"
+    )
+    profile.add_argument(
+        "--trace", default=None, metavar="FILE", help="write Chrome-trace JSON here"
+    )
+    profile.add_argument(
+        "--jsonl", default=None, metavar="FILE", help="write JSON-lines spans here"
     )
 
     for exp_id in sorted(EXPERIMENTS):
@@ -90,11 +147,42 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "report":
         from .report import build_report, render_report, write_report
 
-        report = build_report(quick=not args.full, seed=args.seed, only=args.only)
+        if args.trace:
+            from ..obs import collecting, write_chrome_trace
+
+            with collecting() as collector:
+                report = build_report(
+                    quick=not args.full, seed=args.seed, only=args.only
+                )
+            write_chrome_trace(args.trace, collector)
+            print(f"wrote {args.trace}")
+        else:
+            report = build_report(quick=not args.full, seed=args.seed, only=args.only)
         if args.out:
             write_report(args.out, report)
             print(f"wrote {args.out}")
         print(render_report(report))
+        return 0
+
+    if args.command == "profile":
+        from ..obs import write_chrome_trace, write_json_lines
+        from .profile import profile_experiment
+
+        result = profile_experiment(
+            args.experiment,
+            backend=args.backend,
+            n=args.n,
+            periods=args.periods,
+            seed=args.seed,
+            quick=not args.full,
+        )
+        if args.trace:
+            write_chrome_trace(args.trace, result.collector)
+            print(f"wrote {args.trace}")
+        if args.jsonl:
+            write_json_lines(args.jsonl, result.collector)
+            print(f"wrote {args.jsonl}")
+        print(result.render())
         return 0
 
     if args.command == "describe":

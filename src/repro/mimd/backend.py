@@ -24,6 +24,8 @@ from ..core.collision import DetectionMode
 from ..core.resolution import detect_and_resolve as core_detect_and_resolve
 from ..core.tracking import correlate as core_correlate
 from ..core.types import FleetState, RadarFrame, TaskTiming, TimingBreakdown
+from ..obs import count as obs_count
+from ..obs import span as obs_span
 from .events import QueueRunResult, simulate_work_queue
 from .tasks import task1_chunks, task23_chunks
 from .xeon import XEON_8, XEON_16, MimdConfig
@@ -58,6 +60,7 @@ class MimdBackend(Backend):
 
     def _timing(self, task: str, n: int, run: QueueRunResult, extra: Dict[str, Any]) -> TaskTiming:
         sync = min(run.sync_busy_s + run.queue_wait_s, run.makespan_s)
+        self._emit_queue_obs(run, sync)
         return TaskTiming(
             task=task,
             platform=self.name,
@@ -67,6 +70,10 @@ class MimdBackend(Backend):
                 compute=run.makespan_s - sync,
                 sync=sync,
             ),
+            detail={
+                "mimd.compute": run.makespan_s - sync,
+                "mimd.sync": sync,
+            },
             stats={
                 "chunks": run.n_chunks,
                 "parallel_efficiency": run.parallel_efficiency,
@@ -77,49 +84,83 @@ class MimdBackend(Backend):
             },
         )
 
+    def _emit_queue_obs(self, run: QueueRunResult, sync: float) -> None:
+        """Trace one work-queue execution: critical-path attribution plus
+        the per-core wait picture (the asynchrony the paper blames)."""
+        with obs_span(
+            "mimd.compute",
+            cat="mimd",
+            chunks=run.n_chunks,
+            cores=run.n_cores,
+            parallel_efficiency=run.parallel_efficiency,
+        ) as sp:
+            sp.add_modelled(run.makespan_s - sync)
+        with obs_span(
+            "mimd.sync",
+            cat="mimd",
+            sync_busy_s=run.sync_busy_s,
+            sync_wait_s=run.sync_wait_s,
+            queue_wait_s=run.queue_wait_s,
+            core_sync_wait_s=list(run.core_sync_wait_s),
+            core_queue_wait_s=list(run.core_queue_wait_s),
+            core_finish_s=list(run.core_finish_s),
+        ) as sp:
+            sp.add_modelled(sync)
+        obs_count("mimd.chunks", run.n_chunks)
+        obs_count("mimd.sync_wait_s", run.sync_wait_s)
+        obs_count("mimd.queue_wait_s", run.queue_wait_s)
+
     def track_and_correlate(self, fleet: FleetState, frame: RadarFrame) -> TaskTiming:
-        stats = core_correlate(fleet, frame)
-        chunks = task1_chunks(self.config, fleet.n, stats)
-        run = simulate_work_queue(
-            self.config.n_cores,
-            chunks,
-            pop_cost_s=self.config.queue_pop_s,
-            jitter_sigma=self.config.jitter_sigma,
-            rng=self._rng,
-        )
-        return self._timing(
-            "task1",
-            fleet.n,
-            run,
-            {"rounds": stats.rounds_executed, "committed": stats.committed},
-        )
+        with self._task_span("task1", fleet.n) as task:
+            with obs_span("core.correlate", cat="core"):
+                stats = core_correlate(fleet, frame)
+            chunks = task1_chunks(self.config, fleet.n, stats)
+            run = simulate_work_queue(
+                self.config.n_cores,
+                chunks,
+                pop_cost_s=self.config.queue_pop_s,
+                jitter_sigma=self.config.jitter_sigma,
+                rng=self._rng,
+            )
+            timing = self._timing(
+                "task1",
+                fleet.n,
+                run,
+                {"rounds": stats.rounds_executed, "committed": stats.committed},
+            )
+            task.add_modelled(timing.seconds)
+        return timing
 
     def detect_and_resolve(
         self,
         fleet: FleetState,
         mode: DetectionMode = DetectionMode.SIGNED,
     ) -> TaskTiming:
-        det, res = core_detect_and_resolve(fleet, mode)
-        chunks = task23_chunks(self.config, fleet.alt, det, res)
-        run = simulate_work_queue(
-            self.config.n_cores,
-            chunks,
-            pop_cost_s=self.config.queue_pop_s,
-            jitter_sigma=self.config.jitter_sigma,
-            rng=self._rng,
-        )
-        return self._timing(
-            "task23",
-            fleet.n,
-            run,
-            {
-                "conflicts": det.conflicts,
-                "critical_conflicts": det.critical_conflicts,
-                "resolved": res.resolved,
-                "unresolved": res.unresolved,
-                "trials": res.trials_evaluated,
-            },
-        )
+        with self._task_span("task23", fleet.n) as task:
+            with obs_span("core.detect_and_resolve", cat="core"):
+                det, res = core_detect_and_resolve(fleet, mode)
+            chunks = task23_chunks(self.config, fleet.alt, det, res)
+            run = simulate_work_queue(
+                self.config.n_cores,
+                chunks,
+                pop_cost_s=self.config.queue_pop_s,
+                jitter_sigma=self.config.jitter_sigma,
+                rng=self._rng,
+            )
+            timing = self._timing(
+                "task23",
+                fleet.n,
+                run,
+                {
+                    "conflicts": det.conflicts,
+                    "critical_conflicts": det.critical_conflicts,
+                    "resolved": res.resolved,
+                    "unresolved": res.unresolved,
+                    "trials": res.trials_evaluated,
+                },
+            )
+            task.add_modelled(timing.seconds)
+        return timing
 
     def peak_throughput_ops_per_s(self) -> float:
         return self.config.peak_ops_per_s

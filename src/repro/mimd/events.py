@@ -55,6 +55,10 @@ class QueueRunResult:
     queue_wait_s: float
     #: per-core completion times of their last chunk.
     core_finish_s: List[float] = field(default_factory=list)
+    #: per-core time spent waiting for the serialized interconnect.
+    core_sync_wait_s: List[float] = field(default_factory=list)
+    #: per-core time spent waiting to pop the shared queue head.
+    core_queue_wait_s: List[float] = field(default_factory=list)
 
     @property
     def parallel_efficiency(self) -> float:
@@ -93,6 +97,8 @@ def simulate_work_queue(
 
     busy = 0.0
     finish = [0.0] * n_cores
+    core_sync_wait = [0.0] * n_cores
+    core_queue_wait = [0.0] * n_cores
     n = len(chunks)
     jitter = (
         np.exp(rng.normal(0.0, jitter_sigma, size=n))
@@ -103,13 +109,16 @@ def simulate_work_queue(
     for k, chunk in enumerate(chunks):
         now, core = heapq.heappop(ready)
         popped = queue_head.acquire(now, pop_cost_s)
+        core_queue_wait[core] += popped - now - pop_cost_s
         # OS jitter stretches both the computation and the time the core
         # holds its locks (a preempted lock holder stalls everyone).
         factor = float(jitter[k])
         compute = chunk.compute_s * factor
         compute_end = popped + compute
         if chunk.sync_s > 0:
-            sync_end = interconnect.acquire(popped, chunk.sync_s * factor)
+            hold = chunk.sync_s * factor
+            sync_end = interconnect.acquire(popped, hold)
+            core_sync_wait[core] += sync_end - popped - hold
         else:
             sync_end = popped
         done = max(compute_end, sync_end)
@@ -127,4 +136,6 @@ def simulate_work_queue(
         sync_wait_s=interconnect.total_wait,
         queue_wait_s=queue_head.total_wait,
         core_finish_s=finish,
+        core_sync_wait_s=core_sync_wait,
+        core_queue_wait_s=core_queue_wait,
     )

@@ -1,0 +1,66 @@
+"""repro.obs — instrumentation and profiling for the machine models.
+
+A lightweight tracing + metrics layer threaded through every backend
+(CUDA, SIMD, AP, MIMD, vector) and the reference oracle:
+
+* :func:`span` — context-manager spans recording *wall* time (what the
+  simulator spent) and *modelled* time (architecture seconds the cost
+  model attributed), nested into a tree;
+* :func:`count` / :func:`event` — monotonic counters and instant events
+  (per-instruction-class counts, sync-wait totals, ...);
+* :class:`Collector` — the process-global sink, activated with
+  :func:`collecting`; when none is active every helper is a no-op whose
+  cost is one global read (the benchmarks run in this mode);
+* :mod:`repro.obs.export` — Chrome-trace-format and JSON-lines dumps;
+* :mod:`repro.obs.summary` — span-tree rendering and modelled-time
+  coverage.
+
+Surface commands: ``atm-repro profile <experiment>`` and
+``atm-repro report --trace out.json``.  Full guide:
+``docs/observability.md``.
+"""
+
+from .collector import (
+    NULL_SPAN,
+    Collector,
+    Span,
+    SpanRecord,
+    activate,
+    collecting,
+    count,
+    deactivate,
+    event,
+    get_collector,
+    is_active,
+    span,
+)
+from .export import chrome_trace, json_lines, write_chrome_trace, write_json_lines
+from .summary import (
+    MANDATORY_TASK_SPANS,
+    modelled_coverage,
+    render_counters,
+    render_span_tree,
+)
+
+__all__ = [
+    "Collector",
+    "Span",
+    "SpanRecord",
+    "NULL_SPAN",
+    "MANDATORY_TASK_SPANS",
+    "activate",
+    "deactivate",
+    "get_collector",
+    "is_active",
+    "collecting",
+    "span",
+    "count",
+    "event",
+    "chrome_trace",
+    "json_lines",
+    "write_chrome_trace",
+    "write_json_lines",
+    "render_span_tree",
+    "render_counters",
+    "modelled_coverage",
+]

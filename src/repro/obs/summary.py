@@ -1,0 +1,114 @@
+"""Human-readable trace summaries: the span tree and coverage figures.
+
+``render_span_tree`` prints wall and modelled time side by side per
+span, nested.  ``modelled_coverage`` answers the question the profiler
+exists for: *of the modelled seconds charged to task spans, how much is
+attributed to finer-grained sub-spans?*  A backend whose cost model is
+fully threaded through the tracer scores 1.0.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from .collector import Collector, SpanRecord
+
+__all__ = [
+    "MANDATORY_TASK_SPANS",
+    "render_span_tree",
+    "modelled_coverage",
+    "render_counters",
+]
+
+#: Span names every backend must emit once per task invocation
+#: (asserted by tests/obs/test_backend_spans.py for the whole registry).
+MANDATORY_TASK_SPANS = ("task1", "task23")
+
+
+def _format_seconds(seconds: float) -> str:
+    if seconds <= 0:
+        return "0"
+    if seconds < 1e-3:
+        return f"{seconds * 1e6:.1f}us"
+    if seconds < 1.0:
+        return f"{seconds * 1e3:.3f}ms"
+    return f"{seconds:.3f}s"
+
+
+def render_span_tree(collector: Collector, *, max_spans: int = 400) -> str:
+    """Indented span tree with wall and modelled durations.
+
+    Sibling spans sharing a name are folded into one line with a
+    ``xN`` multiplier and summed durations, which keeps sweep traces
+    (hundreds of identical task invocations) readable.
+    """
+    by_parent: Dict[Optional[int], List[SpanRecord]] = {}
+    for s in collector.spans:
+        by_parent.setdefault(s.parent_id, []).append(s)
+
+    lines = [
+        f"{'span':<44} {'calls':>6} {'wall':>12} {'modelled':>12}",
+        "-" * 78,
+    ]
+    emitted = 0
+
+    def walk(siblings: List[SpanRecord], depth: int) -> None:
+        nonlocal emitted
+        groups: Dict[str, List[SpanRecord]] = {}
+        for s in siblings:
+            groups.setdefault(s.name, []).append(s)
+        for name, group in groups.items():
+            if emitted >= max_spans:
+                return
+            wall = sum(s.wall_dur_s for s in group)
+            modelled = sum(s.modelled_s for s in group)
+            label = "  " * depth + name
+            lines.append(
+                f"{label:<44} {len(group):>6} {_format_seconds(wall):>12} "
+                f"{_format_seconds(modelled):>12}"
+            )
+            emitted += 1
+            children: List[SpanRecord] = []
+            for s in group:
+                children.extend(by_parent.get(s.span_id, []))
+            if children:
+                walk(children, depth + 1)
+
+    walk(by_parent.get(None, []), 0)
+    if emitted >= max_spans:
+        lines.append(f"... (truncated at {max_spans} lines)")
+    return "\n".join(lines)
+
+
+def modelled_coverage(collector: Collector, *, cat: str = "task") -> float:
+    """Fraction of task-span modelled time attributed to child spans.
+
+    For every span of category ``cat``, sum its direct children's
+    modelled seconds (capped at the parent's own) and divide by the
+    total modelled seconds of the ``cat`` spans.  Returns 1.0 when
+    there are no ``cat`` spans (nothing to attribute).
+    """
+    tasks = [s for s in collector.spans if s.cat == cat]
+    total = sum(s.modelled_s for s in tasks)
+    if total <= 0.0:
+        return 1.0
+    attributed = 0.0
+    for t in tasks:
+        child_sum = sum(
+            c.modelled_s for c in collector.spans if c.parent_id == t.span_id
+        )
+        attributed += min(child_sum, t.modelled_s)
+    return attributed / total
+
+
+def render_counters(collector: Collector) -> str:
+    """Sorted ``name = value`` lines for every counter."""
+    if not collector.counters:
+        return "(no counters)"
+    width = max(len(k) for k in collector.counters)
+    lines = []
+    for name in sorted(collector.counters):
+        value = collector.counters[name]
+        shown = int(value) if float(value).is_integer() else value
+        lines.append(f"{name.ljust(width)}  {shown}")
+    return "\n".join(lines)

@@ -9,7 +9,10 @@ from ..core.collision import DetectionMode
 from ..core.resolution import detect_and_resolve as core_detect_and_resolve
 from ..core.tracking import correlate as core_correlate
 from ..core.types import FleetState, RadarFrame, TaskTiming, TimingBreakdown
+from ..obs import count as obs_count
+from ..obs import span as obs_span
 from .clearspeed import CSX600, CSX600_DUAL, SimdConfig
+from .pe_array import PEArray
 from .tasks import charge_setup, charge_task1, charge_task23
 
 __all__ = ["SimdBackend"]
@@ -34,16 +37,41 @@ class SimdBackend(Backend):
         self.config = config
         self.name = config.registry_name
 
+    def _emit_pe_obs(self, pe: PEArray) -> dict:
+        """Trace the PE-array ledger: one span per instruction class.
+
+        Returns the per-class modelled-seconds dict (sums to the task's
+        ``seconds``) used for ``TaskTiming.detail``.
+        """
+        detail = {}
+        for klass, class_s in pe.class_seconds(self.config.clock_hz).items():
+            name = f"simd.{klass}"
+            detail[name] = class_s
+            with obs_span(
+                name, cat="simd", count=pe.class_counts[klass], stripe=pe.stripe
+            ) as sp:
+                sp.add_modelled(class_s)
+            obs_count(f"{name}.issues", pe.class_counts[klass])
+        obs_count("simd.vector_instructions", pe.vector_instructions)
+        obs_count("simd.scalar_instructions", pe.scalar_instructions)
+        obs_count("simd.reductions", pe.reductions)
+        return detail
+
     def track_and_correlate(self, fleet: FleetState, frame: RadarFrame) -> TaskTiming:
-        stats = core_correlate(fleet, frame)
-        pe = charge_task1(self.config, fleet.n, stats)
-        seconds = pe.seconds(self.config.clock_hz)
+        with self._task_span("task1", fleet.n) as task:
+            with obs_span("core.correlate", cat="core"):
+                stats = core_correlate(fleet, frame)
+            pe = charge_task1(self.config, fleet.n, stats)
+            seconds = pe.seconds(self.config.clock_hz)
+            detail = self._emit_pe_obs(pe)
+            task.add_modelled(seconds)
         return TaskTiming(
             task="task1",
             platform=self.name,
             n_aircraft=fleet.n,
             seconds=seconds,
             breakdown=TimingBreakdown(compute=seconds),
+            detail=detail,
             stats={
                 "rounds": stats.rounds_executed,
                 "committed": stats.committed,
@@ -59,15 +87,20 @@ class SimdBackend(Backend):
         fleet: FleetState,
         mode: DetectionMode = DetectionMode.SIGNED,
     ) -> TaskTiming:
-        det, res = core_detect_and_resolve(fleet, mode)
-        pe = charge_task23(self.config, fleet.n, det, res)
-        seconds = pe.seconds(self.config.clock_hz)
+        with self._task_span("task23", fleet.n) as task:
+            with obs_span("core.detect_and_resolve", cat="core"):
+                det, res = core_detect_and_resolve(fleet, mode)
+            pe = charge_task23(self.config, fleet.n, det, res)
+            seconds = pe.seconds(self.config.clock_hz)
+            detail = self._emit_pe_obs(pe)
+            task.add_modelled(seconds)
         return TaskTiming(
             task="task23",
             platform=self.name,
             n_aircraft=fleet.n,
             seconds=seconds,
             breakdown=TimingBreakdown(compute=seconds),
+            detail=detail,
             stats={
                 "conflicts": det.conflicts,
                 "critical_conflicts": det.critical_conflicts,

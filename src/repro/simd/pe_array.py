@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
+from typing import Dict
 
 from .instructions import DEFAULT_COSTS, CostTable, Op
 
@@ -42,6 +43,11 @@ class PEArray:
     vector_instructions: int = 0
     scalar_instructions: int = 0
     reductions: int = 0
+    #: per-instruction-class cycle and issue tallies, e.g.
+    #: ``{"vector.alu": ..., "scalar.scalar": ..., "broadcast": ...,
+    #: "reduce": ...}`` — the attribution repro.obs exports as counters.
+    class_cycles: Dict[str, float] = field(default_factory=dict)
+    class_counts: Dict[str, float] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         if self.n_pes <= 0:
@@ -58,24 +64,37 @@ class PEArray:
     # charging
     # ------------------------------------------------------------------
 
+    def _charge(self, klass: str, cycles: float, count: float) -> None:
+        self.cycles += cycles
+        self.class_cycles[klass] = self.class_cycles.get(klass, 0.0) + cycles
+        self.class_counts[klass] = self.class_counts.get(klass, 0.0) + count
+
     def vector(self, op: Op, count: float = 1.0) -> None:
         """``count`` vector instructions over the whole (striped) array."""
         if count < 0:
             raise ValueError("negative instruction count")
-        self.cycles += self.costs.of(op) * count * self.stripe
+        self._charge(
+            f"vector.{op.name.lower()}", self.costs.of(op) * count * self.stripe, count
+        )
         self.vector_instructions += int(count)
 
     def scalar(self, op: Op = Op.SCALAR, count: float = 1.0) -> None:
         """Control-unit work; independent of the array size."""
         if count < 0:
             raise ValueError("negative instruction count")
-        self.cycles += self.costs.of(op) * count
+        self._charge(f"scalar.{op.name.lower()}", self.costs.of(op) * count, count)
         self.scalar_instructions += int(count)
 
     def broadcast(self, words: float = 1.0) -> None:
         """Broadcast ``words`` values from the control unit to all PEs."""
-        self.cycles += self.costs.of(Op.BROADCAST) * words
+        self._charge("broadcast", self.costs.of(Op.BROADCAST) * words, words)
         self.vector_instructions += int(words)
+
+    def network(self, cycles: float) -> None:
+        """Ring-network transfer cycles (edge-on data distribution)."""
+        if cycles < 0:
+            raise ValueError("negative cycle count")
+        self._charge("network", cycles, 1.0)
 
     def reduce(self, count: float = 1.0) -> None:
         """Global AND/OR/min/max over the array (tree of depth log2 PEs).
@@ -88,7 +107,7 @@ class PEArray:
             + self.costs.reduction_per_level * levels
             + self.costs.of(Op.ALU) * (self.stripe - 1)
         )
-        self.cycles += per * count
+        self._charge("reduce", per * count, count)
         self.reductions += int(count)
 
     def seconds(self, clock_hz: float) -> float:
@@ -96,3 +115,9 @@ class PEArray:
         if clock_hz <= 0:
             raise ValueError("clock must be positive")
         return self.cycles / clock_hz
+
+    def class_seconds(self, clock_hz: float) -> Dict[str, float]:
+        """Per-instruction-class seconds; values sum to ``seconds()``."""
+        if clock_hz <= 0:
+            raise ValueError("clock must be positive")
+        return {k: v / clock_hz for k, v in self.class_cycles.items()}

@@ -60,8 +60,10 @@ def charge_task1(config: SimdConfig, n_aircraft: int, stats: TrackingStats) -> P
     pe = PEArray(config.n_pes, n_aircraft, config.costs)
 
     # Load the shuffled radar frame into the array edge-on.
-    pe.cycles += config.network.distribute_cycles(
-        stats.round_radar_ids[0].shape[0] if stats.round_radar_ids else n_aircraft
+    pe.network(
+        config.network.distribute_cycles(
+            stats.round_radar_ids[0].shape[0] if stats.round_radar_ids else n_aircraft
+        )
     )
 
     # Parallel prologue: expected positions, rMatch reset.
@@ -122,5 +124,5 @@ def charge_setup(config: SimdConfig, n_aircraft: int) -> PEArray:
     pe.vector(Op.ALU, _SETUP_OPS)
     pe.vector(Op.SPECIAL, _SETUP_SPECIAL)
     pe.vector(Op.MEM, 7)
-    pe.cycles += config.network.distribute_cycles(n_aircraft)
+    pe.network(config.network.distribute_cycles(n_aircraft))
     return pe

@@ -9,6 +9,8 @@ from ..core.collision import DetectionMode
 from ..core.resolution import detect_and_resolve as core_detect_and_resolve
 from ..core.tracking import correlate as core_correlate
 from ..core.types import FleetState, RadarFrame, TaskTiming, TimingBreakdown
+from ..obs import count as obs_count
+from ..obs import span as obs_span
 from .machine import AVX512_WORKSTATION, XEON_PHI_7250, VectorConfig
 from .tasks import charge_task1, charge_task23
 
@@ -39,9 +41,34 @@ class VectorBackend(Backend):
         self.config = config
         self.name = config.registry_name
 
+    def _emit_vector_obs(self, task, seconds: float, info: dict) -> dict:
+        """Trace one vectorized pass: lane work vs fork/join barriers.
+
+        The roofline takes max(compute, stream), so the "lanes" child is
+        whichever term won; the loser is reported as an attribute.
+        """
+        lanes = seconds - info["overhead_s"]
+        bound = "compute" if info["compute_s"] >= info["stream_s"] else "stream"
+        with obs_span(
+            "vector.lanes",
+            cat="vector",
+            bound=bound,
+            compute_s=info["compute_s"],
+            stream_s=info["stream_s"],
+        ) as sp:
+            sp.add_modelled(lanes)
+        with obs_span("vector.barriers", cat="vector") as sp:
+            sp.add_modelled(info["overhead_s"])
+        obs_count("vector.regions", round(info["overhead_s"] / self.config.region_overhead_s))
+        task.add_modelled(seconds)
+        return {"vector.lanes": lanes, "vector.barriers": info["overhead_s"]}
+
     def track_and_correlate(self, fleet: FleetState, frame: RadarFrame) -> TaskTiming:
-        stats = core_correlate(fleet, frame)
-        seconds, info = charge_task1(self.config, fleet.n, stats)
+        with self._task_span("task1", fleet.n) as task:
+            with obs_span("core.correlate", cat="core"):
+                stats = core_correlate(fleet, frame)
+            seconds, info = charge_task1(self.config, fleet.n, stats)
+            detail = self._emit_vector_obs(task, seconds, info)
         return TaskTiming(
             task="task1",
             platform=self.name,
@@ -50,6 +77,7 @@ class VectorBackend(Backend):
             breakdown=TimingBreakdown(
                 compute=seconds - info["overhead_s"], sync=info["overhead_s"]
             ),
+            detail=detail,
             stats={"committed": stats.committed, **info},
         )
 
@@ -58,8 +86,11 @@ class VectorBackend(Backend):
         fleet: FleetState,
         mode: DetectionMode = DetectionMode.SIGNED,
     ) -> TaskTiming:
-        det, res = core_detect_and_resolve(fleet, mode)
-        seconds, info = charge_task23(self.config, fleet.alt, det, res)
+        with self._task_span("task23", fleet.n) as task:
+            with obs_span("core.detect_and_resolve", cat="core"):
+                det, res = core_detect_and_resolve(fleet, mode)
+            seconds, info = charge_task23(self.config, fleet.alt, det, res)
+            detail = self._emit_vector_obs(task, seconds, info)
         return TaskTiming(
             task="task23",
             platform=self.name,
@@ -68,6 +99,7 @@ class VectorBackend(Backend):
             breakdown=TimingBreakdown(
                 compute=seconds - info["overhead_s"], sync=info["overhead_s"]
             ),
+            detail=detail,
             stats={
                 "conflicts": det.conflicts,
                 "critical_conflicts": det.critical_conflicts,

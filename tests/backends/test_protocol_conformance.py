@@ -78,10 +78,13 @@ class TestEveryBackend:
             assert len(times) > 1, f"{name} claims nondeterminism but repeated"
 
     def test_describe_contract(self, name):
-        info = resolve_backend(name).describe()
+        backend = resolve_backend(name)
+        info = backend.describe()
         assert info["name"] == name
         assert "deterministic_timing" in info
         assert "kind" in info or name == "reference"
+        # every platform reports its peak (0.0 is the reference sentinel)
+        assert info["peak_throughput_ops_per_s"] == backend.peak_throughput_ops_per_s()
 
     def test_peak_throughput_nonnegative(self, name):
         assert resolve_backend(name).peak_throughput_ops_per_s() >= 0.0

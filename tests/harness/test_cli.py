@@ -32,6 +32,22 @@ class TestMain:
         assert main(["describe", "cuda:gtx-880m"]) == 0
         out = capsys.readouterr().out
         assert "compute_capability" in out
+        assert "peak_throughput_ops_per_s" in out
+
+    def test_describe_reference_zero_peak_sentinel(self, capsys):
+        assert main(["describe", "reference"]) == 0
+        out = capsys.readouterr().out
+        assert "peak_throughput_ops_per_s" in out
+
+    def test_help_epilog_documents_report_flags(self, capsys):
+        import pytest as _pytest
+
+        with _pytest.raises(SystemExit) as exc:
+            main(["--help"])
+        assert exc.value.code == 0
+        out = capsys.readouterr().out
+        for flag in ("--only", "--full", "--seed", "--trace"):
+            assert flag in out
 
     def test_run_small_figure(self, capsys):
         assert main(["fig8", "--ns", "96", "192", "288", "480"]) == 0

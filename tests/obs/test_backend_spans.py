@@ -1,0 +1,98 @@
+"""Every registered backend must emit the mandatory span set.
+
+The contract (docs/observability.md): both task entry points open a
+``cat="task"`` span named ``task1`` / ``task23``, child spans attribute
+at least 90% of the task's modelled seconds (the profiler's acceptance
+bar), the ``TaskTiming.detail`` dict carries the same attribution, and
+the whole trace exports as valid Chrome-trace JSON.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.backends.registry import available_backends, resolve_backend
+from repro.core.radar import generate_radar_frame
+from repro.core.setup import setup_flight
+from repro.obs import (
+    MANDATORY_TASK_SPANS,
+    chrome_trace,
+    collecting,
+    json_lines,
+    modelled_coverage,
+)
+
+SEED = 2018
+
+
+@pytest.fixture(params=available_backends())
+def traced_backend(request):
+    backend = resolve_backend(request.param)
+    fleet = setup_flight(96, SEED)
+    frame = generate_radar_frame(fleet, SEED, 0)
+    with collecting() as c:
+        t1 = backend.track_and_correlate(fleet, frame)
+        t23 = backend.detect_and_resolve(fleet)
+    return request.param, c, t1, t23
+
+
+def test_mandatory_task_spans_present(traced_backend):
+    name, c, _, _ = traced_backend
+    for span_name in MANDATORY_TASK_SPANS:
+        spans = c.find(span_name)
+        assert spans, f"{name} did not emit {span_name!r}"
+        for s in spans:
+            assert s.cat == "task"
+            assert s.attrs["platform"] == resolve_backend(name).name
+            assert s.attrs["n_aircraft"] == 96
+
+
+def test_task_modelled_time_matches_task_timing(traced_backend):
+    name, c, t1, t23 = traced_backend
+    assert c.find("task1")[0].modelled_s == pytest.approx(t1.seconds)
+    assert c.find("task23")[0].modelled_s == pytest.approx(t23.seconds)
+
+
+def test_children_attribute_at_least_90_percent(traced_backend):
+    name, c, _, _ = traced_backend
+    cov = modelled_coverage(c)
+    assert cov >= 0.9, f"{name} attribution {cov:.1%} below the 90% bar"
+
+
+def test_detail_dict_sums_to_task_seconds(traced_backend):
+    name, _, t1, t23 = traced_backend
+    for timing in (t1, t23):
+        assert timing.detail, f"{name} returned an empty detail dict"
+        assert sum(timing.detail.values()) == pytest.approx(
+            timing.seconds, rel=1e-9
+        ), f"{name} {timing.task} detail does not sum to seconds"
+
+
+def test_exports_are_valid(traced_backend):
+    name, c, _, _ = traced_backend
+    doc = json.loads(json.dumps(chrome_trace(c)))
+    assert doc["traceEvents"]
+    for line in json_lines(c).splitlines():
+        json.loads(line)
+
+
+def test_core_algorithm_spans_are_wall_only(traced_backend):
+    name, c, _, _ = traced_backend
+    core = [s for s in c.spans if s.cat == "core"]
+    assert core, f"{name} did not trace the shared core algorithms"
+    assert all(s.modelled_s == 0.0 for s in core)
+
+
+def test_tracing_does_not_change_modelled_times():
+    """The observer must not affect the observation (deterministic backends)."""
+    for name in ("cuda:titan-x-pascal", "ap:staran", "simd:clearspeed-csx600",
+                 "vector:xeon-phi-7250", "reference"):
+        backend = resolve_backend(name)
+        fleet = setup_flight(96, SEED)
+        frame = generate_radar_frame(fleet, SEED, 0)
+        bare = backend.track_and_correlate(fleet, frame).seconds
+        with collecting():
+            traced = backend.track_and_correlate(fleet, frame).seconds
+        assert traced == bare, name

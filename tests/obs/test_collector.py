@@ -1,0 +1,151 @@
+"""Unit tests for the repro.obs collector: spans, counters, no-op mode."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import obs
+from repro.obs import NULL_SPAN, Collector, collecting
+
+
+class TestSpans:
+    def test_span_records_wall_duration(self):
+        with collecting() as c:
+            with obs.span("work"):
+                pass
+        (rec,) = c.spans
+        assert rec.name == "work"
+        assert rec.wall_dur_s >= 0.0
+        assert rec.wall_start_s >= 0.0
+
+    def test_nesting_sets_parent_ids(self):
+        with collecting() as c:
+            with obs.span("outer"):
+                with obs.span("inner"):
+                    pass
+                with obs.span("inner"):
+                    pass
+        inner = c.find("inner")
+        (outer,) = c.find("outer")
+        assert len(inner) == 2
+        assert all(s.parent_id == outer.span_id for s in inner)
+        assert outer.parent_id is None
+        assert [s.span_id for s in c.children_of(outer.span_id)] == [
+            s.span_id for s in inner
+        ]
+        assert c.roots() == [outer]
+
+    def test_add_modelled_accumulates(self):
+        with collecting() as c:
+            with obs.span("t") as sp:
+                sp.add_modelled(1.0)
+                sp.add_modelled(0.5)
+        assert c.find("t")[0].modelled_s == pytest.approx(1.5)
+        assert c.total_modelled() == pytest.approx(1.5)
+
+    def test_attrs_via_kwargs_and_set(self):
+        with collecting() as c:
+            with obs.span("t", "cat", device="x") as sp:
+                sp.set(bound="compute")
+        rec = c.find("t")[0]
+        assert rec.cat == "cat"
+        assert rec.attrs == {"device": "x", "bound": "compute"}
+
+    def test_span_survives_exception(self):
+        with collecting() as c:
+            with pytest.raises(RuntimeError):
+                with obs.span("boom"):
+                    raise RuntimeError("x")
+        assert c.find("boom")  # recorded despite the exception
+        assert c._stack == []  # and the stack is clean
+
+    def test_span_names_first_seen_order(self):
+        with collecting() as c:
+            with obs.span("a"):
+                pass
+            with obs.span("b"):
+                pass
+            with obs.span("a"):
+                pass
+        assert c.span_names() == ["a", "b"]
+
+
+class TestCountersAndEvents:
+    def test_counters_are_monotonic_sums(self):
+        with collecting() as c:
+            obs.count("launches")
+            obs.count("launches", 2)
+            obs.count("bytes", 128.0)
+        assert c.counters == {"launches": 3.0, "bytes": 128.0}
+
+    def test_events_record_position_in_tree(self):
+        with collecting() as c:
+            with obs.span("outer"):
+                obs.event("marker", "cat", note="hi")
+        (e,) = c.events
+        assert e["name"] == "marker"
+        assert e["parent"] == c.find("outer")[0].span_id
+        assert e["attrs"] == {"note": "hi"}
+
+    def test_clear_drops_everything(self):
+        with collecting() as c:
+            with obs.span("t") as sp:
+                sp.add_modelled(1)
+            obs.count("n")
+            obs.event("e")
+            c.clear()
+            assert (c.spans, c.events, c.counters) == ([], [], {})
+
+
+class TestNoOpMode:
+    def test_disabled_span_is_the_shared_singleton(self):
+        assert not obs.is_active()
+        assert obs.span("anything") is NULL_SPAN
+        assert obs.span("other", "cat", k=1) is NULL_SPAN
+
+    def test_null_span_supports_full_protocol(self):
+        with obs.span("x") as sp:
+            assert sp.set(a=1) is sp
+            assert sp.add_modelled(2.0) is sp
+
+    def test_disabled_count_and_event_are_noops(self):
+        obs.count("n", 5)
+        obs.event("e")  # must not raise, must not record anywhere
+        assert obs.get_collector() is None
+
+
+class TestActivation:
+    def test_collecting_restores_previous_collector(self):
+        outer = Collector()
+        with collecting(outer):
+            assert obs.get_collector() is outer
+            with collecting() as inner:
+                assert obs.get_collector() is inner
+                assert inner is not outer
+            assert obs.get_collector() is outer
+        assert obs.get_collector() is None
+
+    def test_collecting_restores_on_exception(self):
+        with pytest.raises(ValueError):
+            with collecting():
+                raise ValueError("x")
+        assert obs.get_collector() is None
+
+    def test_activate_deactivate(self):
+        c = obs.activate()
+        try:
+            assert obs.is_active()
+            assert obs.get_collector() is c
+        finally:
+            assert obs.deactivate() is c
+        assert not obs.is_active()
+
+    def test_total_wall_and_category_filter(self):
+        with collecting() as c:
+            with obs.span("a", "x") as sp:
+                sp.add_modelled(1.0)
+            with obs.span("b", "y") as sp:
+                sp.add_modelled(2.0)
+        assert c.total_modelled("x") == pytest.approx(1.0)
+        assert c.total_modelled() == pytest.approx(3.0)
+        assert c.total_wall() >= c.total_wall("x") >= 0.0

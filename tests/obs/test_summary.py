@@ -1,0 +1,91 @@
+"""Span-tree rendering and modelled-coverage attribution."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import obs
+from repro.obs import collecting, modelled_coverage, render_counters, render_span_tree
+
+
+def _task_with_children(child_fractions):
+    with collecting() as c:
+        with obs.span("task1", "task") as t:
+            for i, frac in enumerate(child_fractions):
+                with obs.span(f"part{i}", "x") as sp:
+                    sp.add_modelled(frac)
+            t.add_modelled(1.0)
+    return c
+
+
+class TestModelledCoverage:
+    def test_fully_attributed_task_scores_one(self):
+        assert modelled_coverage(_task_with_children([0.6, 0.4])) == pytest.approx(1.0)
+
+    def test_unattributed_half_scores_half(self):
+        assert modelled_coverage(_task_with_children([0.5])) == pytest.approx(0.5)
+
+    def test_overattribution_is_capped_at_parent(self):
+        # a child claiming more than the parent cannot push coverage past 1
+        assert modelled_coverage(_task_with_children([1.7])) == pytest.approx(1.0)
+
+    def test_no_task_spans_means_nothing_to_attribute(self):
+        with collecting() as c:
+            with obs.span("helper") as sp:
+                sp.add_modelled(1.0)
+        assert modelled_coverage(c) == 1.0
+
+    def test_averages_across_tasks_weighted_by_modelled(self):
+        with collecting() as c:
+            with obs.span("task1", "task") as t:  # fully covered, weight 3
+                with obs.span("a") as sp:
+                    sp.add_modelled(3.0)
+                t.add_modelled(3.0)
+            with obs.span("task23", "task") as t:  # uncovered, weight 1
+                t.add_modelled(1.0)
+        assert modelled_coverage(c) == pytest.approx(0.75)
+
+
+class TestRenderSpanTree:
+    def test_merges_same_name_siblings_with_call_count(self):
+        with collecting() as c:
+            for _ in range(3):
+                with obs.span("task1", "task") as t:
+                    with obs.span("child") as sp:
+                        sp.add_modelled(0.5)
+                    t.add_modelled(0.5)
+        tree = render_span_tree(c)
+        task_line = next(l for l in tree.splitlines() if l.startswith("task1"))
+        assert task_line.split()[1] == "3"
+        child_line = next(l for l in tree.splitlines() if "child" in l)
+        assert child_line.startswith("  ")  # indented under the task
+        assert child_line.split()[1] == "3"
+
+    def test_truncates_at_max_spans(self):
+        with collecting() as c:
+            for i in range(30):
+                with obs.span(f"s{i}"):
+                    pass
+        tree = render_span_tree(c, max_spans=5)
+        assert "truncated at 5" in tree
+
+    def test_empty_collector_renders_header_only(self):
+        with collecting() as c:
+            pass
+        tree = render_span_tree(c)
+        assert "span" in tree.splitlines()[0]
+
+
+class TestRenderCounters:
+    def test_sorted_and_integers_shown_as_integers(self):
+        with collecting() as c:
+            obs.count("z.calls", 4)
+            obs.count("a.bytes", 2.5)
+        out = render_counters(c).splitlines()
+        assert out[0].startswith("a.bytes") and out[0].endswith("2.5")
+        assert out[1].startswith("z.calls") and out[1].endswith("4")
+
+    def test_no_counters(self):
+        with collecting() as c:
+            pass
+        assert render_counters(c) == "(no counters)"

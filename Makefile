@@ -4,11 +4,16 @@
 PYTHON ?= python
 PYTEST  = PYTHONPATH=src $(PYTHON) -m pytest
 
-.PHONY: test docs-check bench profile report all
+.PHONY: test test-parallel docs-check bench profile report all
 
 ## the tier-1 suite (unit + integration + property tests)
 test:
 	$(PYTEST) -x -q
+
+## the sweep-engine determinism/cache/differential suite under a
+## real worker pool (ATM_REPRO_TEST_JOBS raises the pool width)
+test-parallel:
+	ATM_REPRO_TEST_JOBS=4 $(PYTEST) -q tests/harness tests/integration
 
 ## execute the documentation's code blocks (pytest marker: docs)
 docs-check:

@@ -85,5 +85,37 @@ class Backend(abc.ABC):
         """
         return 0.0
 
+    # ------------------------------------------------------------------
+    # cost-model fingerprint (see docs/parallel-and-caching.md)
+    # ------------------------------------------------------------------
+
+    def fingerprint_payload(self) -> Dict[str, Any]:
+        """The data the cost-model fingerprint is computed over.
+
+        ``describe()`` is the contract surface here: every constant that
+        feeds a backend's timing model must appear in its description
+        (clocks, core/PE counts, per-op costs, block size, ...), because
+        the result cache treats two backends with equal payloads as
+        interchangeable.  The package version is included so a release
+        that recalibrates models invalidates all prior cache entries.
+        """
+        from .. import __version__
+        from ..core.canonical import canonicalize
+
+        return {
+            "describe": canonicalize(self.describe()),
+            "library_version": __version__,
+        }
+
+    def fingerprint(self) -> str:
+        """Stable hex digest of :meth:`fingerprint_payload`.
+
+        Equal across processes and dict key orderings; changed by any
+        edit to the values ``describe()`` reports (and nothing else).
+        """
+        from ..core.canonical import fingerprint_of
+
+        return fingerprint_of(self.fingerprint_payload())
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"<{type(self).__name__} {self.name!r}>"

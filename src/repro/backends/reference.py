@@ -110,5 +110,10 @@ class ReferenceBackend(Backend):
 
     def describe(self) -> Dict[str, Any]:
         info = super().describe()
-        info.update(kind="sequential reference", seconds_per_op=_SECONDS_PER_OP)
+        info.update(
+            kind="sequential reference",
+            seconds_per_op=_SECONDS_PER_OP,
+            ops_per_gate_test=_OPS_PER_GATE_TEST,
+            ops_per_pair_check=_OPS_PER_PAIR_CHECK,
+        )
         return info

@@ -8,6 +8,7 @@ cycle that schedules them.
 """
 
 from . import constants
+from .canonical import canonical_json, canonicalize, fingerprint_of
 from .collision import DetectionMode, DetectionStats, detect
 from .radar import generate_radar_frame
 from .resolution import ResolutionStats, detect_and_resolve, resolve
@@ -19,6 +20,9 @@ from .types import FleetState, RadarFrame, TaskTiming, TimingBreakdown
 
 __all__ = [
     "constants",
+    "canonicalize",
+    "canonical_json",
+    "fingerprint_of",
     "DetectionMode",
     "DetectionStats",
     "detect",

@@ -1,0 +1,94 @@
+"""Canonical JSON forms and stable fingerprints.
+
+Several subsystems need *the same* deterministic serialization of
+loosely-typed Python data:
+
+* the result cache (:mod:`repro.harness.cache`) fingerprints a
+  backend's ``describe()`` output to key cached measurements, and
+* the report writer (:mod:`repro.harness.report`) embeds the same
+  platform descriptions in ``report.json``.
+
+Backends build those descriptions from their config dataclasses, so the
+values can be numpy scalars, numpy arrays, tuples, sets or enums — none
+of which the stdlib ``json`` encoder accepts (or hashes stably).
+:func:`canonicalize` folds all of them onto plain Python scalars,
+lists and string-keyed dicts; :func:`canonical_json` renders that with
+sorted keys and fixed separators so equal values always produce equal
+bytes; :func:`fingerprint_of` hashes the bytes.
+
+The properties the cache relies on (tested in
+``tests/properties/test_fingerprint_properties.py``):
+
+* **key-order invariance** — dicts differing only in insertion order
+  fingerprint identically;
+* **value sensitivity** — any changed leaf changes the fingerprint;
+* **cross-process stability** — no ``id()``, ``hash()`` randomization
+  or repr of live objects leaks in, so a fingerprint computed in one
+  process equals the same computation in any other.
+"""
+
+from __future__ import annotations
+
+import enum
+import hashlib
+import json
+from typing import Any
+
+import numpy as np
+
+__all__ = ["canonicalize", "canonical_json", "fingerprint_of"]
+
+
+def canonicalize(value: Any) -> Any:
+    """Fold ``value`` onto plain JSON-serializable Python data.
+
+    numpy scalars become their Python equivalents, numpy arrays become
+    (nested) lists, tuples become lists, sets become sorted lists,
+    enums become their ``value``, and mappings are rebuilt with string
+    keys.  Plain scalars pass through unchanged.  Anything else raises
+    ``TypeError`` — silently stringifying unknown objects would make
+    fingerprints depend on ``repr`` details.
+    """
+    if value is None or isinstance(value, (bool, int, str)):
+        return value
+    if isinstance(value, float):
+        return value
+    if isinstance(value, enum.Enum):
+        return canonicalize(value.value)
+    if isinstance(value, np.bool_):
+        return bool(value)
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.floating):
+        return float(value)
+    if isinstance(value, np.ndarray):
+        return [canonicalize(v) for v in value.tolist()]
+    if isinstance(value, dict):
+        out = {}
+        for key, item in value.items():
+            key = canonicalize(key)
+            if not isinstance(key, str):
+                key = json.dumps(key, sort_keys=True)
+            out[key] = canonicalize(item)
+        return out
+    if isinstance(value, (list, tuple)):
+        return [canonicalize(v) for v in value]
+    if isinstance(value, (set, frozenset)):
+        items = [canonicalize(v) for v in value]
+        return sorted(items, key=lambda v: json.dumps(v, sort_keys=True))
+    raise TypeError(
+        f"cannot canonicalize {type(value).__name__!r} value {value!r}; "
+        "convert it to plain scalars/lists/dicts first"
+    )
+
+
+def canonical_json(value: Any) -> str:
+    """Deterministic JSON text: canonicalized, sorted keys, no spaces."""
+    return json.dumps(
+        canonicalize(value), sort_keys=True, separators=(",", ":"), ensure_ascii=True
+    )
+
+
+def fingerprint_of(value: Any) -> str:
+    """SHA-256 hex digest of the canonical JSON form of ``value``."""
+    return hashlib.sha256(canonical_json(value).encode("ascii")).hexdigest()

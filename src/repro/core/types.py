@@ -233,6 +233,11 @@ class TimingBreakdown:
             overhead=self.overhead * factor,
         )
 
+    @classmethod
+    def from_dict(cls, data: Dict[str, float]) -> "TimingBreakdown":
+        """Inverse of :meth:`as_dict` (unknown keys rejected)."""
+        return cls(**{k: float(v) for k, v in data.items()})
+
 
 @dataclass
 class TaskTiming:
@@ -272,3 +277,36 @@ class TaskTiming:
     def meets_deadline(self, budget_seconds: float) -> bool:
         """Would this task fit in the given slice of its period?"""
         return self.seconds <= budget_seconds
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Canonical JSON-serializable form (used by the result cache).
+
+        ``stats`` values pass through :func:`repro.core.canonical.canonicalize`
+        because backends stuff numpy scalars and lists in there; the
+        round trip ``from_dict(to_dict(t))`` preserves every numeric
+        value exactly (floats survive JSON via shortest-repr).
+        """
+        from .canonical import canonicalize
+
+        return {
+            "task": self.task,
+            "platform": self.platform,
+            "n_aircraft": int(self.n_aircraft),
+            "seconds": float(self.seconds),
+            "breakdown": self.breakdown.as_dict(),
+            "stats": canonicalize(self.stats),
+            "detail": {str(k): float(v) for k, v in self.detail.items()},
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "TaskTiming":
+        """Rebuild a timing from :meth:`to_dict` output."""
+        return cls(
+            task=data["task"],
+            platform=data["platform"],
+            n_aircraft=int(data["n_aircraft"]),
+            seconds=float(data["seconds"]),
+            breakdown=TimingBreakdown.from_dict(data.get("breakdown", {})),
+            stats=dict(data.get("stats", {})),
+            detail={k: float(v) for k, v in data.get("detail", {}).items()},
+        )

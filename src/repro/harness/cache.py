@@ -1,0 +1,162 @@
+"""On-disk memoization of sweep measurements, keyed by cost-model fingerprints.
+
+Every cell of the paper's measurement matrix — one backend at one fleet
+size — is a pure function of ``(backend configuration, n, seed,
+periods, mode)``: the algorithms are deterministic and the machine
+models are closed-form.  The cache exploits that by storing each
+:class:`~repro.harness.sweep.PlatformMeasurement` under a SHA-256 key
+derived from the backend's :meth:`~repro.backends.base.Backend.fingerprint_payload`
+(its canonicalized ``describe()`` output plus the package version) and
+the task parameters.
+
+Consequences, by construction:
+
+* a warm re-run of a sweep touches no cost model at all — every cell is
+  served from disk;
+* editing any cost-model constant changes that backend's ``describe()``
+  output, hence its fingerprint, hence every affected key — only that
+  backend's cells re-measure, everything else stays warm;
+* a version bump invalidates the whole cache (models may have been
+  recalibrated between releases).
+
+Layout (all JSON, human-inspectable)::
+
+    <root>/v1/<key[:2]>/<key>.json
+
+Corrupt or unreadable entries are treated as misses and overwritten.
+See ``docs/parallel-and-caching.md`` for the full scheme.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+from pathlib import Path
+from typing import TYPE_CHECKING, Any, Dict, Optional, Union
+
+from ..core.canonical import fingerprint_of
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (sweep imports us)
+    from ..backends.base import Backend
+    from .sweep import PlatformMeasurement
+
+__all__ = ["CACHE_SCHEMA_VERSION", "DEFAULT_CACHE_DIR", "ResultCache"]
+
+#: Bump when the on-disk entry format changes; lives in the path, so a
+#: schema change simply starts a fresh subtree instead of misreading.
+CACHE_SCHEMA_VERSION = 1
+
+#: Where the CLI keeps its cache unless told otherwise.
+DEFAULT_CACHE_DIR = ".atm-repro-cache"
+
+
+class ResultCache:
+    """Fingerprint-keyed store of per-cell sweep measurements.
+
+    Instances also count their traffic (``hits`` / ``misses`` /
+    ``stores``) so tests and the CLI can verify cache behaviour instead
+    of inferring it from wall time alone.
+    """
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        self.root = Path(root)
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+
+    # ------------------------------------------------------------------
+    # keys
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def key_for(
+        backend: "Backend",
+        *,
+        n: int,
+        seed: int,
+        periods: int,
+        mode: Any,
+    ) -> str:
+        """The cache key of one (backend, fleet-size) measurement cell."""
+        mode_value = getattr(mode, "value", mode)
+        return fingerprint_of(
+            {
+                "schema": CACHE_SCHEMA_VERSION,
+                "backend": backend.fingerprint_payload(),
+                "task": {
+                    "n": int(n),
+                    "seed": int(seed),
+                    "periods": int(periods),
+                    "mode": str(mode_value),
+                },
+            }
+        )
+
+    def _path(self, key: str) -> Path:
+        return self.root / f"v{CACHE_SCHEMA_VERSION}" / key[:2] / f"{key}.json"
+
+    # ------------------------------------------------------------------
+    # get / put
+    # ------------------------------------------------------------------
+
+    def get(self, key: str) -> Optional["PlatformMeasurement"]:
+        """The cached measurement under ``key``, or None (counted)."""
+        from .sweep import PlatformMeasurement
+
+        path = self._path(key)
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                entry = json.load(fh)
+            measurement = PlatformMeasurement.from_dict(entry["measurement"])
+        except (OSError, ValueError, KeyError, TypeError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return measurement
+
+    def put(self, key: str, measurement: "PlatformMeasurement") -> None:
+        """Store ``measurement`` under ``key`` (atomic rename write)."""
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        entry = {
+            "key": key,
+            "schema": CACHE_SCHEMA_VERSION,
+            "measurement": measurement.to_dict(),
+        }
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        with open(tmp, "w", encoding="utf-8") as fh:
+            json.dump(entry, fh, sort_keys=True)
+        os.replace(tmp, path)
+        self.stores += 1
+
+    # ------------------------------------------------------------------
+    # maintenance / introspection
+    # ------------------------------------------------------------------
+
+    def _entry_paths(self):
+        if not self.root.exists():
+            return
+        yield from sorted(self.root.glob("v*/??/*.json"))
+
+    def stats(self) -> Dict[str, Any]:
+        """Traffic counters plus what is on disk right now."""
+        entries = list(self._entry_paths())
+        return {
+            "root": str(self.root),
+            "entries": len(entries),
+            "bytes": sum(p.stat().st_size for p in entries),
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+        }
+
+    def clear(self) -> int:
+        """Delete every entry; returns how many were removed."""
+        removed = len(list(self._entry_paths()))
+        if self.root.exists():
+            shutil.rmtree(self.root)
+        return removed
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<ResultCache {str(self.root)!r} hits={self.hits} misses={self.misses}>"

@@ -9,6 +9,9 @@ Examples::
     atm-repro describe cuda:titan-x-pascal
     atm-repro profile fig4 --backend cuda:titan-x-pascal
     atm-repro report --trace report-trace.json
+    atm-repro report --jobs 4 --cache-dir .atm-repro-cache
+    atm-repro cache stats
+    atm-repro cache clear
 """
 
 from __future__ import annotations
@@ -33,6 +36,17 @@ report flags:
                        report bit for bit on deterministic platforms)
   --trace FILE         also write a Chrome-trace JSON of the whole run
                        (open in chrome://tracing or https://ui.perfetto.dev)
+  --jobs N             shard sweep cells over N worker processes; the
+                       report bytes are identical for every N (see
+                       docs/parallel-and-caching.md)
+  --cache-dir DIR      serve unchanged measurement cells from the result
+                       cache at DIR (created on first use; default
+                       .atm-repro-cache)
+  --no-cache           measure everything fresh, ignoring the cache
+
+cache maintenance:
+  atm-repro cache stats [--cache-dir DIR]   entries and size on disk
+  atm-repro cache clear [--cache-dir DIR]   delete every cached cell
 
 profiling:
   atm-repro profile <experiment> [--backend NAME] [--n N] [--trace FILE]
@@ -77,6 +91,40 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="FILE",
         help="write a Chrome-trace JSON of the whole run here",
     )
+    report.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes for sweep shards (result bytes identical)",
+    )
+    report.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="memoize measurement cells in the result cache at DIR",
+    )
+    report.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="ignore the result cache even when --cache-dir is set",
+    )
+
+    cache = sub.add_parser(
+        "cache", help="inspect or clear the on-disk result cache"
+    )
+    cache_sub = cache.add_subparsers(dest="cache_command", required=True)
+    for action, blurb in (
+        ("stats", "entry count, size on disk and traffic counters"),
+        ("clear", "delete every cached measurement cell"),
+    ):
+        p = cache_sub.add_parser(action, help=blurb)
+        p.add_argument(
+            "--cache-dir",
+            default=None,
+            metavar="DIR",
+            help="cache location (default .atm-repro-cache)",
+        )
 
     profile = sub.add_parser(
         "profile",
@@ -145,23 +193,51 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
 
     if args.command == "report":
+        from .cache import ResultCache
         from .report import build_report, render_report, write_report
 
+        cache = None
+        if args.cache_dir and not args.no_cache:
+            cache = ResultCache(args.cache_dir)
+        run_kwargs = dict(
+            quick=not args.full,
+            seed=args.seed,
+            only=args.only,
+            jobs=args.jobs,
+            cache=cache,
+        )
         if args.trace:
             from ..obs import collecting, write_chrome_trace
 
             with collecting() as collector:
-                report = build_report(
-                    quick=not args.full, seed=args.seed, only=args.only
-                )
+                report = build_report(**run_kwargs)
             write_chrome_trace(args.trace, collector)
             print(f"wrote {args.trace}")
         else:
-            report = build_report(quick=not args.full, seed=args.seed, only=args.only)
+            report = build_report(**run_kwargs)
         if args.out:
             write_report(args.out, report)
             print(f"wrote {args.out}")
         print(render_report(report))
+        if cache is not None:
+            s = cache.stats()
+            print(
+                f"cache {s['root']}: {s['hits']} hits, {s['misses']} misses, "
+                f"{s['stores']} stored, {s['entries']} entries on disk",
+                file=sys.stderr,
+            )
+        return 0
+
+    if args.command == "cache":
+        from .cache import DEFAULT_CACHE_DIR, ResultCache
+
+        cache = ResultCache(args.cache_dir or DEFAULT_CACHE_DIR)
+        if args.cache_command == "stats":
+            for key, value in cache.stats().items():
+                print(f"{key:8s} {value}")
+        else:
+            removed = cache.clear()
+            print(f"removed {removed} cached cells from {cache.root}")
         return 0
 
     if args.command == "profile":

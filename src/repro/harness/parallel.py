@@ -1,0 +1,246 @@
+"""Sharded execution of the measurement matrix, with deterministic merge.
+
+The paper's sweep figures time every platform at every fleet size.  The
+cells of that (backend, n) matrix are independent — each one builds its
+own fleet from the master seed and its own backend instance from the
+registry — so they can run anywhere in any order.  This module is the
+engine behind ``sweep(..., jobs=N)``:
+
+* every cell is a **shard**: ``(registry name, fleet size)`` plus the
+  shared task parameters;
+* shards whose key is in the :class:`~repro.harness.cache.ResultCache`
+  are served in the parent process without touching a cost model;
+* remaining shards run on a ``ProcessPoolExecutor`` when ``jobs > 1``
+  (registry-name specs only — live :class:`~repro.backends.base.Backend`
+  *instances* may carry state, so they always run in the parent, in
+  submission order);
+* results are merged **by matrix position, never by completion order**,
+  so the assembled :class:`~repro.harness.sweep.SweepData` is
+  byte-identical for any worker count — the parallel-determinism tests
+  assert exactly that.
+
+Every shard emits one ``harness.shard`` span (category ``harness``) on
+the parent's :mod:`repro.obs` collector, carrying the platform, fleet
+size, result source (``cache`` / ``pool`` / ``inline``) and the shard's
+modelled seconds.  See docs/parallel-and-caching.md.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from contextlib import contextmanager
+from contextvars import ContextVar
+from dataclasses import dataclass
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
+
+from ..obs import count as obs_count
+from ..obs import span as obs_span
+from .cache import ResultCache
+
+__all__ = [
+    "SweepOptions",
+    "current_options",
+    "sweep_options",
+    "measure_cells",
+]
+
+
+# ---------------------------------------------------------------------------
+# ambient options: how the harness should execute sweeps
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SweepOptions:
+    """Ambient execution policy consulted by ``sweep``/``measure_platform``.
+
+    Installed with :func:`sweep_options`; the report runner uses this to
+    thread ``--jobs``/``--cache-dir`` through every experiment without
+    widening each generator's signature.
+    """
+
+    #: worker processes for sweep shards (1 = serial, in-process).
+    jobs: int = 1
+    #: result cache, or None to measure everything.
+    cache: Optional[ResultCache] = None
+
+
+_OPTIONS: ContextVar[SweepOptions] = ContextVar(
+    "repro_sweep_options", default=SweepOptions()
+)
+
+#: sentinel distinguishing "not passed" from an explicit None/False.
+_KEEP = object()
+
+
+def current_options() -> SweepOptions:
+    """The ambient :class:`SweepOptions` (defaults: serial, no cache)."""
+    return _OPTIONS.get()
+
+
+@contextmanager
+def sweep_options(
+    *, jobs: Optional[int] = None, cache: Any = _KEEP
+) -> Iterator[SweepOptions]:
+    """Scope different sweep-execution options over a ``with`` block."""
+    base = _OPTIONS.get()
+    new = SweepOptions(
+        jobs=base.jobs if jobs is None else max(1, int(jobs)),
+        cache=base.cache if cache is _KEEP else (cache or None),
+    )
+    token = _OPTIONS.set(new)
+    try:
+        yield new
+    finally:
+        _OPTIONS.reset(token)
+
+
+# ---------------------------------------------------------------------------
+# the shard worker (runs in pool processes; must stay module-level picklable)
+# ---------------------------------------------------------------------------
+
+
+def _measure_shard(
+    spec: str, n: int, seed: int, periods: int, mode_value: str
+) -> Dict[str, Any]:
+    """Measure one (registry name, fleet size) cell; return its dict form.
+
+    Runs in a worker process: resolves a *fresh* backend from the
+    registry, so the cell is a pure function of its arguments, and
+    returns plain JSON-able data (never pickled numpy state).  The
+    worker never touches the cache — the parent owns all cache traffic
+    so hit/miss counters and writes stay in one process.
+    """
+    from ..core.collision import DetectionMode
+    from .sweep import measure_platform
+
+    m = measure_platform(
+        spec, n, seed=seed, periods=periods, mode=DetectionMode(mode_value), cache=False
+    )
+    return m.to_dict()
+
+
+# ---------------------------------------------------------------------------
+# the engine
+# ---------------------------------------------------------------------------
+
+
+def _modelled_seconds(measurement) -> float:
+    return float(sum(measurement.task1_seconds)) + float(measurement.task23.seconds)
+
+
+def _emit_shard(platform: str, n: int, source: str, jobs: int, measurement) -> None:
+    """One ``harness.shard`` span + counters on the parent collector."""
+    with obs_span(
+        "harness.shard",
+        cat="harness",
+        platform=platform,
+        n_aircraft=n,
+        source=source,
+        jobs=jobs,
+    ) as sp:
+        sp.add_modelled(_modelled_seconds(measurement))
+    obs_count("harness.shards")
+    if source == "cache":
+        obs_count("harness.shards_cached")
+    else:
+        obs_count("harness.shards_measured")
+
+
+def measure_cells(
+    specs: Sequence[Any],
+    ns: Sequence[int],
+    *,
+    seed: int,
+    periods: int,
+    mode: Any,
+    jobs: int = 1,
+    cache: Optional[ResultCache] = None,
+) -> Tuple[List[str], List[List[Any]]]:
+    """Measure every (spec, n) cell of the sweep matrix.
+
+    Returns ``(names, rows)`` where ``names[i]`` is the resolved
+    platform name of ``specs[i]`` and ``rows[i][j]`` the measurement of
+    ``specs[i]`` at ``ns[j]`` — positional, regardless of how and where
+    each shard actually ran.
+    """
+    from ..backends.registry import resolve_backend
+    from .sweep import PlatformMeasurement, measure_platform
+
+    jobs = max(1, int(jobs))
+    resolved = [resolve_backend(spec) for spec in specs]
+    names = [b.name for b in resolved]
+    mode_value = str(getattr(mode, "value", mode))
+
+    rows: List[List[Optional[PlatformMeasurement]]] = [
+        [None] * len(ns) for _ in specs
+    ]
+    #: shards still to measure: (i, j, spec, cache key or None)
+    pending: List[Tuple[int, int, Any, Optional[str]]] = []
+
+    for i, spec in enumerate(specs):
+        for j, n in enumerate(ns):
+            key = None
+            if cache is not None and (
+                isinstance(spec, str) or resolved[i].deterministic_timing
+            ):
+                key = cache.key_for(
+                    resolved[i], n=n, seed=seed, periods=periods, mode=mode
+                )
+                hit = cache.get(key)
+                if hit is not None:
+                    rows[i][j] = hit
+                    _emit_shard(names[i], n, "cache", jobs, hit)
+                    continue
+            pending.append((i, j, spec, key))
+
+    # Registry-name shards may cross the process boundary; instances run
+    # in the parent (they can carry state the fork would then discard).
+    poolable = [p for p in pending if isinstance(p[2], str)]
+    inline = [p for p in pending if not isinstance(p[2], str)]
+
+    if jobs > 1 and len(poolable) > 1:
+        with ProcessPoolExecutor(max_workers=min(jobs, len(poolable))) as pool:
+            futures = [
+                pool.submit(_measure_shard, spec, ns[j], seed, periods, mode_value)
+                for (_, j, spec, _) in poolable
+            ]
+            for (i, j, _, key), future in zip(poolable, futures):
+                with obs_span(
+                    "harness.shard",
+                    cat="harness",
+                    platform=names[i],
+                    n_aircraft=ns[j],
+                    source="pool",
+                    jobs=jobs,
+                ) as sp:
+                    m = PlatformMeasurement.from_dict(future.result())
+                    sp.add_modelled(_modelled_seconds(m))
+                obs_count("harness.shards")
+                obs_count("harness.shards_measured")
+                rows[i][j] = m
+                if cache is not None and key is not None:
+                    cache.put(key, m)
+    else:
+        inline = poolable + inline  # preserve matrix order below
+
+    for i, j, spec, key in sorted(inline, key=lambda p: (p[0], p[1])):
+        with obs_span(
+            "harness.shard",
+            cat="harness",
+            platform=names[i],
+            n_aircraft=ns[j],
+            source="inline",
+            jobs=jobs,
+        ) as sp:
+            m = measure_platform(
+                spec, ns[j], seed=seed, periods=periods, mode=mode, cache=False
+            )
+            sp.add_modelled(_modelled_seconds(m))
+        obs_count("harness.shards")
+        obs_count("harness.shards_measured")
+        rows[i][j] = m
+        if cache is not None and key is not None:
+            cache.put(key, m)
+
+    return names, rows

@@ -15,10 +15,13 @@ from __future__ import annotations
 import json
 import platform as _platform
 import sys
-from typing import Dict, Optional
+from typing import Any, Dict, Optional
 
 from .. import __version__
+from ..backends.registry import available_backends, resolve_backend
+from ..core.canonical import canonicalize
 from .figures import EXPERIMENTS
+from .parallel import sweep_options
 
 __all__ = ["QUICK_OVERRIDES", "build_report", "render_report", "write_report"]
 
@@ -47,6 +50,8 @@ def build_report(
     quick: bool = True,
     seed: int = 2018,
     only: Optional[list] = None,
+    jobs: int = 1,
+    cache: Any = None,
 ) -> dict:
     """Run the experiment suite and return the structured report.
 
@@ -59,6 +64,15 @@ def build_report(
         Master airfield seed passed to every experiment.
     only:
         Optional subset of experiment ids to run.
+    jobs:
+        Worker processes for sweep shards (see
+        :mod:`repro.harness.parallel`).  The report content is
+        byte-identical for every value — only wall time changes.
+    cache:
+        A :class:`~repro.harness.cache.ResultCache` to serve unchanged
+        measurement cells from; None runs everything fresh.  Like
+        ``jobs``, caching never changes the report's bytes, so neither
+        parameter is recorded in the document.
     """
     chosen = sorted(EXPERIMENTS) if only is None else list(only)
     unknown = [e for e in chosen if e not in EXPERIMENTS]
@@ -66,15 +80,24 @@ def build_report(
         raise KeyError(f"unknown experiment ids: {unknown}")
 
     results = {}
-    for exp_id in chosen:
-        kwargs = dict(QUICK_OVERRIDES.get(exp_id, {})) if quick else {}
-        kwargs["seed"] = seed
-        outcome = EXPERIMENTS[exp_id](**kwargs)
-        results[exp_id] = {
-            "parameters": {k: list(v) if isinstance(v, tuple) else v for k, v in kwargs.items()},
-            "data": outcome.to_dict(),
-            "rendered": outcome.render(),
-        }
+    with sweep_options(jobs=jobs, cache=cache):
+        for exp_id in chosen:
+            kwargs = dict(QUICK_OVERRIDES.get(exp_id, {})) if quick else {}
+            kwargs["seed"] = seed
+            outcome = EXPERIMENTS[exp_id](**kwargs)
+            results[exp_id] = {
+                "parameters": {k: list(v) if isinstance(v, tuple) else v for k, v in kwargs.items()},
+                "data": outcome.to_dict(),
+                "rendered": outcome.render(),
+            }
+
+    # Platform descriptions go through the same canonicalizer as the
+    # cache fingerprints, so numpy scalars or tuples in a backend's
+    # describe() can never produce unserializable (or unstable) JSON.
+    platforms = {
+        name: canonicalize(resolve_backend(name).describe())
+        for name in available_backends()
+    }
 
     return {
         "paper": (
@@ -87,6 +110,7 @@ def build_report(
         "seed": seed,
         "python": sys.version.split()[0],
         "host": _platform.platform(),
+        "platforms": platforms,
         "experiments": results,
     }
 

@@ -5,21 +5,31 @@ size the tasks are individually timed and reported as the average over
 the executed iterations (Task 1 runs every period; Task 2+3 once per
 major cycle).  All platforms measure against bit-identical fleet
 evolutions, so their curves are directly comparable.
+
+Each (backend, fleet-size) cell is a *pure function* of the registry
+name and the task parameters: ``measure_platform`` resolves a fresh
+backend instance per call, so cells are order-independent and can be
+cached (:mod:`repro.harness.cache`) or sharded across worker processes
+(:mod:`repro.harness.parallel`) without changing a single output bit.
+``sweep(..., jobs=N)`` — or an ambient
+:func:`~repro.harness.parallel.sweep_options` block — turns both on.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Union
+from typing import Any, Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
 from ..backends.base import Backend
 from ..backends.registry import resolve_backend
+from ..core.canonical import canonical_json
 from ..core.collision import DetectionMode
 from ..core.radar import generate_radar_frame
 from ..core.setup import setup_flight
 from ..core.types import TaskTiming
+from .parallel import _emit_shard, current_options, measure_cells
 
 __all__ = [
     "DEFAULT_NS_ALL_PLATFORMS",
@@ -59,6 +69,24 @@ class PlatformMeasurement:
     def task23_s(self) -> float:
         return self.task23.seconds
 
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serializable form; exact inverse of :meth:`from_dict`."""
+        return {
+            "platform": self.platform,
+            "n_aircraft": int(self.n_aircraft),
+            "task1_seconds": [float(s) for s in self.task1_seconds],
+            "task23": self.task23.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "PlatformMeasurement":
+        return cls(
+            platform=data["platform"],
+            n_aircraft=int(data["n_aircraft"]),
+            task1_seconds=[float(s) for s in data["task1_seconds"]],
+            task23=TaskTiming.from_dict(data["task23"]),
+        )
+
 
 def measure_platform(
     backend: Union[str, Backend],
@@ -67,28 +95,55 @@ def measure_platform(
     seed: int = 2018,
     periods: int = 3,
     mode: DetectionMode = DetectionMode.SIGNED,
+    cache: Any = None,
 ) -> PlatformMeasurement:
     """Run ``periods`` tracking periods plus one collision pass.
 
     The fleet flies and is tracked for ``periods`` half-seconds first, so
     the collision pass sees a realistically-evolved state rather than the
     pristine initial layout.
+
+    ``cache`` is a :class:`~repro.harness.cache.ResultCache` to memoize
+    through, ``None`` to use the ambient
+    :func:`~repro.harness.parallel.sweep_options` cache, or ``False`` to
+    force a fresh measurement.  Caching applies when the backend came
+    from a registry name (a fresh instance is resolved, so the cell is a
+    pure function of the name) or advertises ``deterministic_timing``;
+    a stateful instance — the MIMD model mid-experiment — is never
+    served from or written to the cache.
     """
     if periods < 1:
         raise ValueError("need at least one tracking period")
-    backend = resolve_backend(backend)
+    resolved_cache = current_options().cache if cache is None else (cache or None)
+    spec = backend
+    backend = resolve_backend(spec)
+    key = None
+    if resolved_cache is not None and (
+        isinstance(spec, str) or backend.deterministic_timing
+    ):
+        key = resolved_cache.key_for(backend, n=n, seed=seed, periods=periods, mode=mode)
+        hit = resolved_cache.get(key)
+        if hit is not None:
+            # A hit elides the measurement and with it the task spans, so
+            # a shard span keeps warm traces fully attributed; misses need
+            # nothing extra — the measurement below emits task1/task23.
+            _emit_shard(backend.name, n, "cache", current_options().jobs, hit)
+            return hit
     fleet = setup_flight(n, seed)
     task1: List[float] = []
     for period in range(periods):
         frame = generate_radar_frame(fleet, seed, period)
         task1.append(backend.track_and_correlate(fleet, frame).seconds)
     t23 = backend.detect_and_resolve(fleet, mode=mode)
-    return PlatformMeasurement(
+    measurement = PlatformMeasurement(
         platform=backend.name,
         n_aircraft=n,
         task1_seconds=task1,
         task23=t23,
     )
+    if key is not None:
+        resolved_cache.put(key, measurement)
+    return measurement
 
 
 @dataclass
@@ -108,6 +163,34 @@ class SweepData:
     def platforms(self) -> List[str]:
         return list(self.measurements)
 
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serializable form; exact inverse of :meth:`from_dict`."""
+        return {
+            "ns": [int(n) for n in self.ns],
+            "measurements": {
+                platform: [m.to_dict() for m in rows]
+                for platform, rows in self.measurements.items()
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "SweepData":
+        return cls(
+            ns=tuple(int(n) for n in data["ns"]),
+            measurements={
+                platform: [PlatformMeasurement.from_dict(m) for m in rows]
+                for platform, rows in data["measurements"].items()
+            },
+        )
+
+    def to_canonical_json(self) -> str:
+        """Deterministic serialization; byte-equal for equal sweeps.
+
+        This is the form the parallel-determinism tests compare: a
+        ``jobs=4`` sweep must produce the same bytes as ``jobs=1``.
+        """
+        return canonical_json(self.to_dict())
+
 
 def sweep(
     backends: Sequence[Union[str, Backend]],
@@ -116,14 +199,32 @@ def sweep(
     seed: int = 2018,
     periods: int = 3,
     mode: DetectionMode = DetectionMode.SIGNED,
+    jobs: Optional[int] = None,
+    cache: Any = None,
 ) -> SweepData:
-    """Measure every backend at every fleet size."""
+    """Measure every backend at every fleet size.
+
+    ``jobs``/``cache`` default to the ambient
+    :func:`~repro.harness.parallel.sweep_options`; pass ``jobs>1`` to
+    shard cells across worker processes and a
+    :class:`~repro.harness.cache.ResultCache` (or ``False``) to
+    override the ambient cache.  The result is merged by matrix
+    position, so its :meth:`SweepData.to_canonical_json` bytes do not
+    depend on the worker count or scheduling order.
+    """
+    opts = current_options()
+    jobs = opts.jobs if jobs is None else max(1, int(jobs))
+    resolved_cache = opts.cache if cache is None else (cache or None)
+    names, rows = measure_cells(
+        list(backends),
+        tuple(ns),
+        seed=seed,
+        periods=periods,
+        mode=mode,
+        jobs=jobs,
+        cache=resolved_cache,
+    )
     data = SweepData(ns=tuple(ns))
-    for spec in backends:
-        backend = resolve_backend(spec)
-        rows = [
-            measure_platform(backend, n, seed=seed, periods=periods, mode=mode)
-            for n in ns
-        ]
-        data.measurements[backend.name] = rows
+    for name, platform_rows in zip(names, rows):
+        data.measurements[name] = platform_rows
     return data

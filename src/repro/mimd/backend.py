@@ -56,6 +56,7 @@ class MimdBackend(Backend):
                 ) from None
         self.config = config
         self.name = config.registry_name
+        self.timing_seed = seed
         self._rng = np.random.default_rng(seed)
 
     def _timing(self, task: str, n: int, run: QueueRunResult, extra: Dict[str, Any]) -> TaskTiming:
@@ -173,5 +174,6 @@ class MimdBackend(Backend):
             n_cores=self.config.n_cores,
             clock_ghz=self.config.clock_hz / 1e9,
             jitter_sigma=self.config.jitter_sigma,
+            timing_seed=self.timing_seed,
         )
         return info

@@ -1,0 +1,198 @@
+"""Unit tests for the fingerprinted result cache (repro.harness.cache)."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.backends.reference import ReferenceBackend
+from repro.backends.registry import resolve_backend
+from repro.core.collision import DetectionMode
+from repro.harness.cache import CACHE_SCHEMA_VERSION, ResultCache
+from repro.harness.sweep import measure_platform
+
+
+@pytest.fixture
+def cache(tmp_path):
+    return ResultCache(tmp_path / "cache")
+
+
+class TestKeys:
+    def test_key_is_stable(self, cache):
+        b = resolve_backend("cuda:gtx-880m")
+        k1 = cache.key_for(b, n=96, seed=2018, periods=2, mode=DetectionMode.SIGNED)
+        k2 = cache.key_for(b, n=96, seed=2018, periods=2, mode=DetectionMode.SIGNED)
+        assert k1 == k2
+        assert len(k1) == 64  # sha256 hex
+
+    def test_key_separates_every_task_parameter(self, cache):
+        b = resolve_backend("cuda:gtx-880m")
+        base = dict(n=96, seed=2018, periods=2, mode=DetectionMode.SIGNED)
+        keys = {cache.key_for(b, **base)}
+        for change in (
+            dict(base, n=192),
+            dict(base, seed=1),
+            dict(base, periods=3),
+            dict(base, mode=DetectionMode.PAPER_ABS),
+        ):
+            keys.add(cache.key_for(b, **change))
+        assert len(keys) == 5
+
+    def test_key_separates_backend_configurations(self, cache):
+        from repro.cuda.backend import CudaBackend
+
+        params = dict(n=96, seed=2018, periods=2, mode=DetectionMode.SIGNED)
+        k96 = cache.key_for(CudaBackend("gtx-880m", block_size=96), **params)
+        k128 = cache.key_for(CudaBackend("gtx-880m", block_size=128), **params)
+        assert k96 != k128
+
+
+class TestRoundTrip:
+    def test_put_get_is_exact(self, cache):
+        m = measure_platform("cuda:titan-x-pascal", 96, periods=2, cache=False)
+        key = cache.key_for(
+            resolve_backend("cuda:titan-x-pascal"),
+            n=96, seed=2018, periods=2, mode=DetectionMode.SIGNED,
+        )
+        cache.put(key, m)
+        got = cache.get(key)
+        # exact float equality end to end — the cached sweep must be
+        # byte-identical to the fresh one, not merely approximately so.
+        assert got.task1_seconds == m.task1_seconds
+        assert got.task23.seconds == m.task23.seconds
+        assert got.task23.breakdown.as_dict() == m.task23.breakdown.as_dict()
+        assert got.task23.detail == m.task23.detail
+        assert got.to_dict() == m.to_dict()
+
+    def test_missing_key_is_a_counted_miss(self, cache):
+        assert cache.get("0" * 64) is None
+        assert cache.misses == 1 and cache.hits == 0
+
+    def test_corrupt_entry_is_a_miss(self, cache):
+        m = measure_platform("reference", 96, periods=1, cache=False)
+        key = "ab" + "0" * 62
+        cache.put(key, m)
+        cache._path(key).write_text("{not json", encoding="utf-8")
+        assert cache.get(key) is None
+        assert cache.misses == 1
+
+    def test_stats_and_clear(self, cache):
+        m = measure_platform("reference", 96, periods=1, cache=False)
+        for i in range(3):
+            cache.put(f"{i:02d}" + "0" * 62, m)
+        s = cache.stats()
+        assert s["entries"] == 3 and s["stores"] == 3 and s["bytes"] > 0
+        assert f"v{CACHE_SCHEMA_VERSION}" in str(cache._path("00" + "0" * 62))
+        assert cache.clear() == 3
+        assert cache.stats()["entries"] == 0
+
+
+class TestMeasurePlatformIntegration:
+    def test_second_measurement_is_served_from_cache(self, cache):
+        a = measure_platform("ap:staran", 96, periods=1, cache=cache)
+        assert (cache.hits, cache.misses, cache.stores) == (0, 1, 1)
+        b = measure_platform("ap:staran", 96, periods=1, cache=cache)
+        assert (cache.hits, cache.misses, cache.stores) == (1, 1, 1)
+        assert a.to_dict() == b.to_dict()
+
+    def test_cost_model_edit_invalidates_only_that_backend(self, cache, monkeypatch):
+        before = measure_platform("reference", 96, periods=1, cache=cache)
+        measure_platform("ap:staran", 96, periods=1, cache=cache)
+        assert cache.stores == 2
+
+        # Recalibrate one cost-model constant of the reference backend;
+        # describe() reports it, so the fingerprint must move.
+        import repro.backends.reference as ref_mod
+
+        monkeypatch.setattr(ref_mod, "_SECONDS_PER_OP", 2e-9)
+        after = measure_platform("reference", 96, periods=1, cache=cache)
+        assert cache.stores == 3, "edited backend must re-measure"
+        # The fresh measurement reflects the doubled per-op cost — it was
+        # not served from the stale entry.
+        assert after.task23.seconds == pytest.approx(2 * before.task23.seconds)
+        # ...while the untouched backend still hits.
+        hits_before = cache.hits
+        measure_platform("ap:staran", 96, periods=1, cache=cache)
+        assert cache.hits == hits_before + 1
+
+    def test_stateful_instances_are_never_cached(self, cache):
+        from repro.mimd.backend import MimdBackend
+
+        inst = MimdBackend()
+        measure_platform(inst, 96, periods=1, cache=cache)
+        assert cache.stores == 0 and cache.hits == 0
+        # ...but the registry-name form of the same platform is cacheable
+        # (a fresh instance per cell makes it a pure function of the name).
+        measure_platform("mimd:xeon-16", 96, periods=1, cache=cache)
+        assert cache.stores == 1
+
+
+class TestDescribeCanonicalization:
+    """Regression: numpy scalars/tuples in describe() must flow through
+    the one shared canonicalizer in both the fingerprint and report.py."""
+
+    class _NumpyDescribeBackend(ReferenceBackend):
+        name = "reference"
+
+        def describe(self):
+            info = super().describe()
+            info.update(
+                clock_ghz=np.float64(1.531),
+                n_pes=np.int64(96),
+                compute_capability=(np.int32(6), np.int32(1)),
+                flags=np.array([1, 2, 3]),
+            )
+            return info
+
+    def test_fingerprint_accepts_numpy_describe(self):
+        fp = self._NumpyDescribeBackend().fingerprint()
+        assert len(fp) == 64
+
+    def test_numpy_and_plain_describe_fingerprint_identically(self):
+        class _PlainDescribeBackend(ReferenceBackend):
+            name = "reference"
+
+            def describe(inner):
+                info = ReferenceBackend.describe(inner)
+                info.update(
+                    clock_ghz=1.531,
+                    n_pes=96,
+                    compute_capability=[6, 1],
+                    flags=[1, 2, 3],
+                )
+                return info
+
+        assert (
+            self._NumpyDescribeBackend().fingerprint()
+            == _PlainDescribeBackend().fingerprint()
+        )
+
+    def test_cache_key_accepts_numpy_describe(self, cache):
+        key = cache.key_for(
+            self._NumpyDescribeBackend(),
+            n=96, seed=2018, periods=1, mode=DetectionMode.SIGNED,
+        )
+        assert len(key) == 64
+
+    def test_report_platform_descriptions_serialize(self, monkeypatch):
+        """report.json embeds describe() output; a backend leaking numpy
+        values must not break (or destabilize) the JSON document."""
+        from repro.cuda.backend import CudaBackend
+        from repro.harness.report import build_report
+
+        original = CudaBackend.describe
+
+        def numpy_describe(self):
+            info = original(self)
+            info["sm_count"] = np.int64(info["sm_count"])
+            info["caps_tuple"] = (np.int32(1), np.int32(2))
+            return info
+
+        monkeypatch.setattr(CudaBackend, "describe", numpy_describe)
+        report = build_report(only=[])
+        text = json.dumps(report, sort_keys=True)
+        assert '"caps_tuple": [1, 2]' in text
+        for name in (
+            "cuda:titan-x-pascal", "ap:staran", "mimd:xeon-16", "reference",
+        ):
+            assert name in report["platforms"]

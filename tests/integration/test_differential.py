@@ -1,0 +1,108 @@
+"""Cross-backend differential suite: results must match, times may not.
+
+The backend-equivalence tests assert whole-fleet bit-equality after a
+scheduled major cycle.  This suite is the *differential* complement: it
+pins the two externally-meaningful decision outputs of the ATM tasks —
+
+* **Task 1**: which radar report each aircraft correlated with (and the
+  report-side view of the same assignment), and
+* **Task 2**: the set of anticipated collision pairs (who conflicts
+  with whom, and the per-aircraft flag),
+
+and checks every machine model against the reference oracle for the
+same seeded fleet, across several fleet sizes and seeds.  The modelled
+*timings* of the platforms legitimately differ by orders of magnitude —
+that is the paper's whole point — so they are deliberately not
+compared here; only results are.
+"""
+
+import numpy as np
+import pytest
+
+from repro.backends.registry import all_platform_names, resolve_backend
+from repro.core import constants as C
+from repro.core.collision import DetectionMode
+from repro.core.radar import generate_radar_frame
+from repro.core.setup import setup_flight
+
+#: the paper's five machine models + the extension's wide-vector model.
+PLATFORMS = all_platform_names() + ["vector:xeon-phi-7250"]
+
+CASES = [(96, 2018), (101, 2018), (192, 7), (480, 99)]
+
+
+def _run_tasks(platform, n, seed, mode=DetectionMode.SIGNED):
+    """One tracking period plus one collision pass on a fresh fleet."""
+    backend = resolve_backend(platform)
+    fleet = setup_flight(n, seed)
+    frame = generate_radar_frame(fleet, seed, 0)
+    backend.track_and_correlate(fleet, frame)
+    correlation = {
+        "matched_radar": fleet.matched_radar.copy(),
+        "r_match": fleet.r_match.copy(),
+        "match_with": frame.match_with.copy(),
+    }
+    backend.detect_and_resolve(fleet, mode=mode)
+    return fleet, correlation
+
+
+def _collision_pairs(fleet):
+    """The anticipated-conflict pair set implied by the fleet columns."""
+    pairs = set()
+    for i in np.nonzero(fleet.col_with != C.NO_MATCH)[0]:
+        j = int(fleet.col_with[i])
+        pairs.add((min(int(i), j), max(int(i), j)))
+    return pairs
+
+
+@pytest.mark.parametrize("n,seed", CASES, ids=lambda v: str(v))
+@pytest.mark.parametrize("platform", PLATFORMS)
+class TestDifferential:
+    def test_task1_correlation_assignments_match_reference(self, platform, n, seed):
+        _, ref = _run_tasks("reference", n, seed)
+        _, got = _run_tasks(platform, n, seed)
+        for field in ("matched_radar", "r_match", "match_with"):
+            assert np.array_equal(got[field], ref[field]), (platform, field)
+
+    def test_task2_collision_pair_sets_match_reference(self, platform, n, seed):
+        ref_fleet, _ = _run_tasks("reference", n, seed)
+        fleet, _ = _run_tasks(platform, n, seed)
+        assert _collision_pairs(fleet) == _collision_pairs(ref_fleet), platform
+        assert np.array_equal(fleet.col, ref_fleet.col), platform
+        assert np.array_equal(fleet.col_with, ref_fleet.col_with), platform
+
+
+class TestDifferentialDetails:
+    """Cross-cutting checks that don't need the full parametrization."""
+
+    @pytest.mark.parametrize("platform", PLATFORMS)
+    def test_paper_abs_detection_mode_also_agrees(self, platform):
+        ref_fleet, _ = _run_tasks("reference", 192, 2018, mode=DetectionMode.PAPER_ABS)
+        fleet, _ = _run_tasks(platform, 192, 2018, mode=DetectionMode.PAPER_ABS)
+        assert _collision_pairs(fleet) == _collision_pairs(ref_fleet), platform
+
+    def test_timings_do_differ_across_platforms(self):
+        """Guard against the suite silently comparing one platform with
+        itself: the *modelled times* of distinct machines must differ
+        even while their results are identical."""
+        times = set()
+        for platform in PLATFORMS:
+            backend = resolve_backend(platform)
+            fleet = setup_flight(192, 2018)
+            frame = generate_radar_frame(fleet, 2018, 0)
+            times.add(round(backend.track_and_correlate(fleet, frame).seconds, 12))
+        assert len(times) == len(PLATFORMS)
+
+    def test_correlation_is_nontrivial(self):
+        """The assignments being compared must actually contain matches."""
+        _, ref = _run_tasks("reference", 192, 2018)
+        assert int((ref["matched_radar"] != C.NO_MATCH).sum()) > 0
+
+    def test_collisions_are_nontrivial_somewhere(self):
+        """At least one differential case must exercise a non-empty
+        collision pair set, or the pair-set comparison proves nothing."""
+        nonempty = 0
+        for n, seed in CASES:
+            fleet, _ = _run_tasks("reference", n, seed)
+            nonempty += bool(_collision_pairs(fleet))
+        assert nonempty > 0

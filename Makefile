@@ -4,7 +4,7 @@
 PYTHON ?= python
 PYTEST  = PYTHONPATH=src $(PYTHON) -m pytest
 
-.PHONY: test test-parallel docs-check bench profile report all
+.PHONY: test test-parallel docs-check bench bench-smoke profile report all
 
 ## the tier-1 suite (unit + integration + property tests)
 test:
@@ -22,6 +22,13 @@ docs-check:
 ## regenerate every figure/table benchmark and assert shape claims
 bench:
 	$(PYTEST) benchmarks/ --benchmark-only
+
+## CI gate for the trace engine: writes BENCH_trace_engine.json and
+## fails when the replay speedup regresses >25% vs the committed baseline
+bench-smoke:
+	PYTHONPATH=src $(PYTHON) -m repro.harness.cli bench \
+		--out BENCH_trace_engine.json \
+		--baseline benchmarks/baselines/bench_smoke.json
 
 ## example profile: span tree for fig4 on the Titan X
 profile:

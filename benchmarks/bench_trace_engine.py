@@ -1,0 +1,30 @@
+"""Trace engine — functional re-execution vs shared-trace replay.
+
+Unlike the figure benchmarks, the artifact here is not a paper figure
+but the harness itself: ``run_bench`` times the same multi-platform
+sweep with the trace engine off, cold and warm, proving the replay is
+byte-identical before reporting the speedup.  The shape assertion is
+the PR's acceptance bar — replay must be a real win, not a wash.
+"""
+
+from repro.harness.bench import SMOKE_BENCH_NS, run_bench
+
+
+def test_trace_engine_speedup(bench_once, benchmark):
+    result = bench_once(run_bench, ns=SMOKE_BENCH_NS)
+
+    benchmark.extra_info["ns"] = list(result["config"]["ns"])
+    benchmark.extra_info["platforms"] = result["config"]["platforms"]
+    for stage in result["stages"]:
+        benchmark.extra_info[f"wall:{stage['name']}"] = stage["wall_s"]
+    benchmark.extra_info["speedup:cold"] = result["speedup"]["cold"]
+    benchmark.extra_info["speedup:warm"] = result["speedup"]["warm"]
+
+    # Correctness first: replay that changes bytes is a bug, not a win.
+    assert result["equivalent"]
+
+    # The acceptance bar: sharing one functional pass across every
+    # backend must beat per-backend re-execution by 3x or better, and a
+    # warm memo must beat a cold one (it skips the functional pass too).
+    assert result["speedup"]["cold"] >= 3.0, result["speedup"]
+    assert result["speedup"]["warm"] >= result["speedup"]["cold"], result["speedup"]

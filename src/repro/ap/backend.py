@@ -24,6 +24,7 @@ class ApBackend(Backend):
     """An associative processor running the AP algorithms of [12, 13]."""
 
     deterministic_timing = True
+    supports_trace_replay = True
 
     def __init__(self, config: Union[str, ApConfig] = STARAN) -> None:
         if isinstance(config, str):
@@ -51,18 +52,15 @@ class ApBackend(Backend):
         obs_count("ap.extrema", ap.extrema)
         return detail
 
-    def track_and_correlate(self, fleet: FleetState, frame: RadarFrame) -> TaskTiming:
-        with self._task_span("task1", fleet.n) as task:
-            with obs_span("core.correlate", cat="core"):
-                stats = core_correlate(fleet, frame)
-            ap = charge_task1(self.config, fleet.n, stats)
-            seconds = ap.seconds(self.config.clock_hz)
-            detail = self._emit_ap_obs(ap)
-            task.add_modelled(seconds)
+    def _charge_task1(self, task, n: int, stats) -> TaskTiming:
+        ap = charge_task1(self.config, n, stats)
+        seconds = ap.seconds(self.config.clock_hz)
+        detail = self._emit_ap_obs(ap)
+        task.add_modelled(seconds)
         return TaskTiming(
             task="task1",
             platform=self.name,
-            n_aircraft=fleet.n,
+            n_aircraft=n,
             seconds=seconds,
             breakdown=TimingBreakdown(compute=seconds),
             detail=detail,
@@ -75,22 +73,15 @@ class ApBackend(Backend):
             },
         )
 
-    def detect_and_resolve(
-        self,
-        fleet: FleetState,
-        mode: DetectionMode = DetectionMode.SIGNED,
-    ) -> TaskTiming:
-        with self._task_span("task23", fleet.n) as task:
-            with obs_span("core.detect_and_resolve", cat="core"):
-                det, res = core_detect_and_resolve(fleet, mode)
-            ap = charge_task23(self.config, fleet.n, det, res)
-            seconds = ap.seconds(self.config.clock_hz)
-            detail = self._emit_ap_obs(ap)
-            task.add_modelled(seconds)
+    def _charge_task23(self, task, n: int, det, res) -> TaskTiming:
+        ap = charge_task23(self.config, n, det, res)
+        seconds = ap.seconds(self.config.clock_hz)
+        detail = self._emit_ap_obs(ap)
+        task.add_modelled(seconds)
         return TaskTiming(
             task="task23",
             platform=self.name,
-            n_aircraft=fleet.n,
+            n_aircraft=n,
             seconds=seconds,
             breakdown=TimingBreakdown(compute=seconds),
             detail=detail,
@@ -104,6 +95,32 @@ class ApBackend(Backend):
                 "modules": ap.n_modules,
             },
         )
+
+    def track_and_correlate(self, fleet: FleetState, frame: RadarFrame) -> TaskTiming:
+        with self._task_span("task1", fleet.n) as task:
+            with obs_span("core.correlate", cat="core"):
+                stats = core_correlate(fleet, frame)
+            return self._charge_task1(task, fleet.n, stats)
+
+    def detect_and_resolve(
+        self,
+        fleet: FleetState,
+        mode: DetectionMode = DetectionMode.SIGNED,
+    ) -> TaskTiming:
+        with self._task_span("task23", fleet.n) as task:
+            with obs_span("core.detect_and_resolve", cat="core"):
+                det, res = core_detect_and_resolve(fleet, mode)
+            return self._charge_task23(task, fleet.n, det, res)
+
+    def track_timing_from_trace(self, period) -> TaskTiming:
+        with self._task_span("task1", period.n_aircraft) as task:
+            return self._charge_task1(task, period.n_aircraft, period.stats)
+
+    def collision_timing_from_trace(self, collision) -> TaskTiming:
+        with self._task_span("task23", collision.n_aircraft) as task:
+            return self._charge_task23(
+                task, collision.n_aircraft, collision.det, collision.res
+            )
 
     def setup_timing(self, n: int) -> TaskTiming:
         """Modelled one-time SetupFlight cost."""

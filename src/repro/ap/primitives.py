@@ -108,10 +108,20 @@ class AssociativeArray:
         self._charge("broadcast", self.costs.broadcast * words, words)
         self.broadcasts += int(words)
 
-    def search(self, field_ops: float = 1.0) -> None:
-        """Associative search: parallel field comparisons, all PEs."""
-        self._charge("search", self.costs.field_alu * field_ops, 1)
-        self.searches += 1
+    def search(self, field_ops: float = 1.0, times: int = 1) -> None:
+        """Associative search: parallel field comparisons, all PEs.
+
+        ``times`` batches that many identical searches into one charge —
+        the closed-form equivalent of calling ``search(field_ops)`` in a
+        loop (all cost constants are integer-valued, so the batched sum
+        is bit-identical to the per-call accumulation).
+        """
+        if times < 0:
+            raise ValueError("negative search count")
+        if times == 0:
+            return
+        self._charge("search", self.costs.field_alu * field_ops * times, times)
+        self.searches += times
 
     def alu(self, field_ops: float = 1.0) -> None:
         self._charge("alu", self.costs.field_alu * field_ops, field_ops)

@@ -29,26 +29,42 @@ from .staran import ApConfig
 __all__ = ["charge_task1", "charge_task23", "charge_setup"]
 
 
-def _gate_step(ap: AssociativeArray) -> None:
-    """One radar report against all aircraft: the Task-1 loop body."""
-    ap.broadcast_words(2)  # rx, ry
-    ap.search(4)  # two |gap| < g window tests, two coordinates
-    ap.mask_op(2)
-    ap.any_responder(2)  # responder count: none / one / many
-    ap.pick_one(1)
-    ap.mem(2)  # match-flag writes, masked
+def _gate_step(ap: AssociativeArray, times: int = 1) -> None:
+    """``times`` radar reports against all aircraft: the Task-1 loop body.
+
+    Charged closed-form: one batched call per primitive instead of a
+    Python loop per report.  Every cost constant is an integer-valued
+    float, so the products below are exact and the ledger totals —
+    cycles, per-class counts *and* the ``searches``/``broadcasts``
+    counters — are bit-identical to ``times`` repetitions of the
+    single-report body.
+    """
+    if times <= 0:
+        return
+    ap.broadcast_words(2 * times)  # rx, ry
+    ap.search(4, times=times)  # two |gap| < g window tests, two coordinates
+    ap.mask_op(2 * times)
+    ap.any_responder(2 * times)  # responder count: none / one / many
+    ap.pick_one(1 * times)
+    ap.mem(2 * times)  # match-flag writes, masked
 
 
-def _batcher_step(ap: AssociativeArray) -> None:
-    """One track against all aircraft: the Task-2/3 loop body."""
-    ap.broadcast_words(5)  # x, y, dx, dy, alt
-    ap.search(1)  # altitude band gate
-    ap.alu(8)  # gaps, relative velocities
-    ap.multiply(4)  # cross-multiplied window inequalities
-    ap.alu(6)  # window intersection tests
-    ap.mask_op(3)
-    ap.global_extremum(1)  # earliest conflict time
-    ap.mem(2)  # time_till / colWith updates, masked
+def _batcher_step(ap: AssociativeArray, times: int = 1) -> None:
+    """``times`` tracks against all aircraft: the Task-2/3 loop body.
+
+    Batched closed-form like :func:`_gate_step` (exact by the same
+    integer-cost argument).
+    """
+    if times <= 0:
+        return
+    ap.broadcast_words(5 * times)  # x, y, dx, dy, alt
+    ap.search(1, times=times)  # altitude band gate
+    ap.alu(8 * times)  # gaps, relative velocities
+    ap.multiply(4 * times)  # cross-multiplied window inequalities
+    ap.alu(6 * times)  # window intersection tests
+    ap.mask_op(3 * times)
+    ap.global_extremum(1 * times)  # earliest conflict time
+    ap.mem(2 * times)  # time_till / colWith updates, masked
 
 
 def charge_task1(config: ApConfig, n_aircraft: int, stats: TrackingStats) -> AssociativeArray:
@@ -60,9 +76,11 @@ def charge_task1(config: ApConfig, n_aircraft: int, stats: TrackingStats) -> Ass
     ap.mem(6)
 
     for round_no in range(stats.rounds_executed):
-        for _ in range(int(stats.round_radar_ids[round_no].shape[0])):
-            ap.scalar(4)
-            _gate_step(ap)
+        reports = int(stats.round_radar_ids[round_no].shape[0])
+        if not reports:
+            continue
+        ap.scalar(4 * reports)
+        _gate_step(ap, times=reports)
 
     # Parallel commit.
     ap.alu(2)
@@ -79,13 +97,13 @@ def charge_task23(
     """Cycle ledger for one fused Task-2+3 execution on the AP."""
     ap = AssociativeArray(n_aircraft, config.pes_per_module, config.costs)
 
-    for _ in range(n_aircraft):
-        ap.scalar(4)
-        _batcher_step(ap)
+    ap.scalar(4 * n_aircraft)
+    _batcher_step(ap, times=n_aircraft)
 
-    for _ in range(res.trials_evaluated):
-        ap.scalar(14)  # manoeuvre bookkeeping on the control unit
-        _batcher_step(ap)
+    if res.trials_evaluated:
+        # Manoeuvre bookkeeping on the control unit, then the re-check.
+        ap.scalar(14 * res.trials_evaluated)
+        _batcher_step(ap, times=res.trials_evaluated)
 
     # Parallel epilogue: commit new paths, clear flags.
     ap.alu(2)

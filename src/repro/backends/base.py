@@ -16,10 +16,13 @@ all four machine models against the reference oracle.
 from __future__ import annotations
 
 import abc
-from typing import Any, Dict
+from typing import TYPE_CHECKING, Any, Dict
 
 from ..core.collision import DetectionMode
 from ..core.types import FleetState, RadarFrame, TaskTiming
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..core.trace import CollisionRecord, TracePeriod
 
 __all__ = ["Backend"]
 
@@ -34,6 +37,11 @@ class Backend(abc.ABC):
     #: modelled times (the paper's determinism property; False for MIMD).
     deterministic_timing: bool = True
 
+    #: True when the backend can charge its cost ledgers from a recorded
+    #: :class:`~repro.core.trace.FunctionalTrace` without re-running the
+    #: :mod:`repro.core` algorithms (see docs/performance.md).
+    supports_trace_replay: bool = False
+
     @abc.abstractmethod
     def track_and_correlate(self, fleet: FleetState, frame: RadarFrame) -> TaskTiming:
         """Run Task 1 in place; return the platform's modelled timing."""
@@ -45,6 +53,23 @@ class Backend(abc.ABC):
         mode: DetectionMode = DetectionMode.SIGNED,
     ) -> TaskTiming:
         """Run fused Task 2+3 in place; return modelled timing."""
+
+    # ------------------------------------------------------------------
+    # trace replay (cost-only re-execution)
+    # ------------------------------------------------------------------
+
+    def track_timing_from_trace(self, period: "TracePeriod") -> TaskTiming:
+        """Charge the Task-1 ledger from one recorded trace period.
+
+        Must return a :class:`TaskTiming` byte-identical (after canonical
+        JSON serialization) to what :meth:`track_and_correlate` returns
+        on the fleet/frame state the period was recorded from.
+        """
+        raise NotImplementedError(f"{self.name} does not support trace replay")
+
+    def collision_timing_from_trace(self, collision: "CollisionRecord") -> TaskTiming:
+        """Charge the Task-2+3 ledger from the recorded collision pass."""
+        raise NotImplementedError(f"{self.name} does not support trace replay")
 
     # ------------------------------------------------------------------
     # shared helpers

@@ -36,29 +36,27 @@ class ReferenceBackend(Backend):
 
     name = "reference"
     deterministic_timing = True
+    supports_trace_replay = True
 
-    def track_and_correlate(self, fleet: FleetState, frame: RadarFrame) -> TaskTiming:
-        with self._task_span("task1", fleet.n) as task:
-            with obs_span("core.correlate", cat="core"):
-                stats = core_correlate(fleet, frame)
-            # A sequential machine scans every (radar, aircraft) pair each
-            # executed round, plus per-aircraft setup and commit work.
-            scan_ops = _OPS_PER_GATE_TEST * frame.n * fleet.n * stats.rounds_executed
-            linear_ops = 12.0 * fleet.n
-            seconds = (scan_ops + linear_ops) * _SECONDS_PER_OP
-            detail = {
-                "reference.scan": scan_ops * _SECONDS_PER_OP,
-                "reference.linear": linear_ops * _SECONDS_PER_OP,
-            }
-            with obs_span("reference.scan", cat="reference", ops=scan_ops) as sp:
-                sp.add_modelled(detail["reference.scan"])
-            with obs_span("reference.linear", cat="reference", ops=linear_ops) as sp:
-                sp.add_modelled(detail["reference.linear"])
-            task.add_modelled(seconds)
+    def _charge_task1(self, task, n: int, frame_n: int, stats) -> TaskTiming:
+        # A sequential machine scans every (radar, aircraft) pair each
+        # executed round, plus per-aircraft setup and commit work.
+        scan_ops = _OPS_PER_GATE_TEST * frame_n * n * stats.rounds_executed
+        linear_ops = 12.0 * n
+        seconds = (scan_ops + linear_ops) * _SECONDS_PER_OP
+        detail = {
+            "reference.scan": scan_ops * _SECONDS_PER_OP,
+            "reference.linear": linear_ops * _SECONDS_PER_OP,
+        }
+        with obs_span("reference.scan", cat="reference", ops=scan_ops) as sp:
+            sp.add_modelled(detail["reference.scan"])
+        with obs_span("reference.linear", cat="reference", ops=linear_ops) as sp:
+            sp.add_modelled(detail["reference.linear"])
+        task.add_modelled(seconds)
         return TaskTiming(
             task="task1",
             platform=self.name,
-            n_aircraft=fleet.n,
+            n_aircraft=n,
             seconds=seconds,
             breakdown=TimingBreakdown(compute=seconds),
             stats={
@@ -71,30 +69,23 @@ class ReferenceBackend(Backend):
             detail=detail,
         )
 
-    def detect_and_resolve(
-        self,
-        fleet: FleetState,
-        mode: DetectionMode = DetectionMode.SIGNED,
-    ) -> TaskTiming:
-        with self._task_span("task23", fleet.n) as task:
-            with obs_span("core.detect_and_resolve", cat="core"):
-                det, res = core_detect_and_resolve(fleet, mode)
-            pair_ops = _OPS_PER_PAIR_CHECK * det.pairs_checked
-            trial_ops = _OPS_PER_PAIR_CHECK * res.trials_evaluated * fleet.n
-            seconds = (pair_ops + trial_ops) * _SECONDS_PER_OP
-            detail = {
-                "reference.pairs": pair_ops * _SECONDS_PER_OP,
-                "reference.trials": trial_ops * _SECONDS_PER_OP,
-            }
-            with obs_span("reference.pairs", cat="reference", ops=pair_ops) as sp:
-                sp.add_modelled(detail["reference.pairs"])
-            with obs_span("reference.trials", cat="reference", ops=trial_ops) as sp:
-                sp.add_modelled(detail["reference.trials"])
-            task.add_modelled(seconds)
+    def _charge_task23(self, task, n: int, det, res) -> TaskTiming:
+        pair_ops = _OPS_PER_PAIR_CHECK * det.pairs_checked
+        trial_ops = _OPS_PER_PAIR_CHECK * res.trials_evaluated * n
+        seconds = (pair_ops + trial_ops) * _SECONDS_PER_OP
+        detail = {
+            "reference.pairs": pair_ops * _SECONDS_PER_OP,
+            "reference.trials": trial_ops * _SECONDS_PER_OP,
+        }
+        with obs_span("reference.pairs", cat="reference", ops=pair_ops) as sp:
+            sp.add_modelled(detail["reference.pairs"])
+        with obs_span("reference.trials", cat="reference", ops=trial_ops) as sp:
+            sp.add_modelled(detail["reference.trials"])
+        task.add_modelled(seconds)
         return TaskTiming(
             task="task23",
             platform=self.name,
-            n_aircraft=fleet.n,
+            n_aircraft=n,
             seconds=seconds,
             breakdown=TimingBreakdown(compute=seconds),
             stats={
@@ -107,6 +98,34 @@ class ReferenceBackend(Backend):
             },
             detail=detail,
         )
+
+    def track_and_correlate(self, fleet: FleetState, frame: RadarFrame) -> TaskTiming:
+        with self._task_span("task1", fleet.n) as task:
+            with obs_span("core.correlate", cat="core"):
+                stats = core_correlate(fleet, frame)
+            return self._charge_task1(task, fleet.n, frame.n, stats)
+
+    def detect_and_resolve(
+        self,
+        fleet: FleetState,
+        mode: DetectionMode = DetectionMode.SIGNED,
+    ) -> TaskTiming:
+        with self._task_span("task23", fleet.n) as task:
+            with obs_span("core.detect_and_resolve", cat="core"):
+                det, res = core_detect_and_resolve(fleet, mode)
+            return self._charge_task23(task, fleet.n, det, res)
+
+    def track_timing_from_trace(self, period) -> TaskTiming:
+        with self._task_span("task1", period.n_aircraft) as task:
+            return self._charge_task1(
+                task, period.n_aircraft, period.frame_n, period.stats
+            )
+
+    def collision_timing_from_trace(self, collision) -> TaskTiming:
+        with self._task_span("task23", collision.n_aircraft) as task:
+            return self._charge_task23(
+                task, collision.n_aircraft, collision.det, collision.res
+            )
 
     def describe(self) -> Dict[str, Any]:
         info = super().describe()

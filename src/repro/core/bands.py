@@ -1,0 +1,146 @@
+"""Exact vectorized band counting for the warp/vector-group cost models.
+
+The CUDA and wide-vector timing models both need, for every execution
+group (a 32-lane warp, an 8/16-lane AVX-512 group), the number of sweep
+targets ``t`` for which *any* lane value ``v`` in the group satisfies
+the altitude-gate predicate ``|v - t| < sep`` — evaluated in float64,
+bit-for-bit as the brute-force ``np.abs(lanes - t) < sep`` comparison
+would.  The naive formulation materializes an ``(groups, width, n)``
+boolean tensor, which made the collision cost models quadratic in the
+fleet size.
+
+This module computes the same counts in ``O(n log n)``:
+
+1. For each lane value ``v``, the set ``{t : |fl(v - t)| < sep}`` is a
+   *contiguous* float interval — the rounded difference ``fl(v - t)`` is
+   monotone non-increasing in ``t``, so the predicate holds on a single
+   run of consecutive floats containing ``v`` itself.  The exact first
+   and last float of that run are found by a vectorized bisection over
+   the total-ordered bit patterns of float64 (:func:`band_bounds`).  No
+   epsilon tolerance is involved.
+2. Each lane interval becomes an index range ``[B, A)`` on the sorted
+   target array; the per-group count is the size of the *union* of its
+   lanes' ranges, computed with a sort-by-start + running-max scan
+   (:func:`group_band_pass_counts`).
+
+Exactness against the brute-force predicate is asserted by
+``tests/core/test_bands.py``, including adversarial values placed within
+a few ulps of the band boundary.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["band_bounds", "group_band_pass_counts"]
+
+_SIGN_BIT = np.uint64(0x8000000000000000)
+_ALL_BITS = np.uint64(0xFFFFFFFFFFFFFFFF)
+
+
+def _ordered_key(x: np.ndarray) -> np.ndarray:
+    """Map float64 to uint64 keys that sort in numeric order.
+
+    The standard IEEE-754 total-order transform: flip the sign bit of
+    non-negative values, flip every bit of negative ones.  Adjacent
+    floats map to adjacent keys, so bisection over keys is bisection
+    over representable values.
+    """
+    u = np.asarray(x, dtype=np.float64).view(np.uint64)
+    mask = np.where(u >> np.uint64(63) == 1, _ALL_BITS, _SIGN_BIT)
+    return u ^ mask
+
+
+def _key_to_float(k: np.ndarray) -> np.ndarray:
+    mask = np.where(k >> np.uint64(63) == 1, _SIGN_BIT, _ALL_BITS)
+    return (k ^ mask).view(np.float64)
+
+
+def band_bounds(values: np.ndarray, sep: float) -> tuple:
+    """Exact per-value float bounds of the open band ``|fl(v - t)| < sep``.
+
+    Returns ``(lo, hi)`` where ``lo[i]``/``hi[i]`` are the smallest and
+    largest float64 ``t`` with ``abs(values[i] - t) < sep`` — the
+    predicate holds exactly for ``lo[i] <= t <= hi[i]`` and for no other
+    float.  ``sep`` must be positive and finite, ``values`` finite.
+    """
+    v = np.asarray(values, dtype=np.float64)
+    if not (np.isfinite(sep) and sep > 0.0):
+        raise ValueError(f"band half-width must be positive and finite, got {sep}")
+    if v.size and not np.all(np.isfinite(v)):
+        raise ValueError("band values must be finite")
+
+    def _pred(t: np.ndarray) -> np.ndarray:
+        return np.abs(v - t) < sep
+
+    def _edge(false_anchor: float) -> np.ndarray:
+        """Bisect between ``v`` (predicate true) and ``false_anchor``
+        (predicate false) down to adjacent keys; return the true side."""
+        true_k = _ordered_key(v)
+        false_k = np.full_like(true_k, _ordered_key(np.float64(false_anchor)))
+        while True:
+            gap_lo = np.minimum(true_k, false_k)
+            gap = np.maximum(true_k, false_k) - gap_lo
+            if not (gap > 1).any():
+                break
+            mid_k = gap_lo + gap // np.uint64(2)
+            good = _pred(_key_to_float(mid_k))
+            true_k = np.where(good, mid_k, true_k)
+            false_k = np.where(good, false_k, mid_k)
+        return _key_to_float(true_k)
+
+    return _edge(-np.inf), _edge(np.inf)
+
+
+def group_band_pass_counts(
+    lane_values: np.ndarray,
+    lane_valid: np.ndarray,
+    targets: np.ndarray,
+    sep: float,
+) -> np.ndarray:
+    """Per-group count of targets within ``sep`` of any valid lane.
+
+    ``lane_values`` has shape ``(n_groups, width)``; ``lane_valid`` is a
+    same-shaped boolean mask of live lanes.  The result equals, bit for
+    bit, ``((|lane_values[..., None] - targets| < sep) &
+    lane_valid[..., None]).any(axis=1).sum(axis=1)`` without
+    materializing the tensor.
+    """
+    lane_values = np.asarray(lane_values, dtype=np.float64)
+    lane_valid = np.asarray(lane_valid, dtype=bool)
+    targets = np.asarray(targets, dtype=np.float64)
+    if lane_values.shape != lane_valid.shape or lane_values.ndim != 2:
+        raise ValueError("lane_values and lane_valid must share a 2-D shape")
+    n_groups, width = lane_values.shape
+    n = targets.shape[0]
+    if n_groups == 0 or n == 0 or width == 0:
+        return np.zeros(n_groups, dtype=np.int64)
+
+    flat_valid = lane_valid.ravel()
+    # Invalid lanes may hold padding sentinels (0, inf); neutralize them
+    # before the boundary search and drop their ranges afterwards.
+    flat_values = np.where(flat_valid, lane_values.ravel(), 0.0)
+    lo, hi = band_bounds(flat_values, sep)
+
+    order = np.sort(targets)
+    begin = np.searchsorted(order, lo, side="left")
+    end = np.searchsorted(order, hi, side="right")
+    begin = np.where(flat_valid, begin, 0)
+    end = np.where(flat_valid, end, 0)
+
+    group = np.repeat(np.arange(n_groups, dtype=np.int64), width)
+    # Sort lanes by (group, range start), then measure each range's
+    # contribution beyond the running maximum of earlier range ends:
+    # within a group the uncovered part of [B_k, A_k) is exactly
+    # [max(B_k, M_k), A_k) where M_k = max(A_1..A_{k-1}).
+    idx = np.lexsort((begin, group))
+    g_s, b_s, e_s = group[idx], begin[idx], end[idx]
+    offset = g_s * np.int64(n + 1)  # keeps the cummax from crossing groups
+    run = np.maximum.accumulate(e_s + offset)
+    prev = np.empty_like(run)
+    prev[1:] = run[:-1]
+    starts = np.flatnonzero(np.concatenate(([True], g_s[1:] != g_s[:-1])))
+    prev[starts] = offset[starts]
+    covered_to = prev - offset
+    contrib = np.maximum(0, e_s - np.maximum(b_s, covered_to))
+    return np.bincount(g_s, weights=contrib, minlength=n_groups).astype(np.int64)

@@ -137,13 +137,17 @@ def run_correlation_round(
     match_with = frame.match_with
 
     # Walk the candidate list grouped by radar, in (radar, plane) order.
-    idx = 0
+    # The run boundaries of the radar column are found vectorized (a
+    # run starts wherever the value changes); only the inherently
+    # sequential per-run state machine below stays in Python.
     total = pr.shape[0]
-    while idx < total:
+    if total:
+        starts = np.flatnonzero(np.concatenate(([True], pr[1:] != pr[:-1])))
+        ends = np.append(starts[1:], total)
+    else:
+        starts = ends = np.empty(0, dtype=np.int64)
+    for idx, end in zip(starts, ends):
         i = pr[idx]
-        end = idx
-        while end < total and pr[end] == i:
-            end += 1
         for k in range(idx, end):
             p = pp[k]
             state = r_match[p]
@@ -166,7 +170,6 @@ def run_correlation_round(
                 match_with[i] = C.DISCARDED
                 stats.discarded_radars += 1
                 break
-        idx = end
 
     stats.matched.append(matched_this_round)
 

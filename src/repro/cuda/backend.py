@@ -42,6 +42,7 @@ class CudaBackend(Backend):
     """One NVIDIA device running the paper's CUDA ATM program."""
 
     deterministic_timing = True
+    supports_trace_replay = True
 
     def __init__(
         self,
@@ -63,17 +64,16 @@ class CudaBackend(Backend):
     # Backend protocol
     # ------------------------------------------------------------------
 
-    def track_and_correlate(self, fleet: FleetState, frame: RadarFrame) -> TaskTiming:
-        with self._task_span("task1", fleet.n) as task:
-            with obs_span("core.correlate", cat="core"):
-                stats = core_correlate(fleet, frame)
-            kt = charge_track_drone(self.device, fleet, frame, stats, self.block_size)
-            with obs_span("cuda.kernel.TrackDrone", cat="cuda", **kt.obs_attrs()) as sp:
-                sp.add_modelled(kt.seconds)
-            obs_count("cuda.kernel_launches")
-            obs_count("cuda.issue_total", kt.issue_total)
-            obs_count("cuda.bytes_total", kt.bytes_total)
-            task.add_modelled(kt.seconds)
+    def _charge_task1(self, task, fleet, frame, stats) -> TaskTiming:
+        """Charge the TrackDrone kernel model (``fleet``/``frame`` may be
+        live state or recorded trace views — the models are duck-typed)."""
+        kt = charge_track_drone(self.device, fleet, frame, stats, self.block_size)
+        with obs_span("cuda.kernel.TrackDrone", cat="cuda", **kt.obs_attrs()) as sp:
+            sp.add_modelled(kt.seconds)
+        obs_count("cuda.kernel_launches")
+        obs_count("cuda.issue_total", kt.issue_total)
+        obs_count("cuda.bytes_total", kt.bytes_total)
+        task.add_modelled(kt.seconds)
         return TaskTiming(
             task="task1",
             platform=self.name,
@@ -95,54 +95,47 @@ class CudaBackend(Backend):
             },
         )
 
-    def detect_and_resolve(
-        self,
-        fleet: FleetState,
-        mode: DetectionMode = DetectionMode.SIGNED,
-    ) -> TaskTiming:
-        with self._task_span("task23", fleet.n) as task:
-            with obs_span("core.detect_and_resolve", cat="core"):
-                det, res = core_detect_and_resolve(fleet, mode)
-            kt = charge_check_collision(self.device, fleet, det, res, self.block_size)
-            seconds = kt.seconds
-            breakdown = kt.breakdown()
-            detail = {
-                "cuda.kernel.CheckCollisionPath": kt.seconds - kt.launch_seconds,
-                "cuda.launch": kt.launch_seconds,
-            }
+    def _charge_task23(self, task, fleet, det, res) -> TaskTiming:
+        kt = charge_check_collision(self.device, fleet, det, res, self.block_size)
+        seconds = kt.seconds
+        breakdown = kt.breakdown()
+        detail = {
+            "cuda.kernel.CheckCollisionPath": kt.seconds - kt.launch_seconds,
+            "cuda.launch": kt.launch_seconds,
+        }
+        with obs_span(
+            "cuda.kernel.CheckCollisionPath", cat="cuda", **kt.obs_attrs()
+        ) as sp:
+            sp.add_modelled(kt.seconds)
+        obs_count("cuda.kernel_launches")
+        obs_count("cuda.issue_total", kt.issue_total)
+        obs_count("cuda.bytes_total", kt.bytes_total)
+        if not self.fused_collision_kernel:
+            # Split design: Task 2 and Task 3 in separate kernels with
+            # the drone struct round-tripped through the host between
+            # them (the overhead the paper's fused kernel avoids).
+            extra_transfer = TransferModel(self.device).round_trip_seconds(
+                fleet.n * _DRONE_STRUCT_BYTES
+            )
+            extra_launch = self.device.kernel_launch_s
+            seconds += extra_transfer + extra_launch
+            breakdown = TimingBreakdown(
+                compute=breakdown.compute,
+                memory=breakdown.memory,
+                transfer=extra_transfer,
+                sync=breakdown.sync,
+                overhead=breakdown.overhead + extra_launch,
+            )
+            detail["cuda.transfer.drone_struct"] = extra_transfer
+            detail["cuda.launch"] += extra_launch
             with obs_span(
-                "cuda.kernel.CheckCollisionPath", cat="cuda", **kt.obs_attrs()
+                "cuda.transfer.drone_struct",
+                cat="cuda",
+                bytes=fleet.n * _DRONE_STRUCT_BYTES,
             ) as sp:
-                sp.add_modelled(kt.seconds)
+                sp.add_modelled(extra_transfer + extra_launch)
             obs_count("cuda.kernel_launches")
-            obs_count("cuda.issue_total", kt.issue_total)
-            obs_count("cuda.bytes_total", kt.bytes_total)
-            if not self.fused_collision_kernel:
-                # Split design: Task 2 and Task 3 in separate kernels with
-                # the drone struct round-tripped through the host between
-                # them (the overhead the paper's fused kernel avoids).
-                extra_transfer = TransferModel(self.device).round_trip_seconds(
-                    fleet.n * _DRONE_STRUCT_BYTES
-                )
-                extra_launch = self.device.kernel_launch_s
-                seconds += extra_transfer + extra_launch
-                breakdown = TimingBreakdown(
-                    compute=breakdown.compute,
-                    memory=breakdown.memory,
-                    transfer=extra_transfer,
-                    sync=breakdown.sync,
-                    overhead=breakdown.overhead + extra_launch,
-                )
-                detail["cuda.transfer.drone_struct"] = extra_transfer
-                detail["cuda.launch"] += extra_launch
-                with obs_span(
-                    "cuda.transfer.drone_struct",
-                    cat="cuda",
-                    bytes=fleet.n * _DRONE_STRUCT_BYTES,
-                ) as sp:
-                    sp.add_modelled(extra_transfer + extra_launch)
-                obs_count("cuda.kernel_launches")
-            task.add_modelled(seconds)
+        task.add_modelled(seconds)
         return TaskTiming(
             task="task23",
             platform=self.name,
@@ -160,6 +153,34 @@ class CudaBackend(Backend):
                 "waves": kt.occupancy.waves,
             },
         )
+
+    def track_and_correlate(self, fleet: FleetState, frame: RadarFrame) -> TaskTiming:
+        with self._task_span("task1", fleet.n) as task:
+            with obs_span("core.correlate", cat="core"):
+                stats = core_correlate(fleet, frame)
+            return self._charge_task1(task, fleet, frame, stats)
+
+    def detect_and_resolve(
+        self,
+        fleet: FleetState,
+        mode: DetectionMode = DetectionMode.SIGNED,
+    ) -> TaskTiming:
+        with self._task_span("task23", fleet.n) as task:
+            with obs_span("core.detect_and_resolve", cat="core"):
+                det, res = core_detect_and_resolve(fleet, mode)
+            return self._charge_task23(task, fleet, det, res)
+
+    def track_timing_from_trace(self, period) -> TaskTiming:
+        with self._task_span("task1", period.n_aircraft) as task:
+            return self._charge_task1(
+                task, period.fleet_view(), period.frame_view(), period.stats
+            )
+
+    def collision_timing_from_trace(self, collision) -> TaskTiming:
+        with self._task_span("task23", collision.n_aircraft) as task:
+            return self._charge_task23(
+                task, collision.fleet_view(), collision.det, collision.res
+            )
 
     # ------------------------------------------------------------------
     # extra phases (outside the deadline budget)

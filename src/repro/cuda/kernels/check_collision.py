@@ -27,6 +27,7 @@ from __future__ import annotations
 import numpy as np
 
 from ...core import constants as C
+from ...core.bands import group_band_pass_counts
 from ...core.collision import DetectionStats
 from ...core.resolution import ResolutionStats
 from ...core.types import FleetState
@@ -81,24 +82,16 @@ def altitude_pass_counts(ledger: WarpLedger, alt: np.ndarray) -> np.ndarray:
 
     Iteration ``p`` of warp ``w`` takes the interval-math path when any
     lane of ``w`` holds an aircraft within 1000 ft of aircraft ``p``.
-    Computed exactly, in chunks, from the altitude column.
+    Computed exactly from the altitude column via the sorted band-union
+    scan of :mod:`repro.core.bands` — ``O(n log n)`` instead of the
+    warps x lanes x aircraft boolean tensor, bit-identical counts.
     """
     n = alt.shape[0]
     padded = np.zeros(ledger.config.padded_threads, dtype=np.float64)
     padded[:n] = alt
     lanes = padded.reshape(ledger.n_warps, -1)
     lane_valid = ledger.full_mask().reshape(ledger.n_warps, -1)
-
-    counts = np.zeros(ledger.n_warps, dtype=np.int64)
-    chunk = max(1, 2**22 // max(ledger.config.padded_threads, 1))
-    for lo in range(0, n, chunk):
-        hi = min(lo + chunk, n)
-        near = (
-            np.abs(lanes[:, :, None] - alt[None, None, lo:hi])
-            < C.ALTITUDE_SEPARATION_FT
-        ) & lane_valid[:, :, None]
-        counts += near.any(axis=1).sum(axis=1)
-    return counts
+    return group_band_pass_counts(lanes, lane_valid, alt, C.ALTITUDE_SEPARATION_FT)
 
 
 def charge_check_collision(

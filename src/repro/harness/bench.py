@@ -1,0 +1,184 @@
+"""Benchmark harness for the shared functional-trace engine.
+
+``run_bench`` times the five-backend sweep three ways on identical
+parameters:
+
+* ``reexec`` — trace engine off: every backend re-runs the functional
+  :mod:`repro.core` simulation (the pre-trace-engine behaviour);
+* ``trace_cold`` — trace engine on, empty memo: the simulation runs once
+  per fleet size and all backends replay their cost ledgers from it;
+* ``trace_warm`` — trace engine on, warm in-process memo: pure replay.
+
+All three sweeps must serialize to byte-identical canonical JSON — the
+bench *fails* equivalence otherwise, because a speedup that changes
+results is a bug, not an optimisation.  The headline metric is the
+``cold`` speedup (``reexec`` wall / ``trace_cold`` wall): it is a ratio
+of two measurements from the same process on the same machine, so it is
+machine-independent enough for CI regression tracking, unlike absolute
+wall seconds.
+
+``compare_to_baseline`` enforces the CI gate: the current cold speedup
+must not fall more than ``max_regression`` (default 25%) below the
+committed baseline's.  See docs/performance.md and ``make bench-smoke``.
+"""
+
+from __future__ import annotations
+
+import json
+import platform as _platform
+import sys
+import time
+from typing import Any, Dict, List, Optional, Sequence
+
+from .. import __version__
+from ..core.collision import DetectionMode
+
+__all__ = [
+    "BENCH_SCHEMA_VERSION",
+    "BENCH_PLATFORMS",
+    "DEFAULT_BENCH_NS",
+    "SMOKE_BENCH_NS",
+    "run_bench",
+    "compare_to_baseline",
+    "write_bench",
+    "render_bench",
+]
+
+BENCH_SCHEMA_VERSION = 1
+
+#: Fleet sizes of the full bench profile (the paper's all-platform axis).
+DEFAULT_BENCH_NS = (96, 480, 960, 1440, 1920, 2880, 3840)
+
+#: Reduced profile for the CI smoke job — seconds, not minutes.
+SMOKE_BENCH_NS = (96, 480, 960, 1920)
+
+#: Bench default: the paper's platform axis plus one of each remaining
+#: backend family, so every family's trace-replay path gets timed.
+BENCH_PLATFORMS = (
+    "cuda:titan-x-pascal",
+    "cuda:gtx-880m",
+    "cuda:geforce-9800-gt",
+    "ap:staran",
+    "simd:clearspeed-csx600",
+    "mimd:xeon-16",
+    "vector:avx512-16c",
+)
+
+
+def run_bench(
+    *,
+    ns: Sequence[int] = SMOKE_BENCH_NS,
+    platforms: Optional[Sequence[str]] = None,
+    seed: int = 2018,
+    periods: int = 2,
+    mode: DetectionMode = DetectionMode.SIGNED,
+) -> Dict[str, Any]:
+    """Time the sweep with and without the trace engine; return the record.
+
+    The three stages run back to back in this process with no result
+    cache and no on-disk trace store, so the comparison isolates exactly
+    one variable: functional re-execution versus trace replay.
+    """
+    from .sweep import _TRACE_MEMO, sweep
+
+    platforms = list(platforms) if platforms is not None else list(BENCH_PLATFORMS)
+    ns = tuple(int(n) for n in ns)
+
+    def _timed(trace: bool):
+        t0 = time.perf_counter()
+        data = sweep(
+            platforms, ns, seed=seed, periods=periods, mode=mode,
+            cache=False, trace=trace,
+        )
+        return data.to_canonical_json(), time.perf_counter() - t0
+
+    _TRACE_MEMO.clear()
+    reexec_json, reexec_s = _timed(False)
+    _TRACE_MEMO.clear()
+    cold_json, cold_s = _timed(True)
+    warm_json, warm_s = _timed(True)  # memo warm from the cold stage
+
+    stages: List[Dict[str, Any]] = [
+        {"name": "reexec", "trace": False, "wall_s": reexec_s},
+        {"name": "trace_cold", "trace": True, "wall_s": cold_s},
+        {"name": "trace_warm", "trace": True, "wall_s": warm_s},
+    ]
+    return {
+        "schema": BENCH_SCHEMA_VERSION,
+        "library_version": __version__,
+        "config": {
+            "ns": list(ns),
+            "platforms": platforms,
+            "seed": int(seed),
+            "periods": int(periods),
+            "mode": str(getattr(mode, "value", mode)),
+        },
+        "stages": stages,
+        "speedup": {
+            "cold": reexec_s / cold_s if cold_s > 0 else float("inf"),
+            "warm": reexec_s / warm_s if warm_s > 0 else float("inf"),
+        },
+        "equivalent": reexec_json == cold_json == warm_json,
+        "python": sys.version.split()[0],
+        "host": _platform.platform(),
+        "timestamp": time.time(),
+    }
+
+
+def compare_to_baseline(
+    current: Dict[str, Any],
+    baseline: Dict[str, Any],
+    *,
+    max_regression: float = 0.25,
+) -> List[str]:
+    """CI gate: the list of failures (empty = pass).
+
+    Checks, in order:
+
+    * the current run's three stages produced byte-identical sweeps;
+    * the cold speedup has not regressed more than ``max_regression``
+      relative to the baseline's (speedups are wall-time *ratios*, so
+      the check transfers across machines).
+    """
+    failures: List[str] = []
+    if not current.get("equivalent", False):
+        failures.append(
+            "trace replay is not byte-identical to functional re-execution"
+        )
+    base = float(baseline["speedup"]["cold"])
+    cur = float(current["speedup"]["cold"])
+    floor = base * (1.0 - max_regression)
+    if cur < floor:
+        failures.append(
+            f"cold trace-engine speedup regressed: {cur:.2f}x < floor "
+            f"{floor:.2f}x (baseline {base:.2f}x, allowed regression "
+            f"{max_regression:.0%})"
+        )
+    return failures
+
+
+def write_bench(path: str, result: Dict[str, Any]) -> None:
+    """Write one bench record as indented JSON (``BENCH_*.json``)."""
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(result, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+def render_bench(result: Dict[str, Any]) -> str:
+    """Terminal summary of one bench record."""
+    cfg = result["config"]
+    lines = [
+        f"trace-engine bench — {len(cfg['platforms'])} platforms, "
+        f"ns={cfg['ns']}, periods={cfg['periods']}, seed={cfg['seed']}",
+    ]
+    for stage in result["stages"]:
+        lines.append(f"  {stage['name']:<12s} {stage['wall_s']:8.2f} s")
+    lines.append(
+        f"  speedup      cold {result['speedup']['cold']:.2f}x, "
+        f"warm {result['speedup']['warm']:.2f}x"
+    )
+    lines.append(
+        "  equivalence  "
+        + ("byte-identical across all stages" if result["equivalent"] else "FAILED")
+    )
+    return "\n".join(lines)

@@ -39,9 +39,15 @@ from ..core.canonical import fingerprint_of
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (sweep imports us)
     from ..backends.base import Backend
+    from ..core.trace import FunctionalTrace
     from .sweep import PlatformMeasurement
 
-__all__ = ["CACHE_SCHEMA_VERSION", "DEFAULT_CACHE_DIR", "ResultCache"]
+__all__ = [
+    "CACHE_SCHEMA_VERSION",
+    "DEFAULT_CACHE_DIR",
+    "ResultCache",
+    "TraceStore",
+]
 
 #: Bump when the on-disk entry format changes; lives in the path, so a
 #: schema change simply starts a fresh subtree instead of misreading.
@@ -160,3 +166,91 @@ class ResultCache:
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"<ResultCache {str(self.root)!r} hits={self.hits} misses={self.misses}>"
+
+
+class TraceStore:
+    """On-disk tier for :class:`~repro.core.trace.FunctionalTrace` records.
+
+    Keyed by :func:`repro.core.trace.trace_key` — the canonical
+    fingerprint of one functional cell ``(n, seed, periods, mode,
+    dropout, clutter)`` plus schema and library version, so a release
+    that changes the functional algorithms starts fresh.  Backend
+    fingerprints deliberately do **not** participate: the whole point of
+    the trace tier is that one functional pass serves every backend.
+
+    Same layout and failure semantics as :class:`ResultCache`::
+
+        <root>/v1/<key[:2]>/<key>.json
+
+    Corrupt or unreadable entries count as misses and are overwritten.
+    """
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        self.root = Path(root)
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+
+    def _path(self, key: str) -> Path:
+        from ..core.trace import TRACE_SCHEMA_VERSION
+
+        return self.root / f"v{TRACE_SCHEMA_VERSION}" / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> Optional["FunctionalTrace"]:
+        """The stored trace under ``key``, or None (counted)."""
+        from ..core.trace import FunctionalTrace
+
+        path = self._path(key)
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                entry = json.load(fh)
+            trace = FunctionalTrace.from_dict(entry["trace"])
+        except (OSError, ValueError, KeyError, TypeError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return trace
+
+    def put(self, key: str, trace: "FunctionalTrace") -> None:
+        """Store ``trace`` under ``key`` (atomic rename write)."""
+        from ..core.trace import TRACE_SCHEMA_VERSION
+
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        entry = {
+            "key": key,
+            "schema": TRACE_SCHEMA_VERSION,
+            "trace": trace.to_dict(),
+        }
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        with open(tmp, "w", encoding="utf-8") as fh:
+            json.dump(entry, fh, sort_keys=True)
+        os.replace(tmp, path)
+        self.stores += 1
+
+    def _entry_paths(self):
+        if not self.root.exists():
+            return
+        yield from sorted(self.root.glob("v*/??/*.json"))
+
+    def stats(self) -> Dict[str, Any]:
+        """Traffic counters plus what is on disk right now."""
+        entries = list(self._entry_paths())
+        return {
+            "root": str(self.root),
+            "entries": len(entries),
+            "bytes": sum(p.stat().st_size for p in entries),
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+        }
+
+    def clear(self) -> int:
+        """Delete every entry; returns how many were removed."""
+        removed = len(list(self._entry_paths()))
+        if self.root.exists():
+            shutil.rmtree(self.root)
+        return removed
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<TraceStore {str(self.root)!r} hits={self.hits} misses={self.misses}>"

@@ -10,6 +10,7 @@ Examples::
     atm-repro profile fig4 --backend cuda:titan-x-pascal
     atm-repro report --trace report-trace.json
     atm-repro report --jobs 4 --cache-dir .atm-repro-cache
+    atm-repro bench --out BENCH_trace_engine.json
     atm-repro cache stats
     atm-repro cache clear
 """
@@ -41,12 +42,25 @@ report flags:
                        docs/parallel-and-caching.md)
   --cache-dir DIR      serve unchanged measurement cells from the result
                        cache at DIR (created on first use; default
-                       .atm-repro-cache)
+                       .atm-repro-cache); functional traces get their own
+                       tier at DIR/traces
   --no-cache           measure everything fresh, ignoring the cache
+  --no-trace-replay    disable the shared functional-trace engine: every
+                       backend re-runs the simulation instead of replaying
+                       cost ledgers (bytes identical either way; see
+                       docs/performance.md)
+
+benchmarking:
+  atm-repro bench [--out FILE] [--full] [--baseline FILE]
+  times the five-backend sweep with the trace engine off/cold/warm,
+  checks byte-identical output, and writes a BENCH_*.json record; with
+  --baseline it exits non-zero when the speedup regresses >25%%.
 
 cache maintenance:
   atm-repro cache stats [--cache-dir DIR]   entries and size on disk
-  atm-repro cache clear [--cache-dir DIR]   delete every cached cell
+                                            (result and trace tiers)
+  atm-repro cache clear [--cache-dir DIR]   delete every cached cell and
+                                            stored trace
 
 profiling:
   atm-repro profile <experiment> [--backend NAME] [--n N] [--trace FILE]
@@ -108,6 +122,61 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-cache",
         action="store_true",
         help="ignore the result cache even when --cache-dir is set",
+    )
+    report.add_argument(
+        "--no-trace-replay",
+        action="store_true",
+        help="re-run the functional simulation per backend instead of"
+        " replaying cost ledgers from a shared trace (bytes identical)",
+    )
+
+    bench = sub.add_parser(
+        "bench",
+        help="benchmark the trace engine against functional re-execution",
+    )
+    bench.add_argument(
+        "--out",
+        default="BENCH_trace_engine.json",
+        metavar="FILE",
+        help="write the bench record here (default BENCH_trace_engine.json)",
+    )
+    bench.add_argument(
+        "--ns",
+        type=int,
+        nargs="+",
+        default=None,
+        metavar="N",
+        help="fleet sizes to sweep (default: the smoke profile)",
+    )
+    bench.add_argument(
+        "--platforms",
+        nargs="+",
+        default=None,
+        metavar="NAME",
+        help="registry names to bench (default: every backend family)",
+    )
+    bench.add_argument("--seed", type=int, default=2018)
+    bench.add_argument(
+        "--periods", type=int, default=2, help="tracking periods per cell"
+    )
+    bench.add_argument(
+        "--full",
+        action="store_true",
+        help="use the full fleet-size profile instead of the smoke profile",
+    )
+    bench.add_argument(
+        "--baseline",
+        default=None,
+        metavar="FILE",
+        help="compare against this committed BENCH_*.json; exit 1 on"
+        " regression",
+    )
+    bench.add_argument(
+        "--max-regression",
+        type=float,
+        default=0.25,
+        metavar="FRAC",
+        help="allowed fractional speedup regression vs baseline (default 0.25)",
     )
 
     cache = sub.add_parser(
@@ -193,18 +262,24 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
 
     if args.command == "report":
-        from .cache import ResultCache
+        from pathlib import Path
+
+        from .cache import ResultCache, TraceStore
         from .report import build_report, render_report, write_report
 
         cache = None
+        traces = None
         if args.cache_dir and not args.no_cache:
             cache = ResultCache(args.cache_dir)
+            traces = TraceStore(Path(args.cache_dir) / "traces")
         run_kwargs = dict(
             quick=not args.full,
             seed=args.seed,
             only=args.only,
             jobs=args.jobs,
             cache=cache,
+            trace=False if args.no_trace_replay else None,
+            traces=traces,
         )
         if args.trace:
             from ..obs import collecting, write_chrome_trace
@@ -228,16 +303,68 @@ def main(argv: Optional[List[str]] = None) -> int:
             )
         return 0
 
-    if args.command == "cache":
-        from .cache import DEFAULT_CACHE_DIR, ResultCache
+    if args.command == "bench":
+        from .bench import (
+            DEFAULT_BENCH_NS,
+            SMOKE_BENCH_NS,
+            compare_to_baseline,
+            render_bench,
+            run_bench,
+            write_bench,
+        )
 
-        cache = ResultCache(args.cache_dir or DEFAULT_CACHE_DIR)
+        ns = args.ns or (DEFAULT_BENCH_NS if args.full else SMOKE_BENCH_NS)
+        result = run_bench(
+            ns=ns,
+            platforms=args.platforms,
+            seed=args.seed,
+            periods=args.periods,
+        )
+        write_bench(args.out, result)
+        print(f"wrote {args.out}")
+        print(render_bench(result))
+        if args.baseline:
+            import json as _json
+
+            with open(args.baseline, "r", encoding="utf-8") as fh:
+                baseline = _json.load(fh)
+            failures = compare_to_baseline(
+                result, baseline, max_regression=args.max_regression
+            )
+            if failures:
+                for failure in failures:
+                    print(f"FAIL: {failure}", file=sys.stderr)
+                return 1
+            print(
+                f"baseline {args.baseline}: speedup within "
+                f"{args.max_regression:.0%} of {baseline['speedup']['cold']:.2f}x"
+            )
+        elif not result["equivalent"]:
+            print("FAIL: stages are not byte-identical", file=sys.stderr)
+            return 1
+        return 0
+
+    if args.command == "cache":
+        from pathlib import Path
+
+        from .cache import DEFAULT_CACHE_DIR, ResultCache, TraceStore
+
+        root = args.cache_dir or DEFAULT_CACHE_DIR
+        cache = ResultCache(root)
+        traces = TraceStore(Path(root) / "traces")
         if args.cache_command == "stats":
             for key, value in cache.stats().items():
                 print(f"{key:8s} {value}")
+            print("trace tier:")
+            for key, value in traces.stats().items():
+                print(f"  {key:8s} {value}")
         else:
+            removed_traces = traces.clear()
             removed = cache.clear()
-            print(f"removed {removed} cached cells from {cache.root}")
+            print(
+                f"removed {removed} cached cells and {removed_traces} "
+                f"stored traces from {cache.root}"
+            )
         return 0
 
     if args.command == "profile":

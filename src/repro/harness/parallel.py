@@ -35,7 +35,7 @@ from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from ..obs import count as obs_count
 from ..obs import span as obs_span
-from .cache import ResultCache
+from .cache import ResultCache, TraceStore
 
 __all__ = [
     "SweepOptions",
@@ -63,6 +63,12 @@ class SweepOptions:
     jobs: int = 1
     #: result cache, or None to measure everything.
     cache: Optional[ResultCache] = None
+    #: run the functional simulation once per cell and replay every
+    #: backend's cost model from the shared trace (byte-identical output;
+    #: see docs/performance.md).  Off = re-execute repro.core per backend.
+    trace: bool = True
+    #: on-disk tier for functional traces, or None for in-process only.
+    traces: Optional[TraceStore] = None
 
 
 _OPTIONS: ContextVar[SweepOptions] = ContextVar(
@@ -80,13 +86,19 @@ def current_options() -> SweepOptions:
 
 @contextmanager
 def sweep_options(
-    *, jobs: Optional[int] = None, cache: Any = _KEEP
+    *,
+    jobs: Optional[int] = None,
+    cache: Any = _KEEP,
+    trace: Optional[bool] = None,
+    traces: Any = _KEEP,
 ) -> Iterator[SweepOptions]:
     """Scope different sweep-execution options over a ``with`` block."""
     base = _OPTIONS.get()
     new = SweepOptions(
         jobs=base.jobs if jobs is None else max(1, int(jobs)),
         cache=base.cache if cache is _KEEP else (cache or None),
+        trace=base.trace if trace is None else bool(trace),
+        traces=base.traces if traces is _KEEP else (traces or None),
     )
     token = _OPTIONS.set(new)
     try:
@@ -101,7 +113,12 @@ def sweep_options(
 
 
 def _measure_shard(
-    spec: str, n: int, seed: int, periods: int, mode_value: str
+    spec: str,
+    n: int,
+    seed: int,
+    periods: int,
+    mode_value: str,
+    trace_payload: Optional[Dict[str, Any]] = None,
 ) -> Dict[str, Any]:
     """Measure one (registry name, fleet size) cell; return its dict form.
 
@@ -110,14 +127,44 @@ def _measure_shard(
     returns plain JSON-able data (never pickled numpy state).  The
     worker never touches the cache — the parent owns all cache traffic
     so hit/miss counters and writes stay in one process.
+
+    ``trace_payload`` is the dict form of the cell's
+    :class:`~repro.core.trace.FunctionalTrace` (the parent computes each
+    distinct fleet size once, possibly on this same pool); when given the
+    worker replays cost models from it instead of re-running the
+    functional simulation.  ``None`` forces direct execution — workers
+    never consult ambient policy, so shard results are pure functions of
+    the argument tuple.
     """
     from ..core.collision import DetectionMode
+    from ..core.trace import FunctionalTrace
     from .sweep import measure_platform
 
+    trace: Any = False
+    if trace_payload is not None:
+        trace = FunctionalTrace.from_dict(trace_payload)
     m = measure_platform(
-        spec, n, seed=seed, periods=periods, mode=DetectionMode(mode_value), cache=False
+        spec,
+        n,
+        seed=seed,
+        periods=periods,
+        mode=DetectionMode(mode_value),
+        cache=False,
+        trace=trace,
     )
     return m.to_dict()
+
+
+def _compute_trace_shard(
+    n: int, seed: int, periods: int, mode_value: str
+) -> Dict[str, Any]:
+    """Run the functional simulation for one fleet size in a worker."""
+    from ..core.collision import DetectionMode
+    from ..core.trace import compute_trace
+
+    return compute_trace(
+        n, seed=seed, periods=periods, mode=DetectionMode(mode_value)
+    ).to_dict()
 
 
 # ---------------------------------------------------------------------------
@@ -200,9 +247,51 @@ def measure_cells(
     inline = [p for p in pending if not isinstance(p[2], str)]
 
     if jobs > 1 and len(poolable) > 1:
+        opts = current_options()
         with ProcessPoolExecutor(max_workers=min(jobs, len(poolable))) as pool:
+            # Functional traces first: each distinct fleet size runs its
+            # simulation once (sharded across the same pool), and every
+            # measure shard below replays cost models from the payload.
+            payload_by_n: Dict[int, Dict[str, Any]] = {}
+            if opts.trace:
+                from ..core.trace import FunctionalTrace
+                from .sweep import _lookup_trace, _remember_trace
+
+                missing: List[int] = []
+                for n_val in sorted({ns[j] for (_, j, _, _) in poolable}):
+                    t = _lookup_trace(
+                        n_val, seed=seed, periods=periods, mode=mode, traces=opts.traces
+                    )
+                    if t is not None:
+                        payload_by_n[n_val] = t.to_dict()
+                    else:
+                        missing.append(n_val)
+                trace_futures = [
+                    (n_val, pool.submit(_compute_trace_shard, n_val, seed, periods, mode_value))
+                    for n_val in missing
+                ]
+                for n_val, future in trace_futures:
+                    with obs_span(
+                        "harness.trace",
+                        cat="harness",
+                        n_aircraft=n_val,
+                        source="pool",
+                        jobs=jobs,
+                    ):
+                        payload = future.result()
+                    obs_count("harness.trace.computed")
+                    payload_by_n[n_val] = payload
+                    _remember_trace(FunctionalTrace.from_dict(payload), opts.traces)
             futures = [
-                pool.submit(_measure_shard, spec, ns[j], seed, periods, mode_value)
+                pool.submit(
+                    _measure_shard,
+                    spec,
+                    ns[j],
+                    seed,
+                    periods,
+                    mode_value,
+                    payload_by_n.get(ns[j]),
+                )
                 for (_, j, spec, _) in poolable
             ]
             for (i, j, _, key), future in zip(poolable, futures):

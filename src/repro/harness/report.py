@@ -52,6 +52,8 @@ def build_report(
     only: Optional[list] = None,
     jobs: int = 1,
     cache: Any = None,
+    trace: Optional[bool] = None,
+    traces: Any = None,
 ) -> dict:
     """Run the experiment suite and return the structured report.
 
@@ -73,6 +75,14 @@ def build_report(
         measurement cells from; None runs everything fresh.  Like
         ``jobs``, caching never changes the report's bytes, so neither
         parameter is recorded in the document.
+    trace:
+        ``False`` disables the shared functional-trace engine (each
+        backend re-runs the simulation); ``None``/``True`` keep it on.
+        Like ``jobs``, the report bytes are identical either way — see
+        docs/performance.md.
+    traces:
+        A :class:`~repro.harness.cache.TraceStore` for the on-disk
+        functional-trace tier; None keeps traces in-process only.
     """
     chosen = sorted(EXPERIMENTS) if only is None else list(only)
     unknown = [e for e in chosen if e not in EXPERIMENTS]
@@ -80,7 +90,7 @@ def build_report(
         raise KeyError(f"unknown experiment ids: {unknown}")
 
     results = {}
-    with sweep_options(jobs=jobs, cache=cache):
+    with sweep_options(jobs=jobs, cache=cache, trace=trace, traces=traces):
         for exp_id in chosen:
             kwargs = dict(QUICK_OVERRIDES.get(exp_id, {})) if quick else {}
             kwargs["seed"] = seed

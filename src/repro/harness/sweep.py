@@ -17,6 +17,7 @@ cached (:mod:`repro.harness.cache`) or sharded across worker processes
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Union
 
@@ -28,7 +29,10 @@ from ..core.canonical import canonical_json
 from ..core.collision import DetectionMode
 from ..core.radar import generate_radar_frame
 from ..core.setup import setup_flight
+from ..core.trace import FunctionalTrace, compute_trace, trace_key
 from ..core.types import TaskTiming
+from ..obs import count as obs_count
+from ..obs import span as obs_span
 from .parallel import _emit_shard, current_options, measure_cells
 
 __all__ = [
@@ -88,6 +92,70 @@ class PlatformMeasurement:
         )
 
 
+# ---------------------------------------------------------------------------
+# the shared functional-trace tier (see docs/performance.md)
+# ---------------------------------------------------------------------------
+
+#: In-process memo of recent traces, keyed by ``trace_key``.  Small and
+#: bounded: a sweep touches each fleet size once per backend, so holding
+#: the last few cells lets all backends share one functional pass.
+_TRACE_MEMO: "OrderedDict[str, FunctionalTrace]" = OrderedDict()
+_TRACE_MEMO_CAPACITY = 16
+
+
+def _remember_trace(trace: FunctionalTrace, traces: Any = None) -> None:
+    """Admit ``trace`` to the memo (LRU) and the on-disk tier if given."""
+    key = trace.key()
+    if traces is not None and traces.get(key) is None:
+        traces.put(key, trace)
+    _TRACE_MEMO[key] = trace
+    _TRACE_MEMO.move_to_end(key)
+    while len(_TRACE_MEMO) > _TRACE_MEMO_CAPACITY:
+        _TRACE_MEMO.popitem(last=False)
+
+
+def _lookup_trace(
+    n: int, *, seed: int, periods: int, mode: Any, traces: Any
+) -> Optional[FunctionalTrace]:
+    """Memo-then-store lookup of one cell's trace; None when absent.
+
+    Hits emit a ``harness.trace`` span (source ``memo``/``store``) plus a
+    counter; misses emit nothing — whoever computes the trace owns the
+    ``compute``/``pool`` span.
+    """
+    key = trace_key(n=n, seed=seed, periods=periods, mode=mode)
+    trace = _TRACE_MEMO.get(key)
+    if trace is not None:
+        _TRACE_MEMO.move_to_end(key)
+        source = "memo"
+    elif traces is not None:
+        trace = traces.get(key)
+        if trace is None:
+            return None
+        source = "store"
+        _remember_trace(trace)
+    else:
+        return None
+    with obs_span("harness.trace", cat="harness", n_aircraft=n, source=source):
+        pass
+    obs_count(f"harness.trace.{source}_hits")
+    return trace
+
+
+def _obtain_trace(
+    n: int, *, seed: int, periods: int, mode: Any, traces: Any
+) -> FunctionalTrace:
+    """The cell's trace from memo, store, or a fresh functional pass."""
+    trace = _lookup_trace(n, seed=seed, periods=periods, mode=mode, traces=traces)
+    if trace is not None:
+        return trace
+    with obs_span("harness.trace", cat="harness", n_aircraft=n, source="compute"):
+        trace = compute_trace(n, seed=seed, periods=periods, mode=mode)
+    obs_count("harness.trace.computed")
+    _remember_trace(trace, traces)
+    return trace
+
+
 def measure_platform(
     backend: Union[str, Backend],
     n: int,
@@ -96,6 +164,7 @@ def measure_platform(
     periods: int = 3,
     mode: DetectionMode = DetectionMode.SIGNED,
     cache: Any = None,
+    trace: Any = None,
 ) -> PlatformMeasurement:
     """Run ``periods`` tracking periods plus one collision pass.
 
@@ -111,10 +180,21 @@ def measure_platform(
     pure function of the name) or advertises ``deterministic_timing``;
     a stateful instance — the MIMD model mid-experiment — is never
     served from or written to the cache.
+
+    ``trace`` selects how the functional results are produced: ``None``
+    follows the ambient :func:`~repro.harness.parallel.sweep_options`
+    policy (on by default — the simulation runs once per cell and every
+    backend replays its cost ledger from the shared
+    :class:`~repro.core.trace.FunctionalTrace`), ``False`` forces direct
+    re-execution, and a :class:`~repro.core.trace.FunctionalTrace`
+    instance is replayed as-is (it must match the task parameters).  Both
+    paths return byte-identical measurements — the equivalence tests
+    assert exactly that.
     """
     if periods < 1:
         raise ValueError("need at least one tracking period")
-    resolved_cache = current_options().cache if cache is None else (cache or None)
+    opts = current_options()
+    resolved_cache = opts.cache if cache is None else (cache or None)
     spec = backend
     backend = resolve_backend(spec)
     key = None
@@ -127,14 +207,39 @@ def measure_platform(
             # A hit elides the measurement and with it the task spans, so
             # a shard span keeps warm traces fully attributed; misses need
             # nothing extra — the measurement below emits task1/task23.
-            _emit_shard(backend.name, n, "cache", current_options().jobs, hit)
+            _emit_shard(backend.name, n, "cache", opts.jobs, hit)
             return hit
-    fleet = setup_flight(n, seed)
-    task1: List[float] = []
-    for period in range(periods):
-        frame = generate_radar_frame(fleet, seed, period)
-        task1.append(backend.track_and_correlate(fleet, frame).seconds)
-    t23 = backend.detect_and_resolve(fleet, mode=mode)
+    trace_obj: Optional[FunctionalTrace] = None
+    if trace is None:
+        if opts.trace and backend.supports_trace_replay:
+            trace_obj = _obtain_trace(
+                n, seed=seed, periods=periods, mode=mode, traces=opts.traces
+            )
+    elif trace is not False:
+        if not isinstance(trace, FunctionalTrace):
+            raise TypeError(f"trace must be a FunctionalTrace, got {type(trace)!r}")
+        if not trace.matches(n=n, seed=seed, periods=periods, mode=mode):
+            raise ValueError(
+                "trace does not cover the requested measurement cell "
+                f"(trace: n={trace.n_aircraft} seed={trace.seed} "
+                f"periods={trace.periods} mode={trace.mode}; requested: "
+                f"n={n} seed={seed} periods={periods} mode={mode})"
+            )
+        if backend.supports_trace_replay:
+            trace_obj = trace
+    if trace_obj is not None:
+        task1 = [
+            backend.track_timing_from_trace(p).seconds
+            for p in trace_obj.period_records
+        ]
+        t23 = backend.collision_timing_from_trace(trace_obj.collision)
+    else:
+        fleet = setup_flight(n, seed)
+        task1 = []
+        for period in range(periods):
+            frame = generate_radar_frame(fleet, seed, period)
+            task1.append(backend.track_and_correlate(fleet, frame).seconds)
+        t23 = backend.detect_and_resolve(fleet, mode=mode)
     measurement = PlatformMeasurement(
         platform=backend.name,
         n_aircraft=n,
@@ -201,29 +306,35 @@ def sweep(
     mode: DetectionMode = DetectionMode.SIGNED,
     jobs: Optional[int] = None,
     cache: Any = None,
+    trace: Optional[bool] = None,
 ) -> SweepData:
     """Measure every backend at every fleet size.
 
-    ``jobs``/``cache`` default to the ambient
+    ``jobs``/``cache``/``trace`` default to the ambient
     :func:`~repro.harness.parallel.sweep_options`; pass ``jobs>1`` to
-    shard cells across worker processes and a
+    shard cells across worker processes, a
     :class:`~repro.harness.cache.ResultCache` (or ``False``) to
-    override the ambient cache.  The result is merged by matrix
-    position, so its :meth:`SweepData.to_canonical_json` bytes do not
-    depend on the worker count or scheduling order.
+    override the ambient cache, and ``trace=False`` to force direct
+    functional re-execution per backend.  The result is merged by
+    matrix position, so its :meth:`SweepData.to_canonical_json` bytes
+    do not depend on the worker count, the trace engine, or scheduling
+    order.
     """
     opts = current_options()
     jobs = opts.jobs if jobs is None else max(1, int(jobs))
     resolved_cache = opts.cache if cache is None else (cache or None)
-    names, rows = measure_cells(
-        list(backends),
-        tuple(ns),
-        seed=seed,
-        periods=periods,
-        mode=mode,
-        jobs=jobs,
-        cache=resolved_cache,
-    )
+    from .parallel import sweep_options
+
+    with sweep_options(trace=trace):
+        names, rows = measure_cells(
+            list(backends),
+            tuple(ns),
+            seed=seed,
+            periods=periods,
+            mode=mode,
+            jobs=jobs,
+            cache=resolved_cache,
+        )
     data = SweepData(ns=tuple(ns))
     for name, platform_rows in zip(names, rows):
         data.measurements[name] = platform_rows

@@ -39,6 +39,7 @@ class MimdBackend(Backend):
     """A shared-memory multi-core machine running the ATM tasks."""
 
     deterministic_timing = False
+    supports_trace_replay = True
 
     def __init__(
         self,
@@ -111,26 +112,60 @@ class MimdBackend(Backend):
         obs_count("mimd.sync_wait_s", run.sync_wait_s)
         obs_count("mimd.queue_wait_s", run.queue_wait_s)
 
+    def _charge_task1(self, task, n: int, stats) -> TaskTiming:
+        """One work-queue simulation of Task 1.
+
+        Draws jitter from ``self._rng``: trace replay preserves timing
+        distributions only if the call sequence matches the direct path
+        (``periods`` Task-1 runs, then one Task-2+3 run — exactly the
+        measurement protocol).
+        """
+        chunks = task1_chunks(self.config, n, stats)
+        run = simulate_work_queue(
+            self.config.n_cores,
+            chunks,
+            pop_cost_s=self.config.queue_pop_s,
+            jitter_sigma=self.config.jitter_sigma,
+            rng=self._rng,
+        )
+        timing = self._timing(
+            "task1",
+            n,
+            run,
+            {"rounds": stats.rounds_executed, "committed": stats.committed},
+        )
+        task.add_modelled(timing.seconds)
+        return timing
+
+    def _charge_task23(self, task, n: int, alt, det, res) -> TaskTiming:
+        chunks = task23_chunks(self.config, alt, det, res)
+        run = simulate_work_queue(
+            self.config.n_cores,
+            chunks,
+            pop_cost_s=self.config.queue_pop_s,
+            jitter_sigma=self.config.jitter_sigma,
+            rng=self._rng,
+        )
+        timing = self._timing(
+            "task23",
+            n,
+            run,
+            {
+                "conflicts": det.conflicts,
+                "critical_conflicts": det.critical_conflicts,
+                "resolved": res.resolved,
+                "unresolved": res.unresolved,
+                "trials": res.trials_evaluated,
+            },
+        )
+        task.add_modelled(timing.seconds)
+        return timing
+
     def track_and_correlate(self, fleet: FleetState, frame: RadarFrame) -> TaskTiming:
         with self._task_span("task1", fleet.n) as task:
             with obs_span("core.correlate", cat="core"):
                 stats = core_correlate(fleet, frame)
-            chunks = task1_chunks(self.config, fleet.n, stats)
-            run = simulate_work_queue(
-                self.config.n_cores,
-                chunks,
-                pop_cost_s=self.config.queue_pop_s,
-                jitter_sigma=self.config.jitter_sigma,
-                rng=self._rng,
-            )
-            timing = self._timing(
-                "task1",
-                fleet.n,
-                run,
-                {"rounds": stats.rounds_executed, "committed": stats.committed},
-            )
-            task.add_modelled(timing.seconds)
-        return timing
+            return self._charge_task1(task, fleet.n, stats)
 
     def detect_and_resolve(
         self,
@@ -140,28 +175,21 @@ class MimdBackend(Backend):
         with self._task_span("task23", fleet.n) as task:
             with obs_span("core.detect_and_resolve", cat="core"):
                 det, res = core_detect_and_resolve(fleet, mode)
-            chunks = task23_chunks(self.config, fleet.alt, det, res)
-            run = simulate_work_queue(
-                self.config.n_cores,
-                chunks,
-                pop_cost_s=self.config.queue_pop_s,
-                jitter_sigma=self.config.jitter_sigma,
-                rng=self._rng,
+            return self._charge_task23(task, fleet.n, fleet.alt, det, res)
+
+    def track_timing_from_trace(self, period) -> TaskTiming:
+        with self._task_span("task1", period.n_aircraft) as task:
+            return self._charge_task1(task, period.n_aircraft, period.stats)
+
+    def collision_timing_from_trace(self, collision) -> TaskTiming:
+        with self._task_span("task23", collision.n_aircraft) as task:
+            return self._charge_task23(
+                task,
+                collision.n_aircraft,
+                collision.alt,
+                collision.det,
+                collision.res,
             )
-            timing = self._timing(
-                "task23",
-                fleet.n,
-                run,
-                {
-                    "conflicts": det.conflicts,
-                    "critical_conflicts": det.critical_conflicts,
-                    "resolved": res.resolved,
-                    "unresolved": res.unresolved,
-                    "trials": res.trials_evaluated,
-                },
-            )
-            task.add_modelled(timing.seconds)
-        return timing
 
     def peak_throughput_ops_per_s(self) -> float:
         return self.config.peak_ops_per_s

@@ -24,6 +24,7 @@ class SimdBackend(Backend):
     """A traditional synchronous SIMD machine (paper Section 2.1)."""
 
     deterministic_timing = True
+    supports_trace_replay = True
 
     def __init__(self, config: Union[str, SimdConfig] = CSX600) -> None:
         if isinstance(config, str):
@@ -57,18 +58,15 @@ class SimdBackend(Backend):
         obs_count("simd.reductions", pe.reductions)
         return detail
 
-    def track_and_correlate(self, fleet: FleetState, frame: RadarFrame) -> TaskTiming:
-        with self._task_span("task1", fleet.n) as task:
-            with obs_span("core.correlate", cat="core"):
-                stats = core_correlate(fleet, frame)
-            pe = charge_task1(self.config, fleet.n, stats)
-            seconds = pe.seconds(self.config.clock_hz)
-            detail = self._emit_pe_obs(pe)
-            task.add_modelled(seconds)
+    def _charge_task1(self, task, n: int, stats) -> TaskTiming:
+        pe = charge_task1(self.config, n, stats)
+        seconds = pe.seconds(self.config.clock_hz)
+        detail = self._emit_pe_obs(pe)
+        task.add_modelled(seconds)
         return TaskTiming(
             task="task1",
             platform=self.name,
-            n_aircraft=fleet.n,
+            n_aircraft=n,
             seconds=seconds,
             breakdown=TimingBreakdown(compute=seconds),
             detail=detail,
@@ -82,22 +80,15 @@ class SimdBackend(Backend):
             },
         )
 
-    def detect_and_resolve(
-        self,
-        fleet: FleetState,
-        mode: DetectionMode = DetectionMode.SIGNED,
-    ) -> TaskTiming:
-        with self._task_span("task23", fleet.n) as task:
-            with obs_span("core.detect_and_resolve", cat="core"):
-                det, res = core_detect_and_resolve(fleet, mode)
-            pe = charge_task23(self.config, fleet.n, det, res)
-            seconds = pe.seconds(self.config.clock_hz)
-            detail = self._emit_pe_obs(pe)
-            task.add_modelled(seconds)
+    def _charge_task23(self, task, n: int, det, res) -> TaskTiming:
+        pe = charge_task23(self.config, n, det, res)
+        seconds = pe.seconds(self.config.clock_hz)
+        detail = self._emit_pe_obs(pe)
+        task.add_modelled(seconds)
         return TaskTiming(
             task="task23",
             platform=self.name,
-            n_aircraft=fleet.n,
+            n_aircraft=n,
             seconds=seconds,
             breakdown=TimingBreakdown(compute=seconds),
             detail=detail,
@@ -111,6 +102,32 @@ class SimdBackend(Backend):
                 "cycles": pe.cycles,
             },
         )
+
+    def track_and_correlate(self, fleet: FleetState, frame: RadarFrame) -> TaskTiming:
+        with self._task_span("task1", fleet.n) as task:
+            with obs_span("core.correlate", cat="core"):
+                stats = core_correlate(fleet, frame)
+            return self._charge_task1(task, fleet.n, stats)
+
+    def detect_and_resolve(
+        self,
+        fleet: FleetState,
+        mode: DetectionMode = DetectionMode.SIGNED,
+    ) -> TaskTiming:
+        with self._task_span("task23", fleet.n) as task:
+            with obs_span("core.detect_and_resolve", cat="core"):
+                det, res = core_detect_and_resolve(fleet, mode)
+            return self._charge_task23(task, fleet.n, det, res)
+
+    def track_timing_from_trace(self, period) -> TaskTiming:
+        with self._task_span("task1", period.n_aircraft) as task:
+            return self._charge_task1(task, period.n_aircraft, period.stats)
+
+    def collision_timing_from_trace(self, collision) -> TaskTiming:
+        with self._task_span("task23", collision.n_aircraft) as task:
+            return self._charge_task23(
+                task, collision.n_aircraft, collision.det, collision.res
+            )
 
     def setup_timing(self, n: int) -> TaskTiming:
         """Modelled one-time SetupFlight cost."""

@@ -28,6 +28,7 @@ class VectorBackend(Backend):
     """
 
     deterministic_timing = True
+    supports_trace_replay = True
 
     def __init__(self, config: Union[str, VectorConfig] = XEON_PHI_7250) -> None:
         if isinstance(config, str):
@@ -63,16 +64,13 @@ class VectorBackend(Backend):
         task.add_modelled(seconds)
         return {"vector.lanes": lanes, "vector.barriers": info["overhead_s"]}
 
-    def track_and_correlate(self, fleet: FleetState, frame: RadarFrame) -> TaskTiming:
-        with self._task_span("task1", fleet.n) as task:
-            with obs_span("core.correlate", cat="core"):
-                stats = core_correlate(fleet, frame)
-            seconds, info = charge_task1(self.config, fleet.n, stats)
-            detail = self._emit_vector_obs(task, seconds, info)
+    def _charge_task1(self, task, n: int, stats) -> TaskTiming:
+        seconds, info = charge_task1(self.config, n, stats)
+        detail = self._emit_vector_obs(task, seconds, info)
         return TaskTiming(
             task="task1",
             platform=self.name,
-            n_aircraft=fleet.n,
+            n_aircraft=n,
             seconds=seconds,
             breakdown=TimingBreakdown(
                 compute=seconds - info["overhead_s"], sync=info["overhead_s"]
@@ -81,20 +79,13 @@ class VectorBackend(Backend):
             stats={"committed": stats.committed, **info},
         )
 
-    def detect_and_resolve(
-        self,
-        fleet: FleetState,
-        mode: DetectionMode = DetectionMode.SIGNED,
-    ) -> TaskTiming:
-        with self._task_span("task23", fleet.n) as task:
-            with obs_span("core.detect_and_resolve", cat="core"):
-                det, res = core_detect_and_resolve(fleet, mode)
-            seconds, info = charge_task23(self.config, fleet.alt, det, res)
-            detail = self._emit_vector_obs(task, seconds, info)
+    def _charge_task23(self, task, n: int, alt, det, res) -> TaskTiming:
+        seconds, info = charge_task23(self.config, alt, det, res)
+        detail = self._emit_vector_obs(task, seconds, info)
         return TaskTiming(
             task="task23",
             platform=self.name,
-            n_aircraft=fleet.n,
+            n_aircraft=n,
             seconds=seconds,
             breakdown=TimingBreakdown(
                 compute=seconds - info["overhead_s"], sync=info["overhead_s"]
@@ -109,6 +100,36 @@ class VectorBackend(Backend):
                 **info,
             },
         )
+
+    def track_and_correlate(self, fleet: FleetState, frame: RadarFrame) -> TaskTiming:
+        with self._task_span("task1", fleet.n) as task:
+            with obs_span("core.correlate", cat="core"):
+                stats = core_correlate(fleet, frame)
+            return self._charge_task1(task, fleet.n, stats)
+
+    def detect_and_resolve(
+        self,
+        fleet: FleetState,
+        mode: DetectionMode = DetectionMode.SIGNED,
+    ) -> TaskTiming:
+        with self._task_span("task23", fleet.n) as task:
+            with obs_span("core.detect_and_resolve", cat="core"):
+                det, res = core_detect_and_resolve(fleet, mode)
+            return self._charge_task23(task, fleet.n, fleet.alt, det, res)
+
+    def track_timing_from_trace(self, period) -> TaskTiming:
+        with self._task_span("task1", period.n_aircraft) as task:
+            return self._charge_task1(task, period.n_aircraft, period.stats)
+
+    def collision_timing_from_trace(self, collision) -> TaskTiming:
+        with self._task_span("task23", collision.n_aircraft) as task:
+            return self._charge_task23(
+                task,
+                collision.n_aircraft,
+                collision.alt,
+                collision.det,
+                collision.res,
+            )
 
     def peak_throughput_ops_per_s(self) -> float:
         return self.config.peak_lane_ops_per_s

@@ -16,6 +16,7 @@ import math
 import numpy as np
 
 from ..core import constants as C
+from ..core.bands import group_band_pass_counts
 from ..core.collision import DetectionStats
 from ..core.resolution import ResolutionStats
 from ..core.tracking import TrackingStats
@@ -40,21 +41,17 @@ def group_any_counts(values: np.ndarray, width: int, threshold: float) -> np.nda
     executes the deep path for element ``p`` when any of its lanes is
     within ``threshold`` of ``values[p]`` — AVX-512 mask semantics, the
     16-lane analogue of :func:`repro.cuda.kernels.check_collision.
-    altitude_pass_counts`.
+    altitude_pass_counts`.  Delegates to the ``O(n log n)`` band-union
+    scan of :mod:`repro.core.bands`; counts match the dense
+    ``|lanes - t| < threshold`` comparison bit for bit.
     """
     n = values.shape[0]
     n_groups = math.ceil(n / width)
-    padded = np.full(n_groups * width, np.inf)
+    padded = np.zeros(n_groups * width, dtype=np.float64)
     padded[:n] = values
     lanes = padded.reshape(n_groups, width)
-
-    counts = np.zeros(n_groups, dtype=np.int64)
-    chunk = max(1, 2**22 // max(n_groups * width, 1))
-    for lo in range(0, n, chunk):
-        hi = min(lo + chunk, n)
-        near = np.abs(lanes[:, :, None] - values[None, None, lo:hi]) < threshold
-        counts += near.any(axis=1).sum(axis=1)
-    return counts
+    lane_valid = (np.arange(n_groups * width) < n).reshape(n_groups, width)
+    return group_band_pass_counts(lanes, lane_valid, values, threshold)
 
 
 def task1_lane_ops(config: VectorConfig, n: int, stats: TrackingStats) -> float:

@@ -1,0 +1,70 @@
+"""Closed-form batching equivalence for the AP charge loops.
+
+The Task-1/2/3 charge functions batch each loop body into one call per
+primitive (``_gate_step(ap, times=k)``).  Because every STARAN cost
+constant is an integer-valued float, the batched products must be *bit
+identical* to the per-iteration accumulation — these tests pin that down
+against a literal Python loop, counters and dict key order included.
+"""
+
+import pytest
+
+from repro.ap.primitives import AssociativeArray
+from repro.ap.tasks import _batcher_step, _gate_step
+
+
+def ledger_state(ap: AssociativeArray) -> tuple:
+    """Everything a batched charge must reproduce exactly — including
+    the *insertion order* of the per-class dicts, which repro.obs
+    exports in iteration order."""
+    return (
+        ap.cycles,
+        ap.searches,
+        ap.broadcasts,
+        ap.extrema,
+        list(ap.class_cycles.items()),
+        list(ap.class_counts.items()),
+    )
+
+
+@pytest.mark.parametrize("times", [1, 2, 7, 96])
+class TestBatchedEqualsLooped:
+    def test_search(self, times):
+        batched = AssociativeArray(96)
+        batched.search(4, times=times)
+        looped = AssociativeArray(96)
+        for _ in range(times):
+            looped.search(4)
+        assert ledger_state(batched) == ledger_state(looped)
+
+    def test_gate_step(self, times):
+        batched = AssociativeArray(96)
+        _gate_step(batched, times=times)
+        looped = AssociativeArray(96)
+        for _ in range(times):
+            _gate_step(looped)
+        assert ledger_state(batched) == ledger_state(looped)
+
+    def test_batcher_step(self, times):
+        batched = AssociativeArray(96)
+        _batcher_step(batched, times=times)
+        looped = AssociativeArray(96)
+        for _ in range(times):
+            _batcher_step(looped)
+        assert ledger_state(batched) == ledger_state(looped)
+
+
+class TestZeroAndNegative:
+    def test_zero_count_batches_touch_nothing(self):
+        """An empty batch must not even create per-class dict keys — a
+        loop that runs zero times never would have."""
+        ap = AssociativeArray(96)
+        ap.search(4, times=0)
+        _gate_step(ap, times=0)
+        _batcher_step(ap, times=0)
+        assert ledger_state(ap) == ledger_state(AssociativeArray(96))
+        assert ap.class_cycles == {}
+
+    def test_negative_search_count_rejected(self):
+        with pytest.raises(ValueError):
+            AssociativeArray(96).search(4, times=-1)

@@ -1,0 +1,120 @@
+"""Exactness tests for the vectorized band counting (repro.core.bands).
+
+The module's contract is bit-for-bit agreement with the brute-force
+float64 predicate ``|v - t| < sep`` — no tolerance — so every test here
+compares against the naive tensor formulation directly, including values
+placed within a few ulps of the band boundary.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import constants as C
+from repro.core.bands import band_bounds, group_band_pass_counts
+
+
+def brute_counts(lane_values, lane_valid, targets, sep):
+    """The naive (groups, width, n) tensor the module must reproduce."""
+    hit = np.abs(lane_values[..., None] - targets[None, None, :]) < sep
+    hit &= lane_valid[..., None]
+    return hit.any(axis=1).sum(axis=1).astype(np.int64)
+
+
+class TestBandBounds:
+    def test_bounds_are_exact_band_edges(self):
+        rng = np.random.default_rng(7)
+        v = rng.uniform(0.0, 40_000.0, size=64)
+        sep = float(C.ALTITUDE_SEPARATION_FT)
+        lo, hi = band_bounds(v, sep)
+        # the returned edges satisfy the predicate...
+        assert np.all(np.abs(v - lo) < sep)
+        assert np.all(np.abs(v - hi) < sep)
+        # ...and the adjacent floats just outside do not.
+        below = np.nextafter(lo, -np.inf)
+        above = np.nextafter(hi, np.inf)
+        assert not np.any(np.abs(v - below) < sep)
+        assert not np.any(np.abs(v - above) < sep)
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            band_bounds(np.array([1.0]), 0.0)
+        with pytest.raises(ValueError):
+            band_bounds(np.array([1.0]), np.inf)
+        with pytest.raises(ValueError):
+            band_bounds(np.array([np.nan]), 1.0)
+
+
+class TestGroupCounts:
+    @pytest.mark.parametrize("width", [8, 16, 32])
+    def test_matches_brute_force_on_random_fleets(self, width):
+        rng = np.random.default_rng(2018)
+        sep = float(C.ALTITUDE_SEPARATION_FT)
+        for trial in range(25):
+            n = int(rng.integers(1, 200))
+            n_groups = -(-n // width)
+            flat = rng.uniform(0.0, 40_000.0, size=n_groups * width)
+            valid = (np.arange(n_groups * width) < n).reshape(n_groups, width)
+            lanes = flat.reshape(n_groups, width)
+            targets = lanes.ravel()[valid.ravel()].copy()
+            got = group_band_pass_counts(lanes, valid, targets, sep)
+            np.testing.assert_array_equal(
+                got, brute_counts(lanes, valid, targets, sep)
+            )
+
+    def test_adversarial_boundary_values(self):
+        """Targets a handful of ulps from the band edge must agree too."""
+        rng = np.random.default_rng(5)
+        sep = 1000.0
+        base = rng.uniform(0.0, 40_000.0, size=16)
+        targets = [base, base + sep, base - sep]
+        for k in range(1, 4):
+            stepped_hi = base + sep
+            stepped_lo = base - sep
+            for _ in range(k):
+                stepped_hi = np.nextafter(stepped_hi, -np.inf)
+                stepped_lo = np.nextafter(stepped_lo, np.inf)
+            targets.extend([stepped_hi, stepped_lo])
+        targets = np.concatenate(targets)
+        lanes = base.reshape(2, 8)
+        valid = np.ones_like(lanes, dtype=bool)
+        got = group_band_pass_counts(lanes, valid, targets, sep)
+        np.testing.assert_array_equal(
+            got, brute_counts(lanes, valid, targets, sep)
+        )
+
+    @pytest.mark.parametrize("sentinel", [0.0, np.inf, 12345.6789])
+    def test_invalid_lane_padding_never_contributes(self, sentinel):
+        lanes = np.array([[10_000.0, sentinel], [sentinel, sentinel]])
+        valid = np.array([[True, False], [False, False]])
+        targets = np.array([10_000.0, sentinel if np.isfinite(sentinel) else 0.0])
+        got = group_band_pass_counts(lanes, valid, targets, 1000.0)
+        np.testing.assert_array_equal(
+            got, brute_counts(lanes, valid, targets, 1000.0)
+        )
+        assert got[1] == 0  # all-invalid group counts nothing
+
+    def test_duplicate_targets_count_individually(self):
+        lanes = np.array([[5_000.0]])
+        valid = np.ones_like(lanes, dtype=bool)
+        targets = np.array([5_000.0, 5_000.0, 5_000.0, 9_999.0])
+        got = group_band_pass_counts(lanes, valid, targets, 1000.0)
+        np.testing.assert_array_equal(
+            got, brute_counts(lanes, valid, targets, 1000.0)
+        )
+        assert got[0] == 3
+
+    def test_empty_shapes(self):
+        empty = group_band_pass_counts(
+            np.empty((0, 8)), np.empty((0, 8), dtype=bool), np.array([1.0]), 10.0
+        )
+        assert empty.shape == (0,)
+        zero_targets = group_band_pass_counts(
+            np.zeros((2, 8)), np.ones((2, 8), dtype=bool), np.empty(0), 10.0
+        )
+        np.testing.assert_array_equal(zero_targets, np.zeros(2, dtype=np.int64))
+
+    def test_rejects_mismatched_shapes(self):
+        with pytest.raises(ValueError):
+            group_band_pass_counts(
+                np.zeros((2, 8)), np.ones((2, 4), dtype=bool), np.array([1.0]), 10.0
+            )

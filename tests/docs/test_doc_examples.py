@@ -17,7 +17,11 @@ import pytest
 REPO_ROOT = Path(__file__).resolve().parents[2]
 
 #: documents whose ```python blocks must execute cleanly.
-CHECKED_DOCS = ("docs/observability.md", "docs/parallel-and-caching.md")
+CHECKED_DOCS = (
+    "docs/observability.md",
+    "docs/parallel-and-caching.md",
+    "docs/performance.md",
+)
 
 _BLOCK_RE = re.compile(r"```python\n(.*?)```", re.DOTALL)
 

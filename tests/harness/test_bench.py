@@ -1,0 +1,103 @@
+"""Unit tests for the trace-engine benchmark harness (repro.harness.bench)."""
+
+import json
+
+import pytest
+
+from repro.harness.bench import (
+    BENCH_SCHEMA_VERSION,
+    compare_to_baseline,
+    render_bench,
+    run_bench,
+    write_bench,
+)
+
+#: a deliberately tiny profile: the record shape and the equivalence
+#: check are under test here, not the speedup magnitude.
+TINY = dict(ns=(64, 96), periods=1, platforms=["reference", "ap:staran"])
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_bench(**TINY)
+
+
+class TestRunBench:
+    def test_record_shape(self, result):
+        assert result["schema"] == BENCH_SCHEMA_VERSION
+        assert [s["name"] for s in result["stages"]] == [
+            "reexec", "trace_cold", "trace_warm",
+        ]
+        assert all(s["wall_s"] > 0 for s in result["stages"])
+        assert result["config"]["ns"] == [64, 96]
+        assert result["config"]["platforms"] == ["reference", "ap:staran"]
+        assert result["speedup"]["cold"] > 0
+        assert result["speedup"]["warm"] > 0
+
+    def test_stages_are_equivalent(self, result):
+        assert result["equivalent"] is True
+
+    def test_record_is_json_round_trippable(self, result, tmp_path):
+        out = tmp_path / "BENCH_test.json"
+        write_bench(str(out), result)
+        again = json.loads(out.read_text(encoding="utf-8"))
+        assert again["speedup"]["cold"] == result["speedup"]["cold"]
+        assert again["equivalent"] is True
+
+    def test_render_mentions_every_stage(self, result):
+        text = render_bench(result)
+        for stage in ("reexec", "trace_cold", "trace_warm"):
+            assert stage in text
+
+
+class TestCompareToBaseline:
+    def _record(self, cold, equivalent=True):
+        return {"equivalent": equivalent, "speedup": {"cold": cold, "warm": cold}}
+
+    def test_passes_at_and_above_the_floor(self):
+        baseline = self._record(4.0)
+        assert compare_to_baseline(self._record(4.0), baseline) == []
+        assert compare_to_baseline(self._record(3.0), baseline) == []  # exactly -25%
+        assert compare_to_baseline(self._record(9.9), baseline) == []
+
+    def test_fails_below_the_floor(self):
+        failures = compare_to_baseline(self._record(2.9), self._record(4.0))
+        assert len(failures) == 1 and "regressed" in failures[0]
+
+    def test_fails_on_non_equivalence_regardless_of_speed(self):
+        failures = compare_to_baseline(
+            self._record(99.0, equivalent=False), self._record(4.0)
+        )
+        assert any("byte-identical" in f for f in failures)
+
+    def test_max_regression_is_configurable(self):
+        baseline = self._record(4.0)
+        # zero tolerance: anything below the baseline itself fails
+        assert compare_to_baseline(
+            self._record(4.0), baseline, max_regression=0.0
+        ) == []
+        assert compare_to_baseline(
+            self._record(3.9), baseline, max_regression=0.0
+        ) != []
+        # half tolerance: 2.0 is the floor
+        assert compare_to_baseline(
+            self._record(2.0), baseline, max_regression=0.5
+        ) == []
+        assert compare_to_baseline(
+            self._record(1.9), baseline, max_regression=0.5
+        ) != []
+
+
+class TestCommittedBaseline:
+    def test_smoke_baseline_is_valid_and_equivalent(self):
+        """The committed CI baseline must itself be a passing record."""
+        from pathlib import Path
+
+        path = (
+            Path(__file__).resolve().parents[2]
+            / "benchmarks" / "baselines" / "bench_smoke.json"
+        )
+        baseline = json.loads(path.read_text(encoding="utf-8"))
+        assert baseline["schema"] == BENCH_SCHEMA_VERSION
+        assert baseline["equivalent"] is True
+        assert baseline["speedup"]["cold"] >= 3.0

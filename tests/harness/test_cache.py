@@ -196,3 +196,48 @@ class TestDescribeCanonicalization:
             "cuda:titan-x-pascal", "ap:staran", "mimd:xeon-16", "reference",
         ):
             assert name in report["platforms"]
+
+
+class TestTraceStore:
+    """The on-disk tier for functional traces mirrors ResultCache."""
+
+    @pytest.fixture
+    def store(self, tmp_path):
+        from repro.harness.cache import TraceStore
+
+        return TraceStore(tmp_path / "traces")
+
+    def test_put_get_round_trip_is_exact(self, store):
+        from repro.core.trace import compute_trace
+
+        trace = compute_trace(96, periods=2)
+        store.put(trace.key(), trace)
+        got = store.get(trace.key())
+        assert got.to_dict() == trace.to_dict()
+        assert (store.hits, store.misses, store.stores) == (1, 0, 1)
+
+    def test_missing_and_corrupt_entries_are_counted_misses(self, store):
+        from repro.core.trace import compute_trace
+
+        assert store.get("0" * 64) is None
+        trace = compute_trace(64, periods=1)
+        store.put(trace.key(), trace)
+        store._path(trace.key()).write_text("{not json", encoding="utf-8")
+        assert store.get(trace.key()) is None
+        assert store.misses == 2
+
+    def test_schema_lives_in_the_path(self, store):
+        from repro.core.trace import TRACE_SCHEMA_VERSION
+
+        assert f"v{TRACE_SCHEMA_VERSION}" in str(store._path("ab" + "0" * 62))
+
+    def test_stats_and_clear(self, store):
+        from repro.core.trace import compute_trace
+
+        for n in (64, 96):
+            trace = compute_trace(n, periods=1)
+            store.put(trace.key(), trace)
+        s = store.stats()
+        assert s["entries"] == 2 and s["stores"] == 2 and s["bytes"] > 0
+        assert store.clear() == 2
+        assert store.stats()["entries"] == 0

@@ -45,3 +45,82 @@ class TestExtensionCommands:
         out = capsys.readouterr().out
         assert "ext-viability" in out
         assert "terrain" in out
+
+
+class TestBenchCommand:
+    @pytest.fixture(autouse=True)
+    def _fresh_trace_memo(self):
+        """The disk-tier tests below assert store traffic; a memo warmed
+        by earlier tests in this process would satisfy lookups before
+        the store is ever consulted."""
+        from repro.harness.sweep import _TRACE_MEMO
+
+        _TRACE_MEMO.clear()
+        yield
+        _TRACE_MEMO.clear()
+
+    def test_bench_writes_record_and_passes(self, capsys, tmp_path):
+        out_path = tmp_path / "BENCH_test.json"
+        rc = main([
+            "bench", "--ns", "64", "96", "--periods", "1",
+            "--platforms", "reference", "ap:staran",
+            "--out", str(out_path),
+        ])
+        assert rc == 0
+        data = json.loads(out_path.read_text())
+        assert data["equivalent"] is True
+        assert "speedup" in capsys.readouterr().out
+
+    def test_bench_baseline_gate(self, capsys, tmp_path):
+        out_path = tmp_path / "BENCH_test.json"
+        args = [
+            "bench", "--ns", "64", "96", "--periods", "1",
+            "--platforms", "reference", "ap:staran",
+            "--out", str(out_path),
+        ]
+        assert main(args) == 0
+        baseline = json.loads(out_path.read_text())
+
+        # an impossible baseline speedup must fail the gate...
+        baseline["speedup"]["cold"] = 1e9
+        strict = tmp_path / "strict.json"
+        strict.write_text(json.dumps(baseline))
+        rc = main(args + ["--baseline", str(strict), "--max-regression", "0.25"])
+        assert rc == 1
+        assert "regressed" in capsys.readouterr().err
+
+        # ...and a trivially low one must pass.
+        baseline["speedup"]["cold"] = 1e-9
+        loose = tmp_path / "loose.json"
+        loose.write_text(json.dumps(baseline))
+        assert main(args + ["--baseline", str(loose)]) == 0
+
+    def test_report_accepts_no_trace_replay(self, tmp_path):
+        on_path = tmp_path / "on.json"
+        off_path = tmp_path / "off.json"
+        assert main(["report", "--only", "fig5", "--out", str(on_path)]) == 0
+        assert main([
+            "report", "--only", "fig5", "--no-trace-replay",
+            "--out", str(off_path),
+        ]) == 0
+        assert json.loads(on_path.read_text()) == json.loads(off_path.read_text())
+
+    def test_report_cache_dir_populates_trace_tier(self, capsys, tmp_path):
+        cache_dir = tmp_path / "cache"
+        assert main([
+            "report", "--only", "fig5", "--cache-dir", str(cache_dir),
+        ]) == 0
+        assert (cache_dir / "traces").is_dir()
+
+    def test_cache_stats_and_clear_cover_trace_tier(self, capsys, tmp_path):
+        cache_dir = tmp_path / "cache"
+        assert main([
+            "report", "--only", "fig5", "--cache-dir", str(cache_dir),
+        ]) == 0
+        capsys.readouterr()
+        assert main(["cache", "stats", "--cache-dir", str(cache_dir)]) == 0
+        assert "trace tier:" in capsys.readouterr().out
+        assert main(["cache", "clear", "--cache-dir", str(cache_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "stored traces" in out
+        assert not (cache_dir / "traces").exists()

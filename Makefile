@@ -4,7 +4,7 @@
 PYTHON ?= python
 PYTEST  = PYTHONPATH=src $(PYTHON) -m pytest
 
-.PHONY: test test-parallel docs-check bench bench-smoke profile report all
+.PHONY: test test-parallel test-faults docs-check bench bench-smoke profile report all
 
 ## the tier-1 suite (unit + integration + property tests)
 test:
@@ -14,6 +14,11 @@ test:
 ## real worker pool (ATM_REPRO_TEST_JOBS raises the pool width)
 test-parallel:
 	ATM_REPRO_TEST_JOBS=4 $(PYTEST) -q tests/harness tests/integration
+
+## the chaos suite: worker kills, timeouts, store corruption, resume
+## (docs/robustness.md); asserts byte-identity against fault-free runs
+test-faults:
+	ATM_REPRO_TEST_JOBS=4 $(PYTEST) -q tests/harness/test_faults.py
 
 ## execute the documentation's code blocks (pytest marker: docs)
 docs-check:

@@ -21,10 +21,18 @@ Consequences, by construction:
 
 Layout (all JSON, human-inspectable)::
 
-    <root>/v1/<key[:2]>/<key>.json
+    <root>/v2/<key[:2]>/<key>.json
 
-Corrupt or unreadable entries are treated as misses and overwritten.
-See ``docs/parallel-and-caching.md`` for the full scheme.
+**Integrity.** Every entry carries a SHA-256 digest of its payload.  A
+file that fails to parse, fails its digest, or decodes to the wrong
+shape is *never* silently discarded: it is moved to
+``<root>/quarantine/`` for post-mortem, counted on the store
+(``quarantined``) and on the :mod:`repro.obs` collector
+(``harness.fault.quarantined``), and the read reports a miss so the
+cell recomputes.  A missing file is an ordinary miss; any other
+``OSError`` is counted (``io_errors`` / ``harness.fault.io_errors``)
+and reported as a miss.  See ``docs/robustness.md`` for the fault
+model and ``docs/parallel-and-caching.md`` for the key scheme.
 """
 
 from __future__ import annotations
@@ -36,6 +44,7 @@ from pathlib import Path
 from typing import TYPE_CHECKING, Any, Dict, Optional, Union
 
 from ..core.canonical import fingerprint_of
+from .faults import fault_span
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (sweep imports us)
     from ..backends.base import Backend
@@ -45,31 +54,222 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard (sweep imports us)
 __all__ = [
     "CACHE_SCHEMA_VERSION",
     "DEFAULT_CACHE_DIR",
+    "QUARANTINE_DIR",
     "ResultCache",
     "TraceStore",
 ]
 
 #: Bump when the on-disk entry format changes; lives in the path, so a
 #: schema change simply starts a fresh subtree instead of misreading.
-CACHE_SCHEMA_VERSION = 1
+#: v2: entries carry a SHA-256 content digest (``"sha256"``).
+CACHE_SCHEMA_VERSION = 2
+
+#: On-disk layout version of the trace tier (the *content* schema is
+#: :data:`repro.core.trace.TRACE_SCHEMA_VERSION`, which also keys the
+#: trace fingerprints).  v2: checksummed entries.
+TRACE_STORE_VERSION = 2
 
 #: Where the CLI keeps its cache unless told otherwise.
 DEFAULT_CACHE_DIR = ".atm-repro-cache"
 
+#: Subdirectory (under a store's root) receiving corrupt entries.
+QUARANTINE_DIR = "quarantine"
 
-class ResultCache:
-    """Fingerprint-keyed store of per-cell sweep measurements.
 
-    Instances also count their traffic (``hits`` / ``misses`` /
-    ``stores``) so tests and the CLI can verify cache behaviour instead
-    of inferring it from wall time alone.
+class _CorruptEntry(Exception):
+    """Internal: an on-disk entry failed verification or decoding."""
+
+
+def _ambient_faults():
+    """The ambient FaultPlan, if a sweep_options scope installed one."""
+    from .parallel import current_options  # lazy: parallel imports us
+
+    return current_options().faults
+
+
+class _ChecksumStore:
+    """Shared machinery of the two content-addressed JSON stores.
+
+    Subclasses say what the payload is (``_payload_field``), how to
+    decode it (``_decode``), which schema tag entries carry
+    (``_entry_schema``) and which path subtree they live in
+    (``_subtree``).  This base class owns the integrity contract:
+    checksummed atomic writes, digest-verified reads, quarantine of
+    anything corrupt, and traffic counters (``hits`` / ``misses`` /
+    ``stores`` / ``quarantined`` / ``io_errors``).
     """
+
+    _payload_field: str = ""
+    #: fault kind a FaultPlan uses to corrupt entries of this store.
+    _corrupt_kind: str = ""
 
     def __init__(self, root: Union[str, Path]) -> None:
         self.root = Path(root)
         self.hits = 0
         self.misses = 0
         self.stores = 0
+        self.quarantined = 0
+        self.io_errors = 0
+
+    # -- layout ---------------------------------------------------------
+
+    def _subtree(self) -> str:
+        raise NotImplementedError
+
+    def _entry_schema(self) -> int:
+        raise NotImplementedError
+
+    def _decode(self, payload: Dict[str, Any]) -> Any:
+        raise NotImplementedError
+
+    def _path(self, key: str) -> Path:
+        return self.root / self._subtree() / key[:2] / f"{key}.json"
+
+    # -- get / put ------------------------------------------------------
+
+    def _read_verified(self, path: Path) -> Any:
+        """Decode the entry at ``path``; raise :class:`_CorruptEntry`.
+
+        The caller handles ``FileNotFoundError`` (an ordinary miss) and
+        other ``OSError`` (an I/O problem, not corruption) separately —
+        corruption means the *bytes* are there but wrong.
+        """
+        raw = path.read_text(encoding="utf-8")
+        try:
+            entry = json.loads(raw)
+        except ValueError as exc:
+            raise _CorruptEntry(f"not valid JSON: {exc}") from None
+        if not isinstance(entry, dict):
+            raise _CorruptEntry("entry is not a JSON object")
+        payload = entry.get(self._payload_field)
+        digest = entry.get("sha256")
+        if payload is None or digest is None:
+            raise _CorruptEntry(
+                f"entry lacks {self._payload_field!r}/'sha256' fields"
+            )
+        if digest != fingerprint_of(payload):
+            raise _CorruptEntry("payload digest mismatch")
+        try:
+            return self._decode(payload)
+        except (ValueError, KeyError, TypeError) as exc:
+            raise _CorruptEntry(f"payload does not decode: {exc!r}") from None
+
+    def _quarantine(self, path: Path, reason: str) -> None:
+        """Move a corrupt entry aside — visible, counted, never deleted."""
+        qdir = self.root / QUARANTINE_DIR
+        try:
+            qdir.mkdir(parents=True, exist_ok=True)
+            os.replace(path, qdir / path.name)
+        except OSError:
+            self.io_errors += 1
+            fault_span("io-error", "io_errors", path=str(path))
+            return
+        self.quarantined += 1
+        fault_span(
+            "corrupt-entry",
+            "quarantined",
+            store=type(self).__name__,
+            path=str(path),
+            reason=reason,
+        )
+
+    def get(self, key: str) -> Optional[Any]:
+        """The stored object under ``key``, or None (counted).
+
+        Failure handling is deliberately narrow: a missing file is a
+        plain miss; corrupt bytes are quarantined and counted; an I/O
+        error is counted.  Nothing is silently swallowed or deleted.
+        """
+        path = self._path(key)
+        try:
+            value = self._read_verified(path)
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except OSError:
+            self.io_errors += 1
+            fault_span("io-error", "io_errors", path=str(path))
+            self.misses += 1
+            return None
+        except _CorruptEntry as exc:
+            self._quarantine(path, str(exc))
+            self.misses += 1
+            return None
+        self.hits += 1
+        return value
+
+    def put(self, key: str, payload: Dict[str, Any]) -> None:
+        """Store ``payload`` under ``key`` (atomic, checksummed write)."""
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        entry = {
+            "key": key,
+            "schema": self._entry_schema(),
+            "sha256": fingerprint_of(payload),
+            self._payload_field: payload,
+        }
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        with open(tmp, "w", encoding="utf-8") as fh:
+            json.dump(entry, fh, sort_keys=True)
+        os.replace(tmp, path)
+        self.stores += 1
+        plan = _ambient_faults()
+        if plan is not None and plan.should_inject(self._corrupt_kind, key, 0):
+            plan.corrupt(path)
+
+    # -- maintenance / introspection ------------------------------------
+
+    def _entry_paths(self):
+        if not self.root.exists():
+            return
+        yield from sorted(self.root.glob("v*/??/*.json"))
+
+    def _quarantine_paths(self):
+        qdir = self.root / QUARANTINE_DIR
+        if not qdir.exists():
+            return
+        yield from sorted(qdir.glob("*.json"))
+
+    def stats(self) -> Dict[str, Any]:
+        """Traffic counters plus what is on disk right now."""
+        entries = list(self._entry_paths())
+        return {
+            "root": str(self.root),
+            "entries": len(entries),
+            "bytes": sum(p.stat().st_size for p in entries),
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "quarantined": self.quarantined,
+            "quarantine_files": len(list(self._quarantine_paths())),
+            "io_errors": self.io_errors,
+        }
+
+    def clear(self) -> int:
+        """Delete every entry (quarantine included); returns the count."""
+        removed = len(list(self._entry_paths()))
+        if self.root.exists():
+            shutil.rmtree(self.root)
+        return removed
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<{type(self).__name__} {str(self.root)!r} hits={self.hits} "
+            f"misses={self.misses} quarantined={self.quarantined}>"
+        )
+
+
+class ResultCache(_ChecksumStore):
+    """Fingerprint-keyed store of per-cell sweep measurements.
+
+    Instances also count their traffic (``hits`` / ``misses`` /
+    ``stores`` / ``quarantined`` / ``io_errors``) so tests and the CLI
+    can verify cache behaviour instead of inferring it from wall time
+    alone.
+    """
+
+    _payload_field = "measurement"
+    _corrupt_kind = "corrupt-result"
 
     # ------------------------------------------------------------------
     # keys
@@ -99,76 +299,27 @@ class ResultCache:
             }
         )
 
-    def _path(self, key: str) -> Path:
-        return self.root / f"v{CACHE_SCHEMA_VERSION}" / key[:2] / f"{key}.json"
+    def _subtree(self) -> str:
+        return f"v{CACHE_SCHEMA_VERSION}"
 
-    # ------------------------------------------------------------------
-    # get / put
-    # ------------------------------------------------------------------
+    def _entry_schema(self) -> int:
+        return CACHE_SCHEMA_VERSION
+
+    def _decode(self, payload: Dict[str, Any]) -> "PlatformMeasurement":
+        from .sweep import PlatformMeasurement
+
+        return PlatformMeasurement.from_dict(payload)
 
     def get(self, key: str) -> Optional["PlatformMeasurement"]:
         """The cached measurement under ``key``, or None (counted)."""
-        from .sweep import PlatformMeasurement
-
-        path = self._path(key)
-        try:
-            with open(path, "r", encoding="utf-8") as fh:
-                entry = json.load(fh)
-            measurement = PlatformMeasurement.from_dict(entry["measurement"])
-        except (OSError, ValueError, KeyError, TypeError):
-            self.misses += 1
-            return None
-        self.hits += 1
-        return measurement
+        return super().get(key)
 
     def put(self, key: str, measurement: "PlatformMeasurement") -> None:
-        """Store ``measurement`` under ``key`` (atomic rename write)."""
-        path = self._path(key)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        entry = {
-            "key": key,
-            "schema": CACHE_SCHEMA_VERSION,
-            "measurement": measurement.to_dict(),
-        }
-        tmp = path.with_suffix(f".tmp.{os.getpid()}")
-        with open(tmp, "w", encoding="utf-8") as fh:
-            json.dump(entry, fh, sort_keys=True)
-        os.replace(tmp, path)
-        self.stores += 1
-
-    # ------------------------------------------------------------------
-    # maintenance / introspection
-    # ------------------------------------------------------------------
-
-    def _entry_paths(self):
-        if not self.root.exists():
-            return
-        yield from sorted(self.root.glob("v*/??/*.json"))
-
-    def stats(self) -> Dict[str, Any]:
-        """Traffic counters plus what is on disk right now."""
-        entries = list(self._entry_paths())
-        return {
-            "root": str(self.root),
-            "entries": len(entries),
-            "bytes": sum(p.stat().st_size for p in entries),
-            "hits": self.hits,
-            "misses": self.misses,
-            "stores": self.stores,
-        }
-
-    def clear(self) -> int:
-        """Delete every entry; returns how many were removed."""
-        removed = len(list(self._entry_paths()))
-        if self.root.exists():
-            shutil.rmtree(self.root)
-        return removed
-
-    def __repr__(self) -> str:  # pragma: no cover - cosmetic
-        return f"<ResultCache {str(self.root)!r} hits={self.hits} misses={self.misses}>"
+        """Store ``measurement`` under ``key`` (atomic checksummed write)."""
+        super().put(key, measurement.to_dict())
 
 
-class TraceStore:
+class TraceStore(_ChecksumStore):
     """On-disk tier for :class:`~repro.core.trace.FunctionalTrace` records.
 
     Keyed by :func:`repro.core.trace.trace_key` — the canonical
@@ -180,77 +331,32 @@ class TraceStore:
 
     Same layout and failure semantics as :class:`ResultCache`::
 
-        <root>/v1/<key[:2]>/<key>.json
+        <root>/v2/<key[:2]>/<key>.json
 
-    Corrupt or unreadable entries count as misses and are overwritten.
+    Corrupt entries are quarantined and report as misses; see the
+    module docstring for the full integrity contract.
     """
 
-    def __init__(self, root: Union[str, Path]) -> None:
-        self.root = Path(root)
-        self.hits = 0
-        self.misses = 0
-        self.stores = 0
+    _payload_field = "trace"
+    _corrupt_kind = "corrupt-trace"
 
-    def _path(self, key: str) -> Path:
+    def _subtree(self) -> str:
+        return f"v{TRACE_STORE_VERSION}"
+
+    def _entry_schema(self) -> int:
         from ..core.trace import TRACE_SCHEMA_VERSION
 
-        return self.root / f"v{TRACE_SCHEMA_VERSION}" / key[:2] / f"{key}.json"
+        return TRACE_SCHEMA_VERSION
+
+    def _decode(self, payload: Dict[str, Any]) -> "FunctionalTrace":
+        from ..core.trace import FunctionalTrace
+
+        return FunctionalTrace.from_dict(payload)
 
     def get(self, key: str) -> Optional["FunctionalTrace"]:
         """The stored trace under ``key``, or None (counted)."""
-        from ..core.trace import FunctionalTrace
-
-        path = self._path(key)
-        try:
-            with open(path, "r", encoding="utf-8") as fh:
-                entry = json.load(fh)
-            trace = FunctionalTrace.from_dict(entry["trace"])
-        except (OSError, ValueError, KeyError, TypeError):
-            self.misses += 1
-            return None
-        self.hits += 1
-        return trace
+        return super().get(key)
 
     def put(self, key: str, trace: "FunctionalTrace") -> None:
-        """Store ``trace`` under ``key`` (atomic rename write)."""
-        from ..core.trace import TRACE_SCHEMA_VERSION
-
-        path = self._path(key)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        entry = {
-            "key": key,
-            "schema": TRACE_SCHEMA_VERSION,
-            "trace": trace.to_dict(),
-        }
-        tmp = path.with_suffix(f".tmp.{os.getpid()}")
-        with open(tmp, "w", encoding="utf-8") as fh:
-            json.dump(entry, fh, sort_keys=True)
-        os.replace(tmp, path)
-        self.stores += 1
-
-    def _entry_paths(self):
-        if not self.root.exists():
-            return
-        yield from sorted(self.root.glob("v*/??/*.json"))
-
-    def stats(self) -> Dict[str, Any]:
-        """Traffic counters plus what is on disk right now."""
-        entries = list(self._entry_paths())
-        return {
-            "root": str(self.root),
-            "entries": len(entries),
-            "bytes": sum(p.stat().st_size for p in entries),
-            "hits": self.hits,
-            "misses": self.misses,
-            "stores": self.stores,
-        }
-
-    def clear(self) -> int:
-        """Delete every entry; returns how many were removed."""
-        removed = len(list(self._entry_paths()))
-        if self.root.exists():
-            shutil.rmtree(self.root)
-        return removed
-
-    def __repr__(self) -> str:  # pragma: no cover - cosmetic
-        return f"<TraceStore {str(self.root)!r} hits={self.hits} misses={self.misses}>"
+        """Store ``trace`` under ``key`` (atomic checksummed write)."""
+        super().put(key, trace.to_dict())

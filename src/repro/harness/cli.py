@@ -50,6 +50,22 @@ report flags:
                        cost ledgers (bytes identical either way; see
                        docs/performance.md)
 
+fault tolerance (docs/robustness.md):
+  --resume             resume a crashed/killed run from the checkpoint
+                       journal at <cache-dir>/journal.jsonl, recomputing
+                       only unfinished sweep cells (requires --cache-dir)
+  --inject-faults SPEC deterministic chaos: comma-separated kind=rate
+                       entries (crash, timeout, oserror, corrupt-result,
+                       corrupt-trace) plus seed=N / attempts=N / hang=S,
+                       e.g. "crash=0.3,timeout=0.2,seed=7"; whenever
+                       retries succeed the report bytes are identical to
+                       a fault-free run
+  --shard-timeout S    per-shard deadline (seconds) when collecting pool
+                       results; timed-out shards retry, then degrade to
+                       inline execution
+  --max-retries N      attempts per shard and pool rebuilds tolerated
+                       before degrading to inline execution (default 3)
+
 benchmarking:
   atm-repro bench [--out FILE] [--full] [--baseline FILE]
   times the five-backend sweep with the trace engine off/cold/warm,
@@ -128,6 +144,34 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="re-run the functional simulation per backend instead of"
         " replaying cost ledgers from a shared trace (bytes identical)",
+    )
+    report.add_argument(
+        "--resume",
+        action="store_true",
+        help="resume from the checkpoint journal at <cache-dir>/journal.jsonl,"
+        " recomputing only unfinished sweep cells (requires --cache-dir)",
+    )
+    report.add_argument(
+        "--inject-faults",
+        default=None,
+        metavar="SPEC",
+        help="deterministic chaos plan, e.g. 'crash=0.3,timeout=0.2,seed=7'"
+        " (see docs/robustness.md)",
+    )
+    report.add_argument(
+        "--shard-timeout",
+        type=float,
+        default=None,
+        metavar="S",
+        help="per-shard deadline in seconds when collecting pool results",
+    )
+    report.add_argument(
+        "--max-retries",
+        type=int,
+        default=3,
+        metavar="N",
+        help="attempts per shard before degrading to inline execution"
+        " (default 3)",
     )
 
     bench = sub.add_parser(
@@ -265,13 +309,36 @@ def main(argv: Optional[List[str]] = None) -> int:
         from pathlib import Path
 
         from .cache import ResultCache, TraceStore
+        from .faults import RetryPolicy, SweepJournal, parse_fault_spec
         from .report import build_report, render_report, write_report
 
         cache = None
         traces = None
+        journal = None
+        if args.resume and (not args.cache_dir or args.no_cache):
+            print(
+                "--resume needs --cache-dir (the journal lives at"
+                " <cache-dir>/journal.jsonl) and is incompatible with"
+                " --no-cache",
+                file=sys.stderr,
+            )
+            return 2
         if args.cache_dir and not args.no_cache:
             cache = ResultCache(args.cache_dir)
             traces = TraceStore(Path(args.cache_dir) / "traces")
+            journal = SweepJournal(
+                Path(args.cache_dir) / "journal.jsonl", resume=args.resume
+            )
+        faults = None
+        if args.inject_faults:
+            try:
+                faults = parse_fault_spec(args.inject_faults)
+            except ValueError as exc:
+                print(f"bad --inject-faults spec: {exc}", file=sys.stderr)
+                return 2
+        retry = RetryPolicy(
+            max_attempts=max(1, args.max_retries), timeout_s=args.shard_timeout
+        )
         run_kwargs = dict(
             quick=not args.full,
             seed=args.seed,
@@ -280,6 +347,9 @@ def main(argv: Optional[List[str]] = None) -> int:
             cache=cache,
             trace=False if args.no_trace_replay else None,
             traces=traces,
+            retry=retry,
+            faults=faults,
+            journal=journal,
         )
         if args.trace:
             from ..obs import collecting, write_chrome_trace
@@ -299,6 +369,23 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(
                 f"cache {s['root']}: {s['hits']} hits, {s['misses']} misses, "
                 f"{s['stores']} stored, {s['entries']} entries on disk",
+                file=sys.stderr,
+            )
+            quarantined = s["quarantined"] + (
+                traces.stats()["quarantined"] if traces is not None else 0
+            )
+            if quarantined:
+                print(
+                    f"integrity: {quarantined} corrupt entries quarantined "
+                    f"under {s['root']}/quarantine",
+                    file=sys.stderr,
+                )
+        if journal is not None:
+            js = journal.stats()
+            print(
+                f"journal {js['path']}: {js['resumed_cells']} cells resumed, "
+                f"{js['recorded']} checkpointed, {js['dropped_lines']} torn"
+                " lines dropped",
                 file=sys.stderr,
             )
         return 0

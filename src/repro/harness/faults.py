@@ -1,0 +1,372 @@
+"""Deterministic fault injection, retry policy and sweep checkpointing.
+
+The paper's headline claim is about *dependability*: the AP and the
+GPUs never miss an ATM deadline while the Xeon MIMD regularly does
+(Section 6.2).  A harness that silently aborts — or silently recomputes
+— when a pool worker dies or a cache file rots cannot credibly measure
+that.  This module gives the sweep engine the same first-class fault
+story the modelled machines get:
+
+* :class:`FaultPlan` — a seeded, **deterministic** injector.  Given the
+  same seed and rates it makes the same inject/skip decision for every
+  ``(kind, shard, attempt)`` triple, in every process, so chaos tests
+  are exactly reproducible and ``atm-repro report --inject-faults SPEC``
+  can be replayed bit for bit.  Kinds: ``crash`` (the worker process
+  dies), ``timeout`` (the worker hangs past the shard deadline),
+  ``oserror`` (a transient ``OSError``), ``corrupt-result`` /
+  ``corrupt-trace`` (a stored cache / trace entry is bit-flipped on
+  disk after the write).
+* :class:`RetryPolicy` — bounded retries with a deterministic
+  exponential backoff and an optional per-shard timeout, consulted by
+  :func:`repro.harness.parallel.measure_cells`.
+* :class:`SweepJournal` — an atomic, append-only, fsynced journal of
+  completed measurement cells under the cache dir.  After a crash or
+  SIGKILL, ``atm-repro report --resume`` replays the journal and
+  recomputes only the unfinished cells.
+
+Because every measurement cell is a pure function of its arguments,
+**a retried shard produces the same bytes as an untroubled one** — the
+chaos suite (``tests/harness/test_faults.py``) asserts that a sweep
+run under injected crashes, hangs and corruption stays byte-identical
+to a fault-free serial run.  Every failure path emits a
+``harness.fault`` span plus a ``harness.fault.*`` counter on the
+:mod:`repro.obs` collector.  See ``docs/robustness.md``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import TYPE_CHECKING, Any, Dict, Mapping, Optional, Union
+
+from ..core.canonical import fingerprint_of
+from ..obs import count as obs_count
+from ..obs import span as obs_span
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .sweep import PlatformMeasurement
+
+__all__ = [
+    "FAULT_KINDS",
+    "FaultPlan",
+    "RetryPolicy",
+    "SweepJournal",
+    "fault_span",
+    "parse_fault_spec",
+]
+
+#: Every injectable fault kind, in the order the executor probes them.
+FAULT_KINDS = ("crash", "timeout", "oserror", "corrupt-result", "corrupt-trace")
+
+#: Fault kinds that are realised *inside* a pool worker process (the
+#: parent decides, the worker obeys — workers stay pure functions of
+#: their argument tuple, exactly like the trace payloads).
+WORKER_FAULT_KINDS = ("crash", "timeout", "oserror")
+
+
+def fault_span(kind: str, counter: str, **attrs: Any) -> None:
+    """Emit one ``harness.fault`` span plus its ``harness.fault.*`` counter.
+
+    Every failure path in the harness funnels through here, so a single
+    ``report --trace`` shows exactly which shard faulted, how, and on
+    which attempt.
+    """
+    with obs_span("harness.fault", cat="harness", kind=kind, **attrs):
+        pass
+    obs_count(f"harness.fault.{counter}")
+
+
+# ---------------------------------------------------------------------------
+# retry / backoff policy
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How the executor reacts when a shard fails.
+
+    Backoff is deterministic on purpose — ``backoff_s * 2**attempt``
+    with no jitter — so two runs of the same chaos plan retry on the
+    same schedule and the determinism contract extends to the fault
+    path.
+    """
+
+    #: total tries per shard (1 = no retries).
+    max_attempts: int = 3
+    #: base of the exponential backoff slept before each retry.
+    backoff_s: float = 0.05
+    #: per-shard deadline when collecting pool results; None waits
+    #: forever (timeouts then only arise from injected hangs in tests).
+    timeout_s: Optional[float] = None
+
+    def backoff_for(self, attempt: int) -> float:
+        """Seconds to sleep before retry number ``attempt`` (0-based)."""
+        return self.backoff_s * (2.0 ** max(0, int(attempt)))
+
+
+# ---------------------------------------------------------------------------
+# the deterministic injector
+# ---------------------------------------------------------------------------
+
+
+def _draw(seed: int, kind: str, key: str, attempt: int) -> float:
+    """Uniform [0, 1) draw, a pure function of its arguments."""
+    digest = hashlib.sha256(
+        f"{seed}|{kind}|{key}|{attempt}".encode("utf-8")
+    ).digest()
+    return int.from_bytes(digest[:8], "big") / 2.0**64
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Seeded decision table: which shard faults, how, on which attempt.
+
+    ``rates`` maps a fault kind (see :data:`FAULT_KINDS`) to an
+    injection probability.  A decision is the SHA-256 hash of
+    ``(seed, kind, shard key, attempt)`` mapped onto [0, 1) and compared
+    against the rate — no hidden state, no RNG object, so the same plan
+    gives the same answers in any process and in any order of queries
+    (the property tests pin this).
+
+    By default only attempt 0 of a shard can fault
+    (``faulted_attempts=1``): the first retry always succeeds, which is
+    what makes "byte-identical to a fault-free run" testable end to
+    end.  Raise ``faulted_attempts`` (``attempts=N`` in the spec) to
+    exercise retry exhaustion and pool→inline degradation.
+    """
+
+    rates: Mapping[str, float] = field(default_factory=dict)
+    seed: int = 0
+    #: attempts 0..faulted_attempts-1 may fault; later retries run clean.
+    faulted_attempts: int = 1
+    #: how long an injected hang sleeps in the worker (must exceed the
+    #: executor's ``timeout_s`` to register as a timeout).
+    hang_s: float = 2.0
+
+    def __post_init__(self) -> None:
+        unknown = sorted(set(self.rates) - set(FAULT_KINDS))
+        if unknown:
+            raise ValueError(
+                f"unknown fault kinds {unknown}; known: {list(FAULT_KINDS)}"
+            )
+        bad = {k: r for k, r in self.rates.items() if not 0.0 <= float(r) <= 1.0}
+        if bad:
+            raise ValueError(f"fault rates must be within [0, 1]: {bad}")
+
+    # -- decisions ------------------------------------------------------
+
+    def should_inject(self, kind: str, key: str, attempt: int = 0) -> bool:
+        """Deterministically decide one ``(kind, shard, attempt)`` triple."""
+        if attempt >= self.faulted_attempts:
+            return False
+        rate = float(self.rates.get(kind, 0.0))
+        if rate <= 0.0:
+            return False
+        if rate >= 1.0:
+            return True
+        return _draw(self.seed, kind, key, attempt) < rate
+
+    def worker_fault(self, key: str, attempt: int) -> Optional[str]:
+        """The fault directive to ship to a pool worker, or None.
+
+        Probed in :data:`WORKER_FAULT_KINDS` order so at most one fault
+        fires per attempt.
+        """
+        for kind in WORKER_FAULT_KINDS:
+            if self.should_inject(kind, key, attempt):
+                return kind
+        return None
+
+    # -- corruption -----------------------------------------------------
+
+    def corrupt(self, path: Union[str, Path]) -> None:
+        """Flip one deterministic bit of the file at ``path``.
+
+        The flipped position is a pure function of the plan seed and
+        the file name, so repeated runs corrupt the same byte — and the
+        store's SHA-256 verification must catch it either way.
+        """
+        path = Path(path)
+        data = bytearray(path.read_bytes())
+        if not data:
+            data = bytearray(b"\x00")
+        pos = int(_draw(self.seed, "corrupt-position", path.name, 0) * len(data))
+        pos = min(pos, len(data) - 1)
+        data[pos] ^= 0x01
+        path.write_bytes(bytes(data))
+        obs_count("harness.fault.injected")
+
+    # -- serialization --------------------------------------------------
+
+    def to_spec(self) -> str:
+        """The ``--inject-faults`` spec string reproducing this plan."""
+        parts = [f"{k}={self.rates[k]:g}" for k in FAULT_KINDS if k in self.rates]
+        parts.append(f"seed={self.seed}")
+        if self.faulted_attempts != 1:
+            parts.append(f"attempts={self.faulted_attempts}")
+        if self.hang_s != 2.0:
+            parts.append(f"hang={self.hang_s:g}")
+        return ",".join(parts)
+
+
+def parse_fault_spec(spec: str) -> FaultPlan:
+    """Parse an ``--inject-faults`` spec into a :class:`FaultPlan`.
+
+    Grammar: comma-separated ``kind=rate`` entries (kinds from
+    :data:`FAULT_KINDS`, rates in [0, 1]) plus the optional knobs
+    ``seed=N``, ``attempts=N`` (how many attempts may fault) and
+    ``hang=SECONDS`` (injected hang duration)::
+
+        crash=0.5,timeout=0.25,corrupt-result=1,seed=7
+    """
+    rates: Dict[str, float] = {}
+    seed = 0
+    faulted_attempts = 1
+    hang_s = 2.0
+    for raw in spec.split(","):
+        entry = raw.strip()
+        if not entry:
+            continue
+        name, sep, value = entry.partition("=")
+        name = name.strip()
+        if not sep:
+            raise ValueError(f"bad fault spec entry {entry!r}: expected kind=rate")
+        try:
+            if name == "seed":
+                seed = int(value)
+            elif name == "attempts":
+                faulted_attempts = int(value)
+            elif name == "hang":
+                hang_s = float(value)
+            elif name in FAULT_KINDS:
+                rates[name] = float(value)
+            else:
+                raise ValueError(
+                    f"unknown fault kind {name!r}; known: {list(FAULT_KINDS)}"
+                    " plus seed=/attempts=/hang="
+                )
+        except ValueError as exc:
+            if "unknown fault kind" in str(exc) or "expected kind" in str(exc):
+                raise
+            raise ValueError(f"bad fault spec entry {entry!r}: {exc}") from None
+    return FaultPlan(
+        rates=rates, seed=seed, faulted_attempts=faulted_attempts, hang_s=hang_s
+    )
+
+
+# ---------------------------------------------------------------------------
+# the checkpoint journal
+# ---------------------------------------------------------------------------
+
+
+class SweepJournal:
+    """Atomic append-only journal of completed measurement cells.
+
+    One JSON line per completed (backend, fleet-size) cell::
+
+        {"key": <cell fingerprint>, "sha256": <payload digest>,
+         "measurement": {...}}
+
+    ``key`` is the same fingerprint the :class:`~repro.harness.cache.ResultCache`
+    uses (backend ``describe()`` + task parameters + library version),
+    so a journal line can never resurrect a cell whose cost model has
+    changed since the crash.  Every line is flushed and fsynced before
+    the cell is considered checkpointed, and each line carries its own
+    content digest, so a line torn by SIGKILL mid-write is detected and
+    dropped on resume — never half-read.
+
+    ``resume=False`` (a fresh run) discards any previous journal;
+    ``resume=True`` loads it and serves completed cells via
+    :meth:`lookup`, counted on ``harness.fault.resumed_cells``.
+    """
+
+    def __init__(self, path: Union[str, Path], *, resume: bool = False) -> None:
+        self.path = Path(path)
+        self.resume = bool(resume)
+        #: cells served from the journal this run.
+        self.resumed_cells = 0
+        #: torn / corrupt lines dropped while loading.
+        self.dropped_lines = 0
+        #: cells appended this run.
+        self.recorded = 0
+        self._entries: Dict[str, Dict[str, Any]] = {}
+        self._seen: set = set()
+        if self.resume:
+            self._load()
+        elif self.path.exists():
+            self.path.unlink()
+
+    def _load(self) -> None:
+        try:
+            text = self.path.read_text(encoding="utf-8")
+        except FileNotFoundError:
+            return
+        except OSError:
+            fault_span("io-error", "io_errors", path=str(self.path))
+            return
+        for line in text.splitlines():
+            if not line.strip():
+                continue
+            try:
+                record = json.loads(line)
+                payload = record["measurement"]
+                if record["sha256"] != fingerprint_of(payload):
+                    raise ValueError("journal line digest mismatch")
+                key = record["key"]
+            except (ValueError, KeyError, TypeError):
+                # A torn tail from SIGKILL mid-append, or on-disk rot:
+                # drop the line, keep the rest — and say so.
+                self.dropped_lines += 1
+                fault_span("journal-torn-line", "journal_dropped", path=str(self.path))
+                continue
+            self._entries[key] = payload
+            self._seen.add(key)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def lookup(self, key: str) -> Optional["PlatformMeasurement"]:
+        """The checkpointed measurement under ``key``, or None (counted)."""
+        payload = self._entries.get(key)
+        if payload is None:
+            return None
+        from .sweep import PlatformMeasurement
+
+        self.resumed_cells += 1
+        return PlatformMeasurement.from_dict(payload)
+
+    def record(self, key: str, measurement: "PlatformMeasurement") -> None:
+        """Append one completed cell (flushed + fsynced before returning)."""
+        if key in self._seen:
+            return
+        payload = measurement.to_dict()
+        line = json.dumps(
+            {"key": key, "sha256": fingerprint_of(payload), "measurement": payload},
+            sort_keys=True,
+        )
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with open(self.path, "a", encoding="utf-8") as fh:
+            fh.write(line + "\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+        self._seen.add(key)
+        self._entries[key] = payload
+        self.recorded += 1
+
+    def stats(self) -> Dict[str, Any]:
+        return {
+            "path": str(self.path),
+            "entries": len(self._entries),
+            "resumed_cells": self.resumed_cells,
+            "recorded": self.recorded,
+            "dropped_lines": self.dropped_lines,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<SweepJournal {str(self.path)!r} entries={len(self._entries)} "
+            f"resumed={self.resumed_cells}>"
+        )

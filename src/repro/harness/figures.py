@@ -825,6 +825,13 @@ def run_experiment(experiment_id: str, **kwargs):
     try:
         fn = EXPERIMENTS[experiment_id]
     except KeyError:
+        # Name the missing key on the obs collector too, so a traced
+        # harness run shows *which* lookup failed, not just that one did.
+        from .faults import fault_span
+
+        fault_span(
+            "unknown-experiment", "unknown_experiment", experiment=experiment_id
+        )
         known = ", ".join(sorted(EXPERIMENTS))
         raise KeyError(
             f"unknown experiment {experiment_id!r}; known: {known}"

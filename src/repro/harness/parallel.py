@@ -9,7 +9,8 @@ engine behind ``sweep(..., jobs=N)``:
 * every cell is a **shard**: ``(registry name, fleet size)`` plus the
   shared task parameters;
 * shards whose key is in the :class:`~repro.harness.cache.ResultCache`
-  are served in the parent process without touching a cost model;
+  (or in a resumed :class:`~repro.harness.faults.SweepJournal`) are
+  served in the parent process without touching a cost model;
 * remaining shards run on a ``ProcessPoolExecutor`` when ``jobs > 1``
   (registry-name specs only — live :class:`~repro.backends.base.Backend`
   *instances* may carry state, so they always run in the parent, in
@@ -19,15 +20,34 @@ engine behind ``sweep(..., jobs=N)``:
   byte-identical for any worker count — the parallel-determinism tests
   assert exactly that.
 
+**Fault tolerance.**  The executor survives dying workers, hung shards
+and transient I/O errors (docs/robustness.md): a failed shard retries
+under the ambient :class:`~repro.harness.faults.RetryPolicy` with
+deterministic backoff; a crashed worker breaks the whole
+``ProcessPoolExecutor``, so the pool is rebuilt (bounded times) and the
+uncollected shards resubmitted; when the rebuild budget is exhausted —
+a worker that dies repeatedly — the remaining shards degrade to inline
+execution in the parent.  Because every cell is a pure function of its
+arguments, **any path that eventually completes produces the same
+bytes**, so the determinism contract extends across the fault paths.
+Faults can be injected deterministically for tests and chaos runs via
+``sweep_options(faults=FaultPlan(...))`` or
+``atm-repro report --inject-faults SPEC``.
+
 Every shard emits one ``harness.shard`` span (category ``harness``) on
 the parent's :mod:`repro.obs` collector, carrying the platform, fleet
-size, result source (``cache`` / ``pool`` / ``inline``) and the shard's
-modelled seconds.  See docs/parallel-and-caching.md.
+size, result source (``cache`` / ``journal`` / ``pool`` / ``inline``)
+and the shard's modelled seconds; every failure emits a
+``harness.fault`` span plus ``harness.fault.*`` counters.  See
+docs/parallel-and-caching.md.
 """
 
 from __future__ import annotations
 
+import time
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FuturesTimeout
+from concurrent.futures.process import BrokenProcessPool
 from contextlib import contextmanager
 from contextvars import ContextVar
 from dataclasses import dataclass
@@ -36,6 +56,7 @@ from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
 from ..obs import count as obs_count
 from ..obs import span as obs_span
 from .cache import ResultCache, TraceStore
+from .faults import FaultPlan, RetryPolicy, SweepJournal, fault_span
 
 __all__ = [
     "SweepOptions",
@@ -55,8 +76,9 @@ class SweepOptions:
     """Ambient execution policy consulted by ``sweep``/``measure_platform``.
 
     Installed with :func:`sweep_options`; the report runner uses this to
-    thread ``--jobs``/``--cache-dir`` through every experiment without
-    widening each generator's signature.
+    thread ``--jobs``/``--cache-dir``/``--inject-faults``/``--resume``
+    through every experiment without widening each generator's
+    signature.
     """
 
     #: worker processes for sweep shards (1 = serial, in-process).
@@ -69,6 +91,12 @@ class SweepOptions:
     trace: bool = True
     #: on-disk tier for functional traces, or None for in-process only.
     traces: Optional[TraceStore] = None
+    #: retry/backoff/timeout policy for failed shards.
+    retry: RetryPolicy = RetryPolicy()
+    #: deterministic fault injector (chaos tests, --inject-faults).
+    faults: Optional[FaultPlan] = None
+    #: checkpoint journal of completed cells (--resume), or None.
+    journal: Optional[SweepJournal] = None
 
 
 _OPTIONS: ContextVar[SweepOptions] = ContextVar(
@@ -77,6 +105,19 @@ _OPTIONS: ContextVar[SweepOptions] = ContextVar(
 
 #: sentinel distinguishing "not passed" from an explicit None/False.
 _KEEP = object()
+
+
+def _resolve(value: Any, base: Any) -> Any:
+    """Option resolution: _KEEP inherits, None/False disable, else use.
+
+    Identity checks on purpose — a perfectly valid store or journal may
+    be *empty* (``len() == 0``), and emptiness must not read as "off".
+    """
+    if value is _KEEP:
+        return base
+    if value is None or value is False:
+        return None
+    return value
 
 
 def current_options() -> SweepOptions:
@@ -91,14 +132,20 @@ def sweep_options(
     cache: Any = _KEEP,
     trace: Optional[bool] = None,
     traces: Any = _KEEP,
+    retry: Optional[RetryPolicy] = None,
+    faults: Any = _KEEP,
+    journal: Any = _KEEP,
 ) -> Iterator[SweepOptions]:
     """Scope different sweep-execution options over a ``with`` block."""
     base = _OPTIONS.get()
     new = SweepOptions(
         jobs=base.jobs if jobs is None else max(1, int(jobs)),
-        cache=base.cache if cache is _KEEP else (cache or None),
+        cache=_resolve(cache, base.cache),
         trace=base.trace if trace is None else bool(trace),
-        traces=base.traces if traces is _KEEP else (traces or None),
+        traces=_resolve(traces, base.traces),
+        retry=base.retry if retry is None else retry,
+        faults=_resolve(faults, base.faults),
+        journal=_resolve(journal, base.journal),
     )
     token = _OPTIONS.set(new)
     try:
@@ -112,6 +159,25 @@ def sweep_options(
 # ---------------------------------------------------------------------------
 
 
+def _obey_fault_directive(inject: Optional[Tuple[str, float]]) -> None:
+    """Realise a parent-issued fault directive inside a worker process.
+
+    The parent's FaultPlan makes every decision; the worker just obeys,
+    so shard results stay pure functions of the argument tuple.
+    """
+    if inject is None:
+        return
+    kind, param = inject
+    if kind == "crash":
+        import os as _os
+
+        _os._exit(3)
+    elif kind == "timeout":
+        time.sleep(param)
+    elif kind == "oserror":
+        raise OSError("injected transient fault")
+
+
 def _measure_shard(
     spec: str,
     n: int,
@@ -119,6 +185,7 @@ def _measure_shard(
     periods: int,
     mode_value: str,
     trace_payload: Optional[Dict[str, Any]] = None,
+    inject: Optional[Tuple[str, float]] = None,
 ) -> Dict[str, Any]:
     """Measure one (registry name, fleet size) cell; return its dict form.
 
@@ -135,7 +202,13 @@ def _measure_shard(
     functional simulation.  ``None`` forces direct execution — workers
     never consult ambient policy, so shard results are pure functions of
     the argument tuple.
+
+    ``inject`` is a parent-issued chaos directive ``(kind, param)``
+    realised before any work happens: ``crash`` kills this process,
+    ``timeout`` sleeps ``param`` seconds (then proceeds normally),
+    ``oserror`` raises a transient ``OSError``.
     """
+    _obey_fault_directive(inject)
     from ..core.collision import DetectionMode
     from ..core.trace import FunctionalTrace
     from .sweep import measure_platform
@@ -151,6 +224,7 @@ def _measure_shard(
         mode=DetectionMode(mode_value),
         cache=False,
         trace=trace,
+        journal=False,
     )
     return m.to_dict()
 
@@ -190,8 +264,271 @@ def _emit_shard(platform: str, n: int, source: str, jobs: int, measurement) -> N
     obs_count("harness.shards")
     if source == "cache":
         obs_count("harness.shards_cached")
+    elif source == "journal":
+        obs_count("harness.fault.resumed_cells")
     else:
         obs_count("harness.shards_measured")
+
+
+def _shard_id(platform: str, n: int) -> str:
+    """Stable identity of one cell for fault-plan decisions."""
+    return f"{platform}@{n}"
+
+
+class _PoolBox:
+    """A ProcessPoolExecutor plus its bounded rebuild budget.
+
+    A crashed worker breaks the *whole* pool (``BrokenProcessPool``
+    fails every outstanding future), so recovery means building a fresh
+    pool and resubmitting the uncollected shards.  The budget bounds
+    how often that is worth doing before the executor gives up on pool
+    execution entirely and degrades to inline.
+    """
+
+    def __init__(self, jobs: int, rebuild_budget: int) -> None:
+        self.jobs = jobs
+        self.rebuild_budget = max(1, int(rebuild_budget))
+        self.rebuilds = 0
+        self.pool = ProcessPoolExecutor(max_workers=jobs)
+
+    def rebuild(self) -> bool:
+        """Replace a broken pool; False when the budget is exhausted."""
+        self.pool.shutdown(wait=False, cancel_futures=True)
+        self.rebuilds += 1
+        if self.rebuilds >= self.rebuild_budget:
+            return False
+        self.pool = ProcessPoolExecutor(max_workers=self.jobs)
+        return True
+
+    def shutdown(self) -> None:
+        self.pool.shutdown(wait=True)
+
+
+def _pool_trace_payloads(
+    box: _PoolBox,
+    wanted_ns: List[int],
+    *,
+    seed: int,
+    periods: int,
+    mode: Any,
+    mode_value: str,
+    jobs: int,
+    opts: SweepOptions,
+) -> Dict[int, Dict[str, Any]]:
+    """Each distinct fleet size's functional trace, computed once.
+
+    Sharded across the pool; a pool failure here falls back to an
+    inline functional pass (counted), never aborts the sweep.
+    """
+    from ..core.trace import FunctionalTrace, compute_trace
+    from .sweep import _lookup_trace, _remember_trace
+
+    payload_by_n: Dict[int, Dict[str, Any]] = {}
+    missing: List[int] = []
+    for n_val in wanted_ns:
+        t = _lookup_trace(
+            n_val, seed=seed, periods=periods, mode=mode, traces=opts.traces
+        )
+        if t is not None:
+            payload_by_n[n_val] = t.to_dict()
+        else:
+            missing.append(n_val)
+    trace_futures = [
+        (n_val, box.pool.submit(_compute_trace_shard, n_val, seed, periods, mode_value))
+        for n_val in missing
+    ]
+    broken = False
+    for n_val, future in trace_futures:
+        source = "pool"
+        if broken:
+            payload = None
+        else:
+            try:
+                payload = future.result()
+            except (BrokenProcessPool, OSError):
+                fault_span(
+                    "worker-crash", "worker_crashes", stage="trace", n_aircraft=n_val
+                )
+                broken = True
+                payload = None
+        if payload is None:
+            fault_span(
+                "degraded-to-inline", "degraded_to_inline", stage="trace",
+                n_aircraft=n_val,
+            )
+            source = "compute"
+            payload = compute_trace(
+                n_val, seed=seed, periods=periods, mode=mode
+            ).to_dict()
+        with obs_span(
+            "harness.trace",
+            cat="harness",
+            n_aircraft=n_val,
+            source=source,
+            jobs=jobs,
+        ):
+            pass
+        obs_count("harness.trace.computed")
+        payload_by_n[n_val] = payload
+        _remember_trace(FunctionalTrace.from_dict(payload), opts.traces)
+    if broken and not box.rebuild():
+        raise _PoolGone
+    return payload_by_n
+
+
+class _PoolGone(Exception):
+    """Internal: the pool rebuild budget is exhausted; degrade to inline."""
+
+
+def _execute_pool_shards(
+    poolable: List[Tuple[int, int, Any, Optional[str]]],
+    names: List[str],
+    ns: Sequence[int],
+    rows: List[List[Any]],
+    *,
+    seed: int,
+    periods: int,
+    mode: Any,
+    mode_value: str,
+    jobs: int,
+    cache: Optional[ResultCache],
+    journal: Optional[SweepJournal],
+    opts: SweepOptions,
+) -> List[Tuple[int, int, Any, Optional[str]]]:
+    """Run the poolable shards; return the ones degraded to inline.
+
+    Results are collected **in submission order** (never completion
+    order) and written straight into ``rows`` by matrix position.  A
+    shard that exhausts its retry budget — or outlives the pool rebuild
+    budget — is handed back for inline execution instead of aborting
+    the sweep.
+    """
+    from .sweep import PlatformMeasurement
+
+    retry = opts.retry
+    plan = opts.faults
+    box = _PoolBox(min(jobs, len(poolable)), rebuild_budget=retry.max_attempts)
+    degraded: List[Tuple[int, int, Any, Optional[str]]] = []
+    try:
+        payload_by_n: Dict[int, Dict[str, Any]] = {}
+        if opts.trace:
+            try:
+                payload_by_n = _pool_trace_payloads(
+                    box,
+                    sorted({ns[j] for (_, j, _, _) in poolable}),
+                    seed=seed,
+                    periods=periods,
+                    mode=mode,
+                    mode_value=mode_value,
+                    jobs=jobs,
+                    opts=opts,
+                )
+            except _PoolGone:
+                for shard in poolable:
+                    fault_span(
+                        "degraded-to-inline", "degraded_to_inline",
+                        platform=names[shard[0]], n_aircraft=ns[shard[1]],
+                    )
+                return poolable
+
+        attempts = [0] * len(poolable)
+
+        def submit(idx: int):
+            i, j, spec, _ = poolable[idx]
+            inject = None
+            if plan is not None:
+                kind = plan.worker_fault(_shard_id(names[i], ns[j]), attempts[idx])
+                if kind is not None:
+                    obs_count("harness.fault.injected")
+                    inject = (kind, plan.hang_s)
+            return box.pool.submit(
+                _measure_shard,
+                spec,
+                ns[j],
+                seed,
+                periods,
+                mode_value,
+                payload_by_n.get(ns[j]),
+                inject,
+            )
+
+        futures = [submit(idx) for idx in range(len(poolable))]
+
+        for idx in range(len(poolable)):
+            i, j, spec, key = poolable[idx]
+            shard_attrs = dict(platform=names[i], n_aircraft=ns[j])
+            result: Optional[Dict[str, Any]] = None
+            while result is None:
+                try:
+                    result = futures[idx].result(timeout=retry.timeout_s)
+                except FuturesTimeout:
+                    fault_span(
+                        "timeout", "timeouts", attempt=attempts[idx], **shard_attrs
+                    )
+                except BrokenProcessPool:
+                    fault_span(
+                        "worker-crash", "worker_crashes",
+                        attempt=attempts[idx], **shard_attrs,
+                    )
+                    if not box.rebuild():
+                        # The pool keeps dying: run everything still
+                        # uncollected in the parent instead.
+                        remaining = poolable[idx:]
+                        for shard in remaining:
+                            fault_span(
+                                "degraded-to-inline", "degraded_to_inline",
+                                platform=names[shard[0]],
+                                n_aircraft=ns[shard[1]],
+                            )
+                        degraded.extend(remaining)
+                        return degraded
+                    # Fresh pool: resubmit every uncollected shard (their
+                    # futures died with the old pool).
+                    attempts[idx] += 1
+                    obs_count("harness.fault.retries")
+                    time.sleep(retry.backoff_for(attempts[idx] - 1))
+                    for k in range(idx, len(poolable)):
+                        futures[k] = submit(k)
+                    continue
+                except OSError as exc:
+                    fault_span(
+                        "os-error", "oserrors",
+                        attempt=attempts[idx], error=str(exc), **shard_attrs,
+                    )
+                else:
+                    continue
+                # timeout or transient OSError: retry this shard alone.
+                attempts[idx] += 1
+                if attempts[idx] >= retry.max_attempts:
+                    fault_span(
+                        "degraded-to-inline", "degraded_to_inline", **shard_attrs
+                    )
+                    degraded.append(poolable[idx])
+                    break
+                obs_count("harness.fault.retries")
+                time.sleep(retry.backoff_for(attempts[idx] - 1))
+                futures[idx] = submit(idx)
+            if result is None:
+                continue  # degraded; the inline loop finishes it
+            with obs_span(
+                "harness.shard",
+                cat="harness",
+                source="pool",
+                jobs=jobs,
+                **shard_attrs,
+            ) as sp:
+                m = PlatformMeasurement.from_dict(result)
+                sp.add_modelled(_modelled_seconds(m))
+            obs_count("harness.shards")
+            obs_count("harness.shards_measured")
+            rows[i][j] = m
+            if cache is not None and key is not None:
+                cache.put(key, m)
+            if journal is not None and key is not None:
+                journal.record(key, m)
+    finally:
+        box.shutdown()
+    return degraded
 
 
 def measure_cells(
@@ -209,11 +546,16 @@ def measure_cells(
     Returns ``(names, rows)`` where ``names[i]`` is the resolved
     platform name of ``specs[i]`` and ``rows[i][j]`` the measurement of
     ``specs[i]`` at ``ns[j]`` — positional, regardless of how and where
-    each shard actually ran.
+    each shard actually ran (cache, journal, pool, inline, or any of
+    the fault-recovery paths in between).
     """
     from ..backends.registry import resolve_backend
     from .sweep import PlatformMeasurement, measure_platform
 
+    opts = current_options()
+    retry = opts.retry
+    plan = opts.faults
+    journal = opts.journal
     jobs = max(1, int(jobs))
     resolved = [resolve_backend(spec) for spec in specs]
     names = [b.name for b in resolved]
@@ -222,23 +564,34 @@ def measure_cells(
     rows: List[List[Optional[PlatformMeasurement]]] = [
         [None] * len(ns) for _ in specs
     ]
-    #: shards still to measure: (i, j, spec, cache key or None)
+    #: shards still to measure: (i, j, spec, cell key or None)
     pending: List[Tuple[int, int, Any, Optional[str]]] = []
 
     for i, spec in enumerate(specs):
         for j, n in enumerate(ns):
             key = None
-            if cache is not None and (
+            if (cache is not None or journal is not None) and (
                 isinstance(spec, str) or resolved[i].deterministic_timing
             ):
-                key = cache.key_for(
+                key = ResultCache.key_for(
                     resolved[i], n=n, seed=seed, periods=periods, mode=mode
                 )
-                hit = cache.get(key)
-                if hit is not None:
-                    rows[i][j] = hit
-                    _emit_shard(names[i], n, "cache", jobs, hit)
-                    continue
+                if cache is not None:
+                    hit = cache.get(key)
+                    if hit is not None:
+                        rows[i][j] = hit
+                        _emit_shard(names[i], n, "cache", jobs, hit)
+                        if journal is not None:
+                            journal.record(key, hit)
+                        continue
+                if journal is not None:
+                    checkpointed = journal.lookup(key)
+                    if checkpointed is not None:
+                        rows[i][j] = checkpointed
+                        _emit_shard(names[i], n, "journal", jobs, checkpointed)
+                        if cache is not None:
+                            cache.put(key, checkpointed)
+                        continue
             pending.append((i, j, spec, key))
 
     # Registry-name shards may cross the process boundary; instances run
@@ -247,89 +600,66 @@ def measure_cells(
     inline = [p for p in pending if not isinstance(p[2], str)]
 
     if jobs > 1 and len(poolable) > 1:
-        opts = current_options()
-        with ProcessPoolExecutor(max_workers=min(jobs, len(poolable))) as pool:
-            # Functional traces first: each distinct fleet size runs its
-            # simulation once (sharded across the same pool), and every
-            # measure shard below replays cost models from the payload.
-            payload_by_n: Dict[int, Dict[str, Any]] = {}
-            if opts.trace:
-                from ..core.trace import FunctionalTrace
-                from .sweep import _lookup_trace, _remember_trace
+        degraded = _execute_pool_shards(
+            poolable,
+            names,
+            ns,
+            rows,
+            seed=seed,
+            periods=periods,
+            mode=mode,
+            mode_value=mode_value,
+            jobs=jobs,
+            cache=cache,
+            journal=journal,
+            opts=opts,
+        )
+        inline = degraded + inline
+    else:
+        inline = poolable + inline  # preserve matrix order below
 
-                missing: List[int] = []
-                for n_val in sorted({ns[j] for (_, j, _, _) in poolable}):
-                    t = _lookup_trace(
-                        n_val, seed=seed, periods=periods, mode=mode, traces=opts.traces
-                    )
-                    if t is not None:
-                        payload_by_n[n_val] = t.to_dict()
-                    else:
-                        missing.append(n_val)
-                trace_futures = [
-                    (n_val, pool.submit(_compute_trace_shard, n_val, seed, periods, mode_value))
-                    for n_val in missing
-                ]
-                for n_val, future in trace_futures:
-                    with obs_span(
-                        "harness.trace",
-                        cat="harness",
-                        n_aircraft=n_val,
-                        source="pool",
-                        jobs=jobs,
-                    ):
-                        payload = future.result()
-                    obs_count("harness.trace.computed")
-                    payload_by_n[n_val] = payload
-                    _remember_trace(FunctionalTrace.from_dict(payload), opts.traces)
-            futures = [
-                pool.submit(
-                    _measure_shard,
-                    spec,
-                    ns[j],
-                    seed,
-                    periods,
-                    mode_value,
-                    payload_by_n.get(ns[j]),
-                )
-                for (_, j, spec, _) in poolable
-            ]
-            for (i, j, _, key), future in zip(poolable, futures):
+    for i, j, spec, key in sorted(inline, key=lambda p: (p[0], p[1])):
+        sid = _shard_id(names[i], ns[j])
+        attempt = 0
+        while True:
+            try:
+                # Inline chaos is limited to transient OSErrors — a
+                # "crash" here would kill the parent itself, and hangs
+                # cannot be preempted in-process.
+                if plan is not None and plan.should_inject("oserror", sid, attempt):
+                    obs_count("harness.fault.injected")
+                    raise OSError("injected transient fault")
                 with obs_span(
                     "harness.shard",
                     cat="harness",
                     platform=names[i],
                     n_aircraft=ns[j],
-                    source="pool",
+                    source="inline",
                     jobs=jobs,
                 ) as sp:
-                    m = PlatformMeasurement.from_dict(future.result())
+                    m = measure_platform(
+                        spec, ns[j], seed=seed, periods=periods, mode=mode,
+                        cache=False, journal=False,
+                    )
                     sp.add_modelled(_modelled_seconds(m))
-                obs_count("harness.shards")
-                obs_count("harness.shards_measured")
-                rows[i][j] = m
-                if cache is not None and key is not None:
-                    cache.put(key, m)
-    else:
-        inline = poolable + inline  # preserve matrix order below
-
-    for i, j, spec, key in sorted(inline, key=lambda p: (p[0], p[1])):
-        with obs_span(
-            "harness.shard",
-            cat="harness",
-            platform=names[i],
-            n_aircraft=ns[j],
-            source="inline",
-            jobs=jobs,
-        ) as sp:
-            m = measure_platform(
-                spec, ns[j], seed=seed, periods=periods, mode=mode, cache=False
-            )
-            sp.add_modelled(_modelled_seconds(m))
+                break
+            except OSError as exc:
+                fault_span(
+                    "os-error", "oserrors",
+                    platform=names[i], n_aircraft=ns[j],
+                    attempt=attempt, error=str(exc),
+                )
+                attempt += 1
+                if attempt >= retry.max_attempts:
+                    raise
+                obs_count("harness.fault.retries")
+                time.sleep(retry.backoff_for(attempt - 1))
         obs_count("harness.shards")
         obs_count("harness.shards_measured")
         rows[i][j] = m
         if cache is not None and key is not None:
             cache.put(key, m)
+        if journal is not None and key is not None:
+            journal.record(key, m)
 
     return names, rows

@@ -54,6 +54,9 @@ def build_report(
     cache: Any = None,
     trace: Optional[bool] = None,
     traces: Any = None,
+    retry: Any = None,
+    faults: Any = None,
+    journal: Any = None,
 ) -> dict:
     """Run the experiment suite and return the structured report.
 
@@ -83,6 +86,19 @@ def build_report(
     traces:
         A :class:`~repro.harness.cache.TraceStore` for the on-disk
         functional-trace tier; None keeps traces in-process only.
+    retry:
+        A :class:`~repro.harness.faults.RetryPolicy` governing shard
+        retries, backoff and per-shard timeouts; None keeps the
+        defaults.  Whenever retries (or pool→inline degradation)
+        succeed, the report bytes match a fault-free run — the chaos
+        suite asserts that.
+    faults:
+        A :class:`~repro.harness.faults.FaultPlan` injecting
+        deterministic chaos (``--inject-faults``); None runs clean.
+    journal:
+        A :class:`~repro.harness.faults.SweepJournal` checkpointing
+        completed sweep cells (``--resume``); None disables
+        checkpointing.  See docs/robustness.md.
     """
     chosen = sorted(EXPERIMENTS) if only is None else list(only)
     unknown = [e for e in chosen if e not in EXPERIMENTS]
@@ -90,7 +106,10 @@ def build_report(
         raise KeyError(f"unknown experiment ids: {unknown}")
 
     results = {}
-    with sweep_options(jobs=jobs, cache=cache, trace=trace, traces=traces):
+    with sweep_options(
+        jobs=jobs, cache=cache, trace=trace, traces=traces,
+        retry=retry, faults=faults, journal=journal,
+    ):
         for exp_id in chosen:
             kwargs = dict(QUICK_OVERRIDES.get(exp_id, {})) if quick else {}
             kwargs["seed"] = seed

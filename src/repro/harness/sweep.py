@@ -165,6 +165,7 @@ def measure_platform(
     mode: DetectionMode = DetectionMode.SIGNED,
     cache: Any = None,
     trace: Any = None,
+    journal: Any = None,
 ) -> PlatformMeasurement:
     """Run ``periods`` tracking periods plus one collision pass.
 
@@ -190,25 +191,46 @@ def measure_platform(
     instance is replayed as-is (it must match the task parameters).  Both
     paths return byte-identical measurements — the equivalence tests
     assert exactly that.
+
+    ``journal`` is a :class:`~repro.harness.faults.SweepJournal` to
+    checkpoint the cell in (and, when resuming, to serve it from),
+    ``None`` to use the ambient journal, or ``False`` for neither —
+    the sweep engine passes ``False`` because it owns all journal
+    traffic itself.
     """
     if periods < 1:
         raise ValueError("need at least one tracking period")
     opts = current_options()
     resolved_cache = opts.cache if cache is None else (cache or None)
+    resolved_journal = opts.journal if journal is None else (
+        None if journal is False else journal
+    )
     spec = backend
     backend = resolve_backend(spec)
     key = None
-    if resolved_cache is not None and (
+    if (resolved_cache is not None or resolved_journal is not None) and (
         isinstance(spec, str) or backend.deterministic_timing
     ):
-        key = resolved_cache.key_for(backend, n=n, seed=seed, periods=periods, mode=mode)
-        hit = resolved_cache.get(key)
-        if hit is not None:
-            # A hit elides the measurement and with it the task spans, so
-            # a shard span keeps warm traces fully attributed; misses need
-            # nothing extra — the measurement below emits task1/task23.
-            _emit_shard(backend.name, n, "cache", opts.jobs, hit)
-            return hit
+        from .cache import ResultCache
+
+        key = ResultCache.key_for(backend, n=n, seed=seed, periods=periods, mode=mode)
+        if resolved_cache is not None:
+            hit = resolved_cache.get(key)
+            if hit is not None:
+                # A hit elides the measurement and with it the task spans, so
+                # a shard span keeps warm traces fully attributed; misses need
+                # nothing extra — the measurement below emits task1/task23.
+                _emit_shard(backend.name, n, "cache", opts.jobs, hit)
+                if resolved_journal is not None:
+                    resolved_journal.record(key, hit)
+                return hit
+        if resolved_journal is not None:
+            checkpointed = resolved_journal.lookup(key)
+            if checkpointed is not None:
+                _emit_shard(backend.name, n, "journal", opts.jobs, checkpointed)
+                if resolved_cache is not None:
+                    resolved_cache.put(key, checkpointed)
+                return checkpointed
     trace_obj: Optional[FunctionalTrace] = None
     if trace is None:
         if opts.trace and backend.supports_trace_replay:
@@ -246,8 +268,10 @@ def measure_platform(
         task1_seconds=task1,
         task23=t23,
     )
-    if key is not None:
+    if key is not None and resolved_cache is not None:
         resolved_cache.put(key, measurement)
+    if key is not None and resolved_journal is not None:
+        resolved_journal.record(key, measurement)
     return measurement
 
 

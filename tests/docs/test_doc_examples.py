@@ -21,6 +21,7 @@ CHECKED_DOCS = (
     "docs/observability.md",
     "docs/parallel-and-caching.md",
     "docs/performance.md",
+    "docs/robustness.md",
 )
 
 _BLOCK_RE = re.compile(r"```python\n(.*?)```", re.DOTALL)

@@ -68,13 +68,31 @@ class TestRoundTrip:
         assert cache.get("0" * 64) is None
         assert cache.misses == 1 and cache.hits == 0
 
-    def test_corrupt_entry_is_a_miss(self, cache):
+    def test_corrupt_entry_is_a_quarantined_miss(self, cache):
         m = measure_platform("reference", 96, periods=1, cache=False)
         key = "ab" + "0" * 62
         cache.put(key, m)
-        cache._path(key).write_text("{not json", encoding="utf-8")
+        path = cache._path(key)
+        path.write_text("{not json", encoding="utf-8")
         assert cache.get(key) is None
         assert cache.misses == 1
+        # Never silently discarded: the bad file moves to quarantine/.
+        assert cache.quarantined == 1
+        assert not path.exists()
+        assert (cache.root / "quarantine" / path.name).exists()
+
+    def test_digest_mismatch_is_detected_and_quarantined(self, cache):
+        """A bit flip that keeps the JSON valid must still be caught."""
+        m = measure_platform("reference", 96, periods=1, cache=False)
+        key = "cd" + "0" * 62
+        cache.put(key, m)
+        path = cache._path(key)
+        entry = json.loads(path.read_text(encoding="utf-8"))
+        entry["measurement"]["n_aircraft"] = 97
+        path.write_text(json.dumps(entry, sort_keys=True), encoding="utf-8")
+        assert cache.get(key) is None
+        assert cache.quarantined == 1
+        assert (cache.root / "quarantine" / path.name).exists()
 
     def test_stats_and_clear(self, cache):
         m = measure_platform("reference", 96, periods=1, cache=False)
@@ -225,11 +243,14 @@ class TestTraceStore:
         store._path(trace.key()).write_text("{not json", encoding="utf-8")
         assert store.get(trace.key()) is None
         assert store.misses == 2
+        # The missing key is a plain miss; the corrupt one is quarantined.
+        assert store.quarantined == 1
+        assert (store.root / "quarantine").exists()
 
-    def test_schema_lives_in_the_path(self, store):
-        from repro.core.trace import TRACE_SCHEMA_VERSION
+    def test_store_version_lives_in_the_path(self, store):
+        from repro.harness.cache import TRACE_STORE_VERSION
 
-        assert f"v{TRACE_SCHEMA_VERSION}" in str(store._path("ab" + "0" * 62))
+        assert f"v{TRACE_STORE_VERSION}" in str(store._path("ab" + "0" * 62))
 
     def test_stats_and_clear(self, store):
         from repro.core.trace import compute_trace

@@ -1,0 +1,419 @@
+"""Chaos suite for the fault-tolerant sweep executor (repro.harness.faults).
+
+The contract under test (docs/robustness.md): worker crashes, hung
+shards, transient I/O errors and store corruption are *execution*
+details — whenever retries, pool rebuilds or inline degradation let the
+sweep complete, the produced bytes are identical to a fault-free serial
+run, and every failure is visible on the obs collector rather than
+silently swallowed.
+"""
+
+import json
+import os
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.harness.cache import ResultCache, TraceStore
+from repro.harness.faults import (
+    FAULT_KINDS,
+    FaultPlan,
+    RetryPolicy,
+    SweepJournal,
+    parse_fault_spec,
+)
+from repro.harness.parallel import sweep_options
+from repro.harness.sweep import sweep
+from repro.obs import collecting
+
+JOBS = int(os.environ.get("ATM_REPRO_TEST_JOBS", "2"))
+
+#: small, fast matrix shared by the chaos runs.
+PLATFORMS = ["reference", "cuda:gtx-880m"]
+NS = (96, 192)
+
+#: no-waiting retry policy so chaos tests stay quick.
+FAST_RETRY = RetryPolicy(max_attempts=3, backoff_s=0.001)
+
+
+def clean_sweep_json() -> str:
+    """The fault-free serial baseline every chaos run must reproduce."""
+    return sweep(PLATFORMS, ns=NS, periods=1).to_canonical_json()
+
+
+# ---------------------------------------------------------------------------
+# the FaultPlan itself
+# ---------------------------------------------------------------------------
+
+
+class TestFaultPlan:
+    def test_rate_one_always_injects_on_faulted_attempts_only(self):
+        plan = FaultPlan({"crash": 1.0}, seed=0)
+        assert plan.should_inject("crash", "reference@96", 0)
+        assert not plan.should_inject("crash", "reference@96", 1), (
+            "retries beyond faulted_attempts must run clean"
+        )
+
+    def test_rate_zero_never_injects(self):
+        plan = FaultPlan({"crash": 0.0}, seed=0)
+        assert not any(
+            plan.should_inject("crash", f"s@{n}", 0) for n in range(100)
+        )
+
+    def test_unknown_kind_and_bad_rate_are_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault kinds"):
+            FaultPlan({"meteor": 1.0})
+        with pytest.raises(ValueError, match="within"):
+            FaultPlan({"crash": 1.5})
+
+    def test_worker_fault_probes_kinds_in_order(self):
+        plan = FaultPlan({"crash": 1.0, "timeout": 1.0}, seed=0)
+        assert plan.worker_fault("any@96", 0) == "crash"
+        assert plan.worker_fault("any@96", 1) is None
+
+    def test_spec_round_trip(self):
+        plan = parse_fault_spec("crash=0.5,timeout=0.25,seed=7,attempts=2,hang=0.5")
+        assert plan.rates == {"crash": 0.5, "timeout": 0.25}
+        assert plan.seed == 7
+        assert plan.faulted_attempts == 2
+        assert plan.hang_s == 0.5
+        assert parse_fault_spec(plan.to_spec()) == plan
+
+    def test_bad_specs_raise(self):
+        for spec in ("meteor=1", "crash", "crash=x", "seed=1.5"):
+            with pytest.raises(ValueError):
+                parse_fault_spec(spec)
+
+    def test_corrupt_flips_exactly_one_bit(self, tmp_path):
+        path = tmp_path / "entry.json"
+        original = b'{"measurement": 1}'
+        path.write_bytes(original)
+        FaultPlan(seed=3).corrupt(path)
+        mutated = path.read_bytes()
+        assert mutated != original and len(mutated) == len(original)
+        diffs = [i for i, (a, b) in enumerate(zip(original, mutated)) if a != b]
+        assert len(diffs) == 1
+        # ...and deterministically: the same plan flips the same bit back.
+        FaultPlan(seed=3).corrupt(path)
+        assert path.read_bytes() == original
+
+
+class TestFaultPlanProperties:
+    """FaultPlan decisions are pure functions of (seed, kind, key, attempt)."""
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=2**32 - 1),
+        rate=st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+        kind=st.sampled_from(FAULT_KINDS),
+        key=st.text(min_size=1, max_size=30),
+        attempt=st.integers(min_value=0, max_value=3),
+    )
+    def test_decisions_are_deterministic_under_a_fixed_seed(
+        self, seed, rate, kind, key, attempt
+    ):
+        a = FaultPlan({kind: rate}, seed=seed, faulted_attempts=4)
+        b = FaultPlan({kind: rate}, seed=seed, faulted_attempts=4)
+        assert a.should_inject(kind, key, attempt) == b.should_inject(
+            kind, key, attempt
+        )
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=2**32 - 1),
+        key=st.text(min_size=1, max_size=30),
+    )
+    def test_higher_rate_never_injects_less(self, seed, key):
+        lo = FaultPlan({"crash": 0.3}, seed=seed)
+        hi = FaultPlan({"crash": 0.8}, seed=seed)
+        if lo.should_inject("crash", key, 0):
+            assert hi.should_inject("crash", key, 0)
+
+
+# ---------------------------------------------------------------------------
+# chaos: the executor under injected faults
+# ---------------------------------------------------------------------------
+
+
+class TestChaosByteEquivalence:
+    def test_inline_oserror_is_retried_and_byte_identical(self):
+        baseline = clean_sweep_json()
+        plan = FaultPlan({"oserror": 1.0}, seed=1)
+        with collecting() as c, sweep_options(faults=plan, retry=FAST_RETRY):
+            chaos = sweep(PLATFORMS, ns=NS, periods=1).to_canonical_json()
+        assert chaos == baseline
+        assert c.counters["harness.fault.oserrors"] == 4
+        assert c.counters["harness.fault.retries"] == 4
+        assert c.find("harness.fault"), "failures must emit harness.fault spans"
+
+    def test_worker_crash_is_survived_and_byte_identical(self):
+        """Killed pool workers break the whole pool; the executor rebuilds
+        it, resubmits, and the merged bytes don't move."""
+        baseline = clean_sweep_json()
+        plan = FaultPlan({"crash": 0.5}, seed=11)
+        assert any(
+            plan.should_inject("crash", f"{p}@{n}", 0)
+            for p in ("reference", "gtx-880m")
+            for n in NS
+        ), "seed must actually kill at least one worker"
+        with collecting() as c, sweep_options(faults=plan, retry=FAST_RETRY):
+            chaos = sweep(PLATFORMS, ns=NS, periods=1, jobs=JOBS).to_canonical_json()
+        assert chaos == baseline
+        assert c.counters["harness.fault.worker_crashes"] >= 1
+
+    def test_shard_timeout_is_survived_and_byte_identical(self):
+        baseline = clean_sweep_json()
+        plan = FaultPlan({"timeout": 0.5}, seed=5, hang_s=0.6)
+        retry = RetryPolicy(max_attempts=3, backoff_s=0.001, timeout_s=0.2)
+        with collecting() as c, sweep_options(faults=plan, retry=retry):
+            chaos = sweep(PLATFORMS, ns=NS, periods=1, jobs=JOBS).to_canonical_json()
+        assert chaos == baseline
+        assert c.counters["harness.fault.timeouts"] >= 1
+
+    def test_repeatedly_dying_workers_degrade_to_inline(self):
+        """faulted_attempts > rebuild budget: the pool can never finish a
+        shard, so every shard must complete inline instead of aborting."""
+        baseline = clean_sweep_json()
+        plan = FaultPlan({"crash": 1.0}, seed=2, faulted_attempts=99)
+        retry = RetryPolicy(max_attempts=2, backoff_s=0.001)
+        with collecting() as c, sweep_options(faults=plan, retry=retry):
+            chaos = sweep(PLATFORMS, ns=NS, periods=1, jobs=JOBS).to_canonical_json()
+        assert chaos == baseline
+        assert c.counters["harness.fault.degraded_to_inline"] >= 1
+
+    def test_combined_chaos_with_cache_corruption(self, tmp_path):
+        """The acceptance scenario: crash + timeout + corrupted cache
+        entries in one run, still byte-identical, corruption quarantined."""
+        baseline = clean_sweep_json()
+        cache = ResultCache(tmp_path / "cache")
+        plan = parse_fault_spec(
+            "crash=0.4,oserror=0.3,corrupt-result=1,seed=13"
+        )
+        with sweep_options(faults=plan, retry=FAST_RETRY):
+            cold = sweep(
+                PLATFORMS, ns=NS, periods=1, jobs=JOBS, cache=cache
+            ).to_canonical_json()
+        assert cold == baseline
+        # every stored entry was bit-flipped after the write...
+        with collecting() as c, sweep_options(faults=plan, retry=FAST_RETRY):
+            warm = sweep(
+                PLATFORMS, ns=NS, periods=1, jobs=JOBS, cache=cache
+            ).to_canonical_json()
+        assert warm == baseline
+        # ...so the warm run detected, quarantined and recomputed them.
+        assert cache.quarantined == 4
+        assert c.counters["harness.fault.quarantined"] == 4
+        assert len(list((tmp_path / "cache" / "quarantine").glob("*.json"))) >= 4
+
+
+# ---------------------------------------------------------------------------
+# store integrity
+# ---------------------------------------------------------------------------
+
+
+class TestStoreIntegrity:
+    def test_trace_store_corruption_is_quarantined(self, tmp_path):
+        from repro.core.trace import compute_trace
+
+        store = TraceStore(tmp_path / "traces")
+        trace = compute_trace(64, periods=1)
+        store.put(trace.key(), trace)
+        path = store._path(trace.key())
+        FaultPlan(seed=9).corrupt(path)
+        with collecting() as c:
+            assert store.get(trace.key()) is None
+        assert store.quarantined == 1
+        assert not path.exists()
+        assert (store.root / "quarantine" / path.name).exists()
+        assert c.counters["harness.fault.quarantined"] == 1
+
+    def test_corrupt_trace_injection_end_to_end(self, tmp_path):
+        """--inject-faults corrupt-trace: the trace tier self-heals and
+        the sweep bytes never move."""
+        from repro.harness.sweep import _TRACE_MEMO
+
+        baseline = clean_sweep_json()
+        traces = TraceStore(tmp_path / "traces")
+        plan = FaultPlan({"corrupt-trace": 1.0}, seed=21)
+        # clear the process-level memo so both runs actually hit the store
+        _TRACE_MEMO.clear()
+        with sweep_options(faults=plan, traces=traces):
+            cold = sweep(PLATFORMS, ns=NS, periods=1).to_canonical_json()
+        _TRACE_MEMO.clear()
+        with collecting() as c, sweep_options(faults=plan, traces=traces):
+            warm = sweep(PLATFORMS, ns=NS, periods=1).to_canonical_json()
+        assert cold == warm == baseline
+        assert traces.quarantined == len(NS)
+        assert c.counters["harness.fault.quarantined"] == len(NS)
+
+    def test_io_errors_are_counted_not_quarantined(self, tmp_path, monkeypatch):
+        cache = ResultCache(tmp_path / "cache")
+        key = "ab" + "0" * 62
+        monkeypatch.setattr(
+            type(cache),
+            "_read_verified",
+            lambda self, path: (_ for _ in ()).throw(PermissionError("denied")),
+        )
+        with collecting() as c:
+            assert cache.get(key) is None
+        assert cache.io_errors == 1 and cache.quarantined == 0
+        assert c.counters["harness.fault.io_errors"] == 1
+
+    def test_stats_report_quarantine_and_io_counters(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        stats = cache.stats()
+        for field in ("quarantined", "quarantine_files", "io_errors"):
+            assert field in stats
+
+
+# ---------------------------------------------------------------------------
+# the checkpoint journal
+# ---------------------------------------------------------------------------
+
+
+class TestSweepJournal:
+    def test_fresh_journal_discards_previous_run(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        path.write_text('{"stale": true}\n', encoding="utf-8")
+        journal = SweepJournal(path)
+        assert len(journal) == 0 and not path.exists()
+
+    def test_resume_recomputes_only_unfinished_cells(self, tmp_path):
+        """A sweep killed after the first fleet size resumes: the
+        completed cells come from the journal (counted), only the rest
+        are measured, and the bytes match a clean run."""
+        baseline = clean_sweep_json()
+        path = tmp_path / "journal.jsonl"
+        first = SweepJournal(path)
+        with sweep_options(journal=first):
+            sweep(PLATFORMS, ns=NS[:1], periods=1)  # "crashed" after n=96
+        assert first.recorded == len(PLATFORMS)
+
+        resumed = SweepJournal(path, resume=True)
+        with collecting() as c, sweep_options(journal=resumed):
+            full = sweep(PLATFORMS, ns=NS, periods=1).to_canonical_json()
+        assert full == baseline
+        assert c.counters["harness.fault.resumed_cells"] == len(PLATFORMS)
+        assert c.counters["harness.shards_measured"] == len(PLATFORMS)
+        journal_shards = [
+            s for s in c.find("harness.shard") if s.attrs["source"] == "journal"
+        ]
+        assert len(journal_shards) == len(PLATFORMS)
+
+    def test_resume_composes_with_pool_execution(self, tmp_path):
+        baseline = clean_sweep_json()
+        path = tmp_path / "journal.jsonl"
+        first = SweepJournal(path)
+        with sweep_options(journal=first):
+            sweep(PLATFORMS, ns=NS[:1], periods=1)
+        resumed = SweepJournal(path, resume=True)
+        with collecting() as c, sweep_options(journal=resumed):
+            full = sweep(PLATFORMS, ns=NS, periods=1, jobs=JOBS).to_canonical_json()
+        assert full == baseline
+        assert c.counters["harness.fault.resumed_cells"] == len(PLATFORMS)
+
+    def test_torn_tail_line_is_dropped_not_fatal(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        journal = SweepJournal(path)
+        with sweep_options(journal=journal):
+            sweep(["reference"], ns=NS, periods=1)
+        # SIGKILL mid-append: a truncated, digest-less final line.
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write('{"key": "deadbeef", "measurement": {"pl')
+        with collecting() as c:
+            again = SweepJournal(path, resume=True)
+        assert again.dropped_lines == 1
+        assert len(again) == len(NS)
+        assert c.counters["harness.fault.journal_dropped"] == 1
+
+    def test_tampered_line_fails_its_digest(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        journal = SweepJournal(path)
+        with sweep_options(journal=journal):
+            sweep(["reference"], ns=NS[:1], periods=1)
+        lines = path.read_text(encoding="utf-8").splitlines()
+        record = json.loads(lines[0])
+        record["measurement"]["n_aircraft"] = 4096
+        path.write_text(json.dumps(record) + "\n", encoding="utf-8")
+        again = SweepJournal(path, resume=True)
+        assert again.dropped_lines == 1 and len(again) == 0
+
+    def test_journal_keys_are_cost_model_sensitive(self, tmp_path, monkeypatch):
+        """A journal line from before a cost-model edit must not be
+        resurrected after it — the fingerprint key stops matching."""
+        import repro.backends.reference as ref_mod
+
+        path = tmp_path / "journal.jsonl"
+        journal = SweepJournal(path)
+        with sweep_options(journal=journal):
+            sweep(["reference"], ns=NS[:1], periods=1)
+        monkeypatch.setattr(ref_mod, "_SECONDS_PER_OP", 2e-9)
+        resumed = SweepJournal(path, resume=True)
+        with collecting() as c, sweep_options(journal=resumed):
+            sweep(["reference"], ns=NS[:1], periods=1)
+        assert resumed.resumed_cells == 0, "stale checkpoint must not match"
+        assert c.counters["harness.shards_measured"] == 1
+
+
+# ---------------------------------------------------------------------------
+# the CLI surface
+# ---------------------------------------------------------------------------
+
+
+class TestCliFaultFlags:
+    def test_injected_report_is_byte_identical_to_clean_run(self, tmp_path, capsys):
+        from repro.harness.cli import main
+
+        clean = tmp_path / "clean.json"
+        chaos = tmp_path / "chaos.json"
+        assert main(
+            ["report", "--only", "abl-fused", "--out", str(clean)]
+        ) == 0
+        assert main(
+            [
+                "report", "--only", "abl-fused", "--out", str(chaos),
+                "--jobs", str(JOBS),
+                "--inject-faults", "oserror=0.5,seed=3",
+            ]
+        ) == 0
+        assert clean.read_bytes() == chaos.read_bytes()
+        capsys.readouterr()
+
+    def test_resume_flag_round_trips(self, tmp_path, capsys):
+        from repro.harness.cli import main
+
+        cache_dir = tmp_path / "cache"
+        out1 = tmp_path / "r1.json"
+        out2 = tmp_path / "r2.json"
+        assert main(
+            [
+                "report", "--only", "abl-fused", "--out", str(out1),
+                "--cache-dir", str(cache_dir),
+            ]
+        ) == 0
+        assert (cache_dir / "journal.jsonl").exists()
+        capsys.readouterr()
+        assert main(
+            [
+                "report", "--only", "abl-fused", "--out", str(out2),
+                "--cache-dir", str(cache_dir), "--resume",
+            ]
+        ) == 0
+        assert out1.read_bytes() == out2.read_bytes()
+        err = capsys.readouterr().err
+        assert "journal" in err
+
+    def test_resume_requires_cache_dir(self, tmp_path, capsys):
+        from repro.harness.cli import main
+
+        assert main(["report", "--only", "abl-fused", "--resume"]) == 2
+        assert "--cache-dir" in capsys.readouterr().err
+
+    def test_bad_fault_spec_is_a_usage_error(self, capsys):
+        from repro.harness.cli import main
+
+        assert main(
+            ["report", "--only", "abl-fused", "--inject-faults", "meteor=1"]
+        ) == 2
+        assert "inject-faults" in capsys.readouterr().err

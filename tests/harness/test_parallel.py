@@ -148,6 +148,32 @@ class TestSweepOptions:
             sweep(["reference"], ns=(96,), periods=1, cache=False)
         assert cache.stores == 0
 
+    def test_fault_tolerance_options_scope_and_restore(self, tmp_path):
+        """retry/faults/journal ride the same ambient scope (an *empty*
+        journal is falsy — it must still resolve by identity, not truth)."""
+        from repro.harness.faults import FaultPlan, RetryPolicy, SweepJournal
+
+        plan = FaultPlan({"oserror": 0.5}, seed=3)
+        retry = RetryPolicy(max_attempts=5)
+        journal = SweepJournal(tmp_path / "journal.jsonl")
+        assert len(journal) == 0  # the falsy case under test
+        with sweep_options(retry=retry, faults=plan, journal=journal):
+            opts = current_options()
+            assert opts.retry is retry
+            assert opts.faults is plan
+            assert opts.journal is journal
+            with sweep_options(jobs=2):
+                # inner scope inherits all three
+                assert current_options().journal is journal
+                assert current_options().faults is plan
+            with sweep_options(faults=False, journal=False):
+                # explicit False clears, as for cache/trace
+                assert current_options().faults is None
+                assert current_options().journal is None
+        restored = current_options()
+        assert restored.faults is None and restored.journal is None
+        assert restored.retry == RetryPolicy()
+
 
 class TestShardSpans:
     def test_every_shard_emits_a_span(self, tmp_path):

@@ -4,7 +4,7 @@
 PYTHON ?= python
 PYTEST  = PYTHONPATH=src $(PYTHON) -m pytest
 
-.PHONY: test test-parallel test-faults docs-check bench bench-smoke profile report all
+.PHONY: test test-parallel test-faults docs-check bench bench-smoke profile report dashboard all
 
 ## the tier-1 suite (unit + integration + property tests)
 test:
@@ -43,5 +43,10 @@ profile:
 ## the full quick-profile reproduction report
 report:
 	PYTHONPATH=src $(PYTHON) -m repro.harness.cli report --out report.json
+
+## the self-contained HTML dashboard (curves, deadline margins,
+## flamegraph, counters) — one offline file, no external references
+dashboard:
+	PYTHONPATH=src $(PYTHON) -m repro.harness.cli dashboard --out dashboard.html
 
 all: test docs-check

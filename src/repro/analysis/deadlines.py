@@ -1,16 +1,230 @@
-"""Deadline analysis over schedule results (the paper's §6.2 claims)."""
+"""Deadline analysis over schedule results (the paper's §6.2 claims).
+
+Besides the :class:`DeadlineReport` tables, this module is the **SLO
+monitor** of the metrics layer (docs/observability.md): every measured
+cell and every scheduled period funnels through
+:func:`record_cell_metrics` / :func:`record_schedule_metrics`, which
+record the remaining period budget into the
+``atm_deadline_margin_seconds`` histogram and the miss/period counters
+— always, including explicit zeros, so the paper's never-miss claim is
+a readable fact of the snapshot rather than an absence of data.
+:func:`deadline_verdicts` reconstructs the §6.2 miss/no-miss table from
+a snapshot alone.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from typing import Any, Dict, List, Mapping, Sequence
 
 import numpy as np
 
 from ..core import constants as C
 from ..core.scheduler import ScheduleResult
+from ..obs import event as obs_event
+from ..obs import is_active as obs_is_active
+from ..obs.metrics import metric_inc, metric_observe, metrics_active
 
-__all__ = ["DeadlineRow", "DeadlineReport"]
+__all__ = [
+    "DeadlineRow",
+    "DeadlineReport",
+    "record_cell_metrics",
+    "record_schedule_metrics",
+    "deadline_verdicts",
+]
+
+
+# ---------------------------------------------------------------------------
+# the SLO monitor: margins and misses as first-class metrics
+# ---------------------------------------------------------------------------
+
+
+def _record_margin(
+    margin_s: float,
+    *,
+    platform: str,
+    n_aircraft: int,
+    period: str,
+    source: str,
+    missed: bool,
+    events: bool,
+) -> None:
+    metric_observe(
+        "atm_deadline_margin_seconds",
+        margin_s,
+        platform=platform,
+        n_aircraft=n_aircraft,
+        period=period,
+        source=source,
+    )
+    if missed and events:
+        obs_event(
+            "deadline.miss",
+            cat="slo",
+            platform=platform,
+            n_aircraft=n_aircraft,
+            period=period,
+            source=source,
+            margin_s=margin_s,
+        )
+
+
+def record_cell_metrics(
+    platform: str,
+    n_aircraft: int,
+    task1_seconds: Sequence[float],
+    task23_s: float,
+    *,
+    source: str = "sweep",
+    events: bool = True,
+) -> None:
+    """Record deadline metrics for one measured sweep cell.
+
+    The cell's tracking periods each budget Task 1 alone against the
+    half-second deadline; the final period is the collision period of
+    the major cycle, budgeting Task 1 plus the fused Task 2+3.  Margins
+    (and the miss/period counters, recorded even when zero) are pure
+    functions of the modelled timings, so the deterministic snapshot is
+    byte-identical no matter which execution path produced the
+    measurement.  ``events=False`` suppresses the ``deadline.miss``
+    trace events (used when adopting a pool worker's trace, which
+    already carries them).
+    """
+    if not metrics_active() and not obs_is_active():
+        return
+    misses = 0
+    periods = 0
+    for t1 in task1_seconds[:-1]:
+        margin = C.PERIOD_SECONDS - float(t1)
+        missed = margin < 0.0
+        misses += missed
+        periods += 1
+        _record_margin(
+            margin,
+            platform=platform,
+            n_aircraft=n_aircraft,
+            period="tracking",
+            source=source,
+            missed=missed,
+            events=events,
+        )
+    if task1_seconds:
+        margin = C.PERIOD_SECONDS - (float(task1_seconds[-1]) + float(task23_s))
+        missed = margin < 0.0
+        misses += missed
+        periods += 1
+        _record_margin(
+            margin,
+            platform=platform,
+            n_aircraft=n_aircraft,
+            period="collision",
+            source=source,
+            missed=missed,
+            events=events,
+        )
+    metric_inc(
+        "atm_deadline_misses",
+        float(misses),
+        platform=platform,
+        n_aircraft=n_aircraft,
+        source=source,
+    )
+    metric_inc(
+        "atm_deadline_periods",
+        float(periods),
+        platform=platform,
+        n_aircraft=n_aircraft,
+        source=source,
+    )
+
+
+def record_schedule_metrics(
+    result: ScheduleResult, *, source: str = "schedule", events: bool = True
+) -> None:
+    """Record deadline metrics for every period of a schedule run.
+
+    Works for any result exposing ``platform``/``n_aircraft`` and a
+    ``periods`` list of records with ``time_used`` / ``deadline_missed``
+    — the extended-task-set scheduler included (its periods carry a
+    ``tasks``/``skipped`` breakdown instead of ``task23`` fields, so the
+    collision-period test duck-types over both record shapes).
+    """
+    if not metrics_active() and not obs_is_active():
+        return
+    misses = 0
+    for p in result.periods:
+        margin = C.PERIOD_SECONDS - float(p.time_used)
+        missed = bool(p.deadline_missed)
+        misses += missed
+        collision_period = (
+            getattr(p, "task23", None) is not None
+            or bool(getattr(p, "task23_skipped", False))
+            or any(
+                getattr(t, "task", "") == "task23"
+                for t in getattr(p, "tasks", ())
+            )
+            or "task23" in getattr(p, "skipped", ())
+        )
+        _record_margin(
+            margin,
+            platform=result.platform,
+            n_aircraft=result.n_aircraft,
+            period="collision" if collision_period else "tracking",
+            source=source,
+            missed=missed,
+            events=events,
+        )
+    metric_inc(
+        "atm_deadline_misses",
+        float(misses),
+        platform=result.platform,
+        n_aircraft=result.n_aircraft,
+        source=source,
+    )
+    metric_inc(
+        "atm_deadline_periods",
+        float(len(result.periods)),
+        platform=result.platform,
+        n_aircraft=result.n_aircraft,
+        source=source,
+    )
+
+
+def deadline_verdicts(snapshot: Mapping[str, Any]) -> Dict[str, Dict[str, Any]]:
+    """The §6.2 miss/no-miss table, reconstructed from a metrics snapshot.
+
+    Reads only the ``atm_deadline_misses`` / ``atm_deadline_periods``
+    families of a :meth:`~repro.obs.metrics.MetricsRegistry.snapshot`.
+    Returns per platform: total misses, total periods, per-fleet-size
+    miss counts, the smallest fleet size with a miss (or None), and the
+    paper's verdict flag ``never_misses``.
+    """
+    families = snapshot.get("families", {})
+    verdicts: Dict[str, Dict[str, Any]] = {}
+    for family, field_name in (
+        ("atm_deadline_misses", "misses"),
+        ("atm_deadline_periods", "periods"),
+    ):
+        for entry in families.get(family, {}).get("series", []):
+            labels = entry["labels"]
+            platform = labels["platform"]
+            n = int(labels["n_aircraft"])
+            v = verdicts.setdefault(
+                platform, {"misses_by_n": {}, "periods_by_n": {}}
+            )
+            by_n = v[f"{field_name}_by_n"]
+            by_n[n] = by_n.get(n, 0) + int(entry["value"])
+    out: Dict[str, Dict[str, Any]] = {}
+    for platform, v in sorted(verdicts.items()):
+        missing_ns = sorted(n for n, m in v["misses_by_n"].items() if m > 0)
+        out[platform] = {
+            "total_misses": sum(v["misses_by_n"].values()),
+            "total_periods": sum(v["periods_by_n"].values()),
+            "misses_by_n": dict(sorted(v["misses_by_n"].items())),
+            "first_miss_n": missing_ns[0] if missing_ns else None,
+            "never_misses": not missing_ns,
+        }
+    return out
 
 
 @dataclass(frozen=True)

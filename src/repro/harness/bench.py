@@ -32,6 +32,7 @@ from typing import Any, Dict, List, Optional, Sequence
 
 from .. import __version__
 from ..core.collision import DetectionMode
+from ..obs.metrics import metric_set
 
 __all__ = [
     "BENCH_SCHEMA_VERSION",
@@ -103,6 +104,8 @@ def run_bench(
         {"name": "trace_cold", "trace": True, "wall_s": cold_s},
         {"name": "trace_warm", "trace": True, "wall_s": warm_s},
     ]
+    for stage in stages:
+        metric_set("atm_bench_stage_seconds", stage["wall_s"], stage=stage["name"])
     return {
         "schema": BENCH_SCHEMA_VERSION,
         "library_version": __version__,

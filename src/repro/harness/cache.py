@@ -44,6 +44,7 @@ from pathlib import Path
 from typing import TYPE_CHECKING, Any, Dict, Optional, Union
 
 from ..core.canonical import fingerprint_of
+from ..obs.metrics import metric_inc
 from .faults import fault_span
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (sweep imports us)
@@ -102,6 +103,11 @@ class _ChecksumStore:
     _payload_field: str = ""
     #: fault kind a FaultPlan uses to corrupt entries of this store.
     _corrupt_kind: str = ""
+    #: ``store`` label on the ``atm_store_requests`` metric family.
+    _store_label: str = ""
+
+    def _count(self, outcome: str) -> None:
+        metric_inc("atm_store_requests", store=self._store_label, outcome=outcome)
 
     def __init__(self, root: Union[str, Path]) -> None:
         self.root = Path(root)
@@ -162,9 +168,11 @@ class _ChecksumStore:
             os.replace(path, qdir / path.name)
         except OSError:
             self.io_errors += 1
+            self._count("io_error")
             fault_span("io-error", "io_errors", path=str(path))
             return
         self.quarantined += 1
+        self._count("quarantined")
         fault_span(
             "corrupt-entry",
             "quarantined",
@@ -185,17 +193,22 @@ class _ChecksumStore:
             value = self._read_verified(path)
         except FileNotFoundError:
             self.misses += 1
+            self._count("miss")
             return None
         except OSError:
             self.io_errors += 1
+            self._count("io_error")
             fault_span("io-error", "io_errors", path=str(path))
             self.misses += 1
+            self._count("miss")
             return None
         except _CorruptEntry as exc:
             self._quarantine(path, str(exc))
             self.misses += 1
+            self._count("miss")
             return None
         self.hits += 1
+        self._count("hit")
         return value
 
     def put(self, key: str, payload: Dict[str, Any]) -> None:
@@ -213,6 +226,7 @@ class _ChecksumStore:
             json.dump(entry, fh, sort_keys=True)
         os.replace(tmp, path)
         self.stores += 1
+        self._count("store")
         plan = _ambient_faults()
         if plan is not None and plan.should_inject(self._corrupt_kind, key, 0):
             plan.corrupt(path)
@@ -270,6 +284,7 @@ class ResultCache(_ChecksumStore):
 
     _payload_field = "measurement"
     _corrupt_kind = "corrupt-result"
+    _store_label = "result"
 
     # ------------------------------------------------------------------
     # keys
@@ -339,6 +354,7 @@ class TraceStore(_ChecksumStore):
 
     _payload_field = "trace"
     _corrupt_kind = "corrupt-trace"
+    _store_label = "trace"
 
     def _subtree(self) -> str:
         return f"v{TRACE_STORE_VERSION}"

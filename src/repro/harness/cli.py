@@ -10,6 +10,9 @@ Examples::
     atm-repro profile fig4 --backend cuda:titan-x-pascal
     atm-repro report --trace report-trace.json
     atm-repro report --jobs 4 --cache-dir .atm-repro-cache
+    atm-repro report --metrics-out report.prom
+    atm-repro metrics
+    atm-repro dashboard --out dashboard.html
     atm-repro bench --out BENCH_trace_engine.json
     atm-repro cache stats
     atm-repro cache clear
@@ -83,6 +86,19 @@ profiling:
   runs an experiment under the repro.obs collector and prints the span
   tree: wall-clock vs modelled-time attribution per backend component.
   See docs/observability.md.
+
+metrics & dashboard (docs/observability.md):
+  atm-repro metrics [--only ID ...] [--out FILE]
+  runs experiments (default tbl-deadline, quick) under the metrics
+  registry and emits the full OpenMetrics exposition — deadline-margin
+  histograms, miss counters, shard/cache/fault counters; also available
+  as 'report --metrics-out FILE' alongside a full report run.
+
+  atm-repro dashboard [--out FILE] [--only ID ...] [--jobs N]
+  runs experiments (default fig4 fig6 tbl-deadline ext-vector — all five
+  platform families) under the collector + registry and writes one
+  self-contained HTML file: execution-time curves, the deadline-margin
+  chart, a span flamegraph and counter panels.  No external resources.
 """
 
 
@@ -172,6 +188,61 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="attempts per shard before degrading to inline execution"
         " (default 3)",
+    )
+    report.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="FILE",
+        help="write the run's full OpenMetrics exposition here (the report"
+        " JSON always embeds the deterministic snapshot)",
+    )
+
+    metrics = sub.add_parser(
+        "metrics",
+        help="run experiments under the metrics registry, emit OpenMetrics",
+    )
+    metrics.add_argument(
+        "--only",
+        nargs="+",
+        default=["tbl-deadline"],
+        metavar="ID",
+        help="experiment ids to run (default: tbl-deadline)",
+    )
+    metrics.add_argument(
+        "--out", default=None, metavar="FILE", help="write here instead of stdout"
+    )
+    metrics.add_argument("--seed", type=int, default=2018)
+    metrics.add_argument(
+        "--full", action="store_true", help="full sweeps instead of quick"
+    )
+    metrics.add_argument(
+        "--jobs", type=int, default=1, metavar="N", help="worker processes"
+    )
+
+    dashboard = sub.add_parser(
+        "dashboard",
+        help="run experiments and write the self-contained HTML dashboard",
+    )
+    dashboard.add_argument(
+        "--out",
+        default="dashboard.html",
+        metavar="FILE",
+        help="output HTML path (default dashboard.html)",
+    )
+    dashboard.add_argument(
+        "--only",
+        nargs="+",
+        default=["fig4", "fig6", "tbl-deadline", "ext-vector"],
+        metavar="ID",
+        help="experiment ids to run (default covers all five platform"
+        " families: cuda, ap, simd, mimd, vector)",
+    )
+    dashboard.add_argument("--seed", type=int, default=2018)
+    dashboard.add_argument(
+        "--full", action="store_true", help="full sweeps instead of quick"
+    )
+    dashboard.add_argument(
+        "--jobs", type=int, default=1, metavar="N", help="worker processes"
     )
 
     bench = sub.add_parser(
@@ -305,9 +376,51 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(f"  {name}")
         return 0
 
+    if args.command == "metrics":
+        from ..obs.metrics import MetricsRegistry, to_openmetrics
+        from .report import build_report
+
+        registry = MetricsRegistry()
+        build_report(
+            quick=not args.full,
+            seed=args.seed,
+            only=args.only,
+            jobs=args.jobs,
+            metrics_registry=registry,
+        )
+        text = to_openmetrics(registry.snapshot())
+        if args.out:
+            with open(args.out, "w", encoding="utf-8") as fh:
+                fh.write(text)
+            print(f"wrote {args.out}")
+        else:
+            print(text, end="")
+        return 0
+
+    if args.command == "dashboard":
+        from ..obs import collecting, write_dashboard
+        from ..obs.metrics import MetricsRegistry
+        from .report import build_report
+
+        registry = MetricsRegistry()
+        with collecting() as collector:
+            report = build_report(
+                quick=not args.full,
+                seed=args.seed,
+                only=args.only,
+                jobs=args.jobs,
+                metrics_registry=registry,
+            )
+        write_dashboard(
+            args.out, report, snapshot=registry.snapshot(), collector=collector
+        )
+        print(f"wrote {args.out}")
+        return 0
+
     if args.command == "report":
         from pathlib import Path
 
+        from ..obs.metrics import MetricsRegistry, to_openmetrics
         from .cache import ResultCache, TraceStore
         from .faults import RetryPolicy, SweepJournal, parse_fault_spec
         from .report import build_report, render_report, write_report
@@ -339,6 +452,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         retry = RetryPolicy(
             max_attempts=max(1, args.max_retries), timeout_s=args.shard_timeout
         )
+        registry = MetricsRegistry()
         run_kwargs = dict(
             quick=not args.full,
             seed=args.seed,
@@ -350,6 +464,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             retry=retry,
             faults=faults,
             journal=journal,
+            metrics_registry=registry,
         )
         if args.trace:
             from ..obs import collecting, write_chrome_trace
@@ -363,6 +478,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         if args.out:
             write_report(args.out, report)
             print(f"wrote {args.out}")
+        if args.metrics_out:
+            with open(args.metrics_out, "w", encoding="utf-8") as fh:
+                fh.write(to_openmetrics(registry.snapshot()))
+            print(f"wrote {args.metrics_out}")
         print(render_report(report))
         if cache is not None:
             s = cache.stats()

@@ -45,6 +45,7 @@ from typing import TYPE_CHECKING, Any, Dict, Mapping, Optional, Union
 from ..core.canonical import fingerprint_of
 from ..obs import count as obs_count
 from ..obs import span as obs_span
+from ..obs.metrics import metric_inc
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from .sweep import PlatformMeasurement
@@ -54,6 +55,7 @@ __all__ = [
     "FaultPlan",
     "RetryPolicy",
     "SweepJournal",
+    "fault_count",
     "fault_span",
     "parse_fault_spec",
 ]
@@ -77,6 +79,17 @@ def fault_span(kind: str, counter: str, **attrs: Any) -> None:
     with obs_span("harness.fault", cat="harness", kind=kind, **attrs):
         pass
     obs_count(f"harness.fault.{counter}")
+    metric_inc("atm_faults", kind=kind)
+
+
+def fault_count(counter: str, *, kind: Optional[str] = None) -> None:
+    """Bump a ``harness.fault.*`` counter and its labeled metric twin.
+
+    For fault bookkeeping that has no span of its own (injections,
+    retries); ``kind`` defaults to the counter name.
+    """
+    obs_count(f"harness.fault.{counter}")
+    metric_inc("atm_faults", kind=kind or counter)
 
 
 # ---------------------------------------------------------------------------
@@ -197,7 +210,7 @@ class FaultPlan:
         pos = min(pos, len(data) - 1)
         data[pos] ^= 0x01
         path.write_bytes(bytes(data))
-        obs_count("harness.fault.injected")
+        fault_count("injected", kind="corrupt")
 
     # -- serialization --------------------------------------------------
 

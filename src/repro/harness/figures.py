@@ -15,7 +15,7 @@ import numpy as np
 
 from ..analysis.ascii_plot import ascii_chart
 from ..analysis.curvefit import LinearityVerdict, assess_linearity
-from ..analysis.deadlines import DeadlineReport, DeadlineRow
+from ..analysis.deadlines import DeadlineReport, DeadlineRow, record_schedule_metrics
 from ..analysis.normalize import NormalizedSeries, efficiency_ranking, normalize_times
 from ..analysis.tables import format_seconds, render_series, render_table
 from ..backends.registry import all_platform_names, resolve_backend
@@ -377,6 +377,7 @@ def deadline_table(
             result = run_schedule(
                 backend, fleet, major_cycles=major_cycles, seed=seed
             )
+            record_schedule_metrics(result)
             rows.append(DeadlineRow.from_schedule(result))
     return DeadlineTable(DeadlineReport(rows))
 
@@ -608,6 +609,7 @@ def ext_viability(
             res = run_extended_schedule(
                 backend, fleet, terrain=grid, major_cycles=major_cycles, seed=seed
             )
+            record_schedule_metrics(res)
             s = res.summary()
             rows.append(
                 (

@@ -53,10 +53,15 @@ from contextvars import ContextVar
 from dataclasses import dataclass
 from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
 
+from ..analysis.deadlines import record_cell_metrics
+from ..obs import SpanRecord
 from ..obs import count as obs_count
+from ..obs import get_collector as obs_get_collector
+from ..obs import is_active as obs_is_active
 from ..obs import span as obs_span
+from ..obs.metrics import metric_inc
 from .cache import ResultCache, TraceStore
-from .faults import FaultPlan, RetryPolicy, SweepJournal, fault_span
+from .faults import FaultPlan, RetryPolicy, SweepJournal, fault_count, fault_span
 
 __all__ = [
     "SweepOptions",
@@ -186,6 +191,7 @@ def _measure_shard(
     mode_value: str,
     trace_payload: Optional[Dict[str, Any]] = None,
     inject: Optional[Tuple[str, float]] = None,
+    collect: bool = False,
 ) -> Dict[str, Any]:
     """Measure one (registry name, fleet size) cell; return its dict form.
 
@@ -207,26 +213,48 @@ def _measure_shard(
     realised before any work happens: ``crash`` kills this process,
     ``timeout`` sleeps ``param`` seconds (then proceeds normally),
     ``oserror`` raises a transient ``OSError``.
+
+    ``collect=True`` runs the cell under a private in-worker collector
+    and returns ``{"measurement": ..., "obs": {spans, events, counters}}``
+    instead of the bare measurement dict, so the parent can adopt the
+    worker's task/kernel spans under its shard span
+    (:meth:`~repro.obs.Collector.adopt`) and the merged trace looks the
+    same as a serial run's.
     """
     _obey_fault_directive(inject)
     from ..core.collision import DetectionMode
     from ..core.trace import FunctionalTrace
+    from ..obs import Collector, collecting
     from .sweep import measure_platform
 
     trace: Any = False
     if trace_payload is not None:
         trace = FunctionalTrace.from_dict(trace_payload)
-    m = measure_platform(
-        spec,
-        n,
-        seed=seed,
-        periods=periods,
-        mode=DetectionMode(mode_value),
-        cache=False,
-        trace=trace,
-        journal=False,
-    )
-    return m.to_dict()
+
+    def run():
+        return measure_platform(
+            spec,
+            n,
+            seed=seed,
+            periods=periods,
+            mode=DetectionMode(mode_value),
+            cache=False,
+            trace=trace,
+            journal=False,
+        )
+
+    if not collect:
+        return run().to_dict()
+    with collecting(Collector()) as c:
+        m = run()
+    return {
+        "measurement": m.to_dict(),
+        "obs": {
+            "spans": [s.to_event() for s in c.spans],
+            "events": c.events,
+            "counters": dict(c.counters),
+        },
+    }
 
 
 def _compute_trace_shard(
@@ -250,8 +278,25 @@ def _modelled_seconds(measurement) -> float:
     return float(sum(measurement.task1_seconds)) + float(measurement.task23.seconds)
 
 
-def _emit_shard(platform: str, n: int, source: str, jobs: int, measurement) -> None:
-    """One ``harness.shard`` span + counters on the parent collector."""
+def _emit_shard(
+    platform: str,
+    n: int,
+    source: str,
+    jobs: int,
+    measurement,
+    worker_obs: Optional[Dict[str, Any]] = None,
+) -> None:
+    """One ``harness.shard`` span + counters + SLO metrics per shard.
+
+    ``worker_obs`` is the observability payload a pool worker collected
+    under ``_measure_shard(collect=True)``; its spans/events/counters
+    are adopted under this shard span, so the parent trace carries the
+    worker's task/kernel subtree exactly as a serial run would.  The
+    deadline metrics are labeled only by (platform, n, logical source),
+    never by the shard source, so the deterministic snapshot is
+    byte-identical whichever path served the cell.
+    """
+    collector = obs_get_collector()
     with obs_span(
         "harness.shard",
         cat="harness",
@@ -261,13 +306,34 @@ def _emit_shard(platform: str, n: int, source: str, jobs: int, measurement) -> N
         jobs=jobs,
     ) as sp:
         sp.add_modelled(_modelled_seconds(measurement))
+    if worker_obs is not None and collector is not None:
+        collector.adopt(
+            [SpanRecord.from_event(e) for e in worker_obs["spans"]],
+            worker_obs["events"],
+            worker_obs["counters"],
+            parent_id=sp.span_id,
+            wall_offset_s=sp._t0 - collector.epoch,
+        )
     obs_count("harness.shards")
+    metric_inc("atm_shards", source=source)
     if source == "cache":
         obs_count("harness.shards_cached")
     elif source == "journal":
         obs_count("harness.fault.resumed_cells")
     else:
         obs_count("harness.shards_measured")
+    # Cells served without running measure_platform in this process
+    # (cache / journal / pool) record their deadline metrics here —
+    # exactly once per returned cell.  Freshly-computed cells record
+    # inside measure_platform instead.  Worker-collected traces already
+    # carry the deadline.miss events, so suppress re-emission then.
+    record_cell_metrics(
+        platform,
+        n,
+        measurement.task1_seconds,
+        measurement.task23.seconds,
+        events=worker_obs is None,
+    )
 
 
 def _shard_id(platform: str, n: int) -> str:
@@ -369,6 +435,7 @@ def _pool_trace_payloads(
         ):
             pass
         obs_count("harness.trace.computed")
+        metric_inc("atm_trace_requests", source=source)
         payload_by_n[n_val] = payload
         _remember_trace(FunctionalTrace.from_dict(payload), opts.traces)
     if broken and not box.rebuild():
@@ -432,6 +499,8 @@ def _execute_pool_shards(
                 return poolable
 
         attempts = [0] * len(poolable)
+        # Ship worker traces home only when someone is listening.
+        collect = obs_is_active()
 
         def submit(idx: int):
             i, j, spec, _ = poolable[idx]
@@ -439,7 +508,7 @@ def _execute_pool_shards(
             if plan is not None:
                 kind = plan.worker_fault(_shard_id(names[i], ns[j]), attempts[idx])
                 if kind is not None:
-                    obs_count("harness.fault.injected")
+                    fault_count("injected")
                     inject = (kind, plan.hang_s)
             return box.pool.submit(
                 _measure_shard,
@@ -450,6 +519,7 @@ def _execute_pool_shards(
                 mode_value,
                 payload_by_n.get(ns[j]),
                 inject,
+                collect,
             )
 
         futures = [submit(idx) for idx in range(len(poolable))]
@@ -485,7 +555,7 @@ def _execute_pool_shards(
                     # Fresh pool: resubmit every uncollected shard (their
                     # futures died with the old pool).
                     attempts[idx] += 1
-                    obs_count("harness.fault.retries")
+                    fault_count("retries")
                     time.sleep(retry.backoff_for(attempts[idx] - 1))
                     for k in range(idx, len(poolable)):
                         futures[k] = submit(k)
@@ -505,22 +575,16 @@ def _execute_pool_shards(
                     )
                     degraded.append(poolable[idx])
                     break
-                obs_count("harness.fault.retries")
+                fault_count("retries")
                 time.sleep(retry.backoff_for(attempts[idx] - 1))
                 futures[idx] = submit(idx)
             if result is None:
                 continue  # degraded; the inline loop finishes it
-            with obs_span(
-                "harness.shard",
-                cat="harness",
-                source="pool",
-                jobs=jobs,
-                **shard_attrs,
-            ) as sp:
-                m = PlatformMeasurement.from_dict(result)
-                sp.add_modelled(_modelled_seconds(m))
-            obs_count("harness.shards")
-            obs_count("harness.shards_measured")
+            worker_obs = result.get("obs") if collect else None
+            m = PlatformMeasurement.from_dict(
+                result["measurement"] if collect else result
+            )
+            _emit_shard(names[i], ns[j], "pool", jobs, m, worker_obs=worker_obs)
             rows[i][j] = m
             if cache is not None and key is not None:
                 cache.put(key, m)
@@ -627,7 +691,7 @@ def measure_cells(
                 # "crash" here would kill the parent itself, and hangs
                 # cannot be preempted in-process.
                 if plan is not None and plan.should_inject("oserror", sid, attempt):
-                    obs_count("harness.fault.injected")
+                    fault_count("injected")
                     raise OSError("injected transient fault")
                 with obs_span(
                     "harness.shard",
@@ -652,9 +716,10 @@ def measure_cells(
                 attempt += 1
                 if attempt >= retry.max_attempts:
                     raise
-                obs_count("harness.fault.retries")
+                fault_count("retries")
                 time.sleep(retry.backoff_for(attempt - 1))
         obs_count("harness.shards")
+        metric_inc("atm_shards", source="inline")
         obs_count("harness.shards_measured")
         rows[i][j] = m
         if cache is not None and key is not None:

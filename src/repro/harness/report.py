@@ -20,6 +20,7 @@ from typing import Any, Dict, Optional
 from .. import __version__
 from ..backends.registry import available_backends, resolve_backend
 from ..core.canonical import canonicalize
+from ..obs.metrics import MetricsRegistry, recording
 from .figures import EXPERIMENTS
 from .parallel import sweep_options
 
@@ -57,6 +58,7 @@ def build_report(
     retry: Any = None,
     faults: Any = None,
     journal: Any = None,
+    metrics_registry: Optional[MetricsRegistry] = None,
 ) -> dict:
     """Run the experiment suite and return the structured report.
 
@@ -99,14 +101,25 @@ def build_report(
         A :class:`~repro.harness.faults.SweepJournal` checkpointing
         completed sweep cells (``--resume``); None disables
         checkpointing.  See docs/robustness.md.
+    metrics_registry:
+        A :class:`~repro.obs.metrics.MetricsRegistry` to record into
+        while the experiments run (``--metrics-out`` passes one so the
+        CLI can export the *full* OpenMetrics view afterwards); None
+        uses a private registry.  Either way the report embeds the
+        registry's **deterministic** snapshot under ``"metrics"`` — only
+        families that are pure functions of the measured cells (the
+        deadline SLO families), so the report's byte-for-byte
+        reproducibility contract (any ``jobs``, cache state, fault
+        plan) extends to the embedded metrics.
     """
     chosen = sorted(EXPERIMENTS) if only is None else list(only)
     unknown = [e for e in chosen if e not in EXPERIMENTS]
     if unknown:
         raise KeyError(f"unknown experiment ids: {unknown}")
 
+    registry = metrics_registry if metrics_registry is not None else MetricsRegistry()
     results = {}
-    with sweep_options(
+    with recording(registry), sweep_options(
         jobs=jobs, cache=cache, trace=trace, traces=traces,
         retry=retry, faults=faults, journal=journal,
     ):
@@ -141,6 +154,7 @@ def build_report(
         "host": _platform.platform(),
         "platforms": platforms,
         "experiments": results,
+        "metrics": registry.snapshot(deterministic_only=True),
     }
 
 

@@ -31,8 +31,10 @@ from ..core.radar import generate_radar_frame
 from ..core.setup import setup_flight
 from ..core.trace import FunctionalTrace, compute_trace, trace_key
 from ..core.types import TaskTiming
+from ..analysis.deadlines import record_cell_metrics
 from ..obs import count as obs_count
 from ..obs import span as obs_span
+from ..obs.metrics import metric_inc
 from .parallel import _emit_shard, current_options, measure_cells
 
 __all__ = [
@@ -139,6 +141,7 @@ def _lookup_trace(
     with obs_span("harness.trace", cat="harness", n_aircraft=n, source=source):
         pass
     obs_count(f"harness.trace.{source}_hits")
+    metric_inc("atm_trace_requests", source=source)
     return trace
 
 
@@ -152,6 +155,7 @@ def _obtain_trace(
     with obs_span("harness.trace", cat="harness", n_aircraft=n, source="compute"):
         trace = compute_trace(n, seed=seed, periods=periods, mode=mode)
     obs_count("harness.trace.computed")
+    metric_inc("atm_trace_requests", source="compute")
     _remember_trace(trace, traces)
     return trace
 
@@ -268,6 +272,10 @@ def measure_platform(
         task1_seconds=task1,
         task23=t23,
     )
+    # The deadline SLO monitor sees every freshly-measured cell here;
+    # cells served from cache/journal/pool record via _emit_shard, so
+    # each returned measurement is recorded exactly once per process.
+    record_cell_metrics(backend.name, n, task1, t23.seconds)
     if key is not None and resolved_cache is not None:
         resolved_cache.put(key, measurement)
     if key is not None and resolved_journal is not None:

@@ -74,6 +74,20 @@ class SpanRecord:
             "attrs": dict(self.attrs),
         }
 
+    @classmethod
+    def from_event(cls, event: Dict[str, Any]) -> "SpanRecord":
+        """Rebuild a record from its :meth:`to_event` dict (pool shipping)."""
+        return cls(
+            span_id=int(event["id"]),
+            parent_id=None if event["parent"] is None else int(event["parent"]),
+            name=event["name"],
+            cat=event["cat"],
+            wall_start_s=float(event["wall_start_s"]),
+            wall_dur_s=float(event["wall_dur_s"]),
+            modelled_s=float(event["modelled_s"]),
+            attrs=dict(event.get("attrs", {})),
+        )
+
 
 class Span:
     """A live tracing span; use as a context manager.
@@ -208,6 +222,101 @@ class Collector:
         self.counters.clear()
         self._stack.clear()
         self._next_id = 0
+
+    # ------------------------------------------------------------------
+    # composition: folding other collectors (pool shards) into this one
+    # ------------------------------------------------------------------
+
+    def adopt(
+        self,
+        spans: List[SpanRecord],
+        events: Optional[List[Dict[str, Any]]] = None,
+        counters: Optional[Dict[str, float]] = None,
+        *,
+        parent_id: Optional[int] = None,
+        wall_offset_s: float = 0.0,
+    ) -> Dict[int, int]:
+        """Graft foreign spans/events/counters into this collector.
+
+        Span ids are remapped onto this collector's id space; spans whose
+        parent is not among the adopted set (the foreign roots) are
+        re-parented under ``parent_id``.  ``wall_offset_s`` shifts the
+        foreign wall timeline (collectors from other processes have their
+        own epoch).  Counters are summed.  Returns the old->new id map.
+        """
+        id_map: Dict[int, int] = {}
+        for s in spans:
+            id_map[s.span_id] = self._next_id
+            self._next_id += 1
+        for s in spans:
+            foreign_parent = s.parent_id
+            if foreign_parent is not None and foreign_parent in id_map:
+                new_parent: Optional[int] = id_map[foreign_parent]
+            else:
+                new_parent = parent_id
+            self.spans.append(
+                SpanRecord(
+                    span_id=id_map[s.span_id],
+                    parent_id=new_parent,
+                    name=s.name,
+                    cat=s.cat,
+                    wall_start_s=s.wall_start_s + wall_offset_s,
+                    wall_dur_s=s.wall_dur_s,
+                    modelled_s=s.modelled_s,
+                    attrs=dict(s.attrs),
+                )
+            )
+        for e in events or []:
+            foreign_parent = e.get("parent")
+            self.events.append(
+                {
+                    **e,
+                    "wall_start_s": float(e.get("wall_start_s", 0.0))
+                    + wall_offset_s,
+                    "parent": id_map.get(foreign_parent, parent_id)
+                    if foreign_parent is not None
+                    else parent_id,
+                }
+            )
+        for name, value in (counters or {}).items():
+            self.count(name, value)
+        return id_map
+
+    def merge(self, other: "Collector", *, root_name: str = "merge") -> int:
+        """Fold ``other`` into this collector under one synthetic root span.
+
+        The root (category ``merge``) nests under the currently-open
+        span, carries the other collector's total wall seconds, and
+        becomes the parent of the other's root spans, so a shard-local
+        collector from a pool worker lands as one subtree instead of
+        being dropped.  Counters are summed.  Returns the root span id.
+        """
+        root_id = self._next_id
+        self._next_id += 1
+        now = self._clock() - self.epoch
+        wall_end = max(
+            (s.wall_start_s + s.wall_dur_s for s in other.spans), default=0.0
+        )
+        self.spans.append(
+            SpanRecord(
+                span_id=root_id,
+                parent_id=self._stack[-1] if self._stack else None,
+                name=root_name,
+                cat="merge",
+                wall_start_s=now,
+                wall_dur_s=wall_end,
+                modelled_s=0.0,
+                attrs={"spans": len(other.spans)},
+            )
+        )
+        self.adopt(
+            other.spans,
+            other.events,
+            other.counters,
+            parent_id=root_id,
+            wall_offset_s=now,
+        )
+        return root_id
 
     # ------------------------------------------------------------------
     # queries

@@ -51,15 +51,38 @@ def render_span_tree(collector: Collector, *, max_spans: int = 400) -> str:
         "-" * 78,
     ]
     emitted = 0
+    omitted = 0
+
+    def group_children(group: List[SpanRecord]) -> List[SpanRecord]:
+        children: List[SpanRecord] = []
+        for s in group:
+            children.extend(by_parent.get(s.span_id, []))
+        return children
+
+    def count_groups(siblings: List[SpanRecord]) -> int:
+        """How many tree lines ``siblings`` would render, recursively."""
+        groups: Dict[str, List[SpanRecord]] = {}
+        for s in siblings:
+            groups.setdefault(s.name, []).append(s)
+        total = len(groups)
+        for group in groups.values():
+            total += count_groups(group_children(group))
+        return total
 
     def walk(siblings: List[SpanRecord], depth: int) -> None:
-        nonlocal emitted
+        nonlocal emitted, omitted
         groups: Dict[str, List[SpanRecord]] = {}
         for s in siblings:
             groups.setdefault(s.name, []).append(s)
         for name, group in groups.items():
+            children = group_children(group)
             if emitted >= max_spans:
-                return
+                # This group — and every subtree under it — is dropped;
+                # count all of them so the footer reports the real loss
+                # (the early-return of the old code silently swallowed
+                # sibling subtrees at shallower depths).
+                omitted += 1 + count_groups(children)
+                continue
             wall = sum(s.wall_dur_s for s in group)
             modelled = sum(s.modelled_s for s in group)
             label = "  " * depth + name
@@ -68,15 +91,15 @@ def render_span_tree(collector: Collector, *, max_spans: int = 400) -> str:
                 f"{_format_seconds(modelled):>12}"
             )
             emitted += 1
-            children: List[SpanRecord] = []
-            for s in group:
-                children.extend(by_parent.get(s.span_id, []))
             if children:
                 walk(children, depth + 1)
 
     walk(by_parent.get(None, []), 0)
-    if emitted >= max_spans:
-        lines.append(f"... (truncated at {max_spans} lines)")
+    if omitted:
+        lines.append(
+            f"... (truncated at {max_spans} lines; {omitted} span groups"
+            " omitted)"
+        )
     return "\n".join(lines)
 
 
@@ -108,7 +131,9 @@ def render_counters(collector: Collector) -> str:
     width = max(len(k) for k in collector.counters)
     lines = []
     for name in sorted(collector.counters):
-        value = collector.counters[name]
-        shown = int(value) if float(value).is_integer() else value
+        # One float() coercion up front: a bool or int from a future
+        # caller renders exactly like the equivalent float count.
+        value = float(collector.counters[name])
+        shown = int(value) if value.is_integer() else value
         lines.append(f"{name.ljust(width)}  {shown}")
     return "\n".join(lines)

@@ -1,0 +1,128 @@
+"""Unit tests for span aggregation (repro.obs.aggregate)."""
+
+from __future__ import annotations
+
+from repro.obs import Collector, SpanAggregate, aggregate_spans
+from repro.obs.aggregate import NONDETERMINISTIC_CATS, UNATTRIBUTED
+
+
+def _trace(platform: str, task_modelled: float, kernel_modelled: float) -> Collector:
+    """One shard-shaped trace: harness.shard > task > kernel."""
+    c = Collector()
+    with c.span("harness.shard", cat="harness"):
+        with c.span("task1", cat="task", platform=platform) as task:
+            task.add_modelled(task_modelled)
+            with c.span("correlate", cat="kernel") as k:
+                k.add_modelled(kernel_modelled)
+    return c
+
+
+class TestAttribution:
+    def test_nearest_ancestor_platform_wins(self):
+        agg = aggregate_spans(_trace("cuda:titan-x-pascal", 2.0, 1.5))
+        # The kernel span carries no platform attr; it inherits the task's.
+        key = ("cuda:titan-x-pascal", "kernel", "correlate")
+        assert agg.stats[key].calls == 1
+        assert agg.stats[key].modelled_s == 1.5
+
+    def test_own_attr_overrides_ancestor(self):
+        c = Collector()
+        with c.span("task1", cat="task", platform="ap:staran"):
+            with c.span("oracle", cat="kernel", platform="oracle"):
+                pass
+        agg = aggregate_spans(c)
+        assert ("oracle", "kernel", "oracle") in agg.stats
+        assert ("ap:staran", "kernel", "oracle") not in agg.stats
+
+    def test_unattributed_fallback(self):
+        c = Collector()
+        with c.span("setup", cat="harness"):
+            pass
+        agg = aggregate_spans(c)
+        assert agg.platforms() == [UNATTRIBUTED]
+
+    def test_harness_span_inherits_shard_platform(self):
+        c = Collector()
+        with c.span("harness.shard", cat="harness", platform="simd:clearspeed-csx600"):
+            with c.span("retry", cat="harness"):
+                pass
+        agg = aggregate_spans(c)
+        assert ("simd:clearspeed-csx600", "harness", "retry") in agg.stats
+
+
+class TestMerge:
+    def test_merge_equals_combined(self):
+        a = aggregate_spans(_trace("ap:staran", 1.0, 0.75))
+        b = aggregate_spans(_trace("ap:staran", 2.0, 1.25))
+        combined = SpanAggregate()
+        combined.add_collector(_trace("ap:staran", 1.0, 0.75))
+        combined.add_collector(_trace("ap:staran", 2.0, 1.25))
+        merged = a.merge(b)
+        # Wall seconds are real clock readings (the two builds traced at
+        # different moments), so compare the deterministic projection.
+        assert merged.to_canonical_json(
+            deterministic_only=True
+        ) == combined.to_canonical_json(deterministic_only=True)
+        assert merged.stats[("ap:staran", "task", "task1")].calls == 2
+
+    def test_merge_keeps_coverage_exact(self):
+        a = aggregate_spans(_trace("mimd:xeon-16", 4.0, 1.0))   # coverage 0.25
+        b = aggregate_spans(_trace("mimd:xeon-16", 4.0, 3.0))   # coverage 0.75
+        a.merge(b)
+        assert a.modelled_coverage("mimd:xeon-16") == 0.5
+
+    def test_merge_disjoint_platforms(self):
+        a = aggregate_spans(_trace("ap:staran", 1.0, 1.0))
+        b = aggregate_spans(_trace("cuda:titan-x-pascal", 1.0, 1.0))
+        a.merge(b)
+        # harness.shard has no platform attr, so the unattributed bucket
+        # appears alongside the two real platforms.
+        assert a.platforms() == [UNATTRIBUTED, "ap:staran", "cuda:titan-x-pascal"]
+
+
+class TestDeterministicProjection:
+    def test_drops_scheduling_dependent_cats_and_wall(self):
+        c = Collector()
+        with c.span("harness.shard", cat="harness"):
+            with c.span("simulate", cat="core"):
+                pass
+            with c.span("task1", cat="task", platform="ap:staran") as t:
+                t.add_modelled(1.0)
+        d = aggregate_spans(c).to_dict(deterministic_only=True)
+        flat = [name for spans in d["spans"].values() for name in spans]
+        assert flat == ["task:task1"]
+        entry = d["spans"]["ap:staran"]["task:task1"]
+        assert "wall_s" not in entry
+        assert entry["calls"] == 1
+
+    def test_full_projection_keeps_everything(self):
+        agg = aggregate_spans(_trace("ap:staran", 1.0, 0.5))
+        d = agg.to_dict()
+        assert "harness:harness.shard" in d["spans"][UNATTRIBUTED] or any(
+            "harness.shard" in name
+            for spans in d["spans"].values()
+            for name in spans
+        )
+        entry = d["spans"]["ap:staran"]["task:task1"]
+        assert "wall_s" in entry
+
+    def test_core_is_nondeterministic(self):
+        # The functional simulation runs wherever the scheduler put it —
+        # parent, worker, or nowhere (warm trace store) — so "core" must
+        # stay out of the deterministic projection.
+        assert "core" in NONDETERMINISTIC_CATS
+
+
+class TestCoverage:
+    def test_coverage_ratio(self):
+        agg = aggregate_spans(_trace("ap:staran", 2.0, 0.5))
+        assert agg.modelled_coverage("ap:staran") == 0.25
+
+    def test_coverage_clamps_overattribution(self):
+        # Child spans claiming more modelled time than the task cannot
+        # push coverage above 1.0.
+        agg = aggregate_spans(_trace("ap:staran", 1.0, 5.0))
+        assert agg.modelled_coverage("ap:staran") == 1.0
+
+    def test_unknown_platform_is_fully_covered(self):
+        assert SpanAggregate().modelled_coverage("nope") == 1.0

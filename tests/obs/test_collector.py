@@ -149,3 +149,71 @@ class TestActivation:
         assert c.total_modelled("x") == pytest.approx(1.0)
         assert c.total_modelled() == pytest.approx(3.0)
         assert c.total_wall() >= c.total_wall("x") >= 0.0
+
+
+class TestAdoptAndMerge:
+    def _worker_trace(self):
+        """A shard-local collector the way a pool worker produces one."""
+        worker = Collector()
+        with worker.span("task1", cat="task", platform="ap:staran") as t:
+            t.add_modelled(0.5)
+            with worker.span("correlate", cat="kernel") as k:
+                k.add_modelled(0.25)
+        worker.event("deadline.miss", cat="slo", platform="ap:staran")
+        worker.count("kernel.calls", 3.0)
+        return worker
+
+    def test_adopt_remaps_ids_and_reparents_roots(self):
+        worker = self._worker_trace()
+        parent = Collector()
+        with parent.span("harness.shard", cat="harness") as shard:
+            shard_id = shard.span_id
+        id_map = parent.adopt(
+            list(worker.spans),
+            worker.events,
+            worker.counters,
+            parent_id=shard_id,
+        )
+        adopted = {s.span_id: s for s in parent.spans if s.name != "harness.shard"}
+        assert set(id_map.values()) == set(adopted)
+        task = next(s for s in adopted.values() if s.name == "task1")
+        kernel = next(s for s in adopted.values() if s.name == "correlate")
+        assert task.parent_id == shard_id
+        assert kernel.parent_id == task.span_id
+        assert parent.counters["kernel.calls"] == 3.0
+        assert parent.events[-1]["name"] == "deadline.miss"
+
+    def test_adopt_remap_survives_children_before_parents(self):
+        worker = self._worker_trace()
+        # Spans are recorded at close time, so children precede parents
+        # in the list already — adopt must remap in two passes.
+        spans = sorted(worker.spans, key=lambda s: s.span_id, reverse=True)
+        parent = Collector()
+        parent.adopt(spans)
+        kernel = next(s for s in parent.spans if s.name == "correlate")
+        task = next(s for s in parent.spans if s.name == "task1")
+        assert kernel.parent_id == task.span_id
+
+    def test_adopt_shifts_wall_times(self):
+        worker = self._worker_trace()
+        parent = Collector()
+        parent.adopt(list(worker.spans), worker.events, wall_offset_s=100.0)
+        assert all(s.wall_start_s >= 100.0 for s in parent.spans)
+        assert parent.events[-1]["wall_start_s"] >= 100.0
+
+    def test_merge_wraps_in_synthetic_root(self):
+        worker = self._worker_trace()
+        parent = Collector()
+        parent.count("kernel.calls", 1.0)
+        root_id = parent.merge(worker)
+        root = next(s for s in parent.spans if s.span_id == root_id)
+        assert root.cat == "merge"
+        assert root.attrs["spans"] == len(worker.spans)
+        task = next(s for s in parent.spans if s.name == "task1")
+        assert task.parent_id == root_id
+        assert parent.counters["kernel.calls"] == 4.0
+
+    def test_span_record_event_round_trip(self):
+        worker = self._worker_trace()
+        restored = [obs.SpanRecord.from_event(s.to_event()) for s in worker.spans]
+        assert restored == worker.spans

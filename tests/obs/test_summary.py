@@ -89,3 +89,99 @@ class TestRenderCounters:
         with collecting() as c:
             pass
         assert render_counters(c) == "(no counters)"
+
+
+class TestTruncationAccounting:
+    def _wide_tree(self):
+        """Distinct-name siblings, each with a two-level subtree."""
+        with collecting() as c:
+            for i in range(6):
+                with obs.span(f"top{i}"):
+                    with obs.span("mid"):
+                        with obs.span("leaf"):
+                            pass
+        return c
+
+    def test_omitted_counts_dropped_sibling_subtrees(self):
+        # 6 top-level groups x 3 lines each = 18 lines total.  With
+        # max_spans=4 the renderer emits top0..top2 (3) + top0's "mid"
+        # (1), then drops: top0's leaf subtree, top1/top2's subtrees,
+        # and the three whole top3..top5 subtrees.
+        tree = render_span_tree(self._wide_tree(), max_spans=4)
+        assert "truncated at 4 lines; 14 span groups omitted" in tree
+
+    def test_emitted_plus_omitted_is_total(self):
+        c = self._wide_tree()
+        full = render_span_tree(c)
+        total_groups = len(full.splitlines()) - 2  # header + rule
+        for max_spans in (1, 2, 4, 7, 17):
+            tree = render_span_tree(c, max_spans=max_spans)
+            body = [
+                l
+                for l in tree.splitlines()[2:]
+                if not l.startswith("... (truncated")
+            ]
+            omitted = int(tree.rsplit(";", 1)[1].split()[0])
+            assert len(body) + omitted == total_groups
+
+    def test_no_footer_when_everything_fits(self):
+        tree = render_span_tree(self._wide_tree(), max_spans=400)
+        assert "truncated" not in tree
+
+
+class TestCounterCoercion:
+    def test_int_float_and_bool_values_render(self):
+        with collecting() as c:
+            pass
+        c.counters["i"] = 7
+        c.counters["f"] = 2.5
+        c.counters["whole"] = 3.0
+        c.counters["b"] = True
+        out = dict(
+            line.split(maxsplit=1) for line in render_counters(c).splitlines()
+        )
+        assert out["i"] == "7"
+        assert out["f"] == "2.5"
+        assert out["whole"] == "3"  # no trailing .0
+        assert out["b"] == "1"  # bools coerce like their float value
+
+
+class TestCoverageEdgeCases:
+    def test_zero_modelled_parents_score_one(self):
+        # Task spans that never charged modelled time have nothing to
+        # attribute — coverage must be 1.0, not a division error.
+        with collecting() as c:
+            with obs.span("task1", "task"):
+                with obs.span("child") as sp:
+                    sp.add_modelled(0.5)
+        assert modelled_coverage(c) == 1.0
+
+    def test_grandchildren_do_not_double_count(self):
+        # Only *direct* children attribute to the task; the grandchild's
+        # seconds are already inside its parent's.
+        with collecting() as c:
+            with obs.span("task1", "task") as t:
+                t.add_modelled(1.0)
+                with obs.span("child") as sp:
+                    sp.add_modelled(0.5)
+                    with obs.span("grandchild") as g:
+                        g.add_modelled(0.5)
+        assert modelled_coverage(c) == pytest.approx(0.5)
+
+    def test_registry_wide_coverage_smoke(self):
+        # Every registered backend's cost model must stay threaded
+        # through the tracer: >= 0.95 of task modelled seconds
+        # attributed to sub-spans, for the whole registry.
+        from repro.backends.registry import available_backends, resolve_backend
+        from repro.core.radar import generate_radar_frame
+        from repro.core.setup import setup_flight
+
+        fleet = setup_flight(96, 2018)
+        frame = generate_radar_frame(fleet, 2018, 0)
+        for name in available_backends():
+            backend = resolve_backend(name)
+            with collecting() as c:
+                backend.track_and_correlate(fleet, frame)
+                backend.detect_and_resolve(fleet)
+            cov = modelled_coverage(c)
+            assert cov >= 0.95, f"{name}: coverage {cov:.3f}"

@@ -4,7 +4,7 @@
 PYTHON ?= python
 PYTEST  = PYTHONPATH=src $(PYTHON) -m pytest
 
-.PHONY: test test-parallel test-faults docs-check bench bench-smoke profile report dashboard all
+.PHONY: test test-parallel test-faults test-service docs-check bench bench-smoke profile report dashboard serve all
 
 ## the tier-1 suite (unit + integration + property tests)
 test:
@@ -19,6 +19,11 @@ test-parallel:
 ## (docs/robustness.md); asserts byte-identity against fault-free runs
 test-faults:
 	ATM_REPRO_TEST_JOBS=4 $(PYTEST) -q tests/harness/test_faults.py
+
+## the service suite: wire protocol, admission control, byte-identity
+## over real HTTP, and the 1000-in-flight load-test (docs/service.md)
+test-service:
+	$(PYTEST) -q tests/service
 
 ## execute the documentation's code blocks (pytest marker: docs)
 docs-check:
@@ -48,5 +53,11 @@ report:
 ## flamegraph, counters) — one offline file, no external references
 dashboard:
 	PYTHONPATH=src $(PYTHON) -m repro.harness.cli dashboard --out dashboard.html
+
+## the ATM-as-a-service sweep server on the default port, sharing the
+## batch harness's result cache (docs/service.md)
+serve:
+	PYTHONPATH=src $(PYTHON) -m repro.harness.cli serve --port 8018 \
+		--jobs 4 --cache-dir .atm-repro-cache
 
 all: test docs-check

@@ -10,12 +10,22 @@ record the remaining period budget into the
 a readable fact of the snapshot rather than an absence of data.
 :func:`deadline_verdicts` reconstructs the §6.2 miss/no-miss table from
 a snapshot alone.
+
+The same margin arithmetic also runs *before* work is accepted: the
+:class:`AdmissionController` turns the deadline machinery into
+admission control for the sweep service (docs/service.md).  Instead of
+judging a period after its tasks ran, it judges a request before any
+cell is dispatched — estimated completion time against the request's
+deadline budget — and rejects with a structured
+:class:`AdmissionVerdict` whenever the margin is negative or the queue
+is full, mirroring COOK-style arbitrated access: uncontrolled sharing
+breaks deadline guarantees, arbitrated admission preserves them.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, List, Mapping, Sequence
+from typing import Any, Dict, List, Mapping, Optional, Sequence
 
 import numpy as np
 
@@ -28,6 +38,8 @@ from ..obs.metrics import metric_inc, metric_observe, metrics_active
 __all__ = [
     "DeadlineRow",
     "DeadlineReport",
+    "AdmissionVerdict",
+    "AdmissionController",
     "record_cell_metrics",
     "record_schedule_metrics",
     "deadline_verdicts",
@@ -225,6 +237,167 @@ def deadline_verdicts(snapshot: Mapping[str, Any]) -> Dict[str, Dict[str, Any]]:
             "never_misses": not missing_ns,
         }
     return out
+
+
+# ---------------------------------------------------------------------------
+# admission control: the deadline machinery run *before* work is accepted
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class AdmissionVerdict:
+    """One admission decision, in the vocabulary of the deadline tables.
+
+    ``margin_s`` is the estimated slack between the request's deadline
+    budget and the controller's completion estimate — the admission-time
+    analogue of the per-period deadline margin — and is negative exactly
+    when the request is rejected for deadline reasons.  Rejected
+    requests carry this verdict back to the client as the response
+    body, so a 429/503 is never an opaque failure.
+    """
+
+    admitted: bool
+    #: "admitted" | "rejected_deadline" | "rejected_backpressure"
+    outcome: str
+    #: cells the request would add to the dispatch queue.
+    cells: int
+    #: cells already queued when the decision was made.
+    queue_depth: int
+    #: the request's wall-clock budget, seconds.
+    deadline_s: float
+    #: estimated seconds until this request would complete.
+    estimated_s: float
+    #: deadline_s - estimated_s (negative = cannot be served in budget).
+    margin_s: float
+    #: per-cell service-time estimate the prediction used, seconds.
+    cell_estimate_s: float
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "admitted": self.admitted,
+            "outcome": self.outcome,
+            "cells": int(self.cells),
+            "queue_depth": int(self.queue_depth),
+            "deadline_s": float(self.deadline_s),
+            "estimated_s": float(self.estimated_s),
+            "margin_s": float(self.margin_s),
+            "cell_estimate_s": float(self.cell_estimate_s),
+        }
+
+
+class AdmissionController:
+    """Deadline-margin admission control for the sweep service.
+
+    The controller models the service as a single batch-dispatch queue:
+    a request for ``cells`` new measurement cells, arriving with
+    ``queue_depth`` cells already waiting, is estimated to complete in
+    ``dispatch_overhead_s + (queue_depth + cells) * cell_estimate_s``
+    seconds, where ``cell_estimate_s`` is an exponentially-weighted
+    moving average of observed per-cell service time (seeded with a
+    prior so a cold service is not blindly optimistic).  The request is
+    **rejected with a deadline verdict** when that estimate exceeds its
+    deadline budget, and **rejected for backpressure** when admitting
+    its cells would exceed ``max_queue_cells`` — the two rejection
+    modes the service maps to HTTP 429 and 503 (docs/service.md).
+
+    Every decision records the ``atm_service_admission_margin_seconds``
+    histogram (by outcome) plus an ``admission.reject`` obs event on
+    rejection, so the arbitration itself is observable the same way the
+    after-the-fact deadline verdicts are.
+    """
+
+    def __init__(
+        self,
+        *,
+        max_queue_cells: int = 1024,
+        default_deadline_s: float = 30.0,
+        cell_prior_s: float = 0.05,
+        dispatch_overhead_s: float = 0.05,
+        ewma_alpha: float = 0.2,
+    ) -> None:
+        if max_queue_cells < 1:
+            raise ValueError("max_queue_cells must be >= 1")
+        if default_deadline_s <= 0:
+            raise ValueError("default_deadline_s must be positive")
+        if not 0.0 < ewma_alpha <= 1.0:
+            raise ValueError("ewma_alpha must be in (0, 1]")
+        self.max_queue_cells = int(max_queue_cells)
+        self.default_deadline_s = float(default_deadline_s)
+        self.dispatch_overhead_s = float(dispatch_overhead_s)
+        self.ewma_alpha = float(ewma_alpha)
+        self._cell_estimate_s = float(cell_prior_s)
+        self._observed_cells = 0
+
+    @property
+    def cell_estimate_s(self) -> float:
+        """Current per-cell service-time estimate, seconds."""
+        return self._cell_estimate_s
+
+    def observe_cell_seconds(self, seconds: float, cells: int = 1) -> None:
+        """Fold an observed dispatch (``cells`` served in ``seconds``) in."""
+        if cells < 1 or seconds < 0:
+            return
+        per_cell = float(seconds) / float(cells)
+        self._cell_estimate_s += self.ewma_alpha * (
+            per_cell - self._cell_estimate_s
+        )
+        self._observed_cells += int(cells)
+
+    def estimate_s(self, cells: int, queue_depth: int) -> float:
+        """Predicted completion time of a ``cells``-cell request."""
+        return self.dispatch_overhead_s + (
+            max(0, int(queue_depth)) + max(0, int(cells))
+        ) * self._cell_estimate_s
+
+    def assess(
+        self,
+        cells: int,
+        *,
+        queue_depth: int,
+        deadline_s: Optional[float] = None,
+    ) -> AdmissionVerdict:
+        """Admit or reject one request; records metrics either way.
+
+        ``cells`` counts only the cells the request would *add* — cells
+        served by the result cache or coalesced onto an in-flight
+        request cost nothing and should be excluded by the caller.
+        A request adding zero cells is always admitted (it cannot miss
+        its own deadline by queueing nothing).
+        """
+        cells = max(0, int(cells))
+        queue_depth = max(0, int(queue_depth))
+        budget = self.default_deadline_s if deadline_s is None else float(deadline_s)
+        estimated = self.estimate_s(cells, queue_depth) if cells else 0.0
+        margin = budget - estimated
+        if cells and queue_depth + cells > self.max_queue_cells:
+            outcome = "rejected_backpressure"
+        elif cells and margin < 0.0:
+            outcome = "rejected_deadline"
+        else:
+            outcome = "admitted"
+        verdict = AdmissionVerdict(
+            admitted=outcome == "admitted",
+            outcome=outcome,
+            cells=cells,
+            queue_depth=queue_depth,
+            deadline_s=budget,
+            estimated_s=estimated,
+            margin_s=margin,
+            cell_estimate_s=self._cell_estimate_s,
+        )
+        metric_observe(
+            "atm_service_admission_margin_seconds", margin, outcome=outcome
+        )
+        if not verdict.admitted:
+            obs_event(
+                "admission.reject",
+                cat="slo",
+                outcome=outcome,
+                cells=cells,
+                queue_depth=queue_depth,
+                margin_s=margin,
+            )
+        return verdict
 
 
 @dataclass(frozen=True)

@@ -16,6 +16,8 @@ Examples::
     atm-repro bench --out BENCH_trace_engine.json
     atm-repro cache stats
     atm-repro cache clear
+    atm-repro serve --port 8018 --jobs 4 --cache-dir .atm-repro-cache
+    atm-repro loadtest --requests 1000 --concurrency 100
 """
 
 from __future__ import annotations
@@ -99,6 +101,21 @@ metrics & dashboard (docs/observability.md):
   platform families) under the collector + registry and writes one
   self-contained HTML file: execution-time curves, the deadline-margin
   chart, a span flamegraph and counter panels.  No external resources.
+
+service (docs/service.md):
+  atm-repro serve [--port N] [--jobs N] [--cache-dir DIR] ...
+  long-running asyncio HTTP server over the same sweep engine: POST
+  /v1/cell and /v1/sweep measure cells on demand, coalescing identical
+  in-flight requests, batching compatible cells into shared pool
+  dispatches and running deadline admission control (429/503 carry a
+  structured verdict).  Served payloads are byte-identical to the same
+  cells in 'atm-repro report' output.  --port 0 binds an ephemeral
+  port and prints it on stdout.
+
+  atm-repro loadtest [--requests N] [--concurrency N] [--deadline S]
+  closed-loop load generator against a running server; records client
+  wall-clock latencies into the metrics registry and prints p50/p95/p99
+  (see EXPERIMENTS.md, "Service load-test disclosure").
 """
 
 
@@ -336,6 +353,96 @@ def build_parser() -> argparse.ArgumentParser:
     )
     profile.add_argument(
         "--jsonl", default=None, metavar="FILE", help="write JSON-lines spans here"
+    )
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the ATM-as-a-service sweep server (docs/service.md)",
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=8018,
+        help="TCP port; 0 binds an ephemeral port and prints it",
+    )
+    serve.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes per batched sweep dispatch",
+    )
+    serve.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="share the on-disk result cache with batch runs"
+        " (default: in-memory only)",
+    )
+    serve.add_argument(
+        "--batch-window",
+        type=float,
+        default=0.05,
+        metavar="S",
+        help="seconds to hold the first queued cell while compatible"
+        " cells accumulate into one dispatch (default 0.05)",
+    )
+    serve.add_argument(
+        "--max-batch-cells",
+        type=int,
+        default=64,
+        help="largest number of cells dispatched as one batch",
+    )
+    serve.add_argument(
+        "--max-queue-cells",
+        type=int,
+        default=1024,
+        help="admission control: queue depth beyond which requests are"
+        " rejected with 503 (default 1024)",
+    )
+    serve.add_argument(
+        "--default-deadline",
+        type=float,
+        default=30.0,
+        metavar="S",
+        help="admission deadline budget for requests that send none",
+    )
+
+    loadtest = sub.add_parser(
+        "loadtest",
+        help="closed-loop load generator against a running server",
+    )
+    loadtest.add_argument("--host", default="127.0.0.1")
+    loadtest.add_argument("--port", type=int, default=8018)
+    loadtest.add_argument(
+        "--requests", type=int, default=1000, help="total requests to send"
+    )
+    loadtest.add_argument(
+        "--concurrency",
+        type=int,
+        default=100,
+        help="closed-loop workers == max in-flight requests",
+    )
+    loadtest.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        metavar="S",
+        help="per-request deadline forwarded to admission control",
+    )
+    loadtest.add_argument(
+        "--seed", type=int, default=None, help="airfield seed override"
+    )
+    loadtest.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="FILE",
+        help="write the client-side OpenMetrics exposition here",
+    )
+    loadtest.add_argument(
+        "--json",
+        action="store_true",
+        help="print the structured summary as JSON instead of text",
     )
 
     for exp_id in sorted(EXPERIMENTS):
@@ -592,6 +699,51 @@ def main(argv: Optional[List[str]] = None) -> int:
             write_json_lines(args.jsonl, result.collector)
             print(f"wrote {args.jsonl}")
         print(result.render())
+        return 0
+
+    if args.command == "serve":
+        from ..service import ServiceConfig, run_server
+
+        config = ServiceConfig(
+            host=args.host,
+            port=args.port,
+            jobs=args.jobs,
+            cache_dir=args.cache_dir,
+            batch_window_s=args.batch_window,
+            max_batch_cells=args.max_batch_cells,
+            max_queue_cells=args.max_queue_cells,
+            default_deadline_s=args.default_deadline,
+        )
+        return run_server(config)
+
+    if args.command == "loadtest":
+        import json as _json
+
+        from ..service import LoadgenOptions, render_summary, run_loadgen
+
+        options = LoadgenOptions(
+            host=args.host,
+            port=args.port,
+            concurrency=args.concurrency,
+            requests=args.requests,
+            deadline_s=args.deadline,
+            seed=args.seed,
+        )
+        try:
+            summary = run_loadgen(options, metrics_out=args.metrics_out)
+        except (ConnectionError, OSError) as exc:
+            print(
+                f"loadtest: cannot reach {args.host}:{args.port} ({exc});"
+                " is 'atm-repro serve' running?",
+                file=sys.stderr,
+            )
+            return 2
+        if args.metrics_out:
+            print(f"wrote {args.metrics_out}")
+        if args.json:
+            print(_json.dumps(summary, indent=2, sort_keys=True))
+        else:
+            print(render_summary(summary))
         return 0
 
     if args.command == "describe":

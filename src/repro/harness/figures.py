@@ -68,6 +68,11 @@ class FigureData:
     series: Dict[str, List[float]]
     #: linearity verdict per platform (the paper's curve-shape claim).
     verdicts: Dict[str, LinearityVerdict] = field(default_factory=dict)
+    #: platform -> raw per-cell measurements aligned with ``ns``.  These
+    #: are the byte-identity anchor for the sweep service: a cell served
+    #: by ``atm-repro serve`` re-encoded with the report serializer is
+    #: byte-equal to the same entry here (docs/service.md).
+    measurements: Dict[str, list] = field(default_factory=dict)
 
     def render(self, plot: bool = False) -> str:
         out = [render_series(f"{self.figure_id}: {self.title}", self.ns, self.series)]
@@ -104,6 +109,10 @@ class FigureData:
             "task": self.task,
             "ns": list(self.ns),
             "series": {k: [float(y) for y in v] for k, v in self.series.items()},
+            "measurements": {
+                platform: [m.to_dict() for m in rows]
+                for platform, rows in self.measurements.items()
+            },
             "verdicts": {
                 k: {
                     "verdict": v.verdict,
@@ -151,6 +160,7 @@ def _figure_from_sweep(
         ns=data.ns,
         series=series,
         verdicts=verdicts,
+        measurements={p: list(rows) for p, rows in data.measurements.items()},
     )
 
 

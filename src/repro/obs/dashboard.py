@@ -400,6 +400,47 @@ def _verdict_table(snapshot: Mapping[str, Any]) -> str:
     )
 
 
+def _service_latency_panel(snapshot: Mapping[str, Any]) -> str:
+    """Service request latency quantiles (docs/service.md).
+
+    Renders the ``atm_service_request_seconds`` histogram family — both
+    the server-side series and the load generator's ``endpoint=client``
+    series — as a p50/p95/p99 table.  These are wall-clock service
+    latencies, never the paper's modelled architecture times.
+    """
+    family = snapshot.get("families", {}).get("atm_service_request_seconds")
+    if not family:
+        return ""
+    rows = []
+    for entry in family.get("series", []):
+        if not entry.get("count"):
+            continue
+        labels = ", ".join(
+            f"{k}={v}" for k, v in sorted(entry["labels"].items())
+        )
+        cells = "".join(
+            f"<td>{_fmt_seconds(float(entry[q]))}</td>"
+            for q in ("p50", "p95", "p99", "max")
+        )
+        rows.append(
+            f'<tr><td class="l">{_esc(labels)}</td>'
+            f"<td>{int(entry['count'])}</td>{cells}</tr>"
+        )
+    if not rows:
+        return ""
+    return (
+        '<div class="panel"><h2>Service request latency</h2>'
+        '<p class="meta">Wall-clock quantiles from the '
+        "<code>atm_service_request_seconds</code> histograms "
+        "(server-side per outcome; <code>endpoint=client</code> rows are "
+        "the load generator's view). Not modelled time.</p>"
+        '<table><tr><th class="l">labels</th><th>count</th><th>p50</th>'
+        "<th>p95</th><th>p99</th><th>max</th></tr>"
+        + "".join(rows)
+        + "</table></div>"
+    )
+
+
 def _counter_panels(
     snapshot: Mapping[str, Any], collector: Optional[Collector]
 ) -> str:
@@ -484,6 +525,7 @@ def render_dashboard(
         head,
         _margin_chart(snapshot),
         _verdict_table(snapshot),
+        _service_latency_panel(snapshot),
         _experiment_curves(report),
     ]
     if collector is not None and collector.spans:

@@ -52,6 +52,8 @@ __all__ = [
     "MetricsRegistry",
     "DEADLINE_MARGIN_BUCKETS",
     "MODELLED_SECONDS_BUCKETS",
+    "SERVICE_LATENCY_BUCKETS",
+    "ADMISSION_MARGIN_BUCKETS",
     "log_buckets",
     "linear_buckets",
     "activate_metrics",
@@ -103,6 +105,16 @@ DEADLINE_MARGIN_BUCKETS = linear_buckets(-0.5, 0.5, 20)
 #: Modelled-seconds bounds: 1-2-5 ladder from 1 µs to 10 s, matching
 #: the dynamic range of the paper's timing curves.
 MODELLED_SECONDS_BUCKETS = log_buckets(1e-6, 10.0)
+
+#: Service request-latency bounds: 1-2-5 ladder from 100 µs (a warm
+#: coalesced hit) to 100 s (a cold full-matrix dispatch under load).
+SERVICE_LATENCY_BUCKETS = log_buckets(1e-4, 100.0)
+
+#: Admission-margin bounds: linear across ±30 s around the request
+#: deadline, so rejected-with-negative-margin requests are directly
+#: visible in the bucket counts (the service analogue of
+#: :data:`DEADLINE_MARGIN_BUCKETS`).
+ADMISSION_MARGIN_BUCKETS = linear_buckets(-30.0, 30.0, 24)
 
 
 # ---------------------------------------------------------------------------
@@ -373,6 +385,74 @@ DECLARATIONS: Dict[str, MetricDecl] = {
                 " (reexec|trace_cold|trace_warm)"
             ),
             unit="seconds",
+        ),
+        MetricDecl(
+            name="atm_service_requests",
+            kind="counter",
+            help=(
+                "Requests seen by the sweep service (or, with"
+                " endpoint=client, sent by the load generator); labels:"
+                " endpoint, outcome (served|coalesced|rejected_deadline|"
+                "rejected_backpressure|bad_request|error)"
+            ),
+        ),
+        MetricDecl(
+            name="atm_service_request_seconds",
+            kind="histogram",
+            help=(
+                "Wall-clock latency from request receipt to the last"
+                " response byte (endpoint=client: as observed by the"
+                " closed-loop load generator); labels: endpoint, outcome."
+                "  Measured wall time — never the paper's modelled"
+                " architecture seconds (see EXPERIMENTS.md)."
+            ),
+            unit="seconds",
+            buckets=SERVICE_LATENCY_BUCKETS,
+        ),
+        MetricDecl(
+            name="atm_service_admission_margin_seconds",
+            kind="histogram",
+            help=(
+                "Estimated slack between a request's deadline budget and"
+                " the admission controller's completion estimate at"
+                " admission time (negative = rejected with a deadline"
+                " verdict); labels: outcome"
+            ),
+            unit="seconds",
+            buckets=ADMISSION_MARGIN_BUCKETS,
+        ),
+        MetricDecl(
+            name="atm_service_inflight_requests",
+            kind="gauge",
+            help=(
+                "Admitted requests not yet answered; labels: kind"
+                " (current|peak)"
+            ),
+        ),
+        MetricDecl(
+            name="atm_service_queue_cells",
+            kind="gauge",
+            help=(
+                "Measurement cells waiting for a batch dispatch; labels:"
+                " kind (current|peak)"
+            ),
+        ),
+        MetricDecl(
+            name="atm_service_batches",
+            kind="counter",
+            help=(
+                "Batched process-pool dispatches through the sweep engine;"
+                " labels: outcome (ok|error)"
+            ),
+        ),
+        MetricDecl(
+            name="atm_service_batch_cells",
+            kind="histogram",
+            help=(
+                "Distinct measurement cells folded into one batched"
+                " dispatch (coalesced duplicates count once); no labels"
+            ),
+            buckets=(1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 200.0, 500.0),
         ),
     )
 }

@@ -1,0 +1,39 @@
+"""ATM-as-a-service: the long-running sweep/scenario server.
+
+The service layer turns the batch harness into a process that serves
+measurement requests over HTTP — coalescing identical in-flight
+requests on the cache fingerprints, batching compatible cells into
+shared process-pool dispatches, and running the deadline machinery as
+*admission control* (docs/service.md; architecture context in
+docs/architecture.md).
+
+Entry points: ``atm-repro serve`` / :func:`repro.service.run_server`
+for the server, ``atm-repro loadtest`` / :func:`repro.service.run_loadgen`
+for the closed-loop load generator.
+"""
+
+from .loadgen import LoadgenOptions, render_summary, run_loadgen
+from .protocol import (
+    CellRequest,
+    ProtocolError,
+    parse_cell_request,
+    parse_sweep_request,
+    payload_bytes,
+    sweep_payload_bytes,
+)
+from .server import ServiceConfig, SweepService, run_server
+
+__all__ = [
+    "CellRequest",
+    "LoadgenOptions",
+    "ProtocolError",
+    "ServiceConfig",
+    "SweepService",
+    "parse_cell_request",
+    "parse_sweep_request",
+    "payload_bytes",
+    "render_summary",
+    "run_loadgen",
+    "run_server",
+    "sweep_payload_bytes",
+]

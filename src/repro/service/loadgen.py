@@ -1,0 +1,301 @@
+"""Closed-loop load generator for the sweep service (docs/service.md).
+
+``atm-repro loadtest`` drives a running ``atm-repro serve`` with a
+fixed number of **closed-loop** workers: each worker keeps exactly one
+request in flight, sending the next only after the previous response
+fully arrives, so ``concurrency`` workers put at most ``concurrency``
+requests in flight — a load model whose offered rate adapts to the
+service instead of overrunning it (open-loop arrival processes hide
+collapse behind client-side queueing).
+
+Every response is timed **wall-clock** (request write to last body
+byte) and recorded into a client-side
+:class:`~repro.obs.metrics.MetricsRegistry` under the same
+``atm_service_requests`` / ``atm_service_request_seconds`` families the
+server records, labeled ``endpoint=client`` so the two sides never
+merge into one series.  The summary's p50/p99 are read back from that
+histogram — the numbers are *measured service latencies*, never the
+paper's modelled architecture times (see EXPERIMENTS.md, "Service
+load-test disclosure").
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..obs.metrics import MetricsRegistry, to_openmetrics
+
+__all__ = ["LoadgenOptions", "run_loadgen", "render_summary"]
+
+#: Default request mix: small cells on the deterministic platforms, so
+#: a smoke burst is dominated by service mechanics, not cost models.
+DEFAULT_MIX: Tuple[Dict[str, Any], ...] = (
+    {"platform": "ap:staran", "n": 96, "periods": 2},
+    {"platform": "cuda:titan-x-pascal", "n": 96, "periods": 2},
+    {"platform": "simd:clearspeed-csx600", "n": 96, "periods": 2},
+    {"platform": "vector:xeon-phi-7250", "n": 192, "periods": 2},
+    {"platform": "cuda:gtx-880m", "n": 192, "periods": 2},
+)
+
+_OUTCOME_BY_STATUS = {
+    200: "served",
+    400: "bad_request",
+    429: "rejected_deadline",
+    503: "rejected_backpressure",
+}
+
+
+@dataclass(frozen=True)
+class LoadgenOptions:
+    """One load-test run's shape."""
+
+    host: str = "127.0.0.1"
+    port: int = 8018
+    #: closed-loop workers == maximum client-side in-flight requests.
+    concurrency: int = 100
+    #: total requests to send across all workers.
+    requests: int = 1000
+    #: request bodies cycled round-robin (default: DEFAULT_MIX).
+    mix: Tuple[Dict[str, Any], ...] = DEFAULT_MIX
+    #: per-request deadline budget forwarded to admission control.
+    deadline_s: Optional[float] = None
+    #: optional airfield seed override applied to every mix entry.
+    seed: Optional[int] = None
+
+
+async def _http_request(
+    reader: asyncio.StreamReader,
+    writer: asyncio.StreamWriter,
+    method: str,
+    path: str,
+    body: bytes = b"",
+) -> Tuple[int, Dict[str, str], bytes]:
+    """One keep-alive HTTP/1.1 exchange on an open connection."""
+    head = (
+        f"{method} {path} HTTP/1.1\r\n"
+        f"Host: atm-repro\r\n"
+        f"Content-Type: application/json\r\n"
+        f"Content-Length: {len(body)}\r\n"
+        f"Connection: keep-alive\r\n\r\n"
+    )
+    writer.write(head.encode("latin-1") + body)
+    await writer.drain()
+    status_line = await reader.readline()
+    parts = status_line.decode("latin-1").split(" ", 2)
+    if len(parts) < 2 or not parts[0].startswith("HTTP/1."):
+        raise ConnectionError(f"malformed status line {status_line!r}")
+    status = int(parts[1])
+    headers: Dict[str, str] = {}
+    while True:
+        line = await reader.readline()
+        if line in (b"\r\n", b"\n", b""):
+            break
+        name, _, value = line.decode("latin-1").partition(":")
+        headers[name.strip().lower()] = value.strip()
+    length = int(headers.get("content-length", "0") or "0")
+    payload = await reader.readexactly(length) if length else b""
+    return status, headers, payload
+
+
+@dataclass
+class _SharedState:
+    """Counters the workers update; folded into the summary at the end."""
+
+    sent: int = 0
+    outcomes: Dict[str, int] = field(default_factory=dict)
+    sources: Dict[str, int] = field(default_factory=dict)
+    errors: int = 0
+    rejection_sample: Optional[Dict[str, Any]] = None
+
+
+async def _worker(
+    options: LoadgenOptions,
+    state: _SharedState,
+    registry: MetricsRegistry,
+    next_index: "asyncio.Queue[int]",
+) -> None:
+    reader = writer = None
+    try:
+        while True:
+            try:
+                index = next_index.get_nowait()
+            except asyncio.QueueEmpty:
+                return
+            body_obj = dict(options.mix[index % len(options.mix)])
+            if options.seed is not None:
+                body_obj["seed"] = options.seed
+            if options.deadline_s is not None:
+                body_obj["deadline_s"] = options.deadline_s
+            body = json.dumps(body_obj).encode("utf-8")
+            started = time.monotonic()
+            try:
+                if writer is None:
+                    reader, writer = await asyncio.open_connection(
+                        options.host, options.port
+                    )
+                status, headers, _payload = await _http_request(
+                    reader, writer, "POST", "/v1/cell", body
+                )
+            except (ConnectionError, OSError, asyncio.IncompleteReadError):
+                # Reconnect once; a second failure is a counted error.
+                try:
+                    reader, writer = await asyncio.open_connection(
+                        options.host, options.port
+                    )
+                    status, headers, _payload = await _http_request(
+                        reader, writer, "POST", "/v1/cell", body
+                    )
+                except (ConnectionError, OSError, asyncio.IncompleteReadError):
+                    state.errors += 1
+                    state.outcomes["error"] = state.outcomes.get("error", 0) + 1
+                    writer = None
+                    continue
+            elapsed = time.monotonic() - started
+            outcome = _OUTCOME_BY_STATUS.get(status, "error")
+            state.sent += 1
+            state.outcomes[outcome] = state.outcomes.get(outcome, 0) + 1
+            source = headers.get("x-atm-source")
+            if source:
+                state.sources[source] = state.sources.get(source, 0) + 1
+            if outcome.startswith("rejected") and state.rejection_sample is None:
+                try:
+                    state.rejection_sample = json.loads(_payload.decode("utf-8"))
+                except (ValueError, UnicodeDecodeError):
+                    pass
+            registry.inc(
+                "atm_service_requests", endpoint="client", outcome=outcome
+            )
+            registry.observe(
+                "atm_service_request_seconds",
+                elapsed,
+                endpoint="client",
+                outcome=outcome,
+            )
+    finally:
+        if writer is not None:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+
+async def _run(options: LoadgenOptions, registry: MetricsRegistry) -> Dict[str, Any]:
+    state = _SharedState()
+    next_index: "asyncio.Queue[int]" = asyncio.Queue()
+    for i in range(options.requests):
+        next_index.put_nowait(i)
+    started = time.monotonic()
+    workers = [
+        asyncio.create_task(_worker(options, state, registry, next_index))
+        for _ in range(min(options.concurrency, options.requests))
+    ]
+    await asyncio.gather(*workers)
+    wall_s = time.monotonic() - started
+
+    server_stats: Optional[Dict[str, Any]] = None
+    try:
+        reader, writer = await asyncio.open_connection(options.host, options.port)
+        _status, _headers, payload = await _http_request(
+            reader, writer, "GET", "/stats"
+        )
+        server_stats = json.loads(payload.decode("utf-8"))
+        writer.close()
+        await writer.wait_closed()
+    except (ConnectionError, OSError, ValueError):
+        pass
+
+    latency = _latency_readout(registry)
+    return {
+        "requests": options.requests,
+        "concurrency": options.concurrency,
+        "wall_s": round(wall_s, 6),
+        "throughput_rps": round(state.sent / wall_s, 3) if wall_s > 0 else None,
+        "sent": state.sent,
+        "outcomes": dict(sorted(state.outcomes.items())),
+        "sources": dict(sorted(state.sources.items())),
+        "rejection_sample": state.rejection_sample,
+        "latency": latency,
+        "server_stats": server_stats,
+    }
+
+
+def _latency_readout(registry: MetricsRegistry) -> Dict[str, Any]:
+    """p50/p95/p99 over every client-side latency series, merged."""
+    merged = None
+    for instrument in registry.series("atm_service_request_seconds").values():
+        if merged is None:
+            from ..obs.metrics import Histogram
+
+            merged = Histogram(instrument.bounds)
+        merged.merge(instrument)
+    if merged is None or merged.count == 0:
+        return {"count": 0}
+    return {
+        "count": merged.count,
+        "p50_s": merged.quantile(0.50),
+        "p95_s": merged.quantile(0.95),
+        "p99_s": merged.quantile(0.99),
+        "min_s": merged.min,
+        "max_s": merged.max,
+        "mean_s": merged.sum / merged.count,
+    }
+
+
+def run_loadgen(
+    options: LoadgenOptions = LoadgenOptions(),
+    *,
+    registry: Optional[MetricsRegistry] = None,
+    metrics_out: Optional[str] = None,
+) -> Dict[str, Any]:
+    """Run one closed-loop burst; returns the structured summary.
+
+    ``registry`` receives the client-side ``endpoint=client`` series
+    (a fresh one is used when omitted); ``metrics_out`` additionally
+    writes its full OpenMetrics exposition to a file, which the CI
+    service job uploads as the load-test artifact.
+    """
+    registry = registry if registry is not None else MetricsRegistry()
+    summary = asyncio.run(_run(options, registry))
+    if metrics_out:
+        with open(metrics_out, "w", encoding="utf-8") as fh:
+            fh.write(to_openmetrics(registry.snapshot()))
+    return summary
+
+
+def render_summary(summary: Dict[str, Any]) -> str:
+    """Human-readable load-test summary (the CLI's stdout)."""
+    lines = [
+        f"loadtest: {summary['sent']}/{summary['requests']} requests answered "
+        f"in {summary['wall_s']:.2f} s "
+        f"({summary['throughput_rps']} req/s, "
+        f"concurrency {summary['concurrency']})",
+        f"outcomes: {summary['outcomes']}",
+        f"sources:  {summary['sources']}",
+    ]
+    latency = summary.get("latency", {})
+    if latency.get("count"):
+        lines.append(
+            "latency (wall-clock, client-side): "
+            f"p50 {latency['p50_s'] * 1e3:.2f} ms, "
+            f"p95 {latency['p95_s'] * 1e3:.2f} ms, "
+            f"p99 {latency['p99_s'] * 1e3:.2f} ms, "
+            f"max {latency['max_s'] * 1e3:.2f} ms"
+        )
+    stats = summary.get("server_stats")
+    if stats:
+        lines.append(
+            f"server: peak in-flight {stats['inflight_requests_peak']}, "
+            f"{stats['batches']} batches, {stats['coalesced']} coalesced, "
+            f"cell estimate {stats['cell_estimate_s'] * 1e3:.2f} ms"
+        )
+    if summary.get("rejection_sample"):
+        lines.append(
+            "rejection verdict sample: "
+            + json.dumps(summary["rejection_sample"], sort_keys=True)
+        )
+    return "\n".join(lines)

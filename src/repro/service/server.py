@@ -1,0 +1,751 @@
+"""ATM-as-a-service: the asyncio sweep/scenario server (docs/service.md).
+
+``atm-repro serve`` wraps the batch sweep engine in a long-running
+process.  The front-end is plain :func:`asyncio.start_server` speaking
+a deliberately small slice of HTTP/1.1 (no framework, stdlib only);
+behind it sit four mechanisms, all reusing harness machinery instead of
+reimplementing it:
+
+* **Coalescing** — every cell request is keyed by the same SHA-256
+  cost-model fingerprint the result cache uses
+  (:meth:`~repro.harness.cache.ResultCache.key_for`); requests for a
+  cell already being measured await the in-flight future instead of
+  queueing a duplicate.
+* **Batching** — admitted cells accumulate for one batch window, then
+  compatible cells (same seed/periods/mode) dispatch **together**
+  through :func:`repro.harness.parallel.measure_cells`, sharing its
+  process pool, functional-trace memoization and fault tolerance.
+* **Admission control** — before a cell is queued, the
+  :class:`~repro.analysis.deadlines.AdmissionController` estimates
+  completion time against the request's deadline budget and rejects
+  with a structured verdict (HTTP 429) or sheds load outright when the
+  queue is full (HTTP 503).  The deadline machinery arbitrates access
+  *before* work starts, COOK-style, instead of reporting misses after.
+* **Observability** — every request ends in a ``service.request`` span
+  (emitted atomically at completion, so interleaved asyncio tasks can
+  never misnest the span tree) and the ``atm_service_*`` metric
+  families; ``GET /metrics`` exposes the registry as OpenMetrics.
+
+**Byte identity.**  Responses are encoded by
+:func:`repro.service.protocol.payload_bytes` — the report writer's JSON
+settings — so a served cell is byte-identical to the same cell's
+fragment in batch ``atm-repro report`` output, whichever of the
+cache / coalescing / batch-dispatch paths produced it.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+from collections import OrderedDict
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+from ..analysis.deadlines import AdmissionController, AdmissionVerdict
+from ..backends.registry import available_backends
+from ..core.collision import DetectionMode
+from ..obs import count as obs_count
+from ..obs import span as obs_span
+from ..obs.metrics import (
+    MetricsRegistry,
+    activate_metrics,
+    deactivate_metrics,
+    get_registry,
+    metric_inc,
+    metric_observe,
+    metric_set,
+    to_openmetrics,
+)
+from .protocol import (
+    CellRequest,
+    ProtocolError,
+    parse_cell_request,
+    parse_sweep_request,
+    payload_bytes,
+    sweep_payload_bytes,
+)
+
+__all__ = ["ServiceConfig", "SweepService", "run_server"]
+
+_REASON = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    408: "Request Timeout",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+    504: "Gateway Timeout",
+}
+
+#: HTTP status for each admission outcome (docs/service.md).
+_REJECT_STATUS = {
+    "rejected_deadline": 429,
+    "rejected_backpressure": 503,
+}
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Tunables of one :class:`SweepService` instance."""
+
+    host: str = "127.0.0.1"
+    port: int = 8018
+    #: worker processes per batched dispatch (measure_cells jobs).
+    jobs: int = 1
+    #: result/trace cache directory, or None for in-memory only.
+    cache_dir: Optional[str] = None
+    #: how long admitted cells accumulate before a batch dispatches.
+    batch_window_s: float = 0.05
+    #: most distinct cells folded into one dispatch.
+    max_batch_cells: int = 64
+    #: backpressure bound: queued + in-dispatch cells beyond this reject.
+    max_queue_cells: int = 1024
+    #: deadline budget for requests that do not send ``deadline_s``.
+    default_deadline_s: float = 30.0
+    #: admission prior for per-cell service seconds (cold start).
+    cell_prior_s: float = 0.05
+    #: in-memory measurement LRU (cells, not bytes).
+    memory_cells: int = 4096
+
+
+@dataclass
+class _PendingCell:
+    """One queued cell: its request plus the future coalescers await."""
+
+    request: CellRequest
+    key: str
+    future: "asyncio.Future[Any]" = field(repr=False)
+
+
+class SweepService:
+    """The service core: admission, coalescing, batching, dispatch.
+
+    Usable without HTTP (the tests drive :meth:`submit_cell` directly);
+    :meth:`serve` adds the asyncio front-end.  One instance owns one
+    :class:`~repro.obs.metrics.MetricsRegistry` — activated process-wide
+    while the service runs, so harness-layer metrics (shards, trace
+    tiers, deadline margins) land in the same snapshot as the
+    ``atm_service_*`` families.
+    """
+
+    def __init__(
+        self,
+        config: ServiceConfig = ServiceConfig(),
+        *,
+        registry: Optional[MetricsRegistry] = None,
+    ) -> None:
+        self.config = config
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.admission = AdmissionController(
+            max_queue_cells=config.max_queue_cells,
+            default_deadline_s=config.default_deadline_s,
+            cell_prior_s=config.cell_prior_s,
+            dispatch_overhead_s=config.batch_window_s,
+        )
+        self.cache = None
+        self.traces = None
+        if config.cache_dir:
+            from ..harness.cache import ResultCache, TraceStore
+
+            self.cache = ResultCache(config.cache_dir)
+            self.traces = TraceStore(Path(config.cache_dir) / "traces")
+        #: cache fingerprint -> measurement, hot in-process tier.
+        self._memory: "OrderedDict[str, Any]" = OrderedDict()
+        #: cache fingerprint -> future of the in-flight cell (coalescing).
+        self._inflight_cells: Dict[str, "asyncio.Future[Any]"] = {}
+        self._queue: "asyncio.Queue[_PendingCell]" = asyncio.Queue()
+        #: cells admitted but not yet returned by a dispatch.
+        self._pending_cells = 0
+        self._pending_cells_peak = 0
+        self._inflight_requests = 0
+        self._inflight_requests_peak = 0
+        self._served = 0
+        self._coalesced = 0
+        self._rejected = 0
+        self._batches = 0
+        self._started_at = time.monotonic()
+        self._dispatch_pool = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="atm-dispatch"
+        )
+        self._batcher: Optional["asyncio.Task[None]"] = None
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._previous_registry: Optional[MetricsRegistry] = None
+
+    # -- lifecycle ------------------------------------------------------
+
+    async def start(self) -> None:
+        """Activate metrics and the batch dispatcher (no sockets yet)."""
+        self._previous_registry = get_registry()
+        activate_metrics(self.registry)
+        if self._batcher is None:
+            self._batcher = asyncio.create_task(self._batch_loop())
+
+    async def stop(self) -> None:
+        """Stop the dispatcher and restore the previous registry."""
+        if self._batcher is not None:
+            self._batcher.cancel()
+            try:
+                await self._batcher
+            except asyncio.CancelledError:
+                pass
+            self._batcher = None
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        self._dispatch_pool.shutdown(wait=True)
+        if self._previous_registry is not None:
+            activate_metrics(self._previous_registry)
+        else:
+            deactivate_metrics()
+
+    # -- bookkeeping ----------------------------------------------------
+
+    def _track_requests(self, delta: int) -> None:
+        self._inflight_requests += delta
+        if self._inflight_requests > self._inflight_requests_peak:
+            self._inflight_requests_peak = self._inflight_requests
+            metric_set(
+                "atm_service_inflight_requests",
+                float(self._inflight_requests_peak),
+                kind="peak",
+            )
+        metric_set(
+            "atm_service_inflight_requests",
+            float(self._inflight_requests),
+            kind="current",
+        )
+
+    def _track_cells(self, delta: int) -> None:
+        self._pending_cells += delta
+        if self._pending_cells > self._pending_cells_peak:
+            self._pending_cells_peak = self._pending_cells
+            metric_set(
+                "atm_service_queue_cells",
+                float(self._pending_cells_peak),
+                kind="peak",
+            )
+        metric_set(
+            "atm_service_queue_cells", float(self._pending_cells), kind="current"
+        )
+
+    def _remember(self, key: str, measurement: Any) -> None:
+        self._memory[key] = measurement
+        self._memory.move_to_end(key)
+        while len(self._memory) > self.config.memory_cells:
+            self._memory.popitem(last=False)
+
+    def _lookup(self, key: str) -> Optional[Any]:
+        """Hot-tier then disk-cache lookup of one finished cell."""
+        hit = self._memory.get(key)
+        if hit is not None:
+            self._memory.move_to_end(key)
+            return hit
+        if self.cache is not None:
+            hit = self.cache.get(key)
+            if hit is not None:
+                self._remember(key, hit)
+                return hit
+        return None
+
+    def stats(self) -> Dict[str, Any]:
+        """Operational snapshot served at ``GET /stats``."""
+        return {
+            "uptime_s": round(time.monotonic() - self._started_at, 3),
+            "inflight_requests": self._inflight_requests,
+            "inflight_requests_peak": self._inflight_requests_peak,
+            "pending_cells": self._pending_cells,
+            "pending_cells_peak": self._pending_cells_peak,
+            "served": self._served,
+            "coalesced": self._coalesced,
+            "rejected": self._rejected,
+            "batches": self._batches,
+            "memory_cells": len(self._memory),
+            "cell_estimate_s": self.admission.cell_estimate_s,
+            "jobs": self.config.jobs,
+            "cache_dir": self.config.cache_dir,
+        }
+
+    # -- the request core (HTTP-independent) ----------------------------
+
+    async def submit_cell(
+        self, request: CellRequest, *, deadline_s: Optional[float] = None
+    ) -> Tuple[str, Any]:
+        """Resolve one cell request to ``(source, measurement)``.
+
+        ``source`` is ``cache`` (already finished), ``coalesced``
+        (attached to an identical in-flight cell) or ``computed``
+        (admitted, queued and batch-dispatched).  Raises
+        :class:`AdmissionRejected` when the admission controller says
+        no, and :class:`asyncio.TimeoutError` when an admitted request
+        outlives its own deadline budget.
+        """
+        key = request.cache_key()
+        hit = self._lookup(key)
+        if hit is not None:
+            return "cache", hit
+        inflight = self._inflight_cells.get(key)
+        if inflight is not None:
+            self._coalesced += 1
+            obs_count("service.coalesced")
+            budget = (
+                self.config.default_deadline_s if deadline_s is None else deadline_s
+            )
+            measurement = await asyncio.wait_for(
+                asyncio.shield(inflight), timeout=budget
+            )
+            return "coalesced", measurement
+        verdict = self.admission.assess(
+            1, queue_depth=self._pending_cells, deadline_s=deadline_s
+        )
+        if not verdict.admitted:
+            self._rejected += 1
+            raise AdmissionRejected(verdict)
+        future: "asyncio.Future[Any]" = asyncio.get_running_loop().create_future()
+        self._inflight_cells[key] = future
+        self._track_cells(+1)
+        await self._queue.put(_PendingCell(request=request, key=key, future=future))
+        try:
+            measurement = await asyncio.wait_for(
+                asyncio.shield(future), timeout=verdict.deadline_s
+            )
+        except asyncio.TimeoutError:
+            # The cell keeps computing (coalescers may still want it);
+            # only this response times out.
+            raise
+        return "computed", measurement
+
+    async def submit_sweep(
+        self, cells: List[CellRequest], *, deadline_s: Optional[float] = None
+    ) -> Tuple[str, List[Any]]:
+        """Resolve a sweep request to ``(source, measurements)``.
+
+        Admission assesses the whole request at once — only the cells
+        that are neither cached nor coalescible count against the
+        deadline estimate and the queue bound — so a sweep is admitted
+        or rejected atomically, never half-queued.  Every missing cell
+        is enqueued *before* anything is awaited, so the whole request
+        lands in one batch window and dispatches together.
+        """
+        keyed = [(cell, cell.cache_key()) for cell in cells]
+        missing = {
+            key
+            for _, key in keyed
+            if self._lookup(key) is None and key not in self._inflight_cells
+        }
+        verdict = self.admission.assess(
+            len(missing), queue_depth=self._pending_cells, deadline_s=deadline_s
+        )
+        if not verdict.admitted:
+            self._rejected += 1
+            raise AdmissionRejected(verdict)
+        # Enqueue first, await second: no suspension point between the
+        # lookups above and the queue fills below, so the coalescing map
+        # stays consistent.
+        ready: Dict[str, Any] = {}
+        futures: Dict[str, "asyncio.Future[Any]"] = {}
+        for cell, key in keyed:
+            if key in ready or key in futures:
+                continue
+            hit = self._lookup(key)
+            if hit is not None:
+                ready[key] = hit
+                continue
+            future = self._inflight_cells.get(key)
+            if future is not None:
+                self._coalesced += 1
+                obs_count("service.coalesced")
+            else:
+                future = asyncio.get_running_loop().create_future()
+                self._inflight_cells[key] = future
+                self._track_cells(+1)
+                self._queue.put_nowait(
+                    _PendingCell(request=cell, key=key, future=future)
+                )
+            futures[key] = future
+        if futures:
+            ordered = list(futures)
+            values = await asyncio.wait_for(
+                asyncio.gather(*(asyncio.shield(futures[k]) for k in ordered)),
+                timeout=verdict.deadline_s,
+            )
+            ready.update(zip(ordered, values))
+        source = "cache" if not futures else "computed"
+        return source, [ready[key] for _, key in keyed]
+
+    # -- batching -------------------------------------------------------
+
+    async def _batch_loop(self) -> None:
+        """Collect admitted cells for one window, dispatch, repeat."""
+        loop = asyncio.get_running_loop()
+        while True:
+            batch = [await self._queue.get()]
+            window_ends = loop.time() + self.config.batch_window_s
+            while len(batch) < self.config.max_batch_cells:
+                remaining = window_ends - loop.time()
+                if remaining <= 0:
+                    break
+                try:
+                    batch.append(
+                        await asyncio.wait_for(self._queue.get(), timeout=remaining)
+                    )
+                except asyncio.TimeoutError:
+                    break
+            groups: Dict[Tuple[int, int, str], List[_PendingCell]] = {}
+            for item in batch:
+                groups.setdefault(item.request.compat_key, []).append(item)
+            for group in groups.values():
+                started = time.monotonic()
+                try:
+                    measured = await loop.run_in_executor(
+                        self._dispatch_pool,
+                        self._measure_batch,
+                        [item.request for item in group],
+                    )
+                except Exception as exc:  # noqa: BLE001 - forwarded to waiters
+                    metric_inc("atm_service_batches", outcome="error")
+                    for item in group:
+                        self._inflight_cells.pop(item.key, None)
+                        self._track_cells(-1)
+                        if not item.future.done():
+                            item.future.set_exception(
+                                RuntimeError(f"batch dispatch failed: {exc}")
+                            )
+                    continue
+                elapsed = time.monotonic() - started
+                self._batches += 1
+                metric_inc("atm_service_batches", outcome="ok")
+                metric_observe("atm_service_batch_cells", float(len(group)))
+                self.admission.observe_cell_seconds(elapsed, cells=len(group))
+                for item in group:
+                    measurement = measured[(item.request.platform, item.request.n)]
+                    self._remember(item.key, measurement)
+                    self._inflight_cells.pop(item.key, None)
+                    self._track_cells(-1)
+                    if not item.future.done():
+                        item.future.set_result(measurement)
+
+    def _measure_batch(self, requests: List[CellRequest]) -> Dict[Tuple[str, int], Any]:
+        """One compatible batch through the sweep engine (worker thread).
+
+        Platforms requesting the same fleet-size set share a single
+        :func:`~repro.harness.parallel.measure_cells` matrix — one
+        process-pool dispatch, one functional trace per fleet size —
+        and the remainder go per-platform.  Runs on the single-threaded
+        dispatch executor, so harness state (ambient options, trace
+        memo, metrics) is never touched concurrently.
+        """
+        from ..harness.parallel import measure_cells, sweep_options
+
+        seed, periods, mode_value = requests[0].compat_key
+        mode = DetectionMode(mode_value)
+        ns_by_platform: Dict[str, set] = {}
+        for request in requests:
+            ns_by_platform.setdefault(request.platform, set()).add(request.n)
+        matrices: Dict[Tuple[int, ...], List[str]] = {}
+        for platform in sorted(ns_by_platform):
+            ns = tuple(sorted(ns_by_platform[platform]))
+            matrices.setdefault(ns, []).append(platform)
+        out: Dict[Tuple[str, int], Any] = {}
+        with sweep_options(
+            jobs=self.config.jobs,
+            cache=self.cache if self.cache is not None else False,
+            traces=self.traces if self.traces is not None else False,
+        ):
+            for ns, platforms in matrices.items():
+                with obs_span(
+                    "service.dispatch",
+                    cat="service",
+                    platforms=len(platforms),
+                    cells=len(platforms) * len(ns),
+                ):
+                    names, rows = measure_cells(
+                        platforms,
+                        ns,
+                        seed=seed,
+                        periods=periods,
+                        mode=mode,
+                        jobs=self.config.jobs,
+                        cache=self.cache,
+                    )
+                for name, row in zip(names, rows):
+                    for j, n in enumerate(ns):
+                        out[(name, n)] = row[j]
+        return out
+
+    # -- HTTP front-end -------------------------------------------------
+
+    async def serve(self) -> asyncio.AbstractServer:
+        """Bind the listener and return it (``sockets[0]`` has the port)."""
+        await self.start()
+        self._server = await asyncio.start_server(
+            self._handle_client, self.config.host, self.config.port
+        )
+        return self._server
+
+    @property
+    def bound_port(self) -> Optional[int]:
+        if self._server is None or not self._server.sockets:
+            return None
+        return self._server.sockets[0].getsockname()[1]
+
+    async def _handle_client(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                parsed = await _read_request(reader)
+                if parsed is None:
+                    break
+                method, path, headers, body = parsed
+                keep_alive = headers.get("connection", "keep-alive") != "close"
+                status, payload, ctype, extra = await self._route(
+                    method, path, body
+                )
+                await _write_response(
+                    writer, status, payload, ctype, keep_alive, extra
+                )
+                if not keep_alive:
+                    break
+        except (
+            ConnectionError,
+            asyncio.IncompleteReadError,
+            asyncio.LimitOverrunError,
+        ):
+            pass
+        except asyncio.CancelledError:
+            # Server shutdown cancels open handlers; finishing cleanly
+            # keeps asyncio's connection callback from logging it.
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (asyncio.CancelledError, ConnectionError, OSError):
+                pass
+
+    async def _route(
+        self, method: str, path: str, body: bytes
+    ) -> Tuple[int, bytes, str, Dict[str, str]]:
+        if path == "/healthz" and method == "GET":
+            return 200, payload_bytes({"status": "ok"}), "application/json", {}
+        if path == "/stats" and method == "GET":
+            return 200, payload_bytes(self.stats()), "application/json", {}
+        if path == "/v1/platforms" and method == "GET":
+            return (
+                200,
+                payload_bytes({"platforms": list(available_backends())}),
+                "application/json",
+                {},
+            )
+        if path == "/metrics" and method == "GET":
+            text = to_openmetrics(self.registry.snapshot())
+            return (
+                200,
+                text.encode("utf-8"),
+                "application/openmetrics-text; version=1.0.0; charset=utf-8",
+                {},
+            )
+        if path in ("/v1/cell", "/v1/sweep"):
+            if method != "POST":
+                return (
+                    405,
+                    payload_bytes({"error": "use POST"}),
+                    "application/json",
+                    {"Allow": "POST"},
+                )
+            return await self._handle_measurement(path, body)
+        return (
+            404,
+            payload_bytes({"error": f"unknown path {path}"}),
+            "application/json",
+            {},
+        )
+
+    async def _handle_measurement(
+        self, endpoint: str, body: bytes
+    ) -> Tuple[int, bytes, str, Dict[str, str]]:
+        started = time.monotonic()
+        outcome = "error"
+        source = "none"
+        status = 500
+        payload = payload_bytes({"error": "internal error"})
+        extra: Dict[str, str] = {}
+        self._track_requests(+1)
+        try:
+            try:
+                obj = json.loads(body.decode("utf-8")) if body else {}
+            except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+                raise ProtocolError(f"body is not valid JSON: {exc}") from exc
+            deadline_s = _parse_deadline(obj)
+            if endpoint == "/v1/cell":
+                request = parse_cell_request(obj)
+                source, measurement = await self.submit_cell(
+                    request, deadline_s=deadline_s
+                )
+                payload = payload_bytes(measurement.to_dict())
+            else:
+                cells = parse_sweep_request(obj)
+                source, measurements = await self.submit_sweep(
+                    cells, deadline_s=deadline_s
+                )
+                ns = sorted({c.n for c in cells})
+                by_platform: Dict[str, Dict[int, Any]] = {}
+                for cell, m in zip(cells, measurements):
+                    by_platform.setdefault(cell.platform, {})[cell.n] = m
+                payload = sweep_payload_bytes(
+                    ns,
+                    {
+                        platform: [row[n] for n in ns]
+                        for platform, row in by_platform.items()
+                    },
+                )
+            status, outcome = 200, "served"
+            self._served += 1
+            extra = {"X-Atm-Source": source}
+        except ProtocolError as exc:
+            status, outcome = 400, "bad_request"
+            payload = payload_bytes({"error": str(exc)})
+        except AdmissionRejected as exc:
+            status = _REJECT_STATUS[exc.verdict.outcome]
+            outcome = exc.verdict.outcome
+            payload = payload_bytes({"error": "rejected", **exc.verdict.to_dict()})
+            extra = {"Retry-After": "1"}
+        except asyncio.TimeoutError:
+            status, outcome = 504, "error"
+            payload = payload_bytes(
+                {"error": "admitted but not served within deadline_s"}
+            )
+        except Exception as exc:  # noqa: BLE001 - must answer the client
+            status, outcome = 500, "error"
+            payload = payload_bytes({"error": f"internal error: {exc}"})
+        finally:
+            self._track_requests(-1)
+            elapsed = time.monotonic() - started
+            metric_inc("atm_service_requests", endpoint=endpoint, outcome=outcome)
+            metric_observe(
+                "atm_service_request_seconds",
+                elapsed,
+                endpoint=endpoint,
+                outcome=outcome,
+            )
+            # Open/closed atomically: interleaved requests cannot
+            # misnest the collector's span stack.
+            with obs_span(
+                "service.request",
+                cat="service",
+                endpoint=endpoint,
+                outcome=outcome,
+                source=source,
+                status=status,
+                wall_s=elapsed,
+            ):
+                pass
+        return status, payload, "application/json", extra
+
+
+class AdmissionRejected(Exception):
+    """Raised by the submit paths when admission control says no."""
+
+    def __init__(self, verdict: AdmissionVerdict) -> None:
+        super().__init__(verdict.outcome)
+        self.verdict = verdict
+
+
+def _parse_deadline(obj: Any) -> Optional[float]:
+    if not isinstance(obj, Mapping) or obj.get("deadline_s") is None:
+        return None
+    value = obj["deadline_s"]
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise ProtocolError("field 'deadline_s' must be a number of seconds")
+    if not 0 < float(value) <= 3600:
+        raise ProtocolError("field 'deadline_s' must be in (0, 3600]")
+    return float(value)
+
+
+# ---------------------------------------------------------------------------
+# the HTTP/1.1 slice
+# ---------------------------------------------------------------------------
+
+_MAX_BODY = 1 << 20  # 1 MiB of JSON is already an absurd sweep request
+
+
+async def _read_request(
+    reader: asyncio.StreamReader,
+) -> Optional[Tuple[str, str, Dict[str, str], bytes]]:
+    """One request off the stream; None on a clean EOF between requests."""
+    try:
+        head = await reader.readuntil(b"\r\n\r\n")
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise
+    lines = head.decode("latin-1").split("\r\n")
+    parts = lines[0].split(" ")
+    if len(parts) != 3:
+        raise ConnectionError(f"malformed request line: {lines[0]!r}")
+    method, target, _version = parts
+    headers: Dict[str, str] = {}
+    for line in lines[1:]:
+        if not line:
+            continue
+        name, _, value = line.partition(":")
+        headers[name.strip().lower()] = value.strip()
+    length = int(headers.get("content-length", "0") or "0")
+    if not 0 <= length <= _MAX_BODY:
+        raise ConnectionError(f"unacceptable content-length {length}")
+    body = await reader.readexactly(length) if length else b""
+    path = target.split("?", 1)[0]
+    return method.upper(), path, headers, body
+
+
+async def _write_response(
+    writer: asyncio.StreamWriter,
+    status: int,
+    payload: bytes,
+    content_type: str,
+    keep_alive: bool,
+    extra: Optional[Dict[str, str]] = None,
+) -> None:
+    head = [
+        f"HTTP/1.1 {status} {_REASON.get(status, 'Unknown')}",
+        f"Content-Type: {content_type}",
+        f"Content-Length: {len(payload)}",
+        f"Connection: {'keep-alive' if keep_alive else 'close'}",
+    ]
+    for name, value in (extra or {}).items():
+        head.append(f"{name}: {value}")
+    writer.write(("\r\n".join(head) + "\r\n\r\n").encode("latin-1") + payload)
+    await writer.drain()
+
+
+# ---------------------------------------------------------------------------
+# process entry point (the CLI's `atm-repro serve`)
+# ---------------------------------------------------------------------------
+
+
+async def _serve_forever(config: ServiceConfig) -> None:
+    service = SweepService(config)
+    server = await service.serve()
+    host, port = server.sockets[0].getsockname()[:2]
+    # Test harnesses parse this line to find a --port 0 ephemeral bind.
+    print(f"atm-repro serve: listening on http://{host}:{port}", flush=True)
+    try:
+        async with server:
+            await server.serve_forever()
+    finally:
+        await service.stop()
+
+
+def run_server(config: ServiceConfig) -> int:
+    """Run the service until interrupted; returns a process exit code."""
+    try:
+        asyncio.run(_serve_forever(config))
+    except KeyboardInterrupt:
+        print("atm-repro serve: shutting down", flush=True)
+    return 0

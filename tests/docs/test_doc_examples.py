@@ -18,10 +18,12 @@ REPO_ROOT = Path(__file__).resolve().parents[2]
 
 #: documents whose ```python blocks must execute cleanly.
 CHECKED_DOCS = (
+    "docs/architecture.md",
     "docs/observability.md",
     "docs/parallel-and-caching.md",
     "docs/performance.md",
     "docs/robustness.md",
+    "docs/service.md",
 )
 
 _BLOCK_RE = re.compile(r"```python\n(.*?)```", re.DOTALL)
@@ -44,6 +46,28 @@ def test_document_code_blocks_execute(relpath):
             exec(code, namespace)
         except Exception as exc:  # pragma: no cover - failure reporting
             pytest.fail(f"{relpath} block {i} raised {exc!r}:\n{block}")
+
+
+@pytest.mark.docs
+def test_readme_lists_every_cli_subcommand():
+    """The README's CLI reference table must cover every subcommand."""
+    import argparse
+
+    from repro.harness.cli import build_parser
+
+    parser = build_parser()
+    subparsers = next(
+        action
+        for action in parser._actions
+        if isinstance(action, argparse._SubParsersAction)
+    )
+    commands = set(subparsers.choices)
+    assert commands, "CLI exposes no subcommands?"
+    readme = (REPO_ROOT / "README.md").read_text(encoding="utf-8")
+    missing = {name for name in commands if f"`{name}`" not in readme}
+    assert not missing, (
+        f"README.md CLI reference is missing subcommands: {sorted(missing)}"
+    )
 
 
 @pytest.mark.docs

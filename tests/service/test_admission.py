@@ -1,0 +1,107 @@
+"""The deadline admission controller (repro.analysis.deadlines)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.deadlines import AdmissionController, AdmissionVerdict
+from repro.obs.metrics import MetricsRegistry, activate_metrics, deactivate_metrics
+
+
+def test_cold_controller_uses_the_prior():
+    control = AdmissionController(cell_prior_s=0.1, dispatch_overhead_s=0.05)
+    assert control.cell_estimate_s == pytest.approx(0.1)
+    assert control.estimate_s(4, 2) == pytest.approx(0.05 + 6 * 0.1)
+
+
+def test_admits_when_margin_is_positive():
+    control = AdmissionController(cell_prior_s=0.01, dispatch_overhead_s=0.01)
+    verdict = control.assess(5, queue_depth=0, deadline_s=10.0)
+    assert verdict.admitted and verdict.outcome == "admitted"
+    assert verdict.margin_s == pytest.approx(10.0 - verdict.estimated_s)
+
+
+def test_rejects_when_deadline_cannot_be_met():
+    control = AdmissionController(cell_prior_s=0.05, dispatch_overhead_s=0.05)
+    verdict = control.assess(10, queue_depth=0, deadline_s=0.01)
+    assert not verdict.admitted
+    assert verdict.outcome == "rejected_deadline"
+    assert verdict.margin_s < 0
+    body = verdict.to_dict()
+    assert body["estimated_s"] > body["deadline_s"]
+    assert set(body) == {
+        "admitted",
+        "outcome",
+        "cells",
+        "queue_depth",
+        "deadline_s",
+        "estimated_s",
+        "margin_s",
+        "cell_estimate_s",
+    }
+
+
+def test_rejects_for_backpressure_when_queue_full():
+    control = AdmissionController(max_queue_cells=10)
+    verdict = control.assess(5, queue_depth=8, deadline_s=1e9)
+    assert verdict.outcome == "rejected_backpressure"
+    assert not verdict.admitted
+
+
+def test_zero_cell_requests_always_admitted():
+    control = AdmissionController(cell_prior_s=100.0)
+    verdict = control.assess(0, queue_depth=10_000, deadline_s=1e-9)
+    assert verdict.admitted
+    assert verdict.estimated_s == 0.0
+
+
+def test_ewma_tracks_observed_service_time():
+    control = AdmissionController(cell_prior_s=1.0, ewma_alpha=0.5)
+    control.observe_cell_seconds(0.0, cells=1)
+    assert control.cell_estimate_s == pytest.approx(0.5)
+    control.observe_cell_seconds(0.0, cells=1)
+    assert control.cell_estimate_s == pytest.approx(0.25)
+    # degenerate observations are ignored, not folded in
+    control.observe_cell_seconds(-1.0, cells=1)
+    control.observe_cell_seconds(1.0, cells=0)
+    assert control.cell_estimate_s == pytest.approx(0.25)
+
+
+def test_faster_observations_flip_a_rejection_to_admission():
+    control = AdmissionController(
+        cell_prior_s=0.5, dispatch_overhead_s=0.0, ewma_alpha=1.0
+    )
+    assert not control.assess(4, queue_depth=0, deadline_s=1.0).admitted
+    control.observe_cell_seconds(0.4, cells=4)  # 0.1 s/cell observed
+    assert control.assess(4, queue_depth=0, deadline_s=1.0).admitted
+
+
+def test_decisions_record_admission_margin_histogram():
+    registry = MetricsRegistry()
+    activate_metrics(registry)
+    try:
+        control = AdmissionController(cell_prior_s=0.05)
+        control.assess(1, queue_depth=0, deadline_s=10.0)
+        control.assess(1000, queue_depth=0, deadline_s=0.001)
+    finally:
+        deactivate_metrics()
+    series = registry.series("atm_service_admission_margin_seconds")
+    outcomes = {key for key in series}
+    assert any("admitted" in key for key in outcomes)
+    assert any("rejected_deadline" in key for key in outcomes)
+
+
+def test_constructor_rejects_nonsense():
+    with pytest.raises(ValueError):
+        AdmissionController(max_queue_cells=0)
+    with pytest.raises(ValueError):
+        AdmissionController(default_deadline_s=0.0)
+    with pytest.raises(ValueError):
+        AdmissionController(ewma_alpha=0.0)
+
+
+def test_verdict_is_frozen():
+    verdict = AdmissionController().assess(1, queue_depth=0)
+    assert isinstance(verdict, AdmissionVerdict)
+    with pytest.raises(AttributeError):
+        verdict.admitted = False

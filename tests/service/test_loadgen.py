@@ -1,0 +1,139 @@
+"""Closed-loop load generator against a live server (docs/service.md).
+
+The acceptance bar from the service issue: the generator sustains
+>= 1000 concurrent in-flight requests against a local server, admission
+rejections carry structured deadline verdicts, and the run's p50/p99
+land in the metrics registry (and from there in the dashboard panel).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+
+import pytest
+
+from repro.obs.dashboard import render_dashboard
+from repro.obs.metrics import MetricsRegistry
+from repro.service import LoadgenOptions, ServiceConfig, SweepService, run_loadgen
+from repro.service.loadgen import render_summary
+
+
+@pytest.fixture
+def live_server():
+    """A real server on an ephemeral port, on its own event loop thread.
+
+    ``run_loadgen`` spins its own ``asyncio.run`` loop, so the server
+    must live on a different one — exactly the CLI topology
+    (``atm-repro serve`` and ``atm-repro loadtest`` are separate
+    processes).
+    """
+
+    def factory(**config_kwargs):
+        config_kwargs.setdefault("batch_window_s", 0.3)
+        service = SweepService(ServiceConfig(port=0, **config_kwargs))
+        started = threading.Event()
+        stop = None
+        port = None
+        loop_holder = {}
+
+        async def serve_until_stopped():
+            nonlocal stop, port
+            server = await service.serve()
+            stop = asyncio.Event()
+            port = service.bound_port
+            loop_holder["loop"] = asyncio.get_running_loop()
+            started.set()
+            try:
+                await stop.wait()
+            finally:
+                server.close()
+                await server.wait_closed()
+                await service.stop()
+
+        thread = threading.Thread(
+            target=lambda: asyncio.run(serve_until_stopped()), daemon=True
+        )
+        thread.start()
+        assert started.wait(timeout=10), "server did not start"
+
+        def shutdown():
+            loop_holder["loop"].call_soon_threadsafe(stop.set)
+            thread.join(timeout=10)
+
+        return service, port, shutdown
+
+    made = []
+
+    def make(**kwargs):
+        triple = factory(**kwargs)
+        made.append(triple)
+        return triple
+
+    yield make
+    for _service, _port, shutdown in made:
+        shutdown()
+
+
+def test_thousand_concurrent_inflight_requests(live_server):
+    service, port, _shutdown = live_server()
+    registry = MetricsRegistry()
+    summary = run_loadgen(
+        LoadgenOptions(port=port, concurrency=1000, requests=1000),
+        registry=registry,
+    )
+
+    assert summary["sent"] == 1000
+    assert summary["outcomes"].get("served") == 1000
+    # every worker was in flight at once against the cold batch window
+    assert summary["server_stats"]["inflight_requests_peak"] >= 1000
+    # one batch computed the distinct cells; everyone else coalesced or
+    # hit the in-memory tier
+    assert summary["sources"].get("computed", 0) <= 10
+
+    latency = summary["latency"]
+    assert latency["count"] == 1000
+    assert 0 < latency["p50_s"] <= latency["p99_s"] <= latency["max_s"]
+
+    # the quantiles come from the registry's histogram series
+    series = registry.series("atm_service_request_seconds")
+    assert series, "loadgen must record client-side latency series"
+    total = sum(instrument.count for instrument in series.values())
+    assert total == 1000
+
+    # and the same snapshot renders as the dashboard's latency panel
+    html = render_dashboard({}, snapshot=registry.snapshot())
+    assert "Service request latency" in html
+    assert "endpoint=client" in html
+
+    text = render_summary(summary)
+    assert "p50" in text and "p99" in text
+
+
+def test_rejections_carry_deadline_verdicts(live_server):
+    service, port, _shutdown = live_server()
+    summary = run_loadgen(
+        LoadgenOptions(
+            port=port, concurrency=50, requests=100, deadline_s=1e-6
+        )
+    )
+    assert summary["outcomes"].get("rejected_deadline") == 100
+    verdict = summary["rejection_sample"]
+    assert verdict["outcome"] == "rejected_deadline"
+    assert verdict["admitted"] is False
+    assert verdict["margin_s"] < 0
+    assert verdict["deadline_s"] == pytest.approx(1e-6)
+    assert "rejection verdict sample" in render_summary(summary)
+
+
+def test_metrics_out_writes_openmetrics(tmp_path, live_server):
+    service, port, _shutdown = live_server()
+    out = tmp_path / "loadgen.prom"
+    summary = run_loadgen(
+        LoadgenOptions(port=port, concurrency=10, requests=20),
+        metrics_out=str(out),
+    )
+    assert summary["sent"] == 20
+    text = out.read_text(encoding="utf-8")
+    assert 'endpoint="client"' in text
+    assert text.endswith("# EOF\n")

@@ -4,7 +4,7 @@
 PYTHON ?= python
 PYTEST  = PYTHONPATH=src $(PYTHON) -m pytest
 
-.PHONY: test test-parallel test-faults test-service docs-check bench bench-smoke profile report dashboard serve all
+.PHONY: test test-parallel test-faults test-service test-search docs-check bench bench-smoke profile report dashboard serve all
 
 ## the tier-1 suite (unit + integration + property tests)
 test:
@@ -24,6 +24,12 @@ test-faults:
 ## over real HTTP, and the 1000-in-flight load-test (docs/service.md)
 test-service:
 	$(PYTEST) -q tests/service
+
+## the design-space search wall: differential fixed points, searcher
+## determinism properties, budget metrics, CLI byte-identity
+## (docs/search.md)
+test-search:
+	$(PYTEST) -q tests/search
 
 ## execute the documentation's code blocks (pytest marker: docs)
 docs-check:

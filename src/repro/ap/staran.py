@@ -36,6 +36,18 @@ class ApConfig:
     pes_per_module: int = 256
     costs: StaranCosts = field(default_factory=StaranCosts)
 
+    def __post_init__(self) -> None:
+        if self.clock_hz <= 0:
+            raise ValueError(
+                f"AP config {self.key!r}: clock_hz must be positive,"
+                f" got {self.clock_hz!r}"
+            )
+        if self.pes_per_module <= 0:
+            raise ValueError(
+                f"AP config {self.key!r}: pes_per_module (the associative"
+                f" word count) must be positive, got {self.pes_per_module!r}"
+            )
+
     @property
     def registry_name(self) -> str:
         return f"ap:{self.key}"

@@ -66,6 +66,13 @@ def resolve_backend(spec: Union[str, Backend, None]) -> Backend:
     if isinstance(spec, Backend):
         return spec
     if isinstance(spec, str):
+        if spec.startswith("search:"):
+            # Design-space candidate specs (see repro.search.space) are
+            # self-describing strings, so pool workers can resolve a
+            # fresh instance per cell exactly like registry names.
+            from ..search.space import backend_from_spec
+
+            return backend_from_spec(spec)
         _bootstrap()
         factory = _FACTORIES.get(spec)
         if factory is None:

@@ -28,7 +28,16 @@ WARP_SIZE: int = 32
 
 @dataclass(frozen=True)
 class DeviceProperties:
-    """Static hardware description of one CUDA device."""
+    """Static hardware description of one CUDA device.
+
+    Construction validates the table: every count, clock and bandwidth
+    must be positive and the resident-thread limits mutually consistent,
+    so derived values (``total_cores``, ``max_warps_per_sm``,
+    ``peak_gflops``) are guaranteed meaningful instead of merely
+    computed.  The design-space search (:mod:`repro.search`) constructs
+    thousands of candidate tables, so a bad parameter must fail here,
+    loudly, rather than surface as a nonsense cost model downstream.
+    """
 
     #: marketing name, e.g. "GeForce 9800 GT".
     name: str
@@ -72,6 +81,56 @@ class DeviceProperties:
     #: True on CC < 2.0 where coalescing is evaluated per half-warp with
     #: strict in-order rules; misaligned access serializes.
     strict_coalescing: bool
+
+    def __post_init__(self) -> None:
+        positive = {
+            "sm_count": self.sm_count,
+            "cores_per_sm": self.cores_per_sm,
+            "core_clock_ghz": self.core_clock_ghz,
+            "mem_bandwidth_gbs": self.mem_bandwidth_gbs,
+            "dram_latency_cycles": self.dram_latency_cycles,
+            "max_threads_per_sm": self.max_threads_per_sm,
+            "max_blocks_per_sm": self.max_blocks_per_sm,
+            "max_threads_per_block": self.max_threads_per_block,
+            "pcie_bandwidth_gbs": self.pcie_bandwidth_gbs,
+            "mem_segment_bytes": self.mem_segment_bytes,
+            "smem_per_sm_bytes": self.smem_per_sm_bytes,
+        }
+        for field_name, value in positive.items():
+            if not value > 0:
+                raise ValueError(
+                    f"device {self.name!r}: {field_name} must be positive,"
+                    f" got {value!r}"
+                )
+        non_negative = {
+            "pcie_latency_s": self.pcie_latency_s,
+            "kernel_launch_s": self.kernel_launch_s,
+            "l2_bytes": self.l2_bytes,
+        }
+        for field_name, value in non_negative.items():
+            if value < 0:
+                raise ValueError(
+                    f"device {self.name!r}: {field_name} must be >= 0,"
+                    f" got {value!r}"
+                )
+        if self.special_op_factor < 1.0:
+            raise ValueError(
+                f"device {self.name!r}: special_op_factor must be >= 1"
+                f" (a special op cannot be cheaper than a simple op),"
+                f" got {self.special_op_factor!r}"
+            )
+        if self.max_threads_per_sm % WARP_SIZE:
+            raise ValueError(
+                f"device {self.name!r}: max_threads_per_sm"
+                f" ({self.max_threads_per_sm}) must be a whole number of"
+                f" {WARP_SIZE}-thread warps"
+            )
+        if self.max_threads_per_block > self.max_threads_per_sm:
+            raise ValueError(
+                f"device {self.name!r}: max_threads_per_block"
+                f" ({self.max_threads_per_block}) exceeds max_threads_per_sm"
+                f" ({self.max_threads_per_sm})"
+            )
 
     @property
     def total_cores(self) -> int:

@@ -18,6 +18,8 @@ Examples::
     atm-repro cache clear
     atm-repro serve --port 8018 --jobs 4 --cache-dir .atm-repro-cache
     atm-repro loadtest --requests 1000 --concurrency 100
+    atm-repro search --family cuda --searcher genetic --out search.json
+    atm-repro dashboard --search search.json
 """
 
 from __future__ import annotations
@@ -101,6 +103,18 @@ metrics & dashboard (docs/observability.md):
   platform families) under the collector + registry and writes one
   self-contained HTML file: execution-time curves, the deadline-margin
   chart, a span flamegraph and counter panels.  No external resources.
+
+design-space search (docs/search.md):
+  atm-repro search [--spec FILE | --family F ...] [--out FILE]
+  searches a parameterized device design space (per-parameter grids,
+  lumos-style area/power budgets at a tech node) with a seeded searcher
+  (random, genetic, halving) whose candidates are evaluated through the
+  ordinary sweep harness — so --jobs, --cache-dir and --resume apply to
+  candidate sweeps exactly as they do to reports.  The result JSON is
+  canonical: the same spec reproduces it byte for byte.  --spec FILE
+  takes a JSON SearchSpec; otherwise --family/--base/--searcher/
+  --objective/--budget flags assemble one.  'dashboard --search FILE'
+  charts the best-fitness trajectory.
 
 service (docs/service.md):
   atm-repro serve [--port N] [--jobs N] [--cache-dir DIR] ...
@@ -260,6 +274,133 @@ def build_parser() -> argparse.ArgumentParser:
     )
     dashboard.add_argument(
         "--jobs", type=int, default=1, metavar="N", help="worker processes"
+    )
+    dashboard.add_argument(
+        "--search",
+        default=None,
+        metavar="FILE",
+        help="also chart the best-fitness trajectory of this"
+        " 'atm-repro search --out' result JSON",
+    )
+
+    search = sub.add_parser(
+        "search",
+        help="design-space search over parameterized device models"
+        " (docs/search.md)",
+    )
+    search.add_argument(
+        "--spec",
+        default=None,
+        metavar="FILE",
+        help="JSON SearchSpec file; replaces the flags below",
+    )
+    search.add_argument(
+        "--family",
+        default="cuda",
+        choices=["cuda", "simd", "ap", "mimd", "vector"],
+        help="architecture family to search (default cuda)",
+    )
+    search.add_argument(
+        "--base",
+        default=None,
+        metavar="KEY",
+        help="named base config whose unsearched fields are inherited"
+        " (default: the family's paper config)",
+    )
+    search.add_argument(
+        "--searcher",
+        default="genetic",
+        choices=["random", "genetic", "halving"],
+        help="seeded search strategy (default genetic)",
+    )
+    search.add_argument(
+        "--objective",
+        default="modelled_time",
+        choices=["worst_margin", "modelled_time", "time_area", "smallest_feasible"],
+        help="scalar fitness to minimize (default modelled_time)",
+    )
+    search.add_argument("--seed", type=int, default=2018, help="searcher RNG seed")
+    search.add_argument(
+        "--max-evaluations",
+        type=int,
+        default=24,
+        metavar="N",
+        help="budget of new candidate evaluations (default 24)",
+    )
+    search.add_argument(
+        "--ns",
+        type=int,
+        nargs="+",
+        default=[96, 480, 960],
+        metavar="N",
+        help="fleet-size axis per candidate (default 96 480 960)",
+    )
+    search.add_argument(
+        "--periods", type=int, default=3, help="tracking periods per cell"
+    )
+    search.add_argument(
+        "--area-budget",
+        type=float,
+        default=None,
+        metavar="MM2",
+        help="reject candidates above this die area (mm^2)",
+    )
+    search.add_argument(
+        "--power-budget",
+        type=float,
+        default=None,
+        metavar="W",
+        help="reject candidates above this power draw (watts)",
+    )
+    search.add_argument(
+        "--tech-nm",
+        type=float,
+        default=16.0,
+        metavar="NM",
+        help="technology node scaling the area/power models (default 16)",
+    )
+    search.add_argument(
+        "--no-compare-paper",
+        action="store_true",
+        help="skip evaluating the family's paper configs for comparison",
+    )
+    search.add_argument(
+        "--out", default=None, metavar="FILE", help="write the canonical result JSON"
+    )
+    search.add_argument(
+        "--json",
+        action="store_true",
+        help="print the result JSON instead of the summary table",
+    )
+    search.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="FILE",
+        help="write the run's OpenMetrics exposition (atm_search_* et al.)",
+    )
+    search.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes for candidate sweep cells",
+    )
+    search.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="memoize candidate sweep cells in the result cache at DIR",
+    )
+    search.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="ignore the result cache even when --cache-dir is set",
+    )
+    search.add_argument(
+        "--resume",
+        action="store_true",
+        help="resume candidate sweeps from the checkpoint journal at"
+        " <cache-dir>/journal.jsonl (requires --cache-dir)",
     )
 
     bench = sub.add_parser(
@@ -518,10 +659,100 @@ def main(argv: Optional[List[str]] = None) -> int:
                 jobs=args.jobs,
                 metrics_registry=registry,
             )
+        search_doc = None
+        if args.search:
+            import json
+
+            with open(args.search, "r", encoding="utf-8") as fh:
+                search_doc = json.load(fh)
         write_dashboard(
-            args.out, report, snapshot=registry.snapshot(), collector=collector
+            args.out,
+            report,
+            snapshot=registry.snapshot(),
+            collector=collector,
+            search=search_doc,
         )
         print(f"wrote {args.out}")
+        return 0
+
+    if args.command == "search":
+        from pathlib import Path
+
+        from ..core.canonical import canonical_json
+        from ..obs.metrics import MetricsRegistry, recording, to_openmetrics
+        from ..search.runner import (
+            SearchSpec,
+            load_search_spec,
+            render_search,
+            run_search,
+        )
+        from ..search.space import Budget, space_for
+        from .cache import ResultCache, TraceStore
+        from .faults import SweepJournal
+
+        if args.spec:
+            spec = load_search_spec(args.spec)
+        else:
+            space = space_for(
+                args.family,
+                base=args.base,
+                budget=Budget(
+                    area_mm2=args.area_budget,
+                    power_w=args.power_budget,
+                    tech_nm=args.tech_nm,
+                ),
+            )
+            spec = SearchSpec(
+                space=space,
+                searcher=args.searcher,
+                objective=args.objective,
+                seed=args.seed,
+                max_evaluations=args.max_evaluations,
+                ns=tuple(args.ns),
+                periods=args.periods,
+                compare_paper=not args.no_compare_paper,
+            )
+        cache = traces = journal = None
+        if args.resume and (not args.cache_dir or args.no_cache):
+            print(
+                "--resume needs --cache-dir (the journal lives at"
+                " <cache-dir>/journal.jsonl) and is incompatible with"
+                " --no-cache",
+                file=sys.stderr,
+            )
+            return 2
+        if args.cache_dir and not args.no_cache:
+            cache = ResultCache(args.cache_dir)
+            traces = TraceStore(Path(args.cache_dir) / "traces")
+            journal = SweepJournal(
+                Path(args.cache_dir) / "journal.jsonl", resume=args.resume
+            )
+        registry = MetricsRegistry()
+        with recording(registry):
+            result = run_search(
+                spec, jobs=args.jobs, cache=cache, traces=traces, journal=journal
+            )
+        text = canonical_json(result) + "\n"
+        if args.out:
+            with open(args.out, "w", encoding="utf-8") as fh:
+                fh.write(text)
+            print(f"wrote {args.out}")
+        if args.metrics_out:
+            with open(args.metrics_out, "w", encoding="utf-8") as fh:
+                fh.write(to_openmetrics(registry.snapshot()))
+            print(f"wrote {args.metrics_out}")
+        if args.json:
+            print(text, end="")
+        else:
+            print(render_search(result), end="")
+        if journal is not None:
+            js = journal.stats()
+            print(
+                f"journal {js['path']}: {js['resumed_cells']} cells resumed, "
+                f"{js['recorded']} checkpointed, {js['dropped_lines']} torn"
+                " lines dropped",
+                file=sys.stderr,
+            )
         return 0
 
     if args.command == "report":

@@ -201,6 +201,7 @@ class MimdBackend(Backend):
             machine=self.config.name,
             n_cores=self.config.n_cores,
             clock_ghz=self.config.clock_hz / 1e9,
+            ipc=self.config.ipc,
             jitter_sigma=self.config.jitter_sigma,
             timing_seed=self.timing_seed,
         )

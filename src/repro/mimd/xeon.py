@@ -37,6 +37,31 @@ class MimdConfig:
     #: frequency transitions) — the source of timing unpredictability.
     jitter_sigma: float
 
+    def __post_init__(self) -> None:
+        positive = {
+            "n_cores": self.n_cores,
+            "clock_hz": self.clock_hz,
+            "ipc": self.ipc,
+        }
+        for field_name, value in positive.items():
+            if not value > 0:
+                raise ValueError(
+                    f"MIMD config {self.key!r}: {field_name} must be"
+                    f" positive, got {value!r}"
+                )
+        non_negative = {
+            "lock_op_s": self.lock_op_s,
+            "read_lock_s": self.read_lock_s,
+            "queue_pop_s": self.queue_pop_s,
+            "jitter_sigma": self.jitter_sigma,
+        }
+        for field_name, value in non_negative.items():
+            if value < 0:
+                raise ValueError(
+                    f"MIMD config {self.key!r}: {field_name} must be >= 0,"
+                    f" got {value!r}"
+                )
+
     @property
     def registry_name(self) -> str:
         return f"mimd:{self.key}"

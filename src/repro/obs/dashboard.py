@@ -27,6 +27,7 @@ collector simply omits the flamegraph.
 from __future__ import annotations
 
 import html
+import math
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from .collector import Collector
@@ -441,6 +442,50 @@ def _service_latency_panel(snapshot: Mapping[str, Any]) -> str:
     )
 
 
+def _search_panel(search: Mapping[str, Any]) -> str:
+    """Archgym-style best-fitness trajectory of one search result.
+
+    ``search`` is the ``atm-repro search --out`` result document: the
+    curve plots best-so-far fitness against evaluation index, with
+    budget-rejected candidates visible as flat segments.
+    """
+    curve = search.get("best_fitness_curve") or []
+    spec = search.get("spec", {})
+    points = [
+        (float(i + 1), float(f))
+        for i, f in enumerate(curve)
+        if isinstance(f, (int, float)) and math.isfinite(f) and f < 1e29
+    ]
+    label = (
+        f"{spec.get('searcher', '?')} / {spec.get('objective', '?')}"
+        f" over {spec.get('space', {}).get('family', '?')}"
+    )
+    if not points:
+        chart = "<p>(no finite full-fidelity evaluations)</p>"
+    else:
+        chart = _line_chart(
+            {label: points},
+            log_y=all(f > 0 for _, f in points),
+            y_label="best fitness",
+        )
+    best = search.get("best") or {}
+    params = (best.get("point") or {}).get("params", {})
+    meta = (
+        f"{search.get('evaluated', 0)} evaluated, "
+        f"{search.get('rejected', 0)} budget-rejected, "
+        f"{search.get('rounds', 0)} round(s)"
+    )
+    if best:
+        meta += (
+            f"; best {_esc(best.get('key', '?'))}: "
+            + ", ".join(f"{k}={v}" for k, v in sorted(params.items()))
+        )
+    return (
+        '<div class="panel"><h2>Design-space search trajectory</h2>'
+        f'<p class="meta">{meta}</p>' + chart + "</div>"
+    )
+
+
 def _counter_panels(
     snapshot: Mapping[str, Any], collector: Optional[Collector]
 ) -> str:
@@ -502,13 +547,15 @@ def render_dashboard(
     report: Mapping[str, Any],
     snapshot: Optional[Mapping[str, Any]] = None,
     collector: Optional[Collector] = None,
+    search: Optional[Mapping[str, Any]] = None,
 ) -> str:
     """The dashboard HTML for a report document (see the module docstring).
 
     ``snapshot`` defaults to the report's embedded deterministic metrics;
     pass a full :meth:`~repro.obs.metrics.MetricsRegistry.snapshot` for
     the operational families too.  ``collector`` adds the flamegraph and
-    the flat trace counters.
+    the flat trace counters.  ``search`` is an ``atm-repro search``
+    result document to chart as a best-fitness trajectory panel.
     """
     if snapshot is None:
         snapshot = report.get("metrics", {}) or {}
@@ -528,6 +575,8 @@ def render_dashboard(
         _service_latency_panel(snapshot),
         _experiment_curves(report),
     ]
+    if search is not None:
+        body.append(_search_panel(search))
     if collector is not None and collector.spans:
         body.append(
             '<div class="panel"><h2>Span flamegraph (modelled time)</h2>'
@@ -547,9 +596,12 @@ def write_dashboard(
     report: Mapping[str, Any],
     snapshot: Optional[Mapping[str, Any]] = None,
     collector: Optional[Collector] = None,
+    search: Optional[Mapping[str, Any]] = None,
 ) -> str:
     """Render and write the dashboard; returns ``path``."""
-    text = render_dashboard(report, snapshot=snapshot, collector=collector)
+    text = render_dashboard(
+        report, snapshot=snapshot, collector=collector, search=search
+    )
     with open(path, "w", encoding="utf-8") as fh:
         fh.write(text)
     return path

@@ -387,6 +387,42 @@ DECLARATIONS: Dict[str, MetricDecl] = {
             unit="seconds",
         ),
         MetricDecl(
+            name="atm_search_evaluations",
+            kind="counter",
+            help=(
+                "Design-space candidates judged by the search evaluator;"
+                " labels: searcher (random|genetic|halving|paper), outcome"
+                " (evaluated|rejected|memoized).  Zero-initialized per"
+                " searcher at evaluator construction."
+            ),
+        ),
+        MetricDecl(
+            name="atm_search_rejected",
+            kind="counter",
+            help=(
+                "Candidates rejected by the lumos-style physical budget"
+                " before any sweep work; labels: searcher, constraint"
+                " (area|power).  Recorded as 0 for clean runs so budget"
+                " behaviour is readable from the snapshot alone."
+            ),
+        ),
+        MetricDecl(
+            name="atm_search_rounds",
+            kind="counter",
+            help=(
+                "Search rounds completed (GA generations, halving rungs,"
+                " 1 for random search); labels: searcher"
+            ),
+        ),
+        MetricDecl(
+            name="atm_search_best_fitness",
+            kind="gauge",
+            help=(
+                "Best (lowest) full-fidelity fitness seen so far by a"
+                " searcher; labels: searcher, objective"
+            ),
+        ),
+        MetricDecl(
             name="atm_service_requests",
             kind="counter",
             help=(

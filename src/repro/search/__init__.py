@@ -1,0 +1,57 @@
+"""Hardware design-space search over the parameterized device models.
+
+The paper compares seven *fixed* configurations; this package turns the
+device tables behind them into a declarative, searchable
+:class:`~repro.search.space.DesignSpace` (per-parameter grids plus
+lumos-style area/power/tech-node budgets) and drives three seeded
+searchers — random, genetic, successive halving — through the existing
+sweep harness.  Every candidate is just a fresh
+``Backend.describe()`` fingerprint, so the result cache, the functional
+trace tier and the sweep journal all work unchanged; the seven paper
+configs are fixed points of the space (see ``tests/search``).
+
+See docs/search.md for the user-level story.
+"""
+
+from .space import (
+    Budget,
+    DesignPoint,
+    DesignSpace,
+    Parameter,
+    backend_from_spec,
+    candidate_area_mm2,
+    candidate_power_w,
+    paper_points,
+    space_for,
+)
+from .evaluate import CandidateEvaluator, Evaluation, OBJECTIVES
+from .searchers import (
+    SEARCHERS,
+    SearchOutcome,
+    genetic_search,
+    random_search,
+    successive_halving_search,
+)
+from .runner import SearchSpec, run_search
+
+__all__ = [
+    "Budget",
+    "DesignPoint",
+    "DesignSpace",
+    "Parameter",
+    "backend_from_spec",
+    "candidate_area_mm2",
+    "candidate_power_w",
+    "paper_points",
+    "space_for",
+    "CandidateEvaluator",
+    "Evaluation",
+    "OBJECTIVES",
+    "SEARCHERS",
+    "SearchOutcome",
+    "genetic_search",
+    "random_search",
+    "successive_halving_search",
+    "SearchSpec",
+    "run_search",
+]

@@ -1,0 +1,287 @@
+"""Candidate evaluation: budget gate, sweep, objective scalarization.
+
+A :class:`CandidateEvaluator` turns one :class:`~repro.search.space.DesignPoint`
+into a scalar fitness (lower is better) by running the candidate through
+the ordinary sweep harness — the same :func:`repro.harness.sweep.sweep`
+the report path uses, under whatever ambient
+:func:`~repro.harness.parallel.sweep_options` the caller installed, so
+``--jobs``, the result cache and the sweep journal all apply to search
+evaluations for free.
+
+Budget constraints are checked *before* any sweep work: a candidate that
+violates the area or power budget is rejected with
+``atm_search_rejected`` counters (zero-initialized at construction, so a
+clean run is readable from the metrics snapshot alone) and never touches
+the harness.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..core.collision import DetectionMode
+from ..core import constants as C
+from ..harness.sweep import sweep
+from ..obs.metrics import metric_inc, metric_set
+from .space import DesignPoint, DesignSpace
+
+__all__ = ["Evaluation", "CandidateEvaluator", "OBJECTIVES", "REJECTED_FITNESS"]
+
+#: fitness assigned to budget-rejected candidates (orders worse than any
+#: evaluated candidate, but finite so trajectories stay strict JSON).
+REJECTED_FITNESS = 1e30
+
+#: additive penalty for candidates that miss a deadline under the
+#: ``smallest_feasible`` objective (dominates any area term).
+_INFEASIBLE_PENALTY = 1e9
+
+
+@dataclass(frozen=True)
+class Evaluation:
+    """Outcome of judging one candidate (possibly without a sweep)."""
+
+    point: DesignPoint
+    fitness: float
+    ns: Tuple[int, ...]
+    area_mm2: float
+    power_w: float
+    #: budget constraints violated ("area"/"power"); empty = evaluated.
+    rejected: Tuple[str, ...] = ()
+    worst_margin_s: Optional[float] = None
+    modelled_time_s: Optional[float] = None
+    deadline_misses: Optional[int] = None
+
+    @property
+    def evaluated(self) -> bool:
+        return not self.rejected
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "point": self.point.to_dict(),
+            "key": self.point.key,
+            "fitness": self.fitness,
+            "ns": list(self.ns),
+            "area_mm2": self.area_mm2,
+            "power_w": self.power_w,
+            "rejected": list(self.rejected),
+            "worst_margin_s": self.worst_margin_s,
+            "modelled_time_s": self.modelled_time_s,
+            "deadline_misses": self.deadline_misses,
+        }
+
+
+def _objective_worst_margin(ev: "Evaluation") -> float:
+    return -ev.worst_margin_s
+
+
+def _objective_modelled_time(ev: "Evaluation") -> float:
+    return ev.modelled_time_s
+
+
+def _objective_time_area(ev: "Evaluation") -> float:
+    return ev.modelled_time_s * ev.area_mm2
+
+
+def _objective_smallest_feasible(ev: "Evaluation") -> float:
+    if ev.worst_margin_s < 0 or ev.deadline_misses:
+        return _INFEASIBLE_PENALTY + ev.area_mm2
+    return ev.area_mm2
+
+
+#: objective name -> scalarizer over a sweep-backed Evaluation (lower is
+#: better for all of them).
+OBJECTIVES = {
+    "worst_margin": _objective_worst_margin,
+    "modelled_time": _objective_modelled_time,
+    "time_area": _objective_time_area,
+    "smallest_feasible": _objective_smallest_feasible,
+}
+
+
+def _cell_margins(task1_seconds: Sequence[float], task23_s: float) -> List[float]:
+    """Per-period deadline margins of one sweep cell.
+
+    Mirrors :func:`repro.analysis.deadlines.record_cell_metrics`: each
+    tracking period budgets Task 1 alone against the half-second
+    deadline; the final period is the collision period and budgets
+    Task 1 plus the fused Task 2+3.
+    """
+    margins = [C.PERIOD_SECONDS - float(t) for t in task1_seconds[:-1]]
+    if task1_seconds:
+        margins.append(C.PERIOD_SECONDS - (float(task1_seconds[-1]) + float(task23_s)))
+    return margins
+
+
+class CandidateEvaluator:
+    """Budget-gated, memoized fitness evaluation through the harness."""
+
+    def __init__(
+        self,
+        space: DesignSpace,
+        *,
+        objective: str = "modelled_time",
+        ns: Sequence[int] = (96, 480, 960),
+        seed: int = 2018,
+        periods: int = 3,
+        mode: DetectionMode = DetectionMode.SIGNED,
+        searcher: str = "search",
+    ) -> None:
+        if objective not in OBJECTIVES:
+            known = ", ".join(sorted(OBJECTIVES))
+            raise KeyError(f"unknown objective {objective!r}; known: {known}")
+        self.space = space
+        self.objective = objective
+        self.ns = tuple(int(n) for n in ns)
+        if not self.ns:
+            raise ValueError("need at least one fleet size to evaluate against")
+        self.seed = int(seed)
+        self.periods = int(periods)
+        self.mode = mode
+        self.searcher = searcher
+        #: evaluations in the order first requested (the trajectory).
+        self.trajectory: List[Evaluation] = []
+        self.best: Optional[Evaluation] = None
+        self._memo: Dict[Tuple[str, Tuple[int, ...]], Evaluation] = {}
+        # Counters-with-zeros: a snapshot must answer "how many budget
+        # rejections happened" even when the answer is zero.
+        for constraint in ("area", "power"):
+            metric_inc(
+                "atm_search_rejected", 0, searcher=searcher, constraint=constraint
+            )
+        for outcome in ("evaluated", "rejected", "memoized"):
+            metric_inc(
+                "atm_search_evaluations", 0, searcher=searcher, outcome=outcome
+            )
+
+    # ------------------------------------------------------------------
+
+    def evaluate(
+        self, point: DesignPoint, ns: Optional[Sequence[int]] = None
+    ) -> Evaluation:
+        """Fitness of ``point`` at fidelity ``ns`` (default: full axis).
+
+        Results are memoized by ``(point.key, ns)``; repeated requests —
+        a GA re-visiting an elite, a halving rung promoting a survivor —
+        return the recorded evaluation without touching the harness.
+        """
+        ns = self.ns if ns is None else tuple(int(n) for n in ns)
+        memo_key = (point.key, ns)
+        hit = self._memo.get(memo_key)
+        if hit is not None:
+            metric_inc(
+                "atm_search_evaluations",
+                searcher=self.searcher,
+                outcome="memoized",
+            )
+            return hit
+        ev = self._judge(point, ns)
+        self._memo[memo_key] = ev
+        self.trajectory.append(ev)
+        # Only full-fidelity evaluations compete for `best`: a halving
+        # rung over a prefix of the axis sweeps fewer cells, so its
+        # modelled-time fitness is not comparable to the full axis.
+        if ev.evaluated and ns == self.ns and (
+            self.best is None or self._better(ev, self.best)
+        ):
+            self.best = ev
+            metric_set(
+                "atm_search_best_fitness",
+                ev.fitness,
+                searcher=self.searcher,
+                objective=self.objective,
+            )
+        return ev
+
+    def _better(self, a: Evaluation, b: Evaluation) -> bool:
+        """Strictly better: lower fitness, ties broken by point key."""
+        if a.fitness != b.fitness:
+            return a.fitness < b.fitness
+        return a.point.key < b.point.key
+
+    def _judge(self, point: DesignPoint, ns: Tuple[int, ...]) -> Evaluation:
+        area = point.area_mm2(self.space.budget)
+        power = point.power_w(self.space.budget)
+        violated = tuple(self.space.budget.violations(area, power))
+        if violated:
+            for constraint in violated:
+                metric_inc(
+                    "atm_search_rejected",
+                    searcher=self.searcher,
+                    constraint=constraint,
+                )
+            metric_inc(
+                "atm_search_evaluations",
+                searcher=self.searcher,
+                outcome="rejected",
+            )
+            return Evaluation(
+                point=point,
+                fitness=REJECTED_FITNESS,
+                ns=ns,
+                area_mm2=area,
+                power_w=power,
+                rejected=violated,
+            )
+        data = sweep(
+            [point.spec()],
+            ns,
+            seed=self.seed,
+            periods=self.periods,
+            mode=self.mode,
+        )
+        (rows,) = data.measurements.values()
+        margins: List[float] = []
+        total_s = 0.0
+        for m in rows:
+            margins.extend(_cell_margins(m.task1_seconds, m.task23_s))
+            total_s += sum(float(t) for t in m.task1_seconds) + float(m.task23_s)
+        worst = min(margins)
+        misses = sum(1 for m in margins if m < 0)
+        ev = Evaluation(
+            point=point,
+            fitness=math.nan,  # scalarized below once the stats exist
+            ns=ns,
+            area_mm2=area,
+            power_w=power,
+            worst_margin_s=worst,
+            modelled_time_s=total_s,
+            deadline_misses=misses,
+        )
+        ev = dataclasses.replace(ev, fitness=float(OBJECTIVES[self.objective](ev)))
+        metric_inc(
+            "atm_search_evaluations", searcher=self.searcher, outcome="evaluated"
+        )
+        return ev
+
+    # ------------------------------------------------------------------
+
+    def pareto_front(self) -> List[Evaluation]:
+        """Non-dominated full-fidelity evaluations on (time, area).
+
+        Lower is better on both axes; rejected candidates and partial-
+        fidelity (halving rung) evaluations are excluded.  Sorted by
+        modelled time, ties by point key, so the front is deterministic.
+        """
+        full = [
+            ev
+            for ev in self.trajectory
+            if ev.evaluated and ev.ns == self.ns
+        ]
+        front = [
+            ev
+            for ev in full
+            if not any(_dominates(other, ev) for other in full)
+        ]
+        return sorted(front, key=lambda ev: (ev.modelled_time_s, ev.point.key))
+
+
+def _dominates(a: Evaluation, b: Evaluation) -> bool:
+    """True when ``a`` is no worse on both axes and better on one."""
+    return (
+        a.modelled_time_s <= b.modelled_time_s
+        and a.area_mm2 <= b.area_mm2
+        and (a.modelled_time_s < b.modelled_time_s or a.area_mm2 < b.area_mm2)
+    )

@@ -1,0 +1,242 @@
+"""Three seeded searchers over a :class:`~repro.search.space.DesignSpace`.
+
+All three are deterministic functions of ``(space, evaluator, seed,
+evaluation budget)``: they draw only from a private ``random.Random``,
+break every tie by point key, and spend at most ``max_evaluations``
+*new* evaluations (memo hits are free).  That is what the property tests
+pin: the same seed and spec produce the identical trajectory whether the
+underlying sweeps run inline, on a process pool, or out of the journal.
+
+* ``random`` — uniform draws from the grid; the baseline archgym also
+  starts from.
+* ``genetic`` — tournament selection, uniform crossover, per-parameter
+  mutation, one elite carried per generation.
+* ``halving`` — successive halving on a fleet-size fidelity ladder:
+  rung 0 sees only the smallest fleet sizes, survivors are promoted to
+  longer prefixes of the axis until the full axis ranks the finalists.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from ..obs.metrics import metric_inc
+from .evaluate import CandidateEvaluator, Evaluation
+from .space import DesignPoint, DesignSpace
+
+__all__ = [
+    "SearchOutcome",
+    "random_search",
+    "genetic_search",
+    "successive_halving_search",
+    "SEARCHERS",
+]
+
+
+@dataclass
+class SearchOutcome:
+    """What a searcher hands back to the runner."""
+
+    searcher: str
+    seed: int
+    best: Optional[Evaluation]
+    #: all evaluations in first-request order (the trajectory).
+    trajectory: List[Evaluation]
+    #: best fitness after each trajectory step (the dashboard curve).
+    best_fitness_curve: List[float]
+    #: generations/rungs completed (1 for pure random search).
+    rounds: int
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "searcher": self.searcher,
+            "seed": self.seed,
+            "best": self.best.to_dict() if self.best is not None else None,
+            "trajectory": [ev.to_dict() for ev in self.trajectory],
+            "best_fitness_curve": list(self.best_fitness_curve),
+            "rounds": self.rounds,
+        }
+
+
+def _finish(
+    evaluator: CandidateEvaluator, searcher: str, seed: int, rounds: int
+) -> SearchOutcome:
+    curve: List[float] = []
+    best_so_far = math.inf
+    for ev in evaluator.trajectory:
+        # only full-fidelity evaluations are mutually comparable — a
+        # halving rung over a prefix of the axis has a smaller modelled
+        # time by construction.
+        if ev.evaluated and ev.ns == evaluator.ns and ev.fitness < best_so_far:
+            best_so_far = ev.fitness
+        curve.append(best_so_far)
+    return SearchOutcome(
+        searcher=searcher,
+        seed=seed,
+        best=evaluator.best,
+        trajectory=list(evaluator.trajectory),
+        best_fitness_curve=curve,
+        rounds=rounds,
+    )
+
+
+def random_search(
+    space: DesignSpace,
+    evaluator: CandidateEvaluator,
+    *,
+    seed: int = 2018,
+    max_evaluations: int = 24,
+) -> SearchOutcome:
+    """Uniform random draws from the grid (with-replacement, memoized)."""
+    rng = random.Random(seed)
+    spent = 0
+    idle = 0
+    while spent < max_evaluations and idle < 100:
+        before = len(evaluator.trajectory)
+        evaluator.evaluate(space.random_point(rng))
+        fresh = len(evaluator.trajectory) - before
+        spent += fresh
+        # a small grid can be exhausted before the budget: every draw
+        # memo-hits, and without this guard the loop would never end.
+        idle = 0 if fresh else idle + 1
+    metric_inc("atm_search_rounds", searcher="random")
+    return _finish(evaluator, "random", seed, rounds=1)
+
+
+def genetic_search(
+    space: DesignSpace,
+    evaluator: CandidateEvaluator,
+    *,
+    seed: int = 2018,
+    max_evaluations: int = 24,
+    population: int = 8,
+    tournament: int = 3,
+    crossover_rate: float = 0.7,
+    mutation_rate: float = 0.25,
+    elitism: int = 1,
+) -> SearchOutcome:
+    """Tournament-selection genetic algorithm over the grid.
+
+    Budget-rejected candidates stay in the population with
+    ``REJECTED_FITNESS`` so the GA can flow around an infeasible region
+    instead of stalling, but they can never win a tournament against an
+    evaluated rival.
+    """
+    if population < 2:
+        raise ValueError("population must be at least 2")
+    rng = random.Random(seed)
+    spent = 0
+
+    def judge(point: DesignPoint) -> Evaluation:
+        nonlocal spent
+        before = len(evaluator.trajectory)
+        ev = evaluator.evaluate(point)
+        spent += len(evaluator.trajectory) - before
+        return ev
+
+    # seed generation: the base config plus uniform draws.
+    current: List[Evaluation] = [judge(space.base_point())]
+    while len(current) < population and spent < max_evaluations:
+        current.append(judge(space.random_point(rng)))
+    rounds = 1
+    metric_inc("atm_search_rounds", searcher="genetic")
+
+    def rank_key(ev: Evaluation) -> Tuple[float, str]:
+        return (ev.fitness, ev.point.key)
+
+    def select() -> Evaluation:
+        entrants = [
+            current[rng.randrange(len(current))]
+            for _ in range(min(tournament, len(current)))
+        ]
+        return min(entrants, key=rank_key)
+
+    while spent < max_evaluations:
+        current.sort(key=rank_key)
+        nxt: List[Evaluation] = current[: max(0, elitism)]
+        while len(nxt) < population and spent < max_evaluations:
+            if rng.random() < crossover_rate:
+                child = space.crossover(select().point, select().point, rng)
+            else:
+                child = select().point
+            child = space.mutate(child, rng, rate=mutation_rate)
+            nxt.append(judge(child))
+        current = nxt
+        rounds += 1
+        metric_inc("atm_search_rounds", searcher="genetic")
+    return _finish(evaluator, "genetic", seed, rounds=rounds)
+
+
+def successive_halving_search(
+    space: DesignSpace,
+    evaluator: CandidateEvaluator,
+    *,
+    seed: int = 2018,
+    max_evaluations: int = 24,
+    eta: int = 2,
+) -> SearchOutcome:
+    """Successive halving with fleet-size prefixes as the fidelity axis.
+
+    The rung ladder uses prefixes of the evaluator's fleet-size axis:
+    rung 0 judges a wide cohort on ``ns[:1]``, each later rung keeps the
+    top ``1/eta`` of the cohort and extends the prefix, and the final
+    rung ranks survivors on the full axis.  Because low-fidelity
+    evaluations sweep fewer cells, the cohort can start far wider than
+    an equal-budget flat search.
+    """
+    if eta < 2:
+        raise ValueError("eta must be at least 2")
+    ns = evaluator.ns
+    rungs = len(ns)
+    rng = random.Random(seed)
+    # cohort size so that total cell-cost roughly fits the budget:
+    # sum_r (cohort/eta^r) * (r+1)/rungs <= max_evaluations.
+    unit = sum((r + 1) / (rungs * eta**r) for r in range(rungs))
+    cohort_size = max(eta, int(max_evaluations / unit))
+    seen = set()
+    cohort: List[DesignPoint] = []
+    attempts = 0
+    while len(cohort) < cohort_size and attempts < 50 * cohort_size:
+        pt = space.random_point(rng)
+        attempts += 1
+        if pt.key not in seen:
+            seen.add(pt.key)
+            cohort.append(pt)
+    spent = 0.0
+    rounds = 0
+    ranked: List[Evaluation] = []
+    for rung in range(rungs):
+        prefix = ns[: rung + 1]
+        cost = len(prefix) / rungs
+        ranked = []
+        for pt in cohort:
+            if spent >= max_evaluations:
+                break
+            before = len(evaluator.trajectory)
+            ev = evaluator.evaluate(pt, ns=prefix)
+            spent += (len(evaluator.trajectory) - before) * cost
+            ranked.append(ev)
+        rounds += 1
+        metric_inc("atm_search_rounds", searcher="halving")
+        ranked.sort(key=lambda ev: (ev.fitness, ev.point.key))
+        keep = max(1, math.ceil(len(ranked) / eta))
+        cohort = [ev.point for ev in ranked[:keep]]
+        if spent >= max_evaluations:
+            break
+    # guarantee at least one full-fidelity evaluation so `best` (and the
+    # Pareto front) compare like with like.
+    for pt in cohort:
+        evaluator.evaluate(pt, ns=ns)
+        break
+    return _finish(evaluator, "halving", seed, rounds=rounds)
+
+
+#: searcher name -> callable(space, evaluator, *, seed, max_evaluations).
+SEARCHERS: Dict[str, Callable[..., SearchOutcome]] = {
+    "random": random_search,
+    "genetic": genetic_search,
+    "halving": successive_halving_search,
+}

@@ -1,0 +1,678 @@
+"""Declarative design spaces over the device configuration tables.
+
+A :class:`DesignSpace` names one architecture *family* (``cuda``,
+``simd``, ``ap``, ``mimd``, ``vector``), a *base* named configuration
+whose non-searched fields are inherited, a set of :class:`Parameter`
+grids, and a :class:`Budget` of lumos-style area/power limits at a
+technology node.  A :class:`DesignPoint` is one assignment of values to
+the searched parameters; its :meth:`~DesignPoint.spec` string round-trips
+through :func:`~repro.backends.registry.resolve_backend`, so candidate
+cells are sharded to pool workers, cached and journaled exactly like the
+named platforms.
+
+The paper's own configurations are *fixed points* of the space: a point
+whose parameters all equal the base values builds the registered named
+config itself — same key, same ``describe()``, same fingerprint — which
+is what the differential tests in ``tests/search`` pin down.
+
+Area and power come from deliberately simple first-order models
+(documented per family below), normalized at a 16 nm reference node and
+scaled lumos-style: area by ``(tech/16)**2``, power by ``tech/16``.
+They exist to make budget constraints *meaningful and monotone* — more
+cores cost more area — not to predict silicon.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import math
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..core.canonical import canonical_json, fingerprint_of
+
+__all__ = [
+    "Parameter",
+    "Budget",
+    "DesignPoint",
+    "DesignSpace",
+    "FAMILIES",
+    "backend_from_spec",
+    "candidate_area_mm2",
+    "candidate_power_w",
+    "paper_points",
+    "space_for",
+]
+
+#: reference technology node (nm) the area/power coefficients are
+#: calibrated at.
+REFERENCE_TECH_NM = 16.0
+
+#: array modules an AP candidate is provisioned with (the fleet-sized
+#: STARAN convention of the paper's sources sizes modules to the fleet;
+#: the budget model charges a fixed provisioned module count).
+AP_BUDGET_MODULES = 16
+
+_SPEC_PREFIX = "search:"
+
+
+@dataclass(frozen=True)
+class Parameter:
+    """One searchable device parameter: a finite ordered value grid."""
+
+    name: str
+    values: Tuple[Any, ...]
+
+    def __post_init__(self) -> None:
+        if not self.values:
+            raise ValueError(f"parameter {self.name!r}: empty value grid")
+        if len(set(self.values)) != len(self.values):
+            raise ValueError(f"parameter {self.name!r}: duplicate grid values")
+
+    @classmethod
+    def range(
+        cls, name: str, lo: float, hi: float, step: float
+    ) -> "Parameter":
+        """An inclusive arithmetic grid ``lo, lo+step, ... <= hi``."""
+        if step <= 0:
+            raise ValueError(f"parameter {name!r}: step must be positive")
+        if hi < lo:
+            raise ValueError(f"parameter {name!r}: hi < lo")
+        count = int(math.floor((hi - lo) / step + 1e-9)) + 1
+        values = tuple(lo + i * step for i in range(count))
+        if all(float(v).is_integer() for v in values):
+            values = tuple(int(v) for v in values)
+        return cls(name=name, values=values)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"name": self.name, "values": list(self.values)}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "Parameter":
+        if "values" in data:
+            return cls(name=data["name"], values=tuple(data["values"]))
+        return cls.range(data["name"], data["lo"], data["hi"], data["step"])
+
+
+@dataclass(frozen=True)
+class Budget:
+    """Lumos-style physical budget a candidate must fit inside."""
+
+    #: maximum die area in mm^2 (None = unconstrained).
+    area_mm2: Optional[float] = None
+    #: maximum power draw in watts (None = unconstrained).
+    power_w: Optional[float] = None
+    #: technology node in nm; scales the 16 nm-referenced models.
+    tech_nm: float = REFERENCE_TECH_NM
+
+    def __post_init__(self) -> None:
+        if self.tech_nm <= 0:
+            raise ValueError(f"budget: tech_nm must be positive, got {self.tech_nm!r}")
+        for label, value in (("area_mm2", self.area_mm2), ("power_w", self.power_w)):
+            if value is not None and value <= 0:
+                raise ValueError(f"budget: {label} must be positive, got {value!r}")
+
+    @property
+    def area_scale(self) -> float:
+        return (self.tech_nm / REFERENCE_TECH_NM) ** 2
+
+    @property
+    def power_scale(self) -> float:
+        return self.tech_nm / REFERENCE_TECH_NM
+
+    def violations(self, area_mm2: float, power_w: float) -> List[str]:
+        """Constraint names the (already tech-scaled) estimates violate."""
+        out = []
+        if self.area_mm2 is not None and area_mm2 > self.area_mm2:
+            out.append("area")
+        if self.power_w is not None and power_w > self.power_w:
+            out.append("power")
+        return out
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "area_mm2": self.area_mm2,
+            "power_w": self.power_w,
+            "tech_nm": self.tech_nm,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "Budget":
+        return cls(
+            area_mm2=data.get("area_mm2"),
+            power_w=data.get("power_w"),
+            tech_nm=data.get("tech_nm", REFERENCE_TECH_NM),
+        )
+
+
+# ---------------------------------------------------------------------------
+# architecture families
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class _Family:
+    """How one architecture package plugs into the design space."""
+
+    name: str
+    #: base-key -> named config instance.
+    bases: Mapping[str, Any]
+    default_base: str
+    #: config fields a DesignSpace may search over.
+    searchable: Tuple[str, ...]
+    #: config -> fresh Backend instance.
+    build_backend: Callable[[Any], Any]
+    #: config -> die area estimate, mm^2 at the 16 nm reference node.
+    area_mm2: Callable[[Any], float]
+    #: config -> power estimate, watts at the 16 nm reference node.
+    power_w: Callable[[Any], float]
+    #: (base config, merged field dict) -> derived config; hook for
+    #: families with coupled fields (the SIMD ring network size).
+    derive: Optional[Callable[[Any, Dict[str, Any]], Any]] = None
+
+
+def _cuda_family() -> _Family:
+    from ..cuda.backend import CudaBackend
+    from ..cuda.device import DEVICES
+
+    def area(dev) -> float:
+        # SM tile + per-core lane area + memory-interface area per GB/s.
+        return (
+            dev.sm_count * (3.0 + 0.055 * dev.cores_per_sm)
+            + 0.10 * dev.mem_bandwidth_gbs
+        )
+
+    def power(dev) -> float:
+        # dynamic core power ~ cores x clock, plus DRAM interface power.
+        return (
+            0.045 * dev.sm_count * dev.cores_per_sm * dev.core_clock_ghz
+            + 0.08 * dev.mem_bandwidth_gbs
+        )
+
+    return _Family(
+        name="cuda",
+        bases=DEVICES,
+        default_base="titan-x-pascal",
+        searchable=("sm_count", "cores_per_sm", "core_clock_ghz", "mem_bandwidth_gbs"),
+        build_backend=CudaBackend,
+        area_mm2=area,
+        power_w=power,
+    )
+
+
+def _simd_family() -> _Family:
+    from ..simd.backend import SimdBackend
+    from ..simd.clearspeed import CSX600, CSX600_DUAL
+    from ..simd.network import RingNetwork
+
+    def derive(base, fields: Dict[str, Any]):
+        # The ring network is sized to the PE array; SimdConfig's own
+        # validation rejects a mismatch, so resizing n_pes rebuilds it.
+        fields["network"] = dataclasses.replace(
+            base.network, n_pes=fields["n_pes"]
+        )
+        return dataclasses.replace(base, **fields)
+
+    return _Family(
+        name="simd",
+        bases={c.key: c for c in (CSX600, CSX600_DUAL)},
+        default_base=CSX600.key,
+        searchable=("n_pes", "clock_hz"),
+        build_backend=SimdBackend,
+        # control unit + per-PE tile; bit-serial PEs are tiny but the
+        # clock drives dynamic power linearly.
+        area_mm2=lambda c: 8.0 + 0.35 * c.n_pes,
+        power_w=lambda c: 0.4e-9 * c.n_pes * c.clock_hz,
+        derive=derive,
+    )
+
+
+def _ap_family() -> _Family:
+    from ..ap.backend import ApBackend
+    from ..ap.staran import STARAN, STARAN_1972
+
+    return _Family(
+        name="ap",
+        bases={c.key: c for c in (STARAN, STARAN_1972)},
+        default_base=STARAN.key,
+        searchable=("pes_per_module", "clock_hz"),
+        build_backend=ApBackend,
+        # AP_BUDGET_MODULES provisioned modules of bit-serial words +
+        # multi-dimensional access memory.
+        area_mm2=lambda c: 4.0 + 0.012 * c.pes_per_module * AP_BUDGET_MODULES,
+        power_w=lambda c: 0.15e-9 * c.pes_per_module * AP_BUDGET_MODULES * c.clock_hz,
+    )
+
+
+def _mimd_family() -> _Family:
+    from ..mimd.backend import MimdBackend
+    from ..mimd.xeon import XEON_8, XEON_16
+
+    return _Family(
+        name="mimd",
+        bases={c.key: c for c in (XEON_16, XEON_8)},
+        default_base=XEON_16.key,
+        searchable=("n_cores", "clock_hz", "ipc"),
+        build_backend=MimdBackend,
+        # a big out-of-order core is area-expensive, and wider issue
+        # (higher sustained ipc) costs superlinear area; model linearly.
+        area_mm2=lambda c: 10.0 + c.n_cores * (8.0 + 4.0 * c.ipc),
+        power_w=lambda c: 3.5e-9 * c.n_cores * c.clock_hz * c.ipc,
+    )
+
+
+def _vector_family() -> _Family:
+    from ..vector.backend import VectorBackend
+    from ..vector.machine import AVX512_WORKSTATION, XEON_PHI_7250
+
+    return _Family(
+        name="vector",
+        bases={c.key: c for c in (XEON_PHI_7250, AVX512_WORKSTATION)},
+        default_base=XEON_PHI_7250.key,
+        searchable=("n_cores", "lanes_per_core", "clock_hz", "mem_bandwidth_gbs"),
+        build_backend=VectorBackend,
+        area_mm2=lambda c: 8.0 + c.n_cores * (4.0 + 0.45 * c.lanes_per_core),
+        power_w=lambda c: 0.14e-9 * c.n_cores * c.lanes_per_core * c.clock_hz,
+    )
+
+
+_FAMILY_BUILDERS: Dict[str, Callable[[], _Family]] = {
+    "cuda": _cuda_family,
+    "simd": _simd_family,
+    "ap": _ap_family,
+    "mimd": _mimd_family,
+    "vector": _vector_family,
+}
+
+_FAMILY_CACHE: Dict[str, _Family] = {}
+
+
+def _family(name: str) -> _Family:
+    try:
+        fam = _FAMILY_CACHE.get(name)
+        if fam is None:
+            fam = _FAMILY_CACHE[name] = _FAMILY_BUILDERS[name]()
+        return fam
+    except KeyError:
+        known = ", ".join(sorted(_FAMILY_BUILDERS))
+        raise KeyError(f"unknown family {name!r}; known families: {known}") from None
+
+
+#: public read-only view of the family names.
+FAMILIES: Tuple[str, ...] = tuple(sorted(_FAMILY_BUILDERS))
+
+
+# ---------------------------------------------------------------------------
+# design points
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class DesignPoint:
+    """One candidate configuration: family + base + parameter overrides.
+
+    ``params`` holds only the *searched* fields, as a sorted tuple of
+    ``(name, value)`` pairs so points hash and compare by value.
+    """
+
+    family: str
+    base: str
+    params: Tuple[Tuple[str, Any], ...] = ()
+
+    def __post_init__(self) -> None:
+        fam = _family(self.family)
+        if self.base not in fam.bases:
+            known = ", ".join(sorted(fam.bases))
+            raise KeyError(
+                f"unknown {self.family} base {self.base!r}; known: {known}"
+            )
+        object.__setattr__(self, "params", tuple(sorted(self.params)))
+        names = [n for n, _ in self.params]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate parameter in point: {names}")
+        for name, _ in self.params:
+            if name not in fam.searchable:
+                raise KeyError(
+                    f"{self.family} has no searchable parameter {name!r};"
+                    f" searchable: {', '.join(fam.searchable)}"
+                )
+
+    # -- identity ------------------------------------------------------
+
+    @property
+    def key(self) -> str:
+        """Stable short identifier; effectively-equal points share it.
+
+        Computed over the *overrides* (searched fields that differ from
+        the base), so explicitly pinning a parameter at its base value
+        yields the same key as leaving it unspecified.
+        """
+        digest = fingerprint_of(
+            {"family": self.family, "base": self.base, "params": self.overrides()}
+        )
+        return f"pt-{digest[:12]}"
+
+    def spec(self) -> str:
+        """The ``search:`` spec string `resolve_backend` understands."""
+        return _SPEC_PREFIX + canonical_json(
+            {"family": self.family, "base": self.base, "params": dict(self.params)}
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "family": self.family,
+            "base": self.base,
+            "params": dict(self.params),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "DesignPoint":
+        return cls(
+            family=data["family"],
+            base=data["base"],
+            params=tuple(dict(data.get("params", {})).items()),
+        )
+
+    # -- realization ---------------------------------------------------
+
+    def overrides(self) -> Dict[str, Any]:
+        """The searched fields that differ from the base config."""
+        base_cfg = _family(self.family).bases[self.base]
+        return {
+            name: value
+            for name, value in self.params
+            if value != getattr(base_cfg, name)
+        }
+
+    def build_config(self) -> Any:
+        """The config dataclass this point denotes.
+
+        A point whose parameters all equal the base values returns the
+        registered named config itself — identical key, name and
+        fingerprint — making the paper's configurations exact fixed
+        points of the space (the differential tests pin this).
+        """
+        fam = _family(self.family)
+        base_cfg = fam.bases[self.base]
+        fields = self.overrides()
+        if not fields:
+            return base_cfg
+        merged = dict(fields)
+        merged["key"] = self.key
+        merged["name"] = (
+            f"{base_cfg.name} [search {self.key}: "
+            + ", ".join(f"{k}={v}" for k, v in sorted(fields.items()))
+            + "]"
+        )
+        if fam.derive is not None:
+            full = {
+                name: merged.get(name, getattr(base_cfg, name))
+                for name in (f.name for f in dataclasses.fields(base_cfg))
+            }
+            return fam.derive(base_cfg, full)
+        return dataclasses.replace(base_cfg, **merged)
+
+    def build(self) -> Any:
+        """A fresh backend instance for this candidate."""
+        fam = _family(self.family)
+        return fam.build_backend(self.build_config())
+
+    def area_mm2(self, budget: Optional[Budget] = None) -> float:
+        """Die-area estimate, scaled to the budget's tech node."""
+        fam = _family(self.family)
+        scale = budget.area_scale if budget is not None else 1.0
+        return fam.area_mm2(self.build_config()) * scale
+
+    def power_w(self, budget: Optional[Budget] = None) -> float:
+        """Power estimate, scaled to the budget's tech node."""
+        fam = _family(self.family)
+        scale = budget.power_scale if budget is not None else 1.0
+        return fam.power_w(self.build_config()) * scale
+
+
+def candidate_area_mm2(point: DesignPoint, budget: Optional[Budget] = None) -> float:
+    """Module-level alias of :meth:`DesignPoint.area_mm2`."""
+    return point.area_mm2(budget)
+
+
+def candidate_power_w(point: DesignPoint, budget: Optional[Budget] = None) -> float:
+    """Module-level alias of :meth:`DesignPoint.power_w`."""
+    return point.power_w(budget)
+
+
+def backend_from_spec(spec: str) -> Any:
+    """Resolve a ``search:{json}`` candidate spec to a fresh backend.
+
+    This is the hook :func:`repro.backends.registry.resolve_backend`
+    dispatches to, which is what lets pool workers, the result cache and
+    the sweep journal treat candidates exactly like named platforms.
+    """
+    if not spec.startswith(_SPEC_PREFIX):
+        raise ValueError(f"not a search spec: {spec!r}")
+    try:
+        payload = json.loads(spec[len(_SPEC_PREFIX):])
+    except json.JSONDecodeError as exc:
+        raise ValueError(f"malformed search spec {spec!r}: {exc}") from None
+    return DesignPoint.from_dict(payload).build()
+
+
+# ---------------------------------------------------------------------------
+# the space
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class DesignSpace:
+    """A searchable family x base x parameter-grid x budget box."""
+
+    family: str
+    base: str
+    parameters: Tuple[Parameter, ...]
+    budget: Budget = Budget()
+
+    def __post_init__(self) -> None:
+        fam = _family(self.family)
+        if self.base not in fam.bases:
+            known = ", ".join(sorted(fam.bases))
+            raise KeyError(
+                f"unknown {self.family} base {self.base!r}; known: {known}"
+            )
+        names = [p.name for p in self.parameters]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate parameters in space: {names}")
+        for name in names:
+            if name not in fam.searchable:
+                raise KeyError(
+                    f"{self.family} has no searchable parameter {name!r};"
+                    f" searchable: {', '.join(fam.searchable)}"
+                )
+
+    @property
+    def size(self) -> int:
+        """Number of grid points in the box."""
+        out = 1
+        for p in self.parameters:
+            out *= len(p.values)
+        return out
+
+    def point(self, **values: Any) -> DesignPoint:
+        """The design point with the given parameter assignment.
+
+        Unspecified parameters take the base config's value; specified
+        ones must lie on their grid.
+        """
+        by_name = {p.name: p for p in self.parameters}
+        params = []
+        for name, value in values.items():
+            p = by_name.get(name)
+            if p is None:
+                raise KeyError(
+                    f"space does not search {name!r};"
+                    f" searched: {', '.join(by_name) or '(none)'}"
+                )
+            if value not in p.values:
+                raise ValueError(
+                    f"{name}={value!r} is off the grid {p.values}"
+                )
+            params.append((name, value))
+        return DesignPoint(family=self.family, base=self.base, params=tuple(params))
+
+    def base_point(self) -> DesignPoint:
+        """The base named config, as a (parameter-free) point."""
+        return DesignPoint(family=self.family, base=self.base)
+
+    def random_point(self, rng) -> DesignPoint:
+        """A uniform draw from the grid (deterministic given ``rng``)."""
+        params = tuple(
+            (p.name, p.values[rng.randrange(len(p.values))])
+            for p in self.parameters
+        )
+        return DesignPoint(family=self.family, base=self.base, params=params)
+
+    def mutate(self, point: DesignPoint, rng, rate: float = 0.25) -> DesignPoint:
+        """Re-draw each parameter with probability ``rate``.
+
+        At least one parameter always moves (a no-op mutation would make
+        the genetic searcher stall on duplicate candidates).
+        """
+        if not self.parameters:
+            return point
+        current = dict(point.params)
+        forced = rng.randrange(len(self.parameters))
+        params = []
+        mutated = False
+        for i, p in enumerate(self.parameters):
+            value = current.get(p.name, self._base_value(p.name))
+            if i == forced or rng.random() < rate:
+                choices = [v for v in p.values if v != value]
+                if choices:
+                    value = choices[rng.randrange(len(choices))]
+                    mutated = True
+            params.append((p.name, value))
+        if not mutated:
+            return point
+        return DesignPoint(family=self.family, base=self.base, params=tuple(params))
+
+    def crossover(self, a: DesignPoint, b: DesignPoint, rng) -> DesignPoint:
+        """Uniform crossover: each parameter from one parent at random."""
+        pa, pb = dict(a.params), dict(b.params)
+        params = tuple(
+            (
+                p.name,
+                (pa if rng.random() < 0.5 else pb).get(
+                    p.name, self._base_value(p.name)
+                ),
+            )
+            for p in self.parameters
+        )
+        return DesignPoint(family=self.family, base=self.base, params=params)
+
+    def _base_value(self, name: str) -> Any:
+        return getattr(_family(self.family).bases[self.base], name)
+
+    def check_budget(self, point: DesignPoint) -> List[str]:
+        """Constraint names ``point`` violates (empty = admissible)."""
+        return self.budget.violations(
+            point.area_mm2(self.budget), point.power_w(self.budget)
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "family": self.family,
+            "base": self.base,
+            "parameters": [p.to_dict() for p in self.parameters],
+            "budget": self.budget.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "DesignSpace":
+        return cls(
+            family=data["family"],
+            base=data.get("base") or _family(data["family"]).default_base,
+            parameters=tuple(
+                Parameter.from_dict(p) for p in data.get("parameters", [])
+            ),
+            budget=Budget.from_dict(data.get("budget", {})),
+        )
+
+
+# ---------------------------------------------------------------------------
+# paper fixed points
+# ---------------------------------------------------------------------------
+
+#: the seven configurations the paper's comparison rests on (the six
+#: platforms of the figures plus the §7.2 vector machine).
+PAPER_POINTS: Tuple[Tuple[str, str], ...] = (
+    ("cuda", "geforce-9800-gt"),
+    ("cuda", "gtx-880m"),
+    ("cuda", "titan-x-pascal"),
+    ("ap", "staran"),
+    ("simd", "clearspeed-csx600"),
+    ("mimd", "xeon-16"),
+    ("vector", "xeon-phi-7250"),
+)
+
+
+def paper_points() -> List[DesignPoint]:
+    """The seven paper configurations expressed as design points."""
+    return [DesignPoint(family=f, base=b) for f, b in PAPER_POINTS]
+
+
+def space_for(
+    family: str,
+    *,
+    base: Optional[str] = None,
+    budget: Optional[Budget] = None,
+    parameters: Optional[Sequence[Parameter]] = None,
+) -> DesignSpace:
+    """A ready-made space searching every parameter of ``family``.
+
+    The default grids bracket the named configs with a handful of
+    steps per axis — small enough for smoke searches, wide enough that
+    the searchers have real decisions to make.
+    """
+    fam = _family(family)
+    base_key = base or fam.default_base
+    if parameters is None:
+        parameters = _default_parameters(family)
+    return DesignSpace(
+        family=family,
+        base=base_key,
+        parameters=tuple(parameters),
+        budget=budget or Budget(),
+    )
+
+
+def _default_parameters(family: str) -> List[Parameter]:
+    if family == "cuda":
+        return [
+            Parameter("sm_count", (2, 4, 8, 14, 20, 28)),
+            Parameter("cores_per_sm", (8, 32, 64, 96, 128, 192)),
+            Parameter("core_clock_ghz", (0.6, 0.954, 1.2, 1.417, 1.5)),
+            Parameter("mem_bandwidth_gbs", (57.6, 160.0, 320.0, 480.0)),
+        ]
+    if family == "simd":
+        return [
+            Parameter("n_pes", (48, 96, 192, 384, 768)),
+            Parameter("clock_hz", (125e6, 250e6, 500e6, 1e9)),
+        ]
+    if family == "ap":
+        return [
+            Parameter("pes_per_module", (128, 256, 512, 1024)),
+            Parameter("clock_hz", (5e6, 20e6, 40e6, 80e6)),
+        ]
+    if family == "mimd":
+        return [
+            Parameter("n_cores", (4, 8, 16, 32, 64)),
+            Parameter("clock_hz", (1.2e9, 2.4e9, 3.2e9)),
+            Parameter("ipc", (0.5, 1.0, 2.0)),
+        ]
+    if family == "vector":
+        return [
+            Parameter("n_cores", (8, 16, 34, 68)),
+            Parameter("lanes_per_core", (4, 8, 16)),
+            Parameter("clock_hz", (1.4e9, 2.2e9, 3.0e9)),
+            Parameter("mem_bandwidth_gbs", (80.0, 200.0, 400.0)),
+        ]
+    raise KeyError(f"unknown family {family!r}")

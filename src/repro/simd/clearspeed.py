@@ -28,6 +28,23 @@ class SimdConfig:
     costs: CostTable
     network: RingNetwork
 
+    def __post_init__(self) -> None:
+        if self.n_pes <= 0:
+            raise ValueError(
+                f"SIMD config {self.key!r}: n_pes must be positive,"
+                f" got {self.n_pes!r}"
+            )
+        if self.clock_hz <= 0:
+            raise ValueError(
+                f"SIMD config {self.key!r}: clock_hz must be positive,"
+                f" got {self.clock_hz!r}"
+            )
+        if self.network.n_pes != self.n_pes:
+            raise ValueError(
+                f"SIMD config {self.key!r}: ring network is sized for"
+                f" {self.network.n_pes} PEs but the array has {self.n_pes}"
+            )
+
     @property
     def registry_name(self) -> str:
         return f"simd:{self.key}"

@@ -142,5 +142,6 @@ class VectorBackend(Backend):
             n_cores=self.config.n_cores,
             lanes_per_core=self.config.lanes_per_core,
             clock_ghz=self.config.clock_hz / 1e9,
+            mem_bandwidth_gbs=self.config.mem_bandwidth_gbs,
         )
         return info

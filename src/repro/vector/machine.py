@@ -47,6 +47,31 @@ class VectorConfig:
     #: issue-cost multiplier for divisions/sqrt relative to a simple op.
     special_op_factor: float
 
+    def __post_init__(self) -> None:
+        positive = {
+            "n_cores": self.n_cores,
+            "lanes_per_core": self.lanes_per_core,
+            "clock_hz": self.clock_hz,
+            "mem_bandwidth_gbs": self.mem_bandwidth_gbs,
+        }
+        for field_name, value in positive.items():
+            if not value > 0:
+                raise ValueError(
+                    f"vector config {self.key!r}: {field_name} must be"
+                    f" positive, got {value!r}"
+                )
+        if self.region_overhead_s < 0:
+            raise ValueError(
+                f"vector config {self.key!r}: region_overhead_s must be"
+                f" >= 0, got {self.region_overhead_s!r}"
+            )
+        if self.special_op_factor < 1.0:
+            raise ValueError(
+                f"vector config {self.key!r}: special_op_factor must be"
+                f" >= 1 (a special op cannot be cheaper than a simple op),"
+                f" got {self.special_op_factor!r}"
+            )
+
     @property
     def registry_name(self) -> str:
         return f"vector:{self.key}"

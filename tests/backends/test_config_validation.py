@@ -1,0 +1,164 @@
+"""Construction-time validation of every device configuration table.
+
+ISSUE 7 satellite: derived values such as ``DeviceProperties.total_cores``
+used to be merely *computed* — a zero or negative parameter silently
+produced a nonsense cost model.  The design-space search constructs
+thousands of candidate tables, so each config dataclass now rejects
+non-positive or mutually inconsistent parameters at construction.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.ap.staran import STARAN, ApConfig
+from repro.cuda.device import TITAN_X_PASCAL, DeviceProperties
+from repro.mimd.xeon import XEON_16, MimdConfig
+from repro.simd.clearspeed import CSX600, SimdConfig
+from repro.simd.network import RingNetwork
+from repro.vector.machine import XEON_PHI_7250, VectorConfig
+
+
+def _replace(config, **changes):
+    return dataclasses.replace(config, **changes)
+
+
+class TestDeviceProperties:
+    @pytest.mark.parametrize(
+        "field_name",
+        [
+            "sm_count",
+            "cores_per_sm",
+            "core_clock_ghz",
+            "mem_bandwidth_gbs",
+            "dram_latency_cycles",
+            "max_blocks_per_sm",
+            "pcie_bandwidth_gbs",
+            "mem_segment_bytes",
+            "smem_per_sm_bytes",
+        ],
+    )
+    @pytest.mark.parametrize("bad", [0, -1])
+    def test_positive_fields_rejected(self, field_name, bad):
+        with pytest.raises(ValueError, match=field_name):
+            _replace(TITAN_X_PASCAL, **{field_name: bad})
+
+    @pytest.mark.parametrize(
+        "field_name", ["pcie_latency_s", "kernel_launch_s", "l2_bytes"]
+    )
+    def test_non_negative_fields_reject_negative(self, field_name):
+        with pytest.raises(ValueError, match=field_name):
+            _replace(TITAN_X_PASCAL, **{field_name: -1})
+        # Zero is legitimate (the 9800 GT really has l2_bytes=0).
+        _replace(TITAN_X_PASCAL, **{field_name: 0})
+
+    def test_special_op_factor_below_one_rejected(self):
+        with pytest.raises(ValueError, match="special_op_factor"):
+            _replace(TITAN_X_PASCAL, special_op_factor=0.5)
+        _replace(TITAN_X_PASCAL, special_op_factor=1.0)
+
+    def test_max_threads_per_sm_must_be_whole_warps(self):
+        with pytest.raises(ValueError, match="warps"):
+            _replace(TITAN_X_PASCAL, max_threads_per_sm=2048 + 13)
+
+    def test_block_limit_cannot_exceed_sm_limit(self):
+        with pytest.raises(ValueError, match="max_threads_per_block"):
+            _replace(
+                TITAN_X_PASCAL,
+                max_threads_per_sm=512,
+                max_threads_per_block=1024,
+            )
+
+    def test_nan_is_rejected(self):
+        # ``not nan > 0`` is True, so NaN lands in the positive check.
+        with pytest.raises(ValueError, match="core_clock_ghz"):
+            _replace(TITAN_X_PASCAL, core_clock_ghz=float("nan"))
+
+    def test_valid_table_derives_consistent_values(self):
+        dev = _replace(TITAN_X_PASCAL, sm_count=4, cores_per_sm=96)
+        assert dev.total_cores == 384
+        assert dev.max_warps_per_sm == dev.max_threads_per_sm // 32
+        assert dev.peak_gflops > 0
+
+
+class TestSimdConfig:
+    @pytest.mark.parametrize("bad", [0, -96])
+    def test_n_pes_positive(self, bad):
+        with pytest.raises(ValueError, match="n_pes"):
+            _replace(CSX600, n_pes=bad, network=RingNetwork(n_pes=96))
+
+    def test_clock_positive(self):
+        with pytest.raises(ValueError, match="clock_hz"):
+            _replace(CSX600, clock_hz=0.0)
+
+    def test_network_size_must_match_array(self):
+        with pytest.raises(ValueError, match="ring network"):
+            _replace(CSX600, network=RingNetwork(n_pes=128))
+
+    def test_consistent_resize_accepted(self):
+        cfg = _replace(CSX600, n_pes=128, network=RingNetwork(n_pes=128))
+        assert cfg.peak_ops_per_s == 128 * cfg.clock_hz
+
+
+class TestApConfig:
+    def test_clock_positive(self):
+        with pytest.raises(ValueError, match="clock_hz"):
+            _replace(STARAN, clock_hz=-40e6)
+
+    @pytest.mark.parametrize("bad", [0, -256])
+    def test_pes_per_module_positive(self, bad):
+        with pytest.raises(ValueError, match="pes_per_module"):
+            _replace(STARAN, pes_per_module=bad)
+
+
+class TestMimdConfig:
+    @pytest.mark.parametrize("field_name", ["n_cores", "clock_hz", "ipc"])
+    @pytest.mark.parametrize("bad", [0, -1])
+    def test_positive_fields(self, field_name, bad):
+        with pytest.raises(ValueError, match=field_name):
+            _replace(XEON_16, **{field_name: bad})
+
+    @pytest.mark.parametrize(
+        "field_name",
+        ["lock_op_s", "read_lock_s", "queue_pop_s", "jitter_sigma"],
+    )
+    def test_non_negative_fields(self, field_name):
+        with pytest.raises(ValueError, match=field_name):
+            _replace(XEON_16, **{field_name: -1e-9})
+        _replace(XEON_16, **{field_name: 0.0})
+
+    def test_peak_uses_ipc(self):
+        cfg = _replace(XEON_16, ipc=2.0)
+        assert cfg.peak_ops_per_s == pytest.approx(2 * XEON_16.peak_ops_per_s)
+
+
+class TestVectorConfig:
+    @pytest.mark.parametrize(
+        "field_name",
+        ["n_cores", "lanes_per_core", "clock_hz", "mem_bandwidth_gbs"],
+    )
+    @pytest.mark.parametrize("bad", [0, -1])
+    def test_positive_fields(self, field_name, bad):
+        with pytest.raises(ValueError, match=field_name):
+            _replace(XEON_PHI_7250, **{field_name: bad})
+
+    def test_region_overhead_non_negative(self):
+        with pytest.raises(ValueError, match="region_overhead_s"):
+            _replace(XEON_PHI_7250, region_overhead_s=-1e-6)
+        _replace(XEON_PHI_7250, region_overhead_s=0.0)
+
+    def test_special_op_factor_below_one_rejected(self):
+        with pytest.raises(ValueError, match="special_op_factor"):
+            _replace(XEON_PHI_7250, special_op_factor=0.0)
+
+
+class TestPaperConfigsStillConstruct:
+    """The seven shipped tables must all pass their own validation."""
+
+    def test_all_named_configs_valid(self):
+        # Reconstructing each named config re-runs __post_init__.
+        for cfg in (TITAN_X_PASCAL, CSX600, STARAN, XEON_16, XEON_PHI_7250):
+            rebuilt = _replace(cfg)
+            assert rebuilt == cfg

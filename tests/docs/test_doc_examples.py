@@ -23,6 +23,7 @@ CHECKED_DOCS = (
     "docs/parallel-and-caching.md",
     "docs/performance.md",
     "docs/robustness.md",
+    "docs/search.md",
     "docs/service.md",
 )
 

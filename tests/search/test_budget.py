@@ -1,0 +1,145 @@
+"""Budget-constraint accounting, asserted from the metrics snapshot alone.
+
+The ISSUE 7 contract: ``atm_search_rejected`` is a counters-with-zeros
+family — a dashboard reading only ``MetricsRegistry.snapshot()`` must be
+able to distinguish "no area rejections happened" from "area rejections
+were never measured".  Every assertion here therefore goes through the
+snapshot dict, never through evaluator internals.
+"""
+
+from __future__ import annotations
+
+from repro.obs.metrics import recording
+from repro.search.evaluate import CandidateEvaluator
+from repro.search.runner import SearchSpec, run_search
+from repro.search.space import Budget, space_for
+
+
+def _series(snapshot, family):
+    """{frozen label items -> value} for one family in a snapshot."""
+    fam = snapshot["families"][family]
+    return {
+        tuple(sorted(s["labels"].items())): s["value"] for s in fam["series"]
+    }
+
+
+def _value(snapshot, family, **labels):
+    return _series(snapshot, family)[tuple(sorted(labels.items()))]
+
+
+class TestZeroInitialization:
+    def test_fresh_evaluator_emits_zeroed_counters(self):
+        with recording() as registry:
+            CandidateEvaluator(space_for("simd"), searcher="random")
+            snap = registry.snapshot()
+        assert (
+            _value(snap, "atm_search_rejected", searcher="random", constraint="area")
+            == 0.0
+        )
+        assert (
+            _value(snap, "atm_search_rejected", searcher="random", constraint="power")
+            == 0.0
+        )
+        for outcome in ("evaluated", "rejected", "memoized"):
+            assert (
+                _value(
+                    snap,
+                    "atm_search_evaluations",
+                    searcher="random",
+                    outcome=outcome,
+                )
+                == 0.0
+            )
+
+
+class TestRejectionAccounting:
+    def test_area_budget_rejections_visible_in_snapshot(self):
+        # 9 mm^2 is below even the smallest SIMD candidate, so every
+        # distinct candidate is rejected on area and none on power.
+        spec = SearchSpec(
+            space=space_for("simd", budget=Budget(area_mm2=9.0)),
+            searcher="random",
+            seed=2018,
+            max_evaluations=5,
+            ns=(96,),
+            periods=2,
+            compare_paper=False,
+        )
+        with recording() as registry:
+            result = run_search(spec)
+            snap = registry.snapshot()
+
+        area = _value(
+            snap, "atm_search_rejected", searcher="random", constraint="area"
+        )
+        power = _value(
+            snap, "atm_search_rejected", searcher="random", constraint="power"
+        )
+        evaluated = _value(
+            snap, "atm_search_evaluations", searcher="random", outcome="evaluated"
+        )
+        rejected = _value(
+            snap, "atm_search_evaluations", searcher="random", outcome="rejected"
+        )
+        assert area > 0.0
+        assert power == 0.0  # present-but-zero, not absent
+        assert evaluated == 0.0
+        assert rejected == area
+        assert result["evaluated"] == 0
+        assert result["rejected"] == int(rejected)
+        assert result["best"] is None
+
+    def test_both_constraints_counted_independently(self):
+        space = space_for("cuda", budget=Budget(area_mm2=20.0, power_w=5.0))
+        big = space.point(sm_count=28, cores_per_sm=192)
+        with recording() as registry:
+            ev = CandidateEvaluator(space, ns=(96,), periods=2, searcher="genetic")
+            out = ev.evaluate(big)
+            snap = registry.snapshot()
+        assert out.rejected == ("area", "power")
+        assert (
+            _value(snap, "atm_search_rejected", searcher="genetic", constraint="area")
+            == 1.0
+        )
+        assert (
+            _value(snap, "atm_search_rejected", searcher="genetic", constraint="power")
+            == 1.0
+        )
+
+    def test_unconstrained_search_rejects_nothing(self):
+        spec = SearchSpec(
+            space=space_for("ap"),
+            searcher="random",
+            seed=7,
+            max_evaluations=4,
+            ns=(96,),
+            periods=2,
+            compare_paper=False,
+        )
+        with recording() as registry:
+            run_search(spec)
+            snap = registry.snapshot()
+        series = _series(snap, "atm_search_rejected")
+        assert series  # zero-initialized, so the family exists...
+        assert all(v == 0.0 for v in series.values())  # ...and is all zeros
+
+
+class TestSearchMetricFamilies:
+    def test_rounds_and_best_fitness_recorded(self):
+        spec = SearchSpec(
+            space=space_for("simd"),
+            searcher="genetic",
+            seed=2018,
+            max_evaluations=4,
+            ns=(96,),
+            periods=2,
+            compare_paper=False,
+        )
+        with recording() as registry:
+            run_search(spec)
+            snap = registry.snapshot()
+        rounds = _series(snap, "atm_search_rounds")
+        assert rounds[(("searcher", "genetic"),)] >= 1.0
+        fitness = _series(snap, "atm_search_best_fitness")
+        key = (("objective", "modelled_time"), ("searcher", "genetic"))
+        assert fitness[key] > 0.0

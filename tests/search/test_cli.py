@@ -1,0 +1,151 @@
+"""End-to-end tests for ``atm-repro search`` and ``dashboard --search``."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.harness.cli import build_parser, main
+
+
+def _search_args(tmp_path, out_name, *extra):
+    return [
+        "search",
+        "--family",
+        "simd",
+        "--searcher",
+        "genetic",
+        "--max-evaluations",
+        "4",
+        "--ns",
+        "96",
+        "--periods",
+        "2",
+        "--no-compare-paper",
+        "--out",
+        str(tmp_path / out_name),
+        *extra,
+    ]
+
+
+class TestParser:
+    def test_search_subcommand_exists(self):
+        args = build_parser().parse_args(["search"])
+        assert args.command == "search"
+        assert args.family == "cuda"
+        assert args.searcher == "genetic"
+        assert args.max_evaluations == 24
+
+    def test_search_rejects_unknown_searcher(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["search", "--searcher", "gradient"])
+
+    def test_help_epilog_documents_search(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["--help"])
+        assert exc.value.code == 0
+        out = capsys.readouterr().out
+        assert "search" in out and "docs/search.md" in out
+
+
+class TestSearchCommand:
+    def test_double_run_is_byte_identical(self, tmp_path, capsys):
+        assert main(_search_args(tmp_path, "a.json")) == 0
+        assert main(_search_args(tmp_path, "b.json")) == 0
+        capsys.readouterr()
+        a = (tmp_path / "a.json").read_bytes()
+        b = (tmp_path / "b.json").read_bytes()
+        assert a == b
+        doc = json.loads(a)
+        assert doc["kind"] == "atm-search-result"
+        assert doc["best"] is not None
+
+    def test_json_flag_prints_result_doc(self, tmp_path, capsys):
+        assert main(_search_args(tmp_path, "out.json", "--json")) == 0
+        stdout = capsys.readouterr().out
+        payload = stdout[stdout.index("{") :]
+        doc = json.loads(payload.splitlines()[0])
+        assert doc == json.loads((tmp_path / "out.json").read_text())
+
+    def test_table_output_names_best_point(self, tmp_path, capsys):
+        assert main(_search_args(tmp_path, "out.json")) == 0
+        out = capsys.readouterr().out
+        assert "genetic" in out
+        assert "best" in out
+
+    def test_spec_file_round_trip(self, tmp_path, capsys):
+        # flags-run and spec-file-run of the same SearchSpec agree
+        assert main(_search_args(tmp_path, "flags.json")) == 0
+        flags_doc = json.loads((tmp_path / "flags.json").read_text())
+        spec_path = tmp_path / "spec.json"
+        spec_path.write_text(json.dumps(flags_doc["spec"]))
+        assert (
+            main(
+                [
+                    "search",
+                    "--spec",
+                    str(spec_path),
+                    "--out",
+                    str(tmp_path / "fromspec.json"),
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        assert (tmp_path / "fromspec.json").read_bytes() == (
+            tmp_path / "flags.json"
+        ).read_bytes()
+
+    def test_metrics_out_writes_search_families(self, tmp_path, capsys):
+        metrics = tmp_path / "metrics.txt"
+        assert (
+            main(_search_args(tmp_path, "out.json", "--metrics-out", str(metrics)))
+            == 0
+        )
+        capsys.readouterr()
+        text = metrics.read_text()
+        assert "atm_search_evaluations" in text
+        assert "atm_search_rejected" in text
+
+    def test_resume_requires_cache_dir(self, tmp_path, capsys):
+        assert main(_search_args(tmp_path, "out.json", "--resume")) == 2
+        assert "--cache-dir" in capsys.readouterr().err
+
+    def test_resume_via_cache_dir_is_byte_identical(self, tmp_path, capsys):
+        cache_dir = str(tmp_path / "cache")
+        first = _search_args(tmp_path, "a.json", "--cache-dir", cache_dir)
+        assert main(first) == 0
+        second = _search_args(
+            tmp_path, "b.json", "--cache-dir", cache_dir, "--resume"
+        )
+        assert main(second) == 0
+        capsys.readouterr()
+        assert (tmp_path / "a.json").read_bytes() == (
+            tmp_path / "b.json"
+        ).read_bytes()
+        assert (tmp_path / "cache" / "journal.jsonl").exists()
+
+
+class TestDashboardSearchPanel:
+    def test_dashboard_embeds_search_trajectory(self, tmp_path, capsys):
+        assert main(_search_args(tmp_path, "search.json")) == 0
+        html_path = tmp_path / "dash.html"
+        assert (
+            main(
+                [
+                    "dashboard",
+                    "--out",
+                    str(html_path),
+                    "--only",
+                    "fig4",
+                    "--search",
+                    str(tmp_path / "search.json"),
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        html = html_path.read_text()
+        assert "Design-space search trajectory" in html
+        assert "http" not in html  # self-contained, no external fetches

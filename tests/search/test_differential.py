@@ -1,0 +1,82 @@
+"""Differential wall: the paper configs are byte-exact fixed points.
+
+The searchers mutate device parameters that every cost model and cache
+fingerprint depends on, so parameterization must not move a single bit
+of the seed evaluation path.  These tests express the seven paper
+configurations as :class:`~repro.search.space.DesignPoint` specs and
+pin, against the registry-name path the report uses:
+
+* identical ``describe()`` payloads and backend names,
+* identical cost-model fingerprints and cache keys,
+* byte-identical sweep output (``SweepData.to_canonical_json``),
+  inline and through the process pool.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.backends.registry import resolve_backend
+from repro.core.canonical import canonical_json
+from repro.harness.cache import ResultCache
+from repro.harness.sweep import measure_platform, sweep
+from repro.search.space import PAPER_POINTS, paper_points
+
+SEED_NAMES = [f"{family}:{base}" for family, base in PAPER_POINTS]
+NS = (96, 480)
+
+
+@pytest.mark.parametrize("point", paper_points(), ids=SEED_NAMES)
+class TestPerConfigIdentity:
+    def test_describe_and_name_identical(self, point):
+        seed = resolve_backend(f"{point.family}:{point.base}")
+        searched = resolve_backend(point.spec())
+        assert searched.name == seed.name
+        assert canonical_json(searched.describe()) == canonical_json(
+            seed.describe()
+        )
+
+    def test_fingerprint_and_cache_key_identical(self, point):
+        seed = resolve_backend(f"{point.family}:{point.base}")
+        searched = resolve_backend(point.spec())
+        assert searched.fingerprint() == seed.fingerprint()
+        for n in NS:
+            assert ResultCache.key_for(
+                searched, n=n, seed=2018, periods=3, mode="signed"
+            ) == ResultCache.key_for(
+                seed, n=n, seed=2018, periods=3, mode="signed"
+            )
+
+    def test_single_cell_measurement_identical(self, point):
+        via_name = measure_platform(f"{point.family}:{point.base}", 96, periods=2)
+        via_spec = measure_platform(point.spec(), 96, periods=2)
+        assert canonical_json(via_spec.to_dict()) == canonical_json(
+            via_name.to_dict()
+        )
+
+
+class TestSweepBytes:
+    def test_sweep_bytes_identical_to_seed_path(self):
+        specs = [pt.spec() for pt in paper_points()]
+        seed_data = sweep(SEED_NAMES, NS, periods=2)
+        spec_data = sweep(specs, NS, periods=2)
+        assert spec_data.to_canonical_json() == seed_data.to_canonical_json()
+
+    def test_pooled_sweep_bytes_identical_to_seed_path(self):
+        # Design-point specs are plain strings, so the pool shards them
+        # exactly like registry names; merged bytes must not move.
+        specs = [pt.spec() for pt in paper_points()]
+        seed_data = sweep(SEED_NAMES, NS, periods=2, jobs=1)
+        spec_data = sweep(specs, NS, periods=2, jobs=2)
+        assert spec_data.to_canonical_json() == seed_data.to_canonical_json()
+
+    def test_cache_round_trip_crosses_paths(self, tmp_path):
+        # A cell cached under the seed name must be served to the
+        # design-point spec (and vice versa): the keys are the same.
+        cache = ResultCache(tmp_path / "cache")
+        point = paper_points()[0]
+        first = measure_platform(SEED_NAMES[0], 96, periods=2, cache=cache)
+        assert cache.stats()["stores"] == 1
+        second = measure_platform(point.spec(), 96, periods=2, cache=cache)
+        assert cache.stats()["hits"] == 1
+        assert canonical_json(first.to_dict()) == canonical_json(second.to_dict())

@@ -1,0 +1,253 @@
+"""Unit tests for the design-space layer (spaces, points, budgets)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.backends.registry import resolve_backend
+from repro.core.canonical import canonical_json
+from repro.harness.cache import ResultCache
+from repro.search.space import (
+    FAMILIES,
+    Budget,
+    DesignPoint,
+    DesignSpace,
+    Parameter,
+    backend_from_spec,
+    paper_points,
+    space_for,
+)
+
+
+class TestParameter:
+    def test_range_builds_inclusive_grid(self):
+        p = Parameter.range("n_pes", 96, 480, 96)
+        assert p.values == (96, 192, 288, 384, 480)
+
+    def test_range_keeps_float_grids(self):
+        p = Parameter.range("clock", 0.5, 1.5, 0.5)
+        assert p.values == (0.5, 1.0, 1.5)
+
+    def test_empty_grid_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            Parameter("x", ())
+
+    def test_duplicate_values_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            Parameter("x", (1, 1))
+
+    def test_bad_step_rejected(self):
+        with pytest.raises(ValueError, match="step"):
+            Parameter.range("x", 0, 10, 0)
+
+    def test_dict_round_trip(self):
+        p = Parameter("sm_count", (2, 4, 8))
+        assert Parameter.from_dict(p.to_dict()) == p
+
+    def test_from_dict_accepts_range_form(self):
+        p = Parameter.from_dict({"name": "x", "lo": 1, "hi": 3, "step": 1})
+        assert p.values == (1, 2, 3)
+
+
+class TestBudget:
+    def test_violations(self):
+        b = Budget(area_mm2=100.0, power_w=50.0)
+        assert b.violations(99.0, 49.0) == []
+        assert b.violations(101.0, 49.0) == ["area"]
+        assert b.violations(101.0, 51.0) == ["area", "power"]
+
+    def test_unconstrained_never_violates(self):
+        assert Budget().violations(1e9, 1e9) == []
+
+    def test_tech_node_scaling(self):
+        b = Budget(tech_nm=32.0)
+        assert b.area_scale == pytest.approx(4.0)
+        assert b.power_scale == pytest.approx(2.0)
+
+    def test_bad_values_rejected(self):
+        with pytest.raises(ValueError, match="tech_nm"):
+            Budget(tech_nm=0)
+        with pytest.raises(ValueError, match="area_mm2"):
+            Budget(area_mm2=-1)
+
+    def test_dict_round_trip(self):
+        b = Budget(area_mm2=120.0, power_w=80.0, tech_nm=28.0)
+        assert Budget.from_dict(b.to_dict()) == b
+
+
+class TestDesignPoint:
+    def test_unknown_family_rejected(self):
+        with pytest.raises(KeyError, match="family"):
+            DesignPoint(family="tpu", base="v1")
+
+    def test_unknown_base_rejected(self):
+        with pytest.raises(KeyError, match="base"):
+            DesignPoint(family="cuda", base="rtx-5090")
+
+    def test_unknown_parameter_rejected(self):
+        with pytest.raises(KeyError, match="searchable"):
+            DesignPoint(
+                family="cuda", base="titan-x-pascal", params=(("l2_bytes", 1),)
+            )
+
+    def test_duplicate_parameter_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            DesignPoint(
+                family="cuda",
+                base="titan-x-pascal",
+                params=(("sm_count", 2), ("sm_count", 4)),
+            )
+
+    def test_base_valued_param_shares_key_with_unspecified(self):
+        bare = DesignPoint(family="cuda", base="titan-x-pascal")
+        pinned = DesignPoint(
+            family="cuda", base="titan-x-pascal", params=(("sm_count", 28),)
+        )
+        assert bare.key == pinned.key
+        assert pinned.overrides() == {}
+
+    def test_paper_point_builds_the_named_config_itself(self):
+        for pt in paper_points():
+            cfg = pt.build_config()
+            assert cfg.key == pt.base  # the registered table, not a copy
+            backend = pt.build()
+            seed_backend = resolve_backend(f"{pt.family}:{pt.base}")
+            assert backend.name == seed_backend.name
+
+    def test_override_changes_key_name_and_config(self):
+        pt = DesignPoint(
+            family="simd", base="clearspeed-csx600", params=(("n_pes", 192),)
+        )
+        cfg = pt.build_config()
+        assert cfg.key == pt.key != "clearspeed-csx600"
+        assert cfg.n_pes == 192
+        assert cfg.network.n_pes == 192  # the coupled ring resized too
+
+    def test_spec_round_trips_through_resolver(self):
+        pt = DesignPoint(
+            family="mimd", base="xeon-16", params=(("n_cores", 32), ("ipc", 2.0))
+        )
+        via_registry = resolve_backend(pt.spec())
+        direct = pt.build()
+        assert canonical_json(via_registry.describe()) == canonical_json(
+            direct.describe()
+        )
+
+    def test_backend_from_spec_rejects_garbage(self):
+        with pytest.raises(ValueError, match="not a search spec"):
+            backend_from_spec("cuda:titan-x-pascal")
+        with pytest.raises(ValueError, match="malformed"):
+            backend_from_spec("search:{not json")
+
+    def test_area_power_positive_and_monotone(self):
+        small = DesignPoint(
+            family="cuda", base="titan-x-pascal", params=(("sm_count", 2),)
+        )
+        large = DesignPoint(
+            family="cuda", base="titan-x-pascal", params=(("sm_count", 28),)
+        )
+        assert 0 < small.area_mm2() < large.area_mm2()
+        assert 0 < small.power_w() < large.power_w()
+
+    def test_tech_node_scales_estimates(self):
+        pt = DesignPoint(family="ap", base="staran")
+        old_node = Budget(tech_nm=32.0)
+        assert pt.area_mm2(old_node) == pytest.approx(4.0 * pt.area_mm2())
+        assert pt.power_w(old_node) == pytest.approx(2.0 * pt.power_w())
+
+
+class TestDesignSpace:
+    def test_every_family_has_a_default_space(self):
+        for family in FAMILIES:
+            space = space_for(family)
+            assert space.size > 1
+            space.base_point().build()
+            for p in space.parameters:
+                assert len(p.values) >= 2
+
+    def test_point_validates_grid_membership(self):
+        space = space_for("cuda")
+        with pytest.raises(ValueError, match="off the grid"):
+            space.point(sm_count=3)
+        with pytest.raises(KeyError, match="does not search"):
+            space.point(pcie_bandwidth_gbs=1.0)
+
+    def test_random_point_is_seed_deterministic(self):
+        space = space_for("vector")
+        a = [space.random_point(random.Random(7)) for _ in range(5)]
+        b = [space.random_point(random.Random(7)) for _ in range(5)]
+        assert a != [space.random_point(random.Random(8)) for _ in range(5)]
+        assert a == b
+
+    def test_mutate_always_moves_and_stays_on_grid(self):
+        space = space_for("simd")
+        rng = random.Random(11)
+        pt = space.base_point()
+        for _ in range(20):
+            nxt = space.mutate(pt, rng)
+            assert nxt != pt
+            for name, value in nxt.params:
+                grid = next(p for p in space.parameters if p.name == name)
+                assert value in grid.values
+            pt = nxt
+
+    def test_crossover_takes_fields_from_parents(self):
+        space = space_for("mimd")
+        rng = random.Random(3)
+        a = space.point(n_cores=4, clock_hz=1.2e9, ipc=0.5)
+        b = space.point(n_cores=64, clock_hz=3.2e9, ipc=2.0)
+        child = space.crossover(a, b, rng)
+        choices = {dict(a.params)[k] for k, _ in child.params} | {
+            dict(b.params)[k] for k, _ in child.params
+        }
+        for name, value in child.params:
+            assert value in (dict(a.params)[name], dict(b.params)[name])
+        assert choices  # sanity: parents actually differed
+
+    def test_duplicate_parameters_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            DesignSpace(
+                family="ap",
+                base="staran",
+                parameters=(
+                    Parameter("clock_hz", (1e6,)),
+                    Parameter("clock_hz", (2e6,)),
+                ),
+            )
+
+    def test_dict_round_trip(self):
+        space = space_for("cuda", budget=Budget(area_mm2=100.0))
+        again = DesignSpace.from_dict(space.to_dict())
+        assert again == space
+
+    def test_check_budget_names_violated_constraints(self):
+        space = space_for("cuda", budget=Budget(area_mm2=30.0, power_w=10.0))
+        big = space.point(sm_count=28, cores_per_sm=192)
+        assert space.check_budget(big) == ["area", "power"]
+
+
+class TestFingerprintSensitivity:
+    """Mutating any searchable parameter must change the cache key."""
+
+    @pytest.mark.parametrize("family", FAMILIES)
+    def test_every_searchable_parameter_moves_the_fingerprint(self, family):
+        space = space_for(family)
+        base_backend = space.base_point().build()
+        base_key = ResultCache.key_for(
+            base_backend, n=96, seed=2018, periods=3, mode="signed"
+        )
+        for p in space.parameters:
+            base_value = getattr(
+                space.base_point().build_config(), p.name
+            )
+            alternates = [v for v in p.values if v != base_value]
+            assert alternates, f"{family}.{p.name} grid has no alternate value"
+            mutated = space.point(**{p.name: alternates[0]})
+            mutated_key = ResultCache.key_for(
+                mutated.build(), n=96, seed=2018, periods=3, mode="signed"
+            )
+            assert mutated_key != base_key, (
+                f"cache key insensitive to {family}.{p.name}"
+            )

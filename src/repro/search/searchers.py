@@ -24,7 +24,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from ..obs.metrics import metric_inc
-from .evaluate import CandidateEvaluator, Evaluation
+from .evaluate import REJECTED_FITNESS, CandidateEvaluator, Evaluation
 from .space import DesignPoint, DesignSpace
 
 __all__ = [
@@ -72,7 +72,10 @@ def _finish(
         # time by construction.
         if ev.evaluated and ev.ns == evaluator.ns and ev.fitness < best_so_far:
             best_so_far = ev.fitness
-        curve.append(best_so_far)
+        # entries before the first full-fidelity evaluation use the
+        # finite REJECTED_FITNESS sentinel: math.inf would serialize as
+        # the non-JSON token `Infinity` in the --out/--json result.
+        curve.append(best_so_far if math.isfinite(best_so_far) else REJECTED_FITNESS)
     return SearchOutcome(
         searcher=searcher,
         seed=seed,
@@ -154,7 +157,9 @@ def genetic_search(
         ]
         return min(entrants, key=rank_key)
 
-    while spent < max_evaluations:
+    idle_generations = 0
+    while spent < max_evaluations and idle_generations < 3:
+        generation_start = spent
         current.sort(key=rank_key)
         nxt: List[Evaluation] = current[: max(0, elitism)]
         while len(nxt) < population and spent < max_evaluations:
@@ -167,6 +172,13 @@ def genetic_search(
         current = nxt
         rounds += 1
         metric_inc("atm_search_rounds", searcher="genetic")
+        # a small grid can be exhausted before the budget: every child
+        # memo-hits, `spent` stops moving, and without this guard the
+        # generation loop would never end (random_search's idle guard,
+        # at generation granularity).
+        idle_generations = (
+            0 if spent > generation_start else idle_generations + 1
+        )
     return _finish(evaluator, "genetic", seed, rounds=rounds)
 
 

@@ -533,25 +533,25 @@ class DesignSpace:
     def mutate(self, point: DesignPoint, rng, rate: float = 0.25) -> DesignPoint:
         """Re-draw each parameter with probability ``rate``.
 
-        At least one parameter always moves (a no-op mutation would make
-        the genetic searcher stall on duplicate candidates).
+        The forced parameter is drawn among those with more than one
+        grid value, so at least one parameter always moves (a no-op
+        mutation would make the genetic searcher stall on duplicate
+        candidates).  Degenerate case: a space whose grids are all
+        singletons has a single point, so ``point`` returns unchanged.
         """
-        if not self.parameters:
+        movable = [i for i, p in enumerate(self.parameters) if len(p.values) > 1]
+        if not movable:
             return point
         current = dict(point.params)
-        forced = rng.randrange(len(self.parameters))
+        forced = movable[rng.randrange(len(movable))]
         params = []
-        mutated = False
         for i, p in enumerate(self.parameters):
             value = current.get(p.name, self._base_value(p.name))
             if i == forced or rng.random() < rate:
                 choices = [v for v in p.values if v != value]
                 if choices:
                     value = choices[rng.randrange(len(choices))]
-                    mutated = True
             params.append((p.name, value))
-        if not mutated:
-            return point
         return DesignPoint(family=self.family, base=self.base, params=tuple(params))
 
     def crossover(self, a: DesignPoint, b: DesignPoint, rng) -> DesignPoint:

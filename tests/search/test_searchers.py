@@ -10,6 +10,8 @@ from the checkpoint journal.
 from __future__ import annotations
 
 import dataclasses
+import json
+import math
 
 import pytest
 from hypothesis import given, settings
@@ -128,9 +130,24 @@ class TestSearcherShapes:
         for searcher in sorted(SEARCHERS):
             result = run_search(_spec(searcher, max_evaluations=8))
             curve = [
-                f for f in result["best_fitness_curve"] if f != float("inf")
+                f for f in result["best_fitness_curve"] if f != REJECTED_FITNESS
             ]
             assert curve == sorted(curve, reverse=True)
+
+    def test_curve_is_finite_and_result_is_strict_json(self):
+        # entries before the first full-fidelity evaluation carry the
+        # finite REJECTED_FITNESS sentinel, never math.inf: Infinity is
+        # not a JSON token and breaks strict parsers of --out/--json.
+        for searcher in sorted(SEARCHERS):
+            result = run_search(_spec(searcher, max_evaluations=8))
+            assert all(math.isfinite(f) for f in result["best_fitness_curve"])
+            text = canonical_json(result)
+            json.loads(
+                text,
+                parse_constant=lambda token: pytest.fail(
+                    f"non-strict JSON token {token!r} in search result"
+                ),
+            )
 
     def test_ga_seed_population_includes_base_point(self):
         spec = _spec("genetic")
@@ -146,6 +163,17 @@ class TestSearcherShapes:
             parameters=(space_for("simd").parameters[0].__class__("n_pes", (96, 192)),),
         )
         result = run_search(_spec("random", space=space, max_evaluations=10))
+        assert result["evaluated"] <= 2
+
+    def test_genetic_terminates_on_exhausted_grid(self):
+        # memo hits are free, so once a 2-point grid is exhausted
+        # `spent` stops moving; the idle-generation guard must end the
+        # loop instead of breeding memo-hit children forever.
+        space = dataclasses.replace(
+            space_for("simd"),
+            parameters=(space_for("simd").parameters[0].__class__("n_pes", (96, 192)),),
+        )
+        result = run_search(_spec("genetic", space=space, max_evaluations=10))
         assert result["evaluated"] <= 2
 
 

@@ -193,6 +193,36 @@ class TestDesignSpace:
                 assert value in grid.values
             pt = nxt
 
+    def test_mutate_forces_a_movable_parameter_past_singletons(self):
+        # the forced parameter is drawn among grids with >1 value, so a
+        # singleton grid can never absorb the guaranteed move.
+        space = DesignSpace(
+            family="mimd",
+            base=space_for("mimd").base,
+            parameters=(
+                Parameter("n_cores", (16,)),
+                Parameter("ipc", (0.5, 1.0, 2.0)),
+            ),
+        )
+        rng = random.Random(5)
+        pt = space.point(n_cores=16, ipc=1.0)
+        for _ in range(20):
+            assert space.mutate(pt, rng) != pt
+
+    def test_mutate_all_singleton_grids_is_identity(self):
+        # degenerate case documented on mutate(): a space whose grids
+        # are all singletons has a single point — nothing can move.
+        space = DesignSpace(
+            family="mimd",
+            base=space_for("mimd").base,
+            parameters=(
+                Parameter("n_cores", (16,)),
+                Parameter("ipc", (1.0,)),
+            ),
+        )
+        pt = space.point(n_cores=16, ipc=1.0)
+        assert space.mutate(pt, random.Random(5)) == pt
+
     def test_crossover_takes_fields_from_parents(self):
         space = space_for("mimd")
         rng = random.Random(3)

@@ -4,7 +4,7 @@
 PYTHON ?= python
 PYTEST  = PYTHONPATH=src $(PYTHON) -m pytest
 
-.PHONY: test test-parallel test-faults test-service test-search docs-check bench bench-smoke profile report dashboard serve all
+.PHONY: test test-parallel test-faults test-service test-search docs-check bench bench-smoke bench-large bench-large-smoke profile report dashboard serve all
 
 ## the tier-1 suite (unit + integration + property tests)
 test:
@@ -45,6 +45,22 @@ bench-smoke:
 	PYTHONPATH=src $(PYTHON) -m repro.harness.cli bench \
 		--out BENCH_trace_engine.json \
 		--baseline benchmarks/baselines/bench_smoke.json
+
+## the committed continental-scale record: brute-vs-pruned calibration
+## plus the five-platform deadline table at n=10^6 (docs/performance.md,
+## "Large-n regime"); takes a few minutes
+bench-large:
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_large_n.py \
+		--out BENCH_large_n.json
+
+## CI gate for the large-n path: the n=10^5 profile twice, asserting the
+## deterministic wall-free tables are byte-identical
+bench-large-smoke:
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_large_n.py --n 100000 \
+		--out /tmp/bench_large_a.json --table-out /tmp/bench_large_table_a.json
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_large_n.py --n 100000 \
+		--out /tmp/bench_large_b.json --table-out /tmp/bench_large_table_b.json
+	cmp /tmp/bench_large_table_a.json /tmp/bench_large_table_b.json
 
 ## example profile: span tree for fig4 on the Titan X
 profile:

@@ -44,7 +44,7 @@ from .core import (
     setup_flight,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "Backend",

@@ -44,9 +44,34 @@ __all__ = [
     "pair_interval",
     "conflict_row",
     "detect",
+    "detect_chunk_rows",
 ]
 
 _INF = np.inf
+
+#: float64 temporaries live per pair cell inside one detect() chunk
+#: (gaps, relative velocities, the two window bounds, t_eff, masks, the
+#: where/min scratch) — about 12 arrays of 8 bytes.
+DETECT_PAIR_ROW_BYTES = 96
+
+#: default working-set budget for one detect() chunk.  At the paper's
+#: largest fleet (n = 16000) this yields 131 rows; at n = 10^6 it keeps
+#: the chunk at 2 rows instead of 512 * 10^6 cells.
+DETECT_CHUNK_BUDGET_BYTES = 192 << 20
+
+
+def detect_chunk_rows(n: int, budget_bytes: Optional[int] = None) -> int:
+    """Rows per detection chunk that fit ``budget_bytes`` of temporaries.
+
+    Each chunk materializes ``rows x n`` pair cells at roughly
+    :data:`DETECT_PAIR_ROW_BYTES` per cell.  Results are chunk-invariant
+    (every row's outputs depend only on that row), so this only trades
+    memory against vectorization width.
+    """
+    budget = DETECT_CHUNK_BUDGET_BYTES if budget_bytes is None else int(budget_bytes)
+    if n <= 0:
+        return 1
+    return max(1, min(int(n), budget // max(1, DETECT_PAIR_ROW_BYTES * int(n))))
 
 
 class DetectionMode(str, enum.Enum):
@@ -195,7 +220,8 @@ def detect(
     fleet: FleetState,
     mode: DetectionMode = DetectionMode.SIGNED,
     *,
-    chunk: int = 512,
+    chunk: Optional[int] = None,
+    chunk_budget_bytes: Optional[int] = None,
 ) -> DetectionStats:
     """Full Task-2 pass: every aircraft against every other.
 
@@ -203,12 +229,18 @@ def detect(
     paper's kernel does: ``time_till`` becomes the earliest critical
     overlap time (if below the 300-period safe value), ``col_with`` the
     partner achieving it, ``col`` flags aircraft needing resolution.
+
+    ``chunk`` (rows per pass) defaults to whatever fits
+    ``chunk_budget_bytes`` (:data:`DETECT_CHUNK_BUDGET_BYTES` if unset)
+    via :func:`detect_chunk_rows`; outputs are identical for any chunk.
     """
     stats = DetectionStats()
     fleet.reset_collision()
     n = fleet.n
     stats.pairs_checked = n * (n - 1)
     stats.critical_per_aircraft = np.zeros(n, dtype=np.int64)
+    if chunk is None:
+        chunk = detect_chunk_rows(n, chunk_budget_bytes)
 
     for lo in range(0, n, chunk):
         hi = min(lo + chunk, n)

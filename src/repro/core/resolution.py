@@ -21,7 +21,7 @@ that ordering explicit).  For each flagged aircraft:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Tuple
+from typing import Callable, Dict, Optional, Tuple
 
 import numpy as np
 
@@ -58,16 +58,29 @@ class ResolutionStats:
 def resolve(
     fleet: FleetState,
     mode: DetectionMode = DetectionMode.SIGNED,
+    *,
+    critical_exists: Optional[Callable[[int, float, float], bool]] = None,
 ) -> ResolutionStats:
-    """Run Task 3 over every aircraft flagged by the preceding Task 2."""
+    """Run Task 3 over every aircraft flagged by the preceding Task 2.
+
+    The state machine only ever consumes the *existence* of a critical
+    conflict (``earliest_critical(...) is None`` checks), never the
+    partner or time.  ``critical_exists(i, dxi, dyi)`` lets a caller
+    substitute an equivalent existence oracle — the pruned sort-sweep in
+    :mod:`repro.core.sweepline` uses this so both implementations share
+    one trial loop and cannot drift apart.
+    """
     stats = ResolutionStats()
     stats.attempts = np.zeros(fleet.n, dtype=np.int64)
     flagged = np.nonzero(fleet.col == 1)[0]
 
+    if critical_exists is None:
+        def critical_exists(i: int, dxi: float, dyi: float) -> bool:
+            return earliest_critical(fleet, i, dxi, dyi, mode) is not None
+
     for i in flagged:
         i = int(i)
-        live = earliest_critical(fleet, i, float(fleet.dx[i]), float(fleet.dy[i]), mode)
-        if live is None:
+        if not critical_exists(i, float(fleet.dx[i]), float(fleet.dy[i])):
             # Partner already turned away; clear the stale flag.
             stats.already_clear += 1
             fleet.col[i] = 0
@@ -84,7 +97,7 @@ def resolve(
             fleet.batdx[i], fleet.batdy[i] = trial_dx, trial_dy
             stats.trials_evaluated += 1
             stats.attempts[i] += 1
-            if earliest_critical(fleet, i, float(trial_dx), float(trial_dy), mode) is None:
+            if not critical_exists(i, float(trial_dx), float(trial_dy)):
                 fleet.dx[i], fleet.dy[i] = trial_dx, trial_dy
                 fleet.col[i] = 0
                 fleet.time_till[i] = C.TIME_TILL_SAFE_PERIODS
@@ -105,8 +118,15 @@ def resolve(
 def detect_and_resolve(
     fleet: FleetState,
     mode: DetectionMode = DetectionMode.SIGNED,
+    *,
+    chunk_budget_bytes: Optional[int] = None,
 ) -> Tuple[DetectionStats, ResolutionStats]:
-    """The paper's fused ``CheckCollisionPath``: Task 2 then Task 3."""
-    det = detect(fleet, mode)
+    """The paper's fused ``CheckCollisionPath``: Task 2 then Task 3.
+
+    ``chunk_budget_bytes`` tunes the detection pass's working-set budget
+    (:func:`~repro.core.collision.detect_chunk_rows`); results are
+    chunk-invariant.
+    """
+    det = detect(fleet, mode, chunk_budget_bytes=chunk_budget_bytes)
     res = resolve(fleet, mode)
     return det, res

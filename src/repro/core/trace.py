@@ -47,13 +47,21 @@ __all__ = [
     "TracePeriod",
     "CollisionRecord",
     "FunctionalTrace",
+    "TraceBudget",
+    "DEFAULT_TRACE_BUDGET",
+    "period_nbytes",
+    "collision_nbytes",
+    "trace_nbytes",
+    "estimate_trace_bytes",
+    "stream_trace",
     "compute_trace",
     "trace_key",
 ]
 
 #: Bump when the trace payload shape changes; part of the store key, so
 #: a schema change starts a fresh on-disk subtree instead of misreading.
-TRACE_SCHEMA_VERSION = 1
+#: v2 added the effective ``pruning`` parameter to the params block.
+TRACE_SCHEMA_VERSION = 2
 
 
 # ---------------------------------------------------------------------------
@@ -263,6 +271,77 @@ class CollisionRecord:
         )
 
 
+@dataclass(frozen=True)
+class TraceBudget:
+    """Memory envelope for trace materialization and shipping.
+
+    ``max_resident_bytes`` bounds what one fully-materialized trace may
+    occupy in this process — above it the harness replays the stream
+    record-by-record instead of memoizing the trace.
+    ``max_payload_bytes`` bounds what may be serialized to the on-disk
+    trace store or shipped to pool workers; above it workers recompute
+    their own (pruned) trace rather than receive a multi-GB payload.
+    """
+
+    max_resident_bytes: int = 1 << 30
+    max_payload_bytes: int = 64 << 20
+
+    def allows_resident(self, nbytes: int) -> bool:
+        return int(nbytes) <= self.max_resident_bytes
+
+    def allows_payload(self, nbytes: int) -> bool:
+        return int(nbytes) <= self.max_payload_bytes
+
+
+DEFAULT_TRACE_BUDGET = TraceBudget()
+
+#: fixed per-record overhead allowance (dataclass + scalar stats).
+_RECORD_OVERHEAD = 256
+
+
+def period_nbytes(rec: "TracePeriod") -> int:
+    """Actual array bytes held by one period record."""
+    return int(
+        rec.match_with.nbytes
+        + rec.r_match.nbytes
+        + rec.matched_radar.nbytes
+        + sum(np.asarray(i).nbytes for i in rec.stats.round_radar_ids)
+        + sum(np.asarray(c).nbytes for c in rec.stats.round_candidates_per_radar)
+        + _RECORD_OVERHEAD
+    )
+
+
+def collision_nbytes(rec: "CollisionRecord") -> int:
+    """Actual array bytes held by the collision record."""
+    crit = rec.det.critical_per_aircraft
+    return int(
+        rec.alt.nbytes
+        + (0 if crit is None else np.asarray(crit).nbytes)
+        + np.asarray(rec.res.attempts).nbytes
+        + _RECORD_OVERHEAD
+    )
+
+
+def trace_nbytes(trace: "FunctionalTrace") -> int:
+    """Actual array bytes held by a materialized trace."""
+    total = sum(period_nbytes(p) for p in trace.period_records)
+    if trace.collision is not None:
+        total += collision_nbytes(trace.collision)
+    return int(total) + 2 * _RECORD_OVERHEAD
+
+
+def estimate_trace_bytes(n: int, periods: int) -> int:
+    """Conservative a-priori size of a ``(n, periods)`` trace in memory.
+
+    Each period carries ~17n bytes of match columns plus up to 8n per
+    executed round of radar-id/candidate arrays (3 rounds worst case);
+    the collision record carries three length-n int64/float64 columns.
+    Used by the harness to decide memoization vs streaming *before*
+    computing anything.
+    """
+    return int(periods) * 56 * int(n) + 32 * int(n) + 4096
+
+
 @dataclass
 class FunctionalTrace:
     """The shared functional pass of one measurement cell.
@@ -270,6 +349,12 @@ class FunctionalTrace:
     Computed once per ``(n, seed, periods, mode, dropout, clutter)`` and
     replayed by every backend's cost model; see
     :meth:`~repro.backends.base.Backend.track_timing_from_trace`.
+
+    ``pruning`` records the *effective* candidate-pruning setting
+    ("on"/"off") the functional pass ran under.  The payload is
+    bit-identical either way (that is the :mod:`repro.core.sweepline`
+    contract), but the fingerprint carries it so a pruned artifact is
+    never silently substituted where an unpruned one was requested.
     """
 
     n_aircraft: int
@@ -278,6 +363,7 @@ class FunctionalTrace:
     mode: DetectionMode
     dropout: float = 0.0
     clutter: int = 0
+    pruning: str = "off"
     period_records: List[TracePeriod] = field(default_factory=list)
     collision: CollisionRecord = None
 
@@ -290,6 +376,7 @@ class FunctionalTrace:
             mode=self.mode,
             dropout=self.dropout,
             clutter=self.clutter,
+            pruning=self.pruning,
         )
 
     def matches(self, *, n: int, seed: int, periods: int, mode: DetectionMode) -> bool:
@@ -313,6 +400,7 @@ class FunctionalTrace:
                 "mode": str(self.mode.value),
                 "dropout": float(self.dropout),
                 "clutter": int(self.clutter),
+                "pruning": str(self.pruning),
             },
             "periods": [p.to_dict() for p in self.period_records],
             "collision": self.collision.to_dict(),
@@ -330,6 +418,7 @@ class FunctionalTrace:
             mode=DetectionMode(params["mode"]),
             dropout=float(params["dropout"]),
             clutter=int(params["clutter"]),
+            pruning=str(params.get("pruning", "off")),
             period_records=[TracePeriod.from_dict(p) for p in data["periods"]],
             collision=CollisionRecord.from_dict(data["collision"]),
         )
@@ -343,12 +432,16 @@ def trace_key(
     mode: Any,
     dropout: float = 0.0,
     clutter: int = 0,
+    pruning: str = "off",
 ) -> str:
     """Canonical fingerprint of one functional-trace cell.
 
     Uses the same machinery as the result cache
     (:func:`repro.core.canonical.fingerprint_of`); the library version is
     included because a release may change the functional algorithms.
+    ``pruning`` is the *effective* setting ("on"/"off", never "auto") so
+    an ``auto`` policy below the threshold shares artifacts with an
+    explicit ``off``.
     """
     from .. import __version__
     from .canonical import fingerprint_of
@@ -365,9 +458,75 @@ def trace_key(
                 "mode": str(getattr(mode, "value", mode)),
                 "dropout": float(dropout),
                 "clutter": int(clutter),
+                "pruning": str(pruning),
             },
         }
     )
+
+
+def stream_trace(
+    n: int,
+    *,
+    seed: int = 2018,
+    periods: int = 3,
+    mode: DetectionMode = DetectionMode.SIGNED,
+    dropout: float = 0.0,
+    clutter: int = 0,
+    pruning: Any = "off",
+    detect_chunk_bytes: Optional[int] = None,
+):
+    """Run the functional simulation, yielding records as they complete.
+
+    A generator over ``periods`` :class:`TracePeriod` records followed
+    by the final :class:`CollisionRecord` — the streaming core both
+    :func:`compute_trace` (materialize) and the harness's bounded-memory
+    replay path (consume-and-discard) are built on.  Each yielded record
+    is independent; a consumer that drops records after use holds at
+    most one period of trace state plus the live fleet.
+
+    ``pruning`` is a :class:`~repro.core.sweepline.PruningPolicy` (or
+    its string value) resolved at ``n``; the functional outputs are
+    bit-identical either way.  Emits one ``atm_trace_bytes`` increment
+    per record.
+    """
+    from ..obs import span as obs_span
+    from ..obs.metrics import metric_inc
+    from .sweepline import detect_and_resolve_pruned, resolve_pruning
+
+    if periods < 1:
+        raise ValueError("need at least one tracking period")
+    effective = resolve_pruning(pruning, n)
+    fleet = setup_flight(n, seed)
+    for period in range(periods):
+        frame = generate_radar_frame(
+            fleet, seed, period, dropout=dropout, clutter=clutter
+        )
+        with obs_span("core.correlate", cat="core"):
+            stats = correlate(fleet, frame, pruned=effective)
+        record = TracePeriod(
+            n_aircraft=fleet.n,
+            frame_n=frame.n,
+            stats=stats,
+            match_with=frame.match_with.copy(),
+            r_match=fleet.r_match.copy(),
+            matched_radar=fleet.matched_radar.copy(),
+        )
+        metric_inc("atm_trace_bytes", float(period_nbytes(record)), record="period")
+        yield record
+    with obs_span("core.detect_and_resolve", cat="core"):
+        if effective:
+            det, res = detect_and_resolve_pruned(fleet, mode)
+        else:
+            det, res = detect_and_resolve(
+                fleet, mode, chunk_budget_bytes=detect_chunk_bytes
+            )
+    collision = CollisionRecord(
+        n_aircraft=fleet.n, alt=fleet.alt.copy(), det=det, res=res
+    )
+    metric_inc(
+        "atm_trace_bytes", float(collision_nbytes(collision)), record="collision"
+    )
+    yield collision
 
 
 def compute_trace(
@@ -378,41 +537,41 @@ def compute_trace(
     mode: DetectionMode = DetectionMode.SIGNED,
     dropout: float = 0.0,
     clutter: int = 0,
+    pruning: Any = "off",
+    detect_chunk_bytes: Optional[int] = None,
 ) -> FunctionalTrace:
     """Run the functional simulation once and record the trace.
 
     Mirrors the measurement protocol of
     :func:`repro.harness.sweep.measure_platform` exactly: ``periods``
     tracking periods on an evolving fleet, then one collision pass, all
-    through the shared :mod:`repro.core` algorithms.
+    through the shared :mod:`repro.core` algorithms.  Materializes the
+    :func:`stream_trace` record stream and reports the resident size via
+    the ``atm_trace_peak_bytes`` gauge (``path="materialized"``).
     """
-    from ..obs import span as obs_span
+    from ..obs.metrics import metric_set
+    from .sweepline import resolve_pruning
 
-    if periods < 1:
-        raise ValueError("need at least one tracking period")
-    fleet = setup_flight(n, seed)
     records: List[TracePeriod] = []
-    for period in range(periods):
-        frame = generate_radar_frame(
-            fleet, seed, period, dropout=dropout, clutter=clutter
-        )
-        with obs_span("core.correlate", cat="core"):
-            stats = correlate(fleet, frame)
-        records.append(
-            TracePeriod(
-                n_aircraft=fleet.n,
-                frame_n=frame.n,
-                stats=stats,
-                match_with=frame.match_with.copy(),
-                r_match=fleet.r_match.copy(),
-                matched_radar=fleet.matched_radar.copy(),
-            )
-        )
-    with obs_span("core.detect_and_resolve", cat="core"):
-        det, res = detect_and_resolve(fleet, mode)
-    collision = CollisionRecord(
-        n_aircraft=fleet.n, alt=fleet.alt.copy(), det=det, res=res
-    )
+    collision: Optional[CollisionRecord] = None
+    resident = 0
+    for record in stream_trace(
+        n,
+        seed=seed,
+        periods=periods,
+        mode=mode,
+        dropout=dropout,
+        clutter=clutter,
+        pruning=pruning,
+        detect_chunk_bytes=detect_chunk_bytes,
+    ):
+        if isinstance(record, CollisionRecord):
+            collision = record
+            resident += collision_nbytes(record)
+        else:
+            records.append(record)
+            resident += period_nbytes(record)
+    metric_set("atm_trace_peak_bytes", float(resident), path="materialized")
     return FunctionalTrace(
         n_aircraft=n,
         seed=seed,
@@ -420,6 +579,7 @@ def compute_trace(
         mode=mode,
         dropout=dropout,
         clutter=clutter,
+        pruning="on" if resolve_pruning(pruning, n) else "off",
         period_records=records,
         collision=collision,
     )

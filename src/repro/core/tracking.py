@@ -114,16 +114,110 @@ def _candidate_pairs(
     return np.concatenate(pair_r), np.concatenate(pair_p)
 
 
+def _candidate_pairs_hashed(
+    radar_ids: np.ndarray,
+    frame: RadarFrame,
+    fleet: FleetState,
+    plane_mask: np.ndarray,
+    gate_half: float,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Grid-hashed :func:`_candidate_pairs`: same pairs, same order.
+
+    Expected positions are bucketed on a grid of cell size
+    ``2 * gate_half``; each radar probes its own cell plus the 3x3
+    neighbourhood, and survivors are re-filtered with the *exact* gate
+    predicate on the same float operands as the brute scan — so the
+    result is provably the identical pair set, in (radar, plane) order.
+
+    Coverage argument: the gate half-widths are powers of two, so the
+    grid quotients ``pos / cell`` are computed exactly; a gate hit means
+    the radar and expected quotients differ by < 0.5 per axis, hence
+    their floors (cell indices) differ by at most 1 — the 3x3 probe is a
+    superset of all hits.  Distinct probe offsets land in distinct cells
+    (the shifted keys are injective over the padded grid), so no pair is
+    generated twice.
+    """
+    from .sweepline import _prune_span
+
+    planes = np.nonzero(plane_mask)[0].astype(np.int64)
+    empty = np.empty(0, np.int64)
+    brute = int(radar_ids.shape[0]) * int(planes.shape[0])
+    if radar_ids.shape[0] == 0 or planes.shape[0] == 0:
+        _prune_span("track", planes.shape[0], brute, 0)
+        return empty, empty
+
+    cell = 2.0 * gate_half
+    ex = fleet.expected_x[planes]
+    ey = fleet.expected_y[planes]
+    pcx = np.floor(ex / cell).astype(np.int64)
+    pcy = np.floor(ey / cell).astype(np.int64)
+    rx = frame.rx[radar_ids]
+    ry = frame.ry[radar_ids]
+    rcx = np.floor(rx / cell).astype(np.int64)
+    rcy = np.floor(ry / cell).astype(np.int64)
+
+    # Shifted non-negative keys, padded one cell so radar probes at
+    # offset -1/+1 stay in range; row stride ky keeps them injective.
+    x0 = int(min(pcx.min(), rcx.min())) - 1
+    y0 = int(min(pcy.min(), rcy.min())) - 1
+    ky = int(max(pcy.max(), rcy.max())) + 2 - y0
+    pkey = (pcx - x0) * ky + (pcy - y0)
+    order = np.argsort(pkey, kind="stable")
+    skey = pkey[order]
+    rbase = (rcx - x0) * ky + (rcy - y0)
+
+    pair_r: list[np.ndarray] = []
+    pair_p: list[np.ndarray] = []
+    nr = radar_ids.shape[0]
+    probed = 0
+    for off_x in (-1, 0, 1):
+        for off_y in (-1, 0, 1):
+            probe = rbase + off_x * ky + off_y
+            begin = np.searchsorted(skey, probe, side="left")
+            end = np.searchsorted(skey, probe, side="right")
+            count = end - begin
+            total = int(count.sum())
+            probed += total
+            if not total:
+                continue
+            # Expand each radar's [begin, end) run into flat positions.
+            ri = np.repeat(np.arange(nr, dtype=np.int64), count)
+            run_start = np.cumsum(count) - count
+            offs = np.arange(total, dtype=np.int64) - np.repeat(run_start, count)
+            cand = planes[order[np.repeat(begin, count) + offs]]
+            rr = radar_ids[ri]
+            hit = (np.abs(frame.rx[rr] - fleet.expected_x[cand]) < gate_half) & (
+                np.abs(frame.ry[rr] - fleet.expected_y[cand]) < gate_half
+            )
+            pair_r.append(rr[hit])
+            pair_p.append(cand[hit])
+
+    _prune_span("track", planes.shape[0], brute, probed)
+    if not pair_r:
+        return empty, empty
+    pr = np.concatenate(pair_r)
+    pp = np.concatenate(pair_p)
+    o = np.lexsort((pp, pr))
+    return pr[o], pp[o]
+
+
 def run_correlation_round(
     fleet: FleetState,
     frame: RadarFrame,
     gate_half: float,
     stats: TrackingStats,
+    *,
+    hashed: bool = False,
 ) -> None:
-    """Execute one correlation round with the given gate half-width."""
+    """Execute one correlation round with the given gate half-width.
+
+    ``hashed`` selects the grid-hash candidate generator (identical
+    pairs in identical order; O(n log n) instead of O(n^2)).
+    """
     radar_ids = np.nonzero(frame.match_with == C.NO_MATCH)[0].astype(np.int64)
     plane_mask = fleet.r_match == C.UNMATCHED
-    pr, pp = _candidate_pairs(radar_ids, frame, fleet, plane_mask, gate_half)
+    generate = _candidate_pairs_hashed if hashed else _candidate_pairs
+    pr, pp = generate(radar_ids, frame, fleet, plane_mask, gate_half)
 
     stats.rounds_executed += 1
     stats.candidate_pairs.append(int(pr.shape[0]))
@@ -199,11 +293,18 @@ def _commit(fleet: FleetState, frame: RadarFrame, stats: TrackingStats) -> None:
     stats.coasted = fleet.n - stats.committed
 
 
-def correlate(fleet: FleetState, frame: RadarFrame) -> TrackingStats:
+def correlate(
+    fleet: FleetState,
+    frame: RadarFrame,
+    *,
+    pruned: bool = False,
+) -> TrackingStats:
     """Run the full Task 1 on a fleet and a radar frame (both mutated).
 
     Returns the dynamic statistics used by the architecture timing
     models (candidate counts per round, rounds executed, ...).
+    ``pruned`` swaps in the grid-hash candidate generator; stats and
+    state mutations are bit-identical either way.
     """
     stats = TrackingStats()
     fleet.reset_correlation()
@@ -216,7 +317,7 @@ def correlate(fleet: FleetState, frame: RadarFrame) -> TrackingStats:
             if not np.any(frame.match_with == C.NO_MATCH):
                 break  # every radar resolved; no extra rounds needed
             gate *= 2.0
-        run_correlation_round(fleet, frame, gate, stats)
+        run_correlation_round(fleet, frame, gate, stats, hashed=pruned)
 
     _commit(fleet, frame, stats)
     return stats

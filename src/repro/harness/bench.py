@@ -20,6 +20,16 @@ wall seconds.
 ``compare_to_baseline`` enforces the CI gate: the current cold speedup
 must not fall more than ``max_regression`` (default 25%) below the
 committed baseline's.  See docs/performance.md and ``make bench-smoke``.
+
+``run_bench_large`` is the continental-scale profile: a calibration
+stage times the brute-force O(n²) functional pass against the sweepline
+pruner on the same fleet (and checks the two traces are functionally
+identical), then a single pruned pass at ``n`` (default 10⁶) drives the
+paper's five-platform deadline table.  ``large_bench_table`` projects
+the record onto its deterministic, wall-free subset — modelled task
+times and deadline margins only — so CI can run the profile twice and
+``cmp`` the tables byte for byte.  See docs/performance.md ("Large-n
+regime") and ``make bench-large-smoke``.
 """
 
 from __future__ import annotations
@@ -39,10 +49,15 @@ __all__ = [
     "BENCH_PLATFORMS",
     "DEFAULT_BENCH_NS",
     "SMOKE_BENCH_NS",
+    "LARGE_BENCH_PLATFORMS",
+    "LARGE_BENCH_N",
     "run_bench",
+    "run_bench_large",
+    "large_bench_table",
     "compare_to_baseline",
     "write_bench",
     "render_bench",
+    "render_bench_large",
 ]
 
 BENCH_SCHEMA_VERSION = 1
@@ -59,6 +74,20 @@ BENCH_PLATFORMS = (
     "cuda:titan-x-pascal",
     "cuda:gtx-880m",
     "cuda:geforce-9800-gt",
+    "ap:staran",
+    "simd:clearspeed-csx600",
+    "mimd:xeon-16",
+    "vector:avx512-16c",
+)
+
+#: Fleet size of the continental-scale profile (``--large``).
+LARGE_BENCH_N = 1_000_000
+
+#: One representative per backend family for the large-n deadline
+#: table: the paper's flagship GPU plus the associative, SIMD,
+#: multi-core and vector models it is compared against.
+LARGE_BENCH_PLATFORMS = (
+    "cuda:titan-x-pascal",
     "ap:staran",
     "simd:clearspeed-csx600",
     "mimd:xeon-16",
@@ -183,5 +212,212 @@ def render_bench(result: Dict[str, Any]) -> str:
     lines.append(
         "  equivalence  "
         + ("byte-identical across all stages" if result["equivalent"] else "FAILED")
+    )
+    return "\n".join(lines)
+
+
+def _functional_payload(trace: Any) -> Dict[str, Any]:
+    """A trace's payload with the execution-policy params stripped.
+
+    The sweepline pruner must change *how* the functional pass runs,
+    never *what* it computes — so two traces of the same cell are
+    functionally identical iff their payloads match once ``pruning``
+    (an execution policy, not a result) is removed.
+    """
+    payload = trace.to_dict()
+    payload.get("params", {}).pop("pruning", None)
+    return payload
+
+
+def _peak_trace_bytes(snapshot: Dict[str, Any]) -> Dict[str, float]:
+    """``atm_trace_peak_bytes`` series from a metrics snapshot, by path."""
+    family = snapshot.get("families", {}).get("atm_trace_peak_bytes", {})
+    peaks: Dict[str, float] = {}
+    for series in family.get("series", []):
+        path = str(series.get("labels", {}).get("path", "unknown"))
+        peaks[path] = max(peaks.get(path, 0.0), float(series.get("value", 0.0)))
+    return peaks
+
+
+def run_bench_large(
+    *,
+    n: int = LARGE_BENCH_N,
+    calibration_n: int = 7680,
+    seed: int = 2018,
+    periods: int = 3,
+    mode: DetectionMode = DetectionMode.SIGNED,
+    platforms: Optional[Sequence[str]] = None,
+) -> Dict[str, Any]:
+    """Continental-scale bench: pruning speedup plus the n=10⁶ table.
+
+    Two stages:
+
+    * **calibration** — the brute-force O(n²) functional pass and the
+      sweepline-pruned pass both run once at ``calibration_n`` (large
+      enough for the asymptotics to show, small enough for brute force
+      to finish).  Their wall times give the pruning speedup, and their
+      traces must be functionally identical (``equivalent``).
+    * **large** — one pruned five-platform sweep at ``n`` produces the
+      paper's deadline table at continental scale: per-period tracking
+      margins and the collision-period margin against the half-second
+      deadline, straight from the same modelled timings
+      :func:`repro.analysis.deadlines.record_cell_metrics` budgets.
+
+    Peak memory is reported two ways: the process high-water mark
+    (``ru_maxrss``) and the trace engine's own ``atm_trace_peak_bytes``
+    gauge, labelled by path (materialized vs streamed).
+    """
+    import resource
+
+    from ..core import constants as C
+    from ..core.trace import compute_trace, estimate_trace_bytes
+    from ..obs.metrics import MetricsRegistry, recording
+    from .parallel import sweep_options
+    from .sweep import _TRACE_MEMO, sweep
+
+    platforms = list(platforms) if platforms is not None else list(LARGE_BENCH_PLATFORMS)
+    n = int(n)
+    calibration_n = int(calibration_n)
+
+    # --- calibration: brute O(n²) vs sweepline-pruned, same fleet ----
+    t0 = time.perf_counter()
+    brute = compute_trace(
+        calibration_n, seed=seed, periods=periods, mode=mode, pruning="off"
+    )
+    brute_s = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    pruned = compute_trace(
+        calibration_n, seed=seed, periods=periods, mode=mode, pruning="on"
+    )
+    pruned_s = time.perf_counter() - t0
+    equivalent = _functional_payload(brute) == _functional_payload(pruned)
+
+    # --- the large run: one pruned sweep at n under a private registry
+    registry = MetricsRegistry()
+    _TRACE_MEMO.clear()
+    t0 = time.perf_counter()
+    with recording(registry), sweep_options(pruning="on"):
+        data = sweep(
+            platforms, [n], seed=seed, periods=periods, mode=mode,
+            cache=False, trace=True,
+        )
+    large_s = time.perf_counter() - t0
+    _TRACE_MEMO.clear()
+
+    deadline_s = float(C.PERIOD_SECONDS)
+    table: List[Dict[str, Any]] = []
+    for platform in platforms:
+        cell = data.measurements[platform][0]
+        task1 = [float(s) for s in cell.task1_seconds]
+        tracking_margins = [deadline_s - t1 for t1 in task1[:-1]]
+        collision_margin = deadline_s - (task1[-1] + float(cell.task23_s))
+        margins = tracking_margins + [collision_margin]
+        table.append(
+            {
+                "platform": platform,
+                "n_aircraft": n,
+                "task1_seconds": task1,
+                "task23_seconds": float(cell.task23_s),
+                "tracking_margins_s": tracking_margins,
+                "collision_margin_s": collision_margin,
+                "deadline_met": bool(min(margins) >= 0.0),
+            }
+        )
+
+    metric_set("atm_bench_stage_seconds", brute_s, stage="large_calibration_brute")
+    metric_set("atm_bench_stage_seconds", pruned_s, stage="large_calibration_pruned")
+    metric_set("atm_bench_stage_seconds", large_s, stage="large_sweep")
+
+    return {
+        "schema": BENCH_SCHEMA_VERSION,
+        "profile": "large",
+        "library_version": __version__,
+        "config": {
+            "n": n,
+            "calibration_n": calibration_n,
+            "platforms": platforms,
+            "seed": int(seed),
+            "periods": int(periods),
+            "mode": str(getattr(mode, "value", mode)),
+            "pruning": "on",
+        },
+        "calibration": {
+            "brute_wall_s": brute_s,
+            "pruned_wall_s": pruned_s,
+            "speedup": brute_s / pruned_s if pruned_s > 0 else float("inf"),
+            "equivalent": equivalent,
+        },
+        "large": {
+            "wall_s": large_s,
+            "deadline_seconds": deadline_s,
+            "table": table,
+        },
+        "memory": {
+            "estimated_trace_bytes": int(estimate_trace_bytes(n, periods)),
+            "peak_rss_bytes": int(
+                resource.getrusage(resource.RUSAGE_SELF).ru_maxrss * 1024
+            ),
+            "trace_peak_bytes": _peak_trace_bytes(registry.snapshot()),
+        },
+        "equivalent": equivalent,
+        "python": sys.version.split()[0],
+        "host": _platform.platform(),
+        "timestamp": time.time(),
+    }
+
+
+def large_bench_table(result: Dict[str, Any]) -> Dict[str, Any]:
+    """Deterministic, wall-free projection of a large-bench record.
+
+    Everything here is a pure function of the modelled cost ledgers —
+    no wall times, timestamps, host strings or RSS — so two runs of the
+    same profile on any machines produce byte-identical tables.  The CI
+    job runs the profile twice and ``cmp``'s this projection.
+    """
+    return {
+        "schema": result["schema"],
+        "library_version": result["library_version"],
+        "config": result["config"],
+        "deadline_seconds": result["large"]["deadline_seconds"],
+        "table": result["large"]["table"],
+        "estimated_trace_bytes": result["memory"]["estimated_trace_bytes"],
+        "equivalent": result["equivalent"],
+    }
+
+
+def render_bench_large(result: Dict[str, Any]) -> str:
+    """Terminal summary of a large-bench record."""
+    cfg = result["config"]
+    cal = result["calibration"]
+    mem = result["memory"]
+    lines = [
+        f"large-n bench — n={cfg['n']:,}, {len(cfg['platforms'])} platforms, "
+        f"periods={cfg['periods']}, seed={cfg['seed']}, pruning={cfg['pruning']}",
+        f"  calibration (n={cfg['calibration_n']:,})  "
+        f"brute {cal['brute_wall_s']:.2f} s, pruned {cal['pruned_wall_s']:.2f} s "
+        f"-> {cal['speedup']:.2f}x",
+        f"  large sweep               {result['large']['wall_s']:.2f} s wall",
+        f"  {'platform':<24s} {'task1 max':>10s} {'task2+3':>10s} "
+        f"{'min margin':>11s}  deadline",
+    ]
+    for row in result["large"]["table"]:
+        margins = row["tracking_margins_s"] + [row["collision_margin_s"]]
+        lines.append(
+            f"  {row['platform']:<24s} {max(row['task1_seconds']):>9.4f}s "
+            f"{row['task23_seconds']:>9.4f}s {min(margins):>10.4f}s  "
+            + ("met" if row["deadline_met"] else "MISSED")
+        )
+    peaks = ", ".join(
+        f"{path} {bytes_ / 1e6:.1f} MB"
+        for path, bytes_ in sorted(mem["trace_peak_bytes"].items())
+    ) or "none recorded"
+    lines.append(
+        f"  memory  est. trace {mem['estimated_trace_bytes'] / 1e6:.1f} MB, "
+        f"peak RSS {mem['peak_rss_bytes'] / 1e6:.1f} MB, gauge: {peaks}"
+    )
+    lines.append(
+        "  equivalence  "
+        + ("pruned trace functionally identical to brute force"
+           if result["equivalent"] else "FAILED")
     )
     return "\n".join(lines)

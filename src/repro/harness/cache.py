@@ -147,6 +147,13 @@ class _ChecksumStore:
             raise _CorruptEntry(f"not valid JSON: {exc}") from None
         if not isinstance(entry, dict):
             raise _CorruptEntry("entry is not a JSON object")
+        if entry.get("key") != path.stem:
+            # The key and schema fields sit outside the payload digest;
+            # a bit flip there must still read as corruption, not as a
+            # valid entry under a different identity.
+            raise _CorruptEntry("entry key does not match its path")
+        if entry.get("schema") != self._entry_schema():
+            raise _CorruptEntry(f"unexpected entry schema {entry.get('schema')!r}")
         payload = entry.get(self._payload_field)
         digest = entry.get("sha256")
         if payload is None or digest is None:
@@ -298,8 +305,15 @@ class ResultCache(_ChecksumStore):
         seed: int,
         periods: int,
         mode: Any,
+        pruning: str = "off",
     ) -> str:
-        """The cache key of one (backend, fleet-size) measurement cell."""
+        """The cache key of one (backend, fleet-size) measurement cell.
+
+        ``pruning`` is the *effective* candidate-pruning setting
+        ("on"/"off", never "auto") the functional pass runs under — an
+        ``auto`` policy below its threshold keys identically to an
+        explicit ``off``, so paper-scale cells share entries.
+        """
         mode_value = getattr(mode, "value", mode)
         return fingerprint_of(
             {
@@ -310,6 +324,7 @@ class ResultCache(_ChecksumStore):
                     "seed": int(seed),
                     "periods": int(periods),
                     "mode": str(mode_value),
+                    "pruning": str(pruning),
                 },
             }
         )

@@ -79,6 +79,17 @@ benchmarking:
   checks byte-identical output, and writes a BENCH_*.json record; with
   --baseline it exits non-zero when the speedup regresses >25%%.
 
+  atm-repro bench --large [--large-n N] [--table-out FILE]
+  the continental-scale profile: times the brute-force O(n^2) functional
+  pass against the sweepline pruner (and checks the traces are
+  functionally identical), then runs one pruned five-platform sweep at
+  N (default 1,000,000) and writes the deadline table plus peak-memory
+  figures to BENCH_large_n.json.  --table-out writes the deterministic
+  wall-free table CI byte-compares.  See docs/performance.md.
+
+  The 'report' command accepts --pruning=auto|on|off; its bytes are
+  identical for every setting (the pruner is proven bit-identical).
+
 cache maintenance:
   atm-repro cache stats [--cache-dir DIR]   entries and size on disk
                                             (result and trace tiers)
@@ -226,6 +237,13 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="FILE",
         help="write the run's full OpenMetrics exposition here (the report"
         " JSON always embeds the deterministic snapshot)",
+    )
+    report.add_argument(
+        "--pruning",
+        choices=("auto", "on", "off"),
+        default=None,
+        help="candidate-pruning policy for the functional passes"
+        " (default auto; report bytes identical for every setting)",
     )
 
     metrics = sub.add_parser(
@@ -450,6 +468,35 @@ def build_parser() -> argparse.ArgumentParser:
         default=0.25,
         metavar="FRAC",
         help="allowed fractional speedup regression vs baseline (default 0.25)",
+    )
+    bench.add_argument(
+        "--large",
+        action="store_true",
+        help="run the continental-scale profile instead: brute-vs-pruned"
+        " calibration plus the five-platform deadline table at --large-n"
+        " (writes BENCH_large_n.json unless --out is given)",
+    )
+    bench.add_argument(
+        "--large-n",
+        type=int,
+        default=None,
+        metavar="N",
+        help="fleet size for --large (default 1,000,000)",
+    )
+    bench.add_argument(
+        "--calibration-n",
+        type=int,
+        default=7680,
+        metavar="N",
+        help="fleet size for the brute-vs-pruned calibration stage of"
+        " --large (default 7680)",
+    )
+    bench.add_argument(
+        "--table-out",
+        default=None,
+        metavar="FILE",
+        help="with --large, also write the deterministic wall-free table"
+        " here (CI byte-compares two such tables)",
     )
 
     cache = sub.add_parser(
@@ -802,6 +849,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             retry=retry,
             faults=faults,
             journal=journal,
+            pruning=args.pruning,
             metrics_registry=registry,
         )
         if args.trace:
@@ -850,12 +898,47 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "bench":
         from .bench import (
             DEFAULT_BENCH_NS,
+            LARGE_BENCH_N,
             SMOKE_BENCH_NS,
             compare_to_baseline,
+            large_bench_table,
             render_bench,
+            render_bench_large,
             run_bench,
+            run_bench_large,
             write_bench,
         )
+
+        if args.large:
+            import json as _json
+
+            out = args.out
+            if out == "BENCH_trace_engine.json":  # the non-large default
+                out = "BENCH_large_n.json"
+            result = run_bench_large(
+                n=args.large_n if args.large_n is not None else LARGE_BENCH_N,
+                calibration_n=args.calibration_n,
+                seed=args.seed,
+                periods=args.periods,
+                platforms=args.platforms,
+            )
+            write_bench(out, result)
+            print(f"wrote {out}")
+            if args.table_out:
+                with open(args.table_out, "w", encoding="utf-8") as fh:
+                    _json.dump(
+                        large_bench_table(result), fh, indent=2, sort_keys=True
+                    )
+                    fh.write("\n")
+                print(f"wrote {args.table_out}")
+            print(render_bench_large(result))
+            if not result["equivalent"]:
+                print(
+                    "FAIL: pruned trace differs from brute force",
+                    file=sys.stderr,
+                )
+                return 1
+            return 0
 
         ns = args.ns or (DEFAULT_BENCH_NS if args.full else SMOKE_BENCH_NS)
         result = run_bench(

@@ -96,6 +96,15 @@ class SweepOptions:
     trace: bool = True
     #: on-disk tier for functional traces, or None for in-process only.
     traces: Optional[TraceStore] = None
+    #: candidate-pruning policy for functional passes ("auto"/"on"/"off";
+    #: see repro.core.sweepline).  Outputs are bit-identical either way.
+    pruning: str = "auto"
+    #: memory envelope for trace materialization/shipping, or None for
+    #: the default (repro.core.trace.DEFAULT_TRACE_BUDGET).
+    trace_budget: Optional[Any] = None
+    #: working-set budget for the detection pass's chunking (bytes), or
+    #: None for the collision module's default; results are invariant.
+    detect_chunk_bytes: Optional[int] = None
     #: retry/backoff/timeout policy for failed shards.
     retry: RetryPolicy = RetryPolicy()
     #: deterministic fault injector (chaos tests, --inject-faults).
@@ -137,6 +146,9 @@ def sweep_options(
     cache: Any = _KEEP,
     trace: Optional[bool] = None,
     traces: Any = _KEEP,
+    pruning: Optional[str] = None,
+    trace_budget: Any = _KEEP,
+    detect_chunk_bytes: Any = _KEEP,
     retry: Optional[RetryPolicy] = None,
     faults: Any = _KEEP,
     journal: Any = _KEEP,
@@ -148,6 +160,11 @@ def sweep_options(
         cache=_resolve(cache, base.cache),
         trace=base.trace if trace is None else bool(trace),
         traces=_resolve(traces, base.traces),
+        pruning=base.pruning if pruning is None else str(
+            getattr(pruning, "value", pruning)
+        ),
+        trace_budget=_resolve(trace_budget, base.trace_budget),
+        detect_chunk_bytes=_resolve(detect_chunk_bytes, base.detect_chunk_bytes),
         retry=base.retry if retry is None else retry,
         faults=_resolve(faults, base.faults),
         journal=_resolve(journal, base.journal),
@@ -189,9 +206,11 @@ def _measure_shard(
     seed: int,
     periods: int,
     mode_value: str,
-    trace_payload: Optional[Dict[str, Any]] = None,
+    trace_payload: Optional[Any] = None,
     inject: Optional[Tuple[str, float]] = None,
     collect: bool = False,
+    pruning: str = "auto",
+    detect_chunk_bytes: Optional[int] = None,
 ) -> Dict[str, Any]:
     """Measure one (registry name, fleet size) cell; return its dict form.
 
@@ -205,7 +224,11 @@ def _measure_shard(
     :class:`~repro.core.trace.FunctionalTrace` (the parent computes each
     distinct fleet size once, possibly on this same pool); when given the
     worker replays cost models from it instead of re-running the
-    functional simulation.  ``None`` forces direct execution — workers
+    functional simulation.  The sentinel string ``"self"`` tells the
+    worker to compute its own trace in-process (under ``pruning`` /
+    ``detect_chunk_bytes``) — used when the payload would exceed the
+    trace budget's shipping bound, since traces are pure functions of
+    the cell parameters.  ``None`` forces direct execution — workers
     never consult ambient policy, so shard results are pure functions of
     the argument tuple.
 
@@ -223,12 +246,21 @@ def _measure_shard(
     """
     _obey_fault_directive(inject)
     from ..core.collision import DetectionMode
-    from ..core.trace import FunctionalTrace
+    from ..core.trace import FunctionalTrace, compute_trace
     from ..obs import Collector, collecting
     from .sweep import measure_platform
 
     trace: Any = False
-    if trace_payload is not None:
+    if trace_payload == "self":
+        trace = compute_trace(
+            n,
+            seed=seed,
+            periods=periods,
+            mode=DetectionMode(mode_value),
+            pruning=pruning,
+            detect_chunk_bytes=detect_chunk_bytes,
+        )
+    elif trace_payload is not None:
         trace = FunctionalTrace.from_dict(trace_payload)
 
     def run():
@@ -258,14 +290,24 @@ def _measure_shard(
 
 
 def _compute_trace_shard(
-    n: int, seed: int, periods: int, mode_value: str
+    n: int,
+    seed: int,
+    periods: int,
+    mode_value: str,
+    pruning: str = "auto",
+    detect_chunk_bytes: Optional[int] = None,
 ) -> Dict[str, Any]:
     """Run the functional simulation for one fleet size in a worker."""
     from ..core.collision import DetectionMode
     from ..core.trace import compute_trace
 
     return compute_trace(
-        n, seed=seed, periods=periods, mode=DetectionMode(mode_value)
+        n,
+        seed=seed,
+        periods=periods,
+        mode=DetectionMode(mode_value),
+        pruning=pruning,
+        detect_chunk_bytes=detect_chunk_bytes,
     ).to_dict()
 
 
@@ -384,23 +426,51 @@ def _pool_trace_payloads(
     """Each distinct fleet size's functional trace, computed once.
 
     Sharded across the pool; a pool failure here falls back to an
-    inline functional pass (counted), never aborts the sweep.
+    inline functional pass (counted), never aborts the sweep.  Cells
+    whose trace would exceed the budget's shipping bound get the
+    ``"self"`` sentinel instead of a payload — each worker recomputes
+    its own (pruned) trace rather than receive a multi-GB dict.
     """
-    from ..core.trace import FunctionalTrace, compute_trace
+    from ..core.trace import (
+        DEFAULT_TRACE_BUDGET,
+        FunctionalTrace,
+        compute_trace,
+        estimate_trace_bytes,
+    )
     from .sweep import _lookup_trace, _remember_trace
 
-    payload_by_n: Dict[int, Dict[str, Any]] = {}
+    budget = opts.trace_budget or DEFAULT_TRACE_BUDGET
+    payload_by_n: Dict[int, Any] = {}
     missing: List[int] = []
     for n_val in wanted_ns:
+        if not budget.allows_payload(estimate_trace_bytes(n_val, periods)):
+            payload_by_n[n_val] = "self"
+            continue
         t = _lookup_trace(
-            n_val, seed=seed, periods=periods, mode=mode, traces=opts.traces
+            n_val,
+            seed=seed,
+            periods=periods,
+            mode=mode,
+            traces=opts.traces,
+            pruning=opts.pruning,
         )
         if t is not None:
             payload_by_n[n_val] = t.to_dict()
         else:
             missing.append(n_val)
     trace_futures = [
-        (n_val, box.pool.submit(_compute_trace_shard, n_val, seed, periods, mode_value))
+        (
+            n_val,
+            box.pool.submit(
+                _compute_trace_shard,
+                n_val,
+                seed,
+                periods,
+                mode_value,
+                opts.pruning,
+                opts.detect_chunk_bytes,
+            ),
+        )
         for n_val in missing
     ]
     broken = False
@@ -424,7 +494,12 @@ def _pool_trace_payloads(
             )
             source = "compute"
             payload = compute_trace(
-                n_val, seed=seed, periods=periods, mode=mode
+                n_val,
+                seed=seed,
+                periods=periods,
+                mode=mode,
+                pruning=opts.pruning,
+                detect_chunk_bytes=opts.detect_chunk_bytes,
             ).to_dict()
         with obs_span(
             "harness.trace",
@@ -437,7 +512,9 @@ def _pool_trace_payloads(
         obs_count("harness.trace.computed")
         metric_inc("atm_trace_requests", source=source)
         payload_by_n[n_val] = payload
-        _remember_trace(FunctionalTrace.from_dict(payload), opts.traces)
+        _remember_trace(
+            FunctionalTrace.from_dict(payload), opts.traces, budget=budget
+        )
     if broken and not box.rebuild():
         raise _PoolGone
     return payload_by_n
@@ -520,6 +597,8 @@ def _execute_pool_shards(
                 payload_by_n.get(ns[j]),
                 inject,
                 collect,
+                opts.pruning,
+                opts.detect_chunk_bytes,
             )
 
         futures = [submit(idx) for idx in range(len(poolable))]
@@ -631,6 +710,8 @@ def measure_cells(
     #: shards still to measure: (i, j, spec, cell key or None)
     pending: List[Tuple[int, int, Any, Optional[str]]] = []
 
+    from ..core.sweepline import resolve_pruning
+
     for i, spec in enumerate(specs):
         for j, n in enumerate(ns):
             key = None
@@ -638,7 +719,12 @@ def measure_cells(
                 isinstance(spec, str) or resolved[i].deterministic_timing
             ):
                 key = ResultCache.key_for(
-                    resolved[i], n=n, seed=seed, periods=periods, mode=mode
+                    resolved[i],
+                    n=n,
+                    seed=seed,
+                    periods=periods,
+                    mode=mode,
+                    pruning="on" if resolve_pruning(opts.pruning, n) else "off",
                 )
                 if cache is not None:
                     hit = cache.get(key)

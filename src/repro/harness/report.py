@@ -58,6 +58,7 @@ def build_report(
     retry: Any = None,
     faults: Any = None,
     journal: Any = None,
+    pruning: Optional[str] = None,
     metrics_registry: Optional[MetricsRegistry] = None,
 ) -> dict:
     """Run the experiment suite and return the structured report.
@@ -101,6 +102,13 @@ def build_report(
         A :class:`~repro.harness.faults.SweepJournal` checkpointing
         completed sweep cells (``--resume``); None disables
         checkpointing.  See docs/robustness.md.
+    pruning:
+        Candidate-pruning policy for the functional passes
+        (``"auto"``/``"on"``/``"off"``, ``--pruning``); None keeps the
+        ambient default (``auto``).  Like ``jobs`` and ``trace``, the
+        report bytes are identical for every setting — the sweepline
+        pruner is proven bit-identical to the brute-force pass (see
+        docs/performance.md, "Large-n regime").
     metrics_registry:
         A :class:`~repro.obs.metrics.MetricsRegistry` to record into
         while the experiments run (``--metrics-out`` passes one so the
@@ -121,7 +129,7 @@ def build_report(
     results = {}
     with recording(registry), sweep_options(
         jobs=jobs, cache=cache, trace=trace, traces=traces,
-        retry=retry, faults=faults, journal=journal,
+        pruning=pruning, retry=retry, faults=faults, journal=journal,
     ):
         for exp_id in chosen:
             kwargs = dict(QUICK_OVERRIDES.get(exp_id, {})) if quick else {}

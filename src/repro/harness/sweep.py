@@ -29,7 +29,19 @@ from ..core.canonical import canonical_json
 from ..core.collision import DetectionMode
 from ..core.radar import generate_radar_frame
 from ..core.setup import setup_flight
-from ..core.trace import FunctionalTrace, compute_trace, trace_key
+from ..core.sweepline import resolve_pruning
+from ..core.trace import (
+    DEFAULT_TRACE_BUDGET,
+    CollisionRecord,
+    FunctionalTrace,
+    collision_nbytes,
+    compute_trace,
+    estimate_trace_bytes,
+    period_nbytes,
+    stream_trace,
+    trace_key,
+    trace_nbytes,
+)
 from ..core.types import TaskTiming
 from ..analysis.deadlines import record_cell_metrics
 from ..obs import count as obs_count
@@ -105,11 +117,27 @@ _TRACE_MEMO: "OrderedDict[str, FunctionalTrace]" = OrderedDict()
 _TRACE_MEMO_CAPACITY = 16
 
 
-def _remember_trace(trace: FunctionalTrace, traces: Any = None) -> None:
-    """Admit ``trace`` to the memo (LRU) and the on-disk tier if given."""
+def _remember_trace(
+    trace: FunctionalTrace, traces: Any = None, *, budget: Any = None
+) -> None:
+    """Admit ``trace`` to the memo (LRU) and the on-disk tier if given.
+
+    The :class:`~repro.core.trace.TraceBudget` gates both tiers: a trace
+    above the resident bound is never memoized (the streaming replay
+    path serves such cells), and one above the payload bound is never
+    serialized to the store.
+    """
+    budget = budget or DEFAULT_TRACE_BUDGET
+    nbytes = trace_nbytes(trace)
     key = trace.key()
-    if traces is not None and traces.get(key) is None:
+    if (
+        traces is not None
+        and budget.allows_payload(nbytes)
+        and traces.get(key) is None
+    ):
         traces.put(key, trace)
+    if not budget.allows_resident(nbytes):
+        return
     _TRACE_MEMO[key] = trace
     _TRACE_MEMO.move_to_end(key)
     while len(_TRACE_MEMO) > _TRACE_MEMO_CAPACITY:
@@ -117,15 +145,24 @@ def _remember_trace(trace: FunctionalTrace, traces: Any = None) -> None:
 
 
 def _lookup_trace(
-    n: int, *, seed: int, periods: int, mode: Any, traces: Any
+    n: int,
+    *,
+    seed: int,
+    periods: int,
+    mode: Any,
+    traces: Any,
+    pruning: Any = "off",
+    budget: Any = None,
 ) -> Optional[FunctionalTrace]:
     """Memo-then-store lookup of one cell's trace; None when absent.
 
     Hits emit a ``harness.trace`` span (source ``memo``/``store``) plus a
     counter; misses emit nothing — whoever computes the trace owns the
-    ``compute``/``pool`` span.
+    ``compute``/``pool`` span.  ``pruning`` may be a policy ("auto") —
+    it is resolved at ``n`` before keying.
     """
-    key = trace_key(n=n, seed=seed, periods=periods, mode=mode)
+    effective = "on" if resolve_pruning(pruning, n) else "off"
+    key = trace_key(n=n, seed=seed, periods=periods, mode=mode, pruning=effective)
     trace = _TRACE_MEMO.get(key)
     if trace is not None:
         _TRACE_MEMO.move_to_end(key)
@@ -135,7 +172,7 @@ def _lookup_trace(
         if trace is None:
             return None
         source = "store"
-        _remember_trace(trace)
+        _remember_trace(trace, budget=budget)
     else:
         return None
     with obs_span("harness.trace", cat="harness", n_aircraft=n, source=source):
@@ -146,17 +183,40 @@ def _lookup_trace(
 
 
 def _obtain_trace(
-    n: int, *, seed: int, periods: int, mode: Any, traces: Any
+    n: int,
+    *,
+    seed: int,
+    periods: int,
+    mode: Any,
+    traces: Any,
+    pruning: Any = "off",
+    budget: Any = None,
+    detect_chunk_bytes: Optional[int] = None,
 ) -> FunctionalTrace:
     """The cell's trace from memo, store, or a fresh functional pass."""
-    trace = _lookup_trace(n, seed=seed, periods=periods, mode=mode, traces=traces)
+    trace = _lookup_trace(
+        n,
+        seed=seed,
+        periods=periods,
+        mode=mode,
+        traces=traces,
+        pruning=pruning,
+        budget=budget,
+    )
     if trace is not None:
         return trace
     with obs_span("harness.trace", cat="harness", n_aircraft=n, source="compute"):
-        trace = compute_trace(n, seed=seed, periods=periods, mode=mode)
+        trace = compute_trace(
+            n,
+            seed=seed,
+            periods=periods,
+            mode=mode,
+            pruning=pruning,
+            detect_chunk_bytes=detect_chunk_bytes,
+        )
     obs_count("harness.trace.computed")
     metric_inc("atm_trace_requests", source="compute")
-    _remember_trace(trace, traces)
+    _remember_trace(trace, traces, budget=budget)
     return trace
 
 
@@ -170,6 +230,7 @@ def measure_platform(
     cache: Any = None,
     trace: Any = None,
     journal: Any = None,
+    pruning: Any = None,
 ) -> PlatformMeasurement:
     """Run ``periods`` tracking periods plus one collision pass.
 
@@ -201,11 +262,25 @@ def measure_platform(
     ``None`` to use the ambient journal, or ``False`` for neither —
     the sweep engine passes ``False`` because it owns all journal
     traffic itself.
+
+    ``pruning`` is a candidate-pruning policy ("auto"/"on"/"off" or a
+    :class:`~repro.core.sweepline.PruningPolicy`), ``None`` for the
+    ambient one.  Functional results are bit-identical either way; the
+    *effective* setting at this ``n`` participates in the cache key.
+    When the cell's trace would exceed the ambient
+    :class:`~repro.core.trace.TraceBudget`'s resident bound, the replay
+    consumes the record stream one period at a time instead of
+    materializing the trace (same bytes out, bounded memory).
     """
     if periods < 1:
         raise ValueError("need at least one tracking period")
     opts = current_options()
     resolved_cache = opts.cache if cache is None else (cache or None)
+    pruning_policy = opts.pruning if pruning is None else str(
+        getattr(pruning, "value", pruning)
+    )
+    effective_pruning = "on" if resolve_pruning(pruning_policy, n) else "off"
+    budget = opts.trace_budget or DEFAULT_TRACE_BUDGET
     resolved_journal = opts.journal if journal is None else (
         None if journal is False else journal
     )
@@ -217,7 +292,14 @@ def measure_platform(
     ):
         from .cache import ResultCache
 
-        key = ResultCache.key_for(backend, n=n, seed=seed, periods=periods, mode=mode)
+        key = ResultCache.key_for(
+            backend,
+            n=n,
+            seed=seed,
+            periods=periods,
+            mode=mode,
+            pruning=effective_pruning,
+        )
         if resolved_cache is not None:
             hit = resolved_cache.get(key)
             if hit is not None:
@@ -236,11 +318,22 @@ def measure_platform(
                     resolved_cache.put(key, checkpointed)
                 return checkpointed
     trace_obj: Optional[FunctionalTrace] = None
+    streamed = False
     if trace is None:
         if opts.trace and backend.supports_trace_replay:
-            trace_obj = _obtain_trace(
-                n, seed=seed, periods=periods, mode=mode, traces=opts.traces
-            )
+            if not budget.allows_resident(estimate_trace_bytes(n, periods)):
+                streamed = True
+            else:
+                trace_obj = _obtain_trace(
+                    n,
+                    seed=seed,
+                    periods=periods,
+                    mode=mode,
+                    traces=opts.traces,
+                    pruning=pruning_policy,
+                    budget=budget,
+                    detect_chunk_bytes=opts.detect_chunk_bytes,
+                )
     elif trace is not False:
         if not isinstance(trace, FunctionalTrace):
             raise TypeError(f"trace must be a FunctionalTrace, got {type(trace)!r}")
@@ -253,7 +346,37 @@ def measure_platform(
             )
         if backend.supports_trace_replay:
             trace_obj = trace
-    if trace_obj is not None:
+    if streamed:
+        # Bounded-memory replay: the trace would blow the resident
+        # budget, so consume the functional record stream one period at
+        # a time and discard each record after its cost replay.  Same
+        # bytes out as the materialized path — records are identical.
+        task1 = []
+        t23 = None
+        peak = 0
+        with obs_span(
+            "harness.trace", cat="harness", n_aircraft=n, source="stream"
+        ):
+            for record in stream_trace(
+                n,
+                seed=seed,
+                periods=periods,
+                mode=mode,
+                pruning=pruning_policy,
+                detect_chunk_bytes=opts.detect_chunk_bytes,
+            ):
+                if isinstance(record, CollisionRecord):
+                    peak = max(peak, collision_nbytes(record))
+                    t23 = backend.collision_timing_from_trace(record)
+                else:
+                    peak = max(peak, period_nbytes(record))
+                    task1.append(backend.track_timing_from_trace(record).seconds)
+        obs_count("harness.trace.streamed")
+        metric_inc("atm_trace_requests", source="stream")
+        from ..obs.metrics import metric_set
+
+        metric_set("atm_trace_peak_bytes", float(peak), path="streamed")
+    elif trace_obj is not None:
         task1 = [
             backend.track_timing_from_trace(p).seconds
             for p in trace_obj.period_records
@@ -339,25 +462,27 @@ def sweep(
     jobs: Optional[int] = None,
     cache: Any = None,
     trace: Optional[bool] = None,
+    pruning: Optional[str] = None,
 ) -> SweepData:
     """Measure every backend at every fleet size.
 
-    ``jobs``/``cache``/``trace`` default to the ambient
+    ``jobs``/``cache``/``trace``/``pruning`` default to the ambient
     :func:`~repro.harness.parallel.sweep_options`; pass ``jobs>1`` to
     shard cells across worker processes, a
     :class:`~repro.harness.cache.ResultCache` (or ``False``) to
-    override the ambient cache, and ``trace=False`` to force direct
-    functional re-execution per backend.  The result is merged by
-    matrix position, so its :meth:`SweepData.to_canonical_json` bytes
-    do not depend on the worker count, the trace engine, or scheduling
-    order.
+    override the ambient cache, ``trace=False`` to force direct
+    functional re-execution per backend, and ``pruning`` to set the
+    candidate-pruning policy ("auto"/"on"/"off"; outputs are
+    bit-identical either way).  The result is merged by matrix
+    position, so its :meth:`SweepData.to_canonical_json` bytes do not
+    depend on the worker count, the trace engine, or scheduling order.
     """
     opts = current_options()
     jobs = opts.jobs if jobs is None else max(1, int(jobs))
     resolved_cache = opts.cache if cache is None else (cache or None)
     from .parallel import sweep_options
 
-    with sweep_options(trace=trace):
+    with sweep_options(trace=trace, pruning=pruning):
         names, rows = measure_cells(
             list(backends),
             tuple(ns),

@@ -358,8 +358,35 @@ DECLARATIONS: Dict[str, MetricDecl] = {
             kind="counter",
             help=(
                 "Functional-trace tier lookups; labels: source"
-                " (memo|store|compute|pool)"
+                " (memo|store|compute|pool|stream)"
             ),
+        ),
+        MetricDecl(
+            name="atm_prune_candidates",
+            kind="counter",
+            help=(
+                "Candidate pairs surviving sweepline/grid-hash pruning"
+                " in the functional pass; labels: task (detect|resolve|"
+                "track)"
+            ),
+        ),
+        MetricDecl(
+            name="atm_trace_bytes",
+            kind="counter",
+            help=(
+                "Functional-trace record bytes produced by the streaming"
+                " generator; labels: record (period|collision)"
+            ),
+            unit="bytes",
+        ),
+        MetricDecl(
+            name="atm_trace_peak_bytes",
+            kind="gauge",
+            help=(
+                "Peak resident trace bytes of the latest functional pass;"
+                " labels: path (materialized|streamed)"
+            ),
+            unit="bytes",
         ),
         MetricDecl(
             name="atm_shards",

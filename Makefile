@@ -4,7 +4,7 @@
 PYTHON ?= python
 PYTEST  = PYTHONPATH=src $(PYTHON) -m pytest
 
-.PHONY: test test-parallel test-faults test-service test-search docs-check bench bench-smoke bench-large bench-large-smoke profile report dashboard serve all
+.PHONY: test test-parallel test-faults test-service test-service-chaos test-search docs-check bench bench-smoke bench-large bench-large-smoke profile report dashboard serve all
 
 ## the tier-1 suite (unit + integration + property tests)
 test:
@@ -24,6 +24,12 @@ test-faults:
 ## over real HTTP, and the 1000-in-flight load-test (docs/service.md)
 test-service:
 	$(PYTEST) -q tests/service
+
+## the live-server chaos suite: SIGKILL + --resume byte-identity,
+## SIGTERM drain under load, --inject-faults vs the retrying load
+## generator (docs/service.md, "Crash safety & drain")
+test-service-chaos:
+	$(PYTEST) -q tests/service/test_chaos.py tests/service/test_drain.py tests/service/test_journal.py
 
 ## the design-space search wall: differential fixed points, searcher
 ## determinism properties, budget metrics, CLI byte-identity

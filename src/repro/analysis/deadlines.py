@@ -258,6 +258,7 @@ class AdmissionVerdict:
 
     admitted: bool
     #: "admitted" | "rejected_deadline" | "rejected_backpressure"
+    #: | "rejected_draining"
     outcome: str
     #: cells the request would add to the dispatch queue.
     cells: int
@@ -299,6 +300,9 @@ class AdmissionController:
     deadline budget, and **rejected for backpressure** when admitting
     its cells would exceed ``max_queue_cells`` — the two rejection
     modes the service maps to HTTP 429 and 503 (docs/service.md).
+    During graceful shutdown (:meth:`set_draining`) any request adding
+    new cells is **rejected as draining** instead — also 503, with a
+    ``Retry-After`` pointing clients at the replacement instance.
 
     Every decision records the ``atm_service_admission_margin_seconds``
     histogram (by outcome) plus an ``admission.reject`` obs event on
@@ -327,11 +331,25 @@ class AdmissionController:
         self.ewma_alpha = float(ewma_alpha)
         self._cell_estimate_s = float(cell_prior_s)
         self._observed_cells = 0
+        self._draining = False
 
     @property
     def cell_estimate_s(self) -> float:
         """Current per-cell service-time estimate, seconds."""
         return self._cell_estimate_s
+
+    @property
+    def draining(self) -> bool:
+        """True while the service is shutting down gracefully."""
+        return self._draining
+
+    def set_draining(self, draining: bool = True) -> None:
+        """Enter (or leave) drain mode: new work is rejected with a
+        ``rejected_draining`` verdict (HTTP 503 + ``Retry-After``), but
+        zero-cell requests — fully cached or coalescible — still pass,
+        so in-flight work keeps its coalescers until the flush ends.
+        """
+        self._draining = bool(draining)
 
     def observe_cell_seconds(self, seconds: float, cells: int = 1) -> None:
         """Fold an observed dispatch (``cells`` served in ``seconds``) in."""
@@ -369,7 +387,9 @@ class AdmissionController:
         budget = self.default_deadline_s if deadline_s is None else float(deadline_s)
         estimated = self.estimate_s(cells, queue_depth) if cells else 0.0
         margin = budget - estimated
-        if cells and queue_depth + cells > self.max_queue_cells:
+        if cells and self._draining:
+            outcome = "rejected_draining"
+        elif cells and queue_depth + cells > self.max_queue_cells:
             outcome = "rejected_backpressure"
         elif cells and margin < 0.0:
             outcome = "rejected_deadline"

@@ -135,12 +135,21 @@ service (docs/service.md):
   dispatches and running deadline admission control (429/503 carry a
   structured verdict).  Served payloads are byte-identical to the same
   cells in 'atm-repro report' output.  --port 0 binds an ephemeral
-  port and prints it on stdout.
+  port and prints it on stdout.  Admitted cells are journaled (fsynced)
+  before they are queued; after a crash, --resume replays the journal
+  so no admitted request is lost.  SIGTERM/SIGINT drain gracefully
+  (healthz -> draining, new work -> 503 + Retry-After) under
+  --drain-timeout, and --inject-faults adds service-layer chaos
+  (reset/stall/crash/corrupt-journal).
 
   atm-repro loadtest [--requests N] [--concurrency N] [--deadline S]
   closed-loop load generator against a running server; records client
   wall-clock latencies into the metrics registry and prints p50/p95/p99
-  (see EXPERIMENTS.md, "Service load-test disclosure").
+  (see EXPERIMENTS.md, "Service load-test disclosure").  Each request
+  runs under --timeout with --max-attempts retries (capped exponential
+  backoff, deterministic --jitter-seed jitter, shared half-open circuit
+  breaker); terminal failures land in the summary's errors/rejections
+  taxonomy.
 """
 
 
@@ -595,6 +604,34 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="S",
         help="admission deadline budget for requests that send none",
     )
+    serve.add_argument(
+        "--journal",
+        default=None,
+        metavar="FILE",
+        help="request-journal path (default: <cache-dir>/"
+        "service-journal.jsonl; no journal without a cache dir)",
+    )
+    serve.add_argument(
+        "--resume",
+        action="store_true",
+        help="replay the request journal: restore served cells and"
+        " re-enqueue admitted-but-unserved ones (docs/service.md)",
+    )
+    serve.add_argument(
+        "--drain-timeout",
+        type=float,
+        default=10.0,
+        metavar="S",
+        help="graceful-shutdown budget: seconds SIGTERM/SIGINT waits"
+        " for in-flight work to flush before exiting (default 10)",
+    )
+    serve.add_argument(
+        "--inject-faults",
+        default=None,
+        metavar="SPEC",
+        help="service-layer chaos: deterministic fault spec, e.g."
+        " 'reset=0.1,stall=0.05,crash=0.2,corrupt-journal=0.1,seed=7'",
+    )
 
     loadtest = sub.add_parser(
         "loadtest",
@@ -620,6 +657,33 @@ def build_parser() -> argparse.ArgumentParser:
     )
     loadtest.add_argument(
         "--seed", type=int, default=None, help="airfield seed override"
+    )
+    loadtest.add_argument(
+        "--timeout",
+        type=float,
+        default=30.0,
+        metavar="S",
+        help="per-attempt wall-clock timeout (default 30)",
+    )
+    loadtest.add_argument(
+        "--max-attempts",
+        type=int,
+        default=3,
+        help="attempts per request, retrying timeouts/resets/503s"
+        " with capped jittered backoff (default 3; 1 = no retries)",
+    )
+    loadtest.add_argument(
+        "--backoff",
+        type=float,
+        default=0.05,
+        metavar="S",
+        help="base of the exponential retry backoff (default 0.05)",
+    )
+    loadtest.add_argument(
+        "--jitter-seed",
+        type=int,
+        default=0,
+        help="seed of the deterministic backoff jitter (default 0)",
     )
     loadtest.add_argument(
         "--metrics-out",
@@ -1017,7 +1081,22 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     if args.command == "serve":
         from ..service import ServiceConfig, run_server
+        from .faults import parse_fault_spec
 
+        if args.resume and not (args.cache_dir or args.journal):
+            print(
+                "serve: --resume needs a journal location; pass"
+                " --cache-dir DIR or --journal FILE",
+                file=sys.stderr,
+            )
+            return 2
+        faults = None
+        if args.inject_faults:
+            try:
+                faults = parse_fault_spec(args.inject_faults)
+            except ValueError as exc:
+                print(f"bad --inject-faults spec: {exc}", file=sys.stderr)
+                return 2
         config = ServiceConfig(
             host=args.host,
             port=args.port,
@@ -1027,6 +1106,10 @@ def main(argv: Optional[List[str]] = None) -> int:
             max_batch_cells=args.max_batch_cells,
             max_queue_cells=args.max_queue_cells,
             default_deadline_s=args.default_deadline,
+            journal_path=args.journal,
+            resume=args.resume,
+            drain_timeout_s=args.drain_timeout,
+            faults=faults,
         )
         return run_server(config)
 
@@ -1042,6 +1125,10 @@ def main(argv: Optional[List[str]] = None) -> int:
             requests=args.requests,
             deadline_s=args.deadline,
             seed=args.seed,
+            timeout_s=args.timeout,
+            max_attempts=args.max_attempts,
+            backoff_s=args.backoff,
+            jitter_seed=args.jitter_seed,
         )
         try:
             summary = run_loadgen(options, metrics_out=args.metrics_out)

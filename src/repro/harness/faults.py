@@ -15,7 +15,9 @@ story the modelled machines get:
   dies), ``timeout`` (the worker hangs past the shard deadline),
   ``oserror`` (a transient ``OSError``), ``corrupt-result`` /
   ``corrupt-trace`` (a stored cache / trace entry is bit-flipped on
-  disk after the write).
+  disk after the write).  The service layer adds ``reset`` / ``stall``
+  / ``corrupt-journal`` (:data:`SERVICE_FAULT_KINDS`), realised by
+  ``atm-repro serve --inject-faults`` instead of the sweep engine.
 * :class:`RetryPolicy` — bounded retries with a deterministic
   exponential backoff and an optional per-shard timeout, consulted by
   :func:`repro.harness.parallel.measure_cells`.
@@ -52,16 +54,39 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 
 __all__ = [
     "FAULT_KINDS",
+    "SERVICE_FAULT_KINDS",
     "FaultPlan",
     "RetryPolicy",
     "SweepJournal",
+    "decode_journal_line",
+    "encode_journal_line",
     "fault_count",
     "fault_span",
     "parse_fault_spec",
 ]
 
 #: Every injectable fault kind, in the order the executor probes them.
-FAULT_KINDS = ("crash", "timeout", "oserror", "corrupt-result", "corrupt-trace")
+#: The first five are realised by the batch sweep engine; the service
+#: layer adds connection resets, stalled handlers and journal bit-flips
+#: (``atm-repro serve --inject-faults``, docs/service.md).
+FAULT_KINDS = (
+    "crash",
+    "timeout",
+    "oserror",
+    "corrupt-result",
+    "corrupt-trace",
+    "reset",
+    "stall",
+    "corrupt-journal",
+)
+
+#: Fault kinds realised by the service front-end rather than the sweep
+#: engine: ``reset`` (the connection is dropped before the response is
+#: written), ``stall`` (the handler sleeps ``hang_s`` before answering)
+#: and ``corrupt-journal`` (one bit of the request journal is flipped
+#: after an append — the torn line must be detected and dropped on
+#: resume, never half-read).
+SERVICE_FAULT_KINDS = ("reset", "stall", "corrupt-journal")
 
 #: Fault kinds that are realised *inside* a pool worker process (the
 #: parent decides, the worker obeys — workers stay pure functions of
@@ -118,6 +143,28 @@ class RetryPolicy:
     def backoff_for(self, attempt: int) -> float:
         """Seconds to sleep before retry number ``attempt`` (0-based)."""
         return self.backoff_s * (2.0 ** max(0, int(attempt)))
+
+    def jittered_backoff_for(
+        self,
+        attempt: int,
+        *,
+        seed: int,
+        key: str,
+        cap_s: Optional[float] = None,
+    ) -> float:
+        """Capped exponential backoff with **deterministic** jitter.
+
+        The service load generator spreads retry storms with jitter but
+        must stay replayable, so the jitter factor is the same SHA-256
+        draw the fault injector uses — a pure function of ``(seed, key,
+        attempt)``, never a live RNG.  The returned delay is uniform in
+        ``[base/2, base)`` where ``base`` is :meth:`backoff_for` capped
+        at ``cap_s``.
+        """
+        base = self.backoff_for(attempt)
+        if cap_s is not None:
+            base = min(base, float(cap_s))
+        return base * (0.5 + 0.5 * _draw(seed, "backoff-jitter", key, attempt))
 
 
 # ---------------------------------------------------------------------------
@@ -275,6 +322,58 @@ def parse_fault_spec(spec: str) -> FaultPlan:
 # ---------------------------------------------------------------------------
 
 
+def encode_journal_line(
+    record: Mapping[str, Any], *, payload_field: Optional[str] = None
+) -> str:
+    """One self-verifying journal line (no trailing newline).
+
+    The line carries its own ``sha256`` content digest so a line torn
+    by SIGKILL mid-write — or rotted on disk — is detected and dropped
+    by :func:`decode_journal_line`, never half-read.  With
+    ``payload_field`` the digest covers only that sub-object (the
+    :class:`SweepJournal` wire format); without it the digest covers
+    the whole record sans the digest itself (the service
+    :class:`~repro.service.journal.RequestJournal` format, whose lines
+    have more than one shape).
+    """
+    body = {k: v for k, v in record.items() if k != "sha256"}
+    digest_over = body[payload_field] if payload_field else body
+    body["sha256"] = fingerprint_of(digest_over)
+    return json.dumps(body, sort_keys=True)
+
+
+def decode_journal_line(
+    line: str, *, payload_field: Optional[str] = None
+) -> Optional[Dict[str, Any]]:
+    """Parse and verify one journal line; None when torn or tampered."""
+    try:
+        record = json.loads(line)
+        if not isinstance(record, dict):
+            raise ValueError("journal line is not an object")
+        digest = record["sha256"]
+        body = {k: v for k, v in record.items() if k != "sha256"}
+        digest_over = body[payload_field] if payload_field else body
+        if digest != fingerprint_of(digest_over):
+            raise ValueError("journal line digest mismatch")
+    except (ValueError, KeyError, TypeError):
+        return None
+    return record
+
+
+def append_journal_line(path: Union[str, Path], line: str) -> None:
+    """Append one line, flushed **and fsynced** before returning.
+
+    Only after the fsync may the caller treat the record as durable —
+    both journals call this before acknowledging anything.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "a", encoding="utf-8") as fh:
+        fh.write(line + "\n")
+        fh.flush()
+        os.fsync(fh.fileno())
+
+
 class SweepJournal:
     """Atomic append-only journal of completed measurement cells.
 
@@ -323,20 +422,15 @@ class SweepJournal:
         for line in text.splitlines():
             if not line.strip():
                 continue
-            try:
-                record = json.loads(line)
-                payload = record["measurement"]
-                if record["sha256"] != fingerprint_of(payload):
-                    raise ValueError("journal line digest mismatch")
-                key = record["key"]
-            except (ValueError, KeyError, TypeError):
+            record = decode_journal_line(line, payload_field="measurement")
+            if record is None or "key" not in record:
                 # A torn tail from SIGKILL mid-append, or on-disk rot:
                 # drop the line, keep the rest — and say so.
                 self.dropped_lines += 1
                 fault_span("journal-torn-line", "journal_dropped", path=str(self.path))
                 continue
-            self._entries[key] = payload
-            self._seen.add(key)
+            self._entries[record["key"]] = record["measurement"]
+            self._seen.add(record["key"])
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -356,15 +450,10 @@ class SweepJournal:
         if key in self._seen:
             return
         payload = measurement.to_dict()
-        line = json.dumps(
-            {"key": key, "sha256": fingerprint_of(payload), "measurement": payload},
-            sort_keys=True,
+        line = encode_journal_line(
+            {"key": key, "measurement": payload}, payload_field="measurement"
         )
-        self.path.parent.mkdir(parents=True, exist_ok=True)
-        with open(self.path, "a", encoding="utf-8") as fh:
-            fh.write(line + "\n")
-            fh.flush()
-            os.fsync(fh.fileno())
+        append_journal_line(self.path, line)
         self._seen.add(key)
         self._entries[key] = payload
         self.recorded += 1

@@ -517,6 +517,35 @@ DECLARATIONS: Dict[str, MetricDecl] = {
             ),
             buckets=(1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 200.0, 500.0),
         ),
+        MetricDecl(
+            name="atm_service_retries",
+            kind="counter",
+            help=(
+                "Request retries by the service load generator, by"
+                " taxonomy; labels: endpoint, reason (timeout|reset|"
+                "rejected_backpressure|rejected_draining|circuit_open)"
+            ),
+        ),
+        MetricDecl(
+            name="atm_service_drain_seconds",
+            kind="gauge",
+            help=(
+                "Wall-clock seconds the last graceful drain took to"
+                " flush in-flight cells before shutdown (0 until a"
+                " drain runs); no labels"
+            ),
+            unit="seconds",
+        ),
+        MetricDecl(
+            name="atm_service_journal_replayed",
+            kind="counter",
+            help=(
+                "Request-journal lines acted on at --resume startup;"
+                " labels: kind (restored = served payloads reloaded,"
+                " replayed = admitted-but-unserved cells re-enqueued,"
+                " dropped = torn/corrupt lines discarded)"
+            ),
+        ),
     )
 }
 

@@ -12,6 +12,7 @@ for the server, ``atm-repro loadtest`` / :func:`repro.service.run_loadgen`
 for the closed-loop load generator.
 """
 
+from .journal import RequestJournal
 from .loadgen import LoadgenOptions, render_summary, run_loadgen
 from .protocol import (
     CellRequest,
@@ -27,6 +28,7 @@ __all__ = [
     "CellRequest",
     "LoadgenOptions",
     "ProtocolError",
+    "RequestJournal",
     "ServiceConfig",
     "SweepService",
     "parse_cell_request",

@@ -17,6 +17,17 @@ merge into one series.  The summary's p50/p99 are read back from that
 histogram — the numbers are *measured service latencies*, never the
 paper's modelled architecture times (see EXPERIMENTS.md, "Service
 load-test disclosure").
+
+**Resilience.**  The client survives an unreliable server the way the
+sweep engine survives unreliable workers: every request runs under a
+per-attempt timeout and a bounded retry loop driven by the harness
+:class:`~repro.harness.faults.RetryPolicy`, with capped exponential
+backoff whose jitter is a **deterministic** seeded SHA-256 draw (two
+runs of the same chaos plan retry on the same schedule).  Transport
+failures (timeouts, resets) also feed a shared half-open circuit
+breaker, and every terminal failure lands in the summary's
+``errors``/``rejections`` taxonomy so a chaos run is diagnosable from
+the report alone (docs/service.md, "Crash safety & drain").
 """
 
 from __future__ import annotations
@@ -27,9 +38,20 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
+from ..harness.faults import RetryPolicy
 from ..obs.metrics import MetricsRegistry, to_openmetrics
 
 __all__ = ["LoadgenOptions", "run_loadgen", "render_summary"]
+
+#: Retry taxonomy reasons, zero-initialised in the client registry so a
+#: clean run still exposes the full ``atm_service_retries`` family.
+RETRY_REASONS = (
+    "timeout",
+    "reset",
+    "rejected_backpressure",
+    "rejected_draining",
+    "circuit_open",
+)
 
 #: Default request mix: small cells on the deterministic platforms, so
 #: a smoke burst is dominated by service mechanics, not cost models.
@@ -65,6 +87,20 @@ class LoadgenOptions:
     deadline_s: Optional[float] = None
     #: optional airfield seed override applied to every mix entry.
     seed: Optional[int] = None
+    #: wall-clock cap per attempt (connect + exchange), seconds.
+    timeout_s: float = 30.0
+    #: attempts per logical request (1 = no retries).
+    max_attempts: int = 3
+    #: base of the capped exponential retry backoff, seconds.
+    backoff_s: float = 0.05
+    #: backoff ceiling (also caps an honored Retry-After), seconds.
+    backoff_cap_s: float = 1.0
+    #: seed of the deterministic backoff jitter draw.
+    jitter_seed: int = 0
+    #: consecutive transport failures that open the circuit breaker.
+    breaker_threshold: int = 5
+    #: seconds the open breaker waits before one half-open probe.
+    breaker_cooldown_s: float = 0.25
 
 
 async def _http_request(
@@ -108,8 +144,65 @@ class _SharedState:
     sent: int = 0
     outcomes: Dict[str, int] = field(default_factory=dict)
     sources: Dict[str, int] = field(default_factory=dict)
-    errors: int = 0
+    #: terminal failures by taxonomy (timeout|reset|circuit_open).
+    errors: Dict[str, int] = field(default_factory=dict)
+    retries: int = 0
     rejection_sample: Optional[Dict[str, Any]] = None
+
+
+class _CircuitBreaker:
+    """Half-open circuit breaker shared by every worker.
+
+    ``breaker_threshold`` consecutive **transport** failures (timeouts,
+    resets — never explicit 4xx/5xx verdicts, which prove the server is
+    alive) open the circuit; after ``breaker_cooldown_s`` one half-open
+    probe is let through, and its outcome closes or re-opens it.
+    """
+
+    def __init__(self, threshold: int, cooldown_s: float) -> None:
+        self.threshold = max(1, int(threshold))
+        self.cooldown_s = float(cooldown_s)
+        self.state = "closed"
+        self.failures = 0
+        self.opens = 0
+        self._opened_at = 0.0
+
+    def allow(self) -> bool:
+        """May a request go out right now? (may move open → half-open)"""
+        if self.state == "closed":
+            return True
+        if self.state == "open":
+            if time.monotonic() - self._opened_at >= self.cooldown_s:
+                self.state = "half-open"
+                return True
+            return False
+        # half-open: exactly one probe is already in flight.
+        return False
+
+    def record_success(self) -> None:
+        self.state = "closed"
+        self.failures = 0
+
+    def record_failure(self) -> None:
+        self.failures += 1
+        if self.state == "half-open" or self.failures >= self.threshold:
+            self.state = "open"
+            self.opens += 1
+            self.failures = 0
+            self._opened_at = time.monotonic()
+
+
+def _outcome_for(status: int, payload: bytes) -> str:
+    """Map one response to the taxonomy, splitting 503's two meanings."""
+    if status == 503:
+        try:
+            body = json.loads(payload.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError):
+            body = {}
+        if isinstance(body, dict) and body.get("outcome") == "rejected_draining":
+            return "rejected_draining"
+        return "rejected_backpressure"
+    return _OUTCOME_BY_STATUS.get(status, "error")
 
 
 async def _worker(
@@ -117,8 +210,37 @@ async def _worker(
     state: _SharedState,
     registry: MetricsRegistry,
     next_index: "asyncio.Queue[int]",
+    breaker: _CircuitBreaker,
 ) -> None:
+    policy = RetryPolicy(
+        max_attempts=max(1, options.max_attempts),
+        backoff_s=options.backoff_s,
+        timeout_s=options.timeout_s,
+    )
     reader = writer = None
+
+    async def _drop_connection() -> None:
+        nonlocal reader, writer
+        if writer is not None:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+        reader = writer = None
+
+    def _retry(attempt: int, index: int, reason: str, floor_s: float = 0.0) -> float:
+        """Account one retry; returns the jittered backoff to sleep."""
+        state.retries += 1
+        registry.inc("atm_service_retries", endpoint="client", reason=reason)
+        delay = policy.jittered_backoff_for(
+            attempt,
+            seed=options.jitter_seed,
+            key=f"req{index}",
+            cap_s=options.backoff_cap_s,
+        )
+        return max(delay, min(floor_s, options.backoff_cap_s))
+
     try:
         while True:
             try:
@@ -131,67 +253,110 @@ async def _worker(
             if options.deadline_s is not None:
                 body_obj["deadline_s"] = options.deadline_s
             body = json.dumps(body_obj).encode("utf-8")
-            started = time.monotonic()
-            try:
-                if writer is None:
-                    reader, writer = await asyncio.open_connection(
-                        options.host, options.port
+
+            for attempt in range(policy.max_attempts):
+                last = attempt + 1 >= policy.max_attempts
+                if not breaker.allow():
+                    if last:
+                        state.errors["circuit_open"] = (
+                            state.errors.get("circuit_open", 0) + 1
+                        )
+                        state.outcomes["error"] = (
+                            state.outcomes.get("error", 0) + 1
+                        )
+                        break
+                    await asyncio.sleep(
+                        _retry(
+                            attempt,
+                            index,
+                            "circuit_open",
+                            floor_s=breaker.cooldown_s,
+                        )
                     )
-                status, headers, _payload = await _http_request(
-                    reader, writer, "POST", "/v1/cell", body
-                )
-            except (ConnectionError, OSError, asyncio.IncompleteReadError):
-                # Reconnect once; a second failure is a counted error.
-                try:
-                    reader, writer = await asyncio.open_connection(
-                        options.host, options.port
-                    )
-                    status, headers, _payload = await _http_request(
-                        reader, writer, "POST", "/v1/cell", body
-                    )
-                except (ConnectionError, OSError, asyncio.IncompleteReadError):
-                    state.errors += 1
-                    state.outcomes["error"] = state.outcomes.get("error", 0) + 1
-                    writer = None
                     continue
-            elapsed = time.monotonic() - started
-            outcome = _OUTCOME_BY_STATUS.get(status, "error")
-            state.sent += 1
-            state.outcomes[outcome] = state.outcomes.get(outcome, 0) + 1
-            source = headers.get("x-atm-source")
-            if source:
-                state.sources[source] = state.sources.get(source, 0) + 1
-            if outcome.startswith("rejected") and state.rejection_sample is None:
+                started = time.monotonic()
                 try:
-                    state.rejection_sample = json.loads(_payload.decode("utf-8"))
-                except (ValueError, UnicodeDecodeError):
-                    pass
-            registry.inc(
-                "atm_service_requests", endpoint="client", outcome=outcome
-            )
-            registry.observe(
-                "atm_service_request_seconds",
-                elapsed,
-                endpoint="client",
-                outcome=outcome,
-            )
+                    if writer is None:
+                        reader, writer = await asyncio.wait_for(
+                            asyncio.open_connection(options.host, options.port),
+                            timeout=options.timeout_s,
+                        )
+                    status, headers, payload = await asyncio.wait_for(
+                        _http_request(reader, writer, "POST", "/v1/cell", body),
+                        timeout=options.timeout_s,
+                    )
+                except asyncio.TimeoutError:
+                    reason = "timeout"
+                except (ConnectionError, OSError, asyncio.IncompleteReadError):
+                    reason = "reset"
+                else:
+                    elapsed = time.monotonic() - started
+                    outcome = _outcome_for(status, payload)
+                    breaker.record_success()
+                    retryable = status == 503
+                    if retryable and not last:
+                        # Honor a bounded Retry-After as the backoff
+                        # floor; draining/backpressure both clear soon.
+                        try:
+                            floor = float(headers.get("retry-after", "0"))
+                        except ValueError:
+                            floor = 0.0
+                        await asyncio.sleep(
+                            _retry(attempt, index, outcome, floor_s=floor)
+                        )
+                        continue
+                    state.sent += 1
+                    state.outcomes[outcome] = state.outcomes.get(outcome, 0) + 1
+                    source = headers.get("x-atm-source")
+                    if source:
+                        state.sources[source] = state.sources.get(source, 0) + 1
+                    if (
+                        outcome.startswith("rejected")
+                        and state.rejection_sample is None
+                    ):
+                        try:
+                            state.rejection_sample = json.loads(
+                                payload.decode("utf-8")
+                            )
+                        except (ValueError, UnicodeDecodeError):
+                            pass
+                    registry.inc(
+                        "atm_service_requests", endpoint="client", outcome=outcome
+                    )
+                    registry.observe(
+                        "atm_service_request_seconds",
+                        elapsed,
+                        endpoint="client",
+                        outcome=outcome,
+                    )
+                    break
+                # Transport failure: the connection is poisoned (a late
+                # response would desync keep-alive framing) — drop it,
+                # tell the breaker, back off, retry.
+                await _drop_connection()
+                breaker.record_failure()
+                if last:
+                    state.errors[reason] = state.errors.get(reason, 0) + 1
+                    state.outcomes["error"] = state.outcomes.get("error", 0) + 1
+                    break
+                await asyncio.sleep(_retry(attempt, index, reason))
     finally:
-        if writer is not None:
-            writer.close()
-            try:
-                await writer.wait_closed()
-            except (ConnectionError, OSError):
-                pass
+        await _drop_connection()
 
 
 async def _run(options: LoadgenOptions, registry: MetricsRegistry) -> Dict[str, Any]:
     state = _SharedState()
+    breaker = _CircuitBreaker(options.breaker_threshold, options.breaker_cooldown_s)
+    # Counters-with-zeros: the full retry taxonomy is present in the
+    # exposition even when a clean run never retries.
+    for reason in RETRY_REASONS:
+        registry.inc("atm_service_retries", 0.0, endpoint="client", reason=reason)
     next_index: "asyncio.Queue[int]" = asyncio.Queue()
     for i in range(options.requests):
         next_index.put_nowait(i)
     started = time.monotonic()
     workers = [
-        asyncio.create_task(_worker(options, state, registry, next_index))
+        asyncio.create_task(_worker(options, state, registry, next_index, breaker))
         for _ in range(min(options.concurrency, options.requests))
     ]
     await asyncio.gather(*workers)
@@ -218,6 +383,16 @@ async def _run(options: LoadgenOptions, registry: MetricsRegistry) -> Dict[str, 
         "sent": state.sent,
         "outcomes": dict(sorted(state.outcomes.items())),
         "sources": dict(sorted(state.sources.items())),
+        # Diagnosability taxonomy (docs/service.md): terminal rejections
+        # split by verdict, terminal transport failures by kind.
+        "rejections": {
+            outcome: count
+            for outcome, count in sorted(state.outcomes.items())
+            if outcome.startswith("rejected")
+        },
+        "errors": dict(sorted(state.errors.items())),
+        "retries": state.retries,
+        "breaker_opens": breaker.opens,
         "rejection_sample": state.rejection_sample,
         "latency": latency,
         "server_stats": server_stats,
@@ -277,6 +452,14 @@ def render_summary(summary: Dict[str, Any]) -> str:
         f"outcomes: {summary['outcomes']}",
         f"sources:  {summary['sources']}",
     ]
+    if summary.get("retries") or summary.get("errors"):
+        lines.append(
+            f"resilience: {summary.get('retries', 0)} retries, "
+            f"errors {summary.get('errors', {})}, "
+            f"breaker opened {summary.get('breaker_opens', 0)}x"
+        )
+    if summary.get("rejections"):
+        lines.append(f"rejections: {summary['rejections']}")
     latency = summary.get("latency", {})
     if latency.get("count"):
         lines.append(

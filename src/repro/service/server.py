@@ -25,6 +25,13 @@ reimplementing it:
   (emitted atomically at completion, so interleaved asyncio tasks can
   never misnest the span tree) and the ``atm_service_*`` metric
   families; ``GET /metrics`` exposes the registry as OpenMetrics.
+* **Crash safety** — admitted cells are fsynced into a
+  :class:`~repro.service.journal.RequestJournal` *before* they enter
+  the dispatch queue, so ``atm-repro serve --resume`` replays exactly
+  the unfinished remainder after a SIGKILL; SIGTERM/SIGINT trigger a
+  graceful drain instead (``/healthz`` → draining, new work → 503 +
+  ``Retry-After``, queued cells flush under ``--drain-timeout``).
+  See "Crash safety & drain" in docs/service.md.
 
 **Byte identity.**  Responses are encoded by
 :func:`repro.service.protocol.payload_bytes` — the report writer's JSON
@@ -36,7 +43,9 @@ cache / coalescing / batch-dispatch paths produced it.
 from __future__ import annotations
 
 import asyncio
+import functools
 import json
+import signal
 import time
 from collections import OrderedDict
 from concurrent.futures import ThreadPoolExecutor
@@ -47,6 +56,7 @@ from typing import Any, Dict, List, Mapping, Optional, Tuple
 from ..analysis.deadlines import AdmissionController, AdmissionVerdict
 from ..backends.registry import available_backends
 from ..core.collision import DetectionMode
+from ..harness.faults import FaultPlan
 from ..obs import count as obs_count
 from ..obs import span as obs_span
 from ..obs.metrics import (
@@ -59,6 +69,7 @@ from ..obs.metrics import (
     metric_set,
     to_openmetrics,
 )
+from .journal import RequestJournal
 from .protocol import (
     CellRequest,
     ProtocolError,
@@ -86,6 +97,7 @@ _REASON = {
 _REJECT_STATUS = {
     "rejected_deadline": 429,
     "rejected_backpressure": 503,
+    "rejected_draining": 503,
 }
 
 
@@ -111,6 +123,16 @@ class ServiceConfig:
     cell_prior_s: float = 0.05
     #: in-memory measurement LRU (cells, not bytes).
     memory_cells: int = 4096
+    #: request-journal path; None derives <cache_dir>/service-journal.jsonl
+    #: (no journal at all when cache_dir is also unset).
+    journal_path: Optional[str] = None
+    #: replay the request journal instead of discarding it.
+    resume: bool = False
+    #: graceful-shutdown budget: seconds the drain waits for in-flight
+    #: cells and requests to flush before the process exits anyway.
+    drain_timeout_s: float = 10.0
+    #: service-layer fault plan (--inject-faults), or None.
+    faults: Optional[FaultPlan] = None
 
 
 @dataclass
@@ -154,6 +176,16 @@ class SweepService:
 
             self.cache = ResultCache(config.cache_dir)
             self.traces = TraceStore(Path(config.cache_dir) / "traces")
+        self.faults = config.faults
+        journal_path = config.journal_path
+        if journal_path is None and config.cache_dir:
+            journal_path = str(Path(config.cache_dir) / "service-journal.jsonl")
+        #: write-ahead request journal, or None (no durable location).
+        self.journal: Optional[RequestJournal] = None
+        if journal_path is not None:
+            self.journal = RequestJournal(
+                journal_path, resume=config.resume, faults=config.faults
+            )
         #: cache fingerprint -> measurement, hot in-process tier.
         self._memory: "OrderedDict[str, Any]" = OrderedDict()
         #: cache fingerprint -> future of the in-flight cell (coalescing).
@@ -168,6 +200,11 @@ class SweepService:
         self._coalesced = 0
         self._rejected = 0
         self._batches = 0
+        self._request_seq = 0
+        self._replayed_cells = 0
+        self._restored_cells = 0
+        self._drain_started: Optional[float] = None
+        self._drain_seconds = 0.0
         self._started_at = time.monotonic()
         self._dispatch_pool = ThreadPoolExecutor(
             max_workers=1, thread_name_prefix="atm-dispatch"
@@ -182,8 +219,62 @@ class SweepService:
         """Activate metrics and the batch dispatcher (no sockets yet)."""
         self._previous_registry = get_registry()
         activate_metrics(self.registry)
+        # Counters-with-zeros: the drain/replay families must appear in
+        # /metrics (and the dashboard counter panels) before any drain
+        # or resume happens, so their absence is never ambiguous.
+        metric_set("atm_service_drain_seconds", 0.0)
+        for kind in ("restored", "replayed", "dropped"):
+            metric_inc("atm_service_journal_replayed", 0.0, kind=kind)
         if self._batcher is None:
             self._batcher = asyncio.create_task(self._batch_loop())
+        self._replay_journal()
+
+    def _replay_journal(self) -> None:
+        """Act on a resumed request journal: restore and re-enqueue.
+
+        ``served`` payloads reload straight into the memory tier;
+        ``admitted``-but-unserved cells re-enter the batch dispatcher as
+        if their clients were still waiting, so by the time the journal
+        settles every admitted fingerprint is served again — with
+        byte-identical payloads, because cells are pure functions of
+        their request tuple.
+        """
+        if self.journal is None:
+            return
+        from ..harness.sweep import PlatformMeasurement
+
+        for key, payload in self.journal.served_items().items():
+            try:
+                measurement = PlatformMeasurement.from_dict(payload)
+            except (KeyError, TypeError, ValueError):
+                metric_inc("atm_service_journal_replayed", kind="dropped")
+                continue
+            self._remember(key, measurement)
+            self._restored_cells += 1
+            metric_inc("atm_service_journal_replayed", kind="restored")
+        loop = asyncio.get_running_loop()
+        for key, cell in self.journal.pending().items():
+            try:
+                request = CellRequest(**cell)
+            except TypeError:
+                metric_inc("atm_service_journal_replayed", kind="dropped")
+                continue
+            future: "asyncio.Future[Any]" = loop.create_future()
+            # Nobody awaits a replayed cell until its client re-asks;
+            # retrieve the result eagerly so a failed dispatch cannot
+            # log "exception was never retrieved".
+            future.add_done_callback(
+                lambda f: None if f.cancelled() else f.exception()
+            )
+            self._inflight_cells[key] = future
+            self._track_cells(+1)
+            self._queue.put_nowait(
+                _PendingCell(request=request, key=key, future=future)
+            )
+            self._replayed_cells += 1
+            metric_inc("atm_service_journal_replayed", kind="replayed")
+        for _ in range(self.journal.dropped_lines):
+            metric_inc("atm_service_journal_replayed", kind="dropped")
 
     async def stop(self) -> None:
         """Stop the dispatcher and restore the previous registry."""
@@ -198,11 +289,65 @@ class SweepService:
             self._server.close()
             await self._server.wait_closed()
             self._server = None
-        self._dispatch_pool.shutdown(wait=True)
+        # shutdown(wait=True) joins the dispatch thread — off the event
+        # loop, bounded by the drain budget, else the loop could hang
+        # on a wedged dispatch during close.
+        loop = asyncio.get_running_loop()
+        try:
+            await asyncio.wait_for(
+                loop.run_in_executor(
+                    None,
+                    functools.partial(self._dispatch_pool.shutdown, wait=True),
+                ),
+                timeout=max(0.1, self.config.drain_timeout_s),
+            )
+        except asyncio.TimeoutError:
+            self._dispatch_pool.shutdown(wait=False)
         if self._previous_registry is not None:
             activate_metrics(self._previous_registry)
         else:
             deactivate_metrics()
+
+    @property
+    def draining(self) -> bool:
+        """True once a graceful drain has begun."""
+        return self.admission.draining
+
+    async def drain(self, timeout_s: Optional[float] = None) -> Dict[str, Any]:
+        """Graceful shutdown, phase one: stop admitting, flush, report.
+
+        Flips admission into drain mode (new work → 503 +
+        ``Retry-After``; ``/healthz`` → draining) while the listener
+        stays up, then waits — bounded by ``timeout_s`` (default
+        ``drain_timeout_s``) — for queued cells and in-flight requests
+        to finish.  Whatever is still unfinished at the deadline is
+        already durable in the request journal (admitted cells are
+        journaled *before* they enter the queue), so a follow-up
+        ``--resume`` replays exactly the remainder.
+        """
+        budget = (
+            self.config.drain_timeout_s if timeout_s is None else float(timeout_s)
+        )
+        if self._drain_started is None:
+            self._drain_started = time.monotonic()
+            self.admission.set_draining(True)
+            obs_count("service.drain")
+        deadline = self._drain_started + max(0.0, budget)
+        while self._pending_cells > 0 or self._inflight_requests > 0:
+            if time.monotonic() >= deadline:
+                break
+            await asyncio.sleep(0.02)
+        self._drain_seconds = time.monotonic() - self._drain_started
+        metric_set("atm_service_drain_seconds", self._drain_seconds)
+        return {
+            "drained": self._pending_cells == 0 and self._inflight_requests == 0,
+            "drain_seconds": round(self._drain_seconds, 6),
+            "pending_cells": self._pending_cells,
+            "inflight_requests": self._inflight_requests,
+            "journaled_pending": (
+                len(self.journal.pending()) if self.journal is not None else 0
+            ),
+        }
 
     # -- bookkeeping ----------------------------------------------------
 
@@ -269,6 +414,11 @@ class SweepService:
             "cell_estimate_s": self.admission.cell_estimate_s,
             "jobs": self.config.jobs,
             "cache_dir": self.config.cache_dir,
+            "draining": self.draining,
+            "drain_seconds": round(self._drain_seconds, 6),
+            "journal": self.journal.stats() if self.journal is not None else None,
+            "replayed_cells": self._replayed_cells,
+            "restored_cells": self._restored_cells,
         }
 
     # -- the request core (HTTP-independent) ----------------------------
@@ -306,6 +456,10 @@ class SweepService:
         if not verdict.admitted:
             self._rejected += 1
             raise AdmissionRejected(verdict)
+        if self.journal is not None:
+            # Durable before queued: an admitted fingerprint survives
+            # SIGKILL from this point on (replayed by --resume).
+            self.journal.record_admitted(key, request.to_dict())
         future: "asyncio.Future[Any]" = asyncio.get_running_loop().create_future()
         self._inflight_cells[key] = future
         self._track_cells(+1)
@@ -361,6 +515,8 @@ class SweepService:
                 self._coalesced += 1
                 obs_count("service.coalesced")
             else:
+                if self.journal is not None:
+                    self.journal.record_admitted(key, cell.to_dict())
                 future = asyncio.get_running_loop().create_future()
                 self._inflight_cells[key] = future
                 self._track_cells(+1)
@@ -425,6 +581,8 @@ class SweepService:
                 for item in group:
                     measurement = measured[(item.request.platform, item.request.n)]
                     self._remember(item.key, measurement)
+                    if self.journal is not None:
+                        self.journal.record_served(item.key, measurement)
                     self._inflight_cells.pop(item.key, None)
                     self._track_cells(-1)
                     if not item.future.done():
@@ -452,10 +610,16 @@ class SweepService:
             ns = tuple(sorted(ns_by_platform[platform]))
             matrices.setdefault(ns, []).append(platform)
         out: Dict[Tuple[str, int], Any] = {}
+        # The fault plan rides the ambient options: its crash/timeout/
+        # oserror rates fire inside the pool workers (the harness's
+        # retry machinery recovers, keeping payloads byte-identical),
+        # while the service-only kinds (reset/stall/corrupt-journal)
+        # are realised by the front-end and ignored here.
         with sweep_options(
             jobs=self.config.jobs,
             cache=self.cache if self.cache is not None else False,
             traces=self.traces if self.traces is not None else False,
+            faults=self.faults,
         ):
             for ns, platforms in matrices.items():
                 with obs_span(
@@ -504,6 +668,20 @@ class SweepService:
                     break
                 method, path, headers, body = parsed
                 keep_alive = headers.get("connection", "keep-alive") != "close"
+                self._request_seq += 1
+                seq = self._request_seq
+                if self.faults is not None and path.startswith("/v1/"):
+                    # Service-layer chaos (--inject-faults): decisions
+                    # are pure functions of (seed, kind, request#), so
+                    # a chaos run is exactly replayable.
+                    if self.faults.should_inject("stall", f"request#{seq}"):
+                        obs_count("service.fault.stall")
+                        await asyncio.sleep(self.faults.hang_s)
+                    if self.faults.should_inject("reset", f"request#{seq}"):
+                        # Drop the connection before any response byte:
+                        # the client sees a reset and must retry.
+                        obs_count("service.fault.reset")
+                        break
                 status, payload, ctype, extra = await self._route(
                     method, path, body
                 )
@@ -533,6 +711,15 @@ class SweepService:
         self, method: str, path: str, body: bytes
     ) -> Tuple[int, bytes, str, Dict[str, str]]:
         if path == "/healthz" and method == "GET":
+            if self.draining:
+                # Load balancers must stop routing here, but probes and
+                # the drain itself still get answered on the open port.
+                return (
+                    503,
+                    payload_bytes({"status": "draining"}),
+                    "application/json",
+                    {"Retry-After": "1"},
+                )
             return 200, payload_bytes({"status": "ok"}), "application/json", {}
         if path == "/stats" and method == "GET":
             return 200, payload_bytes(self.stats()), "application/json", {}
@@ -735,15 +922,66 @@ async def _serve_forever(config: ServiceConfig) -> None:
     host, port = server.sockets[0].getsockname()[:2]
     # Test harnesses parse this line to find a --port 0 ephemeral bind.
     print(f"atm-repro serve: listening on http://{host}:{port}", flush=True)
+    if service.journal is not None:
+        js = service.journal.stats()
+        # The chaos harness parses this line after a --resume restart.
+        print(
+            f"atm-repro serve: journal {js['path']}: "
+            f"{service.stats()['restored_cells']} cells restored, "
+            f"{service.stats()['replayed_cells']} replayed, "
+            f"{js['dropped_lines']} torn lines dropped",
+            flush=True,
+        )
+    loop = asyncio.get_running_loop()
+    drain_signal = asyncio.Event()
+    installed: List[int] = []
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        try:
+            loop.add_signal_handler(signum, drain_signal.set)
+            installed.append(signum)
+        except (NotImplementedError, RuntimeError):  # pragma: no cover
+            pass  # platforms without loop signal support fall back to ^C
     try:
         async with server:
-            await server.serve_forever()
+            serving = asyncio.create_task(server.serve_forever())
+            draining = asyncio.create_task(drain_signal.wait())
+            done, _pending = await asyncio.wait(
+                {serving, draining}, return_when=asyncio.FIRST_COMPLETED
+            )
+            if draining in done:
+                # Graceful drain: listener stays open (healthz answers
+                # 503 draining, new work is rejected with Retry-After)
+                # while queued and in-flight work flushes.
+                print("atm-repro serve: draining", flush=True)
+                summary = await service.drain(config.drain_timeout_s)
+                state = "drained" if summary["drained"] else "drain timeout"
+                print(
+                    f"atm-repro serve: {state} in "
+                    f"{summary['drain_seconds']:.2f} s "
+                    f"({summary['journaled_pending']} unfinished cells"
+                    " left journaled)",
+                    flush=True,
+                )
+            for task in (serving, draining):
+                task.cancel()
+                try:
+                    await task
+                except (asyncio.CancelledError, Exception):  # noqa: BLE001
+                    pass
     finally:
+        for signum in installed:
+            loop.remove_signal_handler(signum)
         await service.stop()
 
 
 def run_server(config: ServiceConfig) -> int:
-    """Run the service until interrupted; returns a process exit code."""
+    """Run the service until interrupted; returns a process exit code.
+
+    SIGTERM and SIGINT both trigger the graceful drain: ``/healthz``
+    flips to draining, new work is rejected with 503 + ``Retry-After``,
+    queued cells flush under ``drain_timeout_s``, and whatever remains
+    is already durable in the request journal for ``--resume``.
+    """
     try:
         asyncio.run(_serve_forever(config))
     except KeyboardInterrupt:

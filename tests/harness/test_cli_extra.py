@@ -124,3 +124,40 @@ class TestBenchCommand:
         out = capsys.readouterr().out
         assert "stored traces" in out
         assert not (cache_dir / "traces").exists()
+
+
+class TestQuarantineSummary:
+    """The integrity summary on stderr when cached entries rot on disk."""
+
+    def test_corrupt_cache_entries_are_reported_on_stderr(
+        self, capsys, tmp_path
+    ):
+        cache_dir = tmp_path / "cache"
+        args = ["report", "--only", "abl-fused", "--cache-dir", str(cache_dir)]
+        assert main(args) == 0
+        capsys.readouterr()
+
+        # Rot two result entries: each read is a quarantined miss and
+        # the run ends with the integrity summary on stderr.
+        result_entries = sorted((cache_dir / "v2").rglob("*.json"))
+        assert len(result_entries) >= 2
+        result_entries[0].write_text("{not json", encoding="utf-8")
+        result_entries[1].write_text("{not json", encoding="utf-8")
+
+        assert main(args) == 0
+        err = capsys.readouterr().err
+        assert (
+            f"integrity: 2 corrupt entries quarantined under"
+            f" {cache_dir}/quarantine" in err
+        )
+        assert (cache_dir / "quarantine").exists()
+
+    def test_clean_cache_prints_no_integrity_line(self, capsys, tmp_path):
+        cache_dir = tmp_path / "cache"
+        args = ["report", "--only", "abl-fused", "--cache-dir", str(cache_dir)]
+        assert main(args) == 0
+        capsys.readouterr()
+        assert main(args) == 0
+        err = capsys.readouterr().err
+        assert "integrity:" not in err
+        assert "cache" in err  # the hit/miss summary still prints

@@ -417,3 +417,57 @@ class TestCliFaultFlags:
             ["report", "--only", "abl-fused", "--inject-faults", "meteor=1"]
         ) == 2
         assert "inject-faults" in capsys.readouterr().err
+
+
+class TestServiceFaultKinds:
+    """The service-layer kinds (reset/stall/corrupt-journal) share the
+    spec grammar and the deterministic draw with the worker kinds."""
+
+    def test_service_kinds_are_registered(self):
+        from repro.harness.faults import SERVICE_FAULT_KINDS, WORKER_FAULT_KINDS
+
+        assert set(SERVICE_FAULT_KINDS) == {"reset", "stall", "corrupt-journal"}
+        assert set(SERVICE_FAULT_KINDS) <= set(FAULT_KINDS)
+        assert not set(SERVICE_FAULT_KINDS) & set(WORKER_FAULT_KINDS)
+
+    def test_service_spec_round_trips(self):
+        plan = parse_fault_spec("reset=0.5,stall=0.25,corrupt-journal=1,hang=3,seed=9")
+        assert plan.rates == {
+            "reset": 0.5,
+            "stall": 0.25,
+            "corrupt-journal": 1.0,
+        }
+        assert plan.hang_s == 3.0 and plan.seed == 9
+        assert parse_fault_spec(plan.to_spec()) == plan
+
+    def test_service_kinds_never_probe_as_worker_faults(self):
+        plan = FaultPlan({"reset": 1.0, "stall": 1.0}, seed=0)
+        assert plan.worker_fault("any@96", 0) is None
+
+
+class TestJitteredBackoff:
+    def test_jitter_is_deterministic_and_bounded(self):
+        policy = RetryPolicy(max_attempts=5, backoff_s=0.1)
+        for attempt in range(4):
+            base = policy.backoff_for(attempt)
+            delay = policy.jittered_backoff_for(
+                attempt, seed=7, key="req3", cap_s=None
+            )
+            again = policy.jittered_backoff_for(
+                attempt, seed=7, key="req3", cap_s=None
+            )
+            assert delay == again, "jitter must be a pure function"
+            assert base / 2 <= delay < base
+
+    def test_cap_bounds_the_exponential_growth(self):
+        policy = RetryPolicy(max_attempts=10, backoff_s=1.0)
+        delay = policy.jittered_backoff_for(8, seed=0, key="k", cap_s=0.25)
+        assert delay < 0.25  # capped before the jitter factor
+
+    def test_different_keys_spread_the_storm(self):
+        policy = RetryPolicy(backoff_s=1.0)
+        delays = {
+            policy.jittered_backoff_for(0, seed=0, key=f"req{i}", cap_s=None)
+            for i in range(16)
+        }
+        assert len(delays) > 1, "jitter must decorrelate concurrent clients"

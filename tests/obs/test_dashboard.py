@@ -118,3 +118,23 @@ class TestWriteDashboard:
         text = out.read_text(encoding="utf-8")
         assert "<html" in text
         assert not re.search(r"https?://", text)
+
+
+class TestServiceResilienceFamilies:
+    def test_counter_panels_render_the_crash_safety_families(self):
+        """The drain/retry/replay families from the crash-safe service
+        (docs/service.md) land in the generic counter panels — including
+        their explicit zeros."""
+        r = _registry()
+        r.inc("atm_service_retries", 0.0, endpoint="client", reason="timeout")
+        r.inc("atm_service_retries", 3.0, endpoint="client", reason="reset")
+        r.set("atm_service_drain_seconds", 1.25)
+        for kind in ("restored", "replayed", "dropped"):
+            r.inc("atm_service_journal_replayed", 0.0, kind=kind)
+        r.inc("atm_service_journal_replayed", 64.0, kind="restored")
+        html = render_dashboard(_report(), snapshot=r.snapshot())
+        assert "atm_service_retries" in html
+        assert "atm_service_drain_seconds" in html
+        assert "atm_service_journal_replayed" in html
+        # zero-valued series render too (counters-with-zeros)
+        assert "timeout" in html and "dropped" in html

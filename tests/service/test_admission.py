@@ -105,3 +105,35 @@ def test_verdict_is_frozen():
     assert isinstance(verdict, AdmissionVerdict)
     with pytest.raises(AttributeError):
         verdict.admitted = False
+
+
+def test_draining_rejects_new_cells_before_any_other_check():
+    control = AdmissionController(max_queue_cells=10)
+    assert not control.draining
+    control.set_draining()
+    assert control.draining
+    verdict = control.assess(1, queue_depth=0, deadline_s=1e9)
+    assert not verdict.admitted
+    assert verdict.outcome == "rejected_draining"
+    # draining wins even where backpressure would also apply
+    assert (
+        control.assess(50, queue_depth=9, deadline_s=1e9).outcome
+        == "rejected_draining"
+    )
+
+
+def test_draining_still_admits_zero_cell_requests():
+    """Fully cached/coalescible requests add no cells — they must keep
+    flowing during the drain so in-flight work keeps its coalescers."""
+    control = AdmissionController()
+    control.set_draining()
+    verdict = control.assess(0, queue_depth=5)
+    assert verdict.admitted and verdict.outcome == "admitted"
+
+
+def test_draining_is_reversible():
+    control = AdmissionController()
+    control.set_draining()
+    control.set_draining(False)
+    assert not control.draining
+    assert control.assess(1, queue_depth=0, deadline_s=1e9).admitted

@@ -1,0 +1,195 @@
+"""Graceful drain: zero dropped in-flight requests, 503 + Retry-After
+on new work, draining healthz (docs/service.md, "Crash safety & drain")."""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+from repro.service import CellRequest
+
+from .test_server import _http, _post_cell, _run_service
+
+
+class TestDrainCore:
+    def test_drain_rejects_new_cells_but_serves_cached(self):
+        async def scenario(service, port):
+            warm = CellRequest(platform="ap:staran", n=96, periods=1)
+            await service.submit_cell(warm)
+            summary = await service.drain(timeout_s=0.5)
+            assert summary["drained"] is True
+            cached = await _post_cell(
+                port, {"platform": "ap:staran", "n": 96, "periods": 1}
+            )
+            fresh = await _post_cell(
+                port, {"platform": "ap:staran", "n": 97, "periods": 1}
+            )
+            health = None
+            reader, writer = await asyncio.open_connection("127.0.0.1", port)
+            try:
+                health = await _http(reader, writer, "GET", "/healthz")
+            finally:
+                writer.close()
+                await writer.wait_closed()
+            return cached, fresh, health, service.stats()
+
+        cached, fresh, health, stats = _run_service(scenario)
+        # a fully-cached request adds zero cells: still served while
+        # draining (its coalescers must not be dropped)
+        assert cached[0] == 200
+        assert cached[1]["x-atm-source"] == "cache"
+        # new work is rejected with the draining verdict + Retry-After
+        assert fresh[0] == 503
+        assert fresh[1].get("retry-after")
+        verdict = json.loads(fresh[2].decode("utf-8"))
+        assert verdict["outcome"] == "rejected_draining"
+        assert verdict["admitted"] is False
+        # healthz flips so load balancers stop routing here
+        assert health[0] == 503
+        assert json.loads(health[2].decode("utf-8"))["status"] == "draining"
+        assert health[1].get("retry-after")
+        assert stats["draining"] is True
+        assert stats["drain_seconds"] >= 0
+
+    def test_inflight_requests_complete_during_drain(self):
+        """The acceptance bar: zero dropped in-flight requests.  A cell
+        admitted before SIGTERM is answered 200 even though the drain
+        begins while it is still queued in its batch window."""
+
+        async def scenario(service, port):
+            inflight = asyncio.ensure_future(
+                _post_cell(port, {"platform": "ap:staran", "n": 96, "periods": 1})
+            )
+            for _ in range(200):
+                if service._pending_cells:
+                    break
+                await asyncio.sleep(0.005)
+            assert service._pending_cells == 1
+            drain = asyncio.ensure_future(service.drain(timeout_s=10.0))
+            rejected = await _post_cell(
+                port, {"platform": "ap:staran", "n": 97, "periods": 1}
+            )
+            response = await inflight
+            summary = await drain
+            return response, rejected, summary
+
+        response, rejected, summary = _run_service(
+            scenario, batch_window_s=0.3
+        )
+        assert response[0] == 200, response[2]
+        assert rejected[0] == 503
+        assert summary["drained"] is True
+        assert summary["pending_cells"] == 0
+        assert summary["inflight_requests"] == 0
+
+    def test_drain_timeout_leaves_remainder_journaled(self, tmp_path):
+        """A drain that cannot flush in time reports the remainder —
+        which is already durable in the request journal."""
+
+        async def scenario(service, port):
+            inflight = asyncio.ensure_future(
+                _post_cell(port, {"platform": "ap:staran", "n": 96, "periods": 1})
+            )
+            for _ in range(200):
+                if service._pending_cells:
+                    break
+                await asyncio.sleep(0.005)
+            summary = await service.drain(timeout_s=0.0)
+            response = await inflight
+            return summary, response
+
+        summary, response = _run_service(
+            scenario, batch_window_s=0.5, cache_dir=str(tmp_path)
+        )
+        assert summary["drained"] is False
+        assert summary["journaled_pending"] == summary["pending_cells"] == 1
+        # the cell still finishes (drain never cancels work)
+        assert response[0] == 200
+
+    def test_drain_seconds_metric_is_set(self):
+        async def scenario(service, port):
+            await service.drain(timeout_s=0.1)
+            return service.registry.value("atm_service_drain_seconds")
+
+        value = _run_service(scenario)
+        assert value is not None and value >= 0.0
+
+
+class TestJournalReplayInProcess:
+    def test_pending_cells_replay_and_stay_byte_identical(self, tmp_path):
+        """An admitted-but-unserved journal entry is re-enqueued at
+        --resume startup and ends byte-identical to a clean run."""
+        cell = {"platform": "ap:staran", "n": 96, "periods": 1}
+
+        async def clean(service, port):
+            status, _headers, payload = await _post_cell(port, cell)
+            assert status == 200
+            return payload
+
+        clean_payload = _run_service(clean)
+
+        # Forge the crash: a journal holding only the admission.
+        from repro.service import RequestJournal
+
+        journal_path = tmp_path / "service-journal.jsonl"
+        forged = RequestJournal(journal_path)
+        key = CellRequest(**{**cell, "seed": 2018, "mode": "signed"}).cache_key()
+        forged.record_admitted(
+            key, {**cell, "seed": 2018, "mode": "signed"}
+        )
+
+        async def resumed(service, port):
+            assert service.stats()["replayed_cells"] == 1
+            for _ in range(400):
+                if service.journal.pending() == {}:
+                    break
+                await asyncio.sleep(0.01)
+            assert service.journal.pending() == {}
+            status, headers, payload = await _post_cell(port, cell)
+            assert status == 200
+            return headers["x-atm-source"], payload, service.registry
+
+        source, payload, registry = _run_service(
+            resumed, journal_path=str(journal_path), resume=True
+        )
+        # replayed before the client ever re-asked: served warm
+        assert source == "cache"
+        assert payload == clean_payload
+        assert registry.value("atm_service_journal_replayed", kind="replayed") == 1
+
+    def test_served_entries_restore_into_memory(self, tmp_path):
+        cell = {"platform": "ap:staran", "n": 96, "periods": 1}
+
+        async def first(service, port):
+            status, _h, payload = await _post_cell(port, cell)
+            assert status == 200
+            return payload
+
+        journal_path = tmp_path / "service-journal.jsonl"
+        first_payload = _run_service(first, journal_path=str(journal_path))
+
+        async def second(service, port):
+            assert service.stats()["restored_cells"] == 1
+            status, headers, payload = await _post_cell(port, cell)
+            return status, headers["x-atm-source"], payload
+
+        status, source, payload = _run_service(
+            second, journal_path=str(journal_path), resume=True
+        )
+        assert (status, source) == (200, "cache")
+        assert payload == first_payload
+
+    def test_dispatch_pool_shutdown_is_bounded(self):
+        """stop() must not wedge the loop joining the dispatch pool —
+        it runs the join in an executor under the drain timeout."""
+
+        async def scenario(service, port):
+            await service.submit_cell(
+                CellRequest(platform="ap:staran", n=96, periods=1)
+            )
+            started = asyncio.get_running_loop().time()
+            await service.stop()
+            return asyncio.get_running_loop().time() - started
+
+        elapsed = _run_service(scenario, drain_timeout_s=2.0)
+        assert elapsed < 2.5

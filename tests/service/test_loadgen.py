@@ -137,3 +137,137 @@ def test_metrics_out_writes_openmetrics(tmp_path, live_server):
     text = out.read_text(encoding="utf-8")
     assert 'endpoint="client"' in text
     assert text.endswith("# EOF\n")
+
+
+class TestCircuitBreaker:
+    def test_opens_after_threshold_consecutive_failures(self):
+        from repro.service.loadgen import _CircuitBreaker
+
+        breaker = _CircuitBreaker(threshold=3, cooldown_s=60.0)
+        assert breaker.allow() and breaker.state == "closed"
+        for _ in range(2):
+            breaker.record_failure()
+        assert breaker.state == "closed" and breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == "open" and breaker.opens == 1
+        assert not breaker.allow()  # cooldown has not elapsed
+
+    def test_half_open_probe_closes_or_reopens(self):
+        from repro.service.loadgen import _CircuitBreaker
+
+        breaker = _CircuitBreaker(threshold=1, cooldown_s=0.0)
+        breaker.record_failure()
+        assert breaker.state == "open"
+        # zero cooldown: the next allow() is the half-open probe...
+        assert breaker.allow() and breaker.state == "half-open"
+        # ...and only one probe flies at a time
+        assert not breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == "open" and breaker.opens == 2
+        assert breaker.allow()  # half-open again
+        breaker.record_success()
+        assert breaker.state == "closed" and breaker.allow()
+
+    def test_success_resets_the_failure_streak(self):
+        from repro.service.loadgen import _CircuitBreaker
+
+        breaker = _CircuitBreaker(threshold=2, cooldown_s=60.0)
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        assert breaker.state == "closed", "streak must reset on success"
+
+
+class TestOutcomeTaxonomy:
+    def test_503_splits_draining_from_backpressure(self):
+        from repro.service.loadgen import _outcome_for
+
+        draining = b'{"outcome": "rejected_draining", "admitted": false}'
+        backpressure = b'{"outcome": "rejected_backpressure"}'
+        assert _outcome_for(503, draining) == "rejected_draining"
+        assert _outcome_for(503, backpressure) == "rejected_backpressure"
+        assert _outcome_for(503, b"not json") == "rejected_backpressure"
+
+    def test_plain_statuses_map_directly(self):
+        from repro.service.loadgen import _outcome_for
+
+        assert _outcome_for(200, b"") == "served"
+        assert _outcome_for(400, b"") == "bad_request"
+        assert _outcome_for(429, b"") == "rejected_deadline"
+        assert _outcome_for(500, b"") == "error"
+
+
+def test_clean_run_reports_empty_resilience_taxonomy(live_server):
+    """A fault-free burst: zero retries, zero errors, but the full retry
+    taxonomy is still present as zeros in the metrics exposition."""
+    from repro.service.loadgen import RETRY_REASONS
+
+    _service, port, _shutdown = live_server()
+    registry = MetricsRegistry()
+    summary = run_loadgen(
+        LoadgenOptions(port=port, concurrency=5, requests=10),
+        registry=registry,
+    )
+    assert summary["outcomes"].get("served") == 10
+    assert summary["retries"] == 0
+    assert summary["errors"] == {}
+    assert summary["rejections"] == {}
+    assert summary["breaker_opens"] == 0
+    for reason in RETRY_REASONS:
+        value = registry.value(
+            "atm_service_retries", endpoint="client", reason=reason
+        )
+        assert value == 0.0, (reason, value)
+    assert "resilience:" not in render_summary(summary)
+
+
+def test_connection_refused_exhausts_attempts_into_the_error_taxonomy():
+    """No server at all: every request retries, fails as a reset, and
+    the summary names the failure instead of crashing the generator."""
+    import socket
+
+    with socket.socket() as probe:
+        probe.bind(("127.0.0.1", 0))
+        free_port = probe.getsockname()[1]
+    summary = run_loadgen(
+        LoadgenOptions(
+            port=free_port,
+            concurrency=1,
+            requests=2,
+            max_attempts=2,
+            backoff_s=0.001,
+            breaker_threshold=100,  # keep the breaker out of this test
+        )
+    )
+    assert summary["outcomes"] == {"error": 2}
+    assert summary["errors"] == {"reset": 2}
+    assert summary["retries"] == 2  # one retry per request before giving up
+    text = render_summary(summary)
+    assert "resilience: 2 retries" in text
+    assert "reset" in text
+
+
+def test_rejections_breakdown_keys_the_503_taxonomy(live_server):
+    """Backpressure 503s retry and land in the rejections breakdown."""
+    _service, port, _shutdown = live_server(
+        max_queue_cells=1, batch_window_s=0.4
+    )
+    summary = run_loadgen(
+        LoadgenOptions(
+            port=port,
+            concurrency=8,
+            requests=16,
+            max_attempts=2,
+            backoff_s=0.001,
+            mix=tuple(
+                {"platform": "ap:staran", "n": 96 + 8 * i, "periods": 1}
+                for i in range(8)
+            ),
+        )
+    )
+    total = sum(summary["outcomes"].values())
+    assert total == 16
+    rejected = summary["outcomes"].get("rejected_backpressure", 0)
+    if rejected:
+        assert summary["rejections"] == {"rejected_backpressure": rejected}
+        assert "rejections:" in render_summary(summary)
